@@ -1,0 +1,61 @@
+// Ablation: ticket-scoring design choices (DESIGN.md).
+//
+// The paper draws OMP tickets with GLOBAL magnitude ranking. This ablation
+// compares, at matched sparsity and on the same robust pretrained model:
+//   random masks (floor), per-layer uniform magnitude, global magnitude
+//   (the paper's choice), and SNIP connection sensitivity.
+// Expectation: global magnitude >= layerwise > random; SNIP competitive.
+// Also verifies the robust-over-natural gap survives the scorer choice.
+#include "bench_common.hpp"
+
+int main() {
+  rtb::banner("Ablation — pruning scorer (global vs layerwise vs random vs SNIP)",
+              "global magnitude best or tied; random clearly worst");
+  auto& lab = rtb::lab();
+  const auto& prof = rtb::profile();
+
+  const rt::TaskData task =
+      lab.downstream("cifar10", prof.down_train, prof.down_test);
+  const std::vector<float> sparsities =
+      prof.quick() ? std::vector<float>{0.7f, 0.9f}
+                   : std::vector<float>{0.5f, 0.7f, 0.9f, 0.95f};
+
+  rt::Table table({"scheme", "scorer", "sparsity", "finetune_acc"});
+
+  for (const bool robust : {false, true}) {
+    const auto scheme = robust ? rt::PretrainScheme::kAdversarial
+                               : rt::PretrainScheme::kNatural;
+    for (float sparsity : sparsities) {
+      for (const std::string scorer :
+           {"global", "layerwise", "random", "snip"}) {
+        auto model = lab.dense_model("r18", scheme);
+        rt::Rng prng(404);
+        if (scorer == "global") {
+          rt::OmpConfig cfg;
+          cfg.sparsity = sparsity;
+          rt::omp_prune(*model, cfg);
+        } else if (scorer == "layerwise") {
+          rt::layerwise_magnitude_prune(*model, sparsity,
+                                        rt::Granularity::kElement);
+        } else if (scorer == "random") {
+          rt::random_prune(*model, sparsity, rt::Granularity::kElement, prng);
+        } else {
+          rt::SnipConfig cfg;
+          cfg.sparsity = sparsity;
+          rt::snip_prune(*model, lab.source().train, cfg, prng);
+        }
+        rt::Rng rng(505);
+        const double acc = rt::finetune_whole_model(
+            *model, task, rtb::finetune_config(), rng);
+        table.add_row({std::string(robust ? "robust" : "natural"), scorer,
+                       static_cast<double>(sparsity), 100.0 * acc});
+        std::printf("  %-7s %-9s s=%.2f  acc %.2f\n",
+                    robust ? "robust" : "natural", scorer.c_str(), sparsity,
+                    100.0 * acc);
+      }
+    }
+  }
+  table.set_precision(2);
+  rtb::emit(table, "ablation_pruning");
+  return 0;
+}

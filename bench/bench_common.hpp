@@ -1,0 +1,104 @@
+#pragma once
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench binary prints the paper expectation, the measured table, and
+// writes a CSV copy to ./bench_out/. Two profiles control cost:
+//   RT_BENCH_PROFILE=quick  (default) — reduced grids/epochs, minutes total;
+//   RT_BENCH_PROFILE=full   — denser grids, closer to the paper protocol.
+// Pretrained checkpoints are cached in RT_CACHE_DIR (default
+// /tmp/rticket_cache) and shared across all bench binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/robust_tickets.hpp"
+
+namespace rtb {
+
+struct Profile {
+  std::string name = "quick";
+  int down_train = 224;
+  int down_test = 320;
+  int finetune_epochs = 4;
+  int linear_epochs = 30;
+  std::vector<float> omp_grid{0.2f, 0.9f, 0.99f};
+  std::vector<float> structured_grid{0.5f};
+  float imp_rate = 0.3f;
+  int imp_epochs_per_round = 1;
+  float imp_target = 0.9f;
+  int lmp_epochs = 6;
+  std::vector<float> lmp_grid{0.5f, 0.9f};
+
+  bool quick() const { return name == "quick"; }
+};
+
+inline const Profile& profile() {
+  static const Profile p = [] {
+    Profile prof;
+    const char* env = std::getenv("RT_BENCH_PROFILE");
+    if (env != nullptr && std::string(env) == "full") {
+      prof.name = "full";
+      prof.down_train = 640;
+      prof.down_test = 512;
+      prof.finetune_epochs = 12;
+      prof.linear_epochs = 60;
+      prof.omp_grid = {0.2f, 0.36f, 0.5f, 0.59f, 0.7f, 0.79f,
+                       0.9f, 0.95f, 0.99f};
+      prof.structured_grid = {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f, 0.7f, 0.8f};
+      prof.imp_rate = 0.2f;
+      prof.imp_epochs_per_round = 3;
+      prof.imp_target = 0.97f;
+      prof.lmp_epochs = 14;
+      prof.lmp_grid = {0.2f, 0.4f, 0.6f, 0.8f, 0.9f};
+    }
+    return prof;
+  }();
+  return p;
+}
+
+/// One lab per process; identical options across benches maximize pretrain
+/// cache reuse.
+inline rt::RobustTicketLab& lab() {
+  static rt::RobustTicketLab instance([] {
+    rt::RobustTicketLab::Options opt;
+    opt.verbose = true;
+    return opt;
+  }());
+  return instance;
+}
+
+inline rt::FinetuneConfig finetune_config() {
+  rt::FinetuneConfig cfg;
+  cfg.epochs = profile().finetune_epochs;
+  return cfg;
+}
+
+inline rt::LinearEvalConfig linear_config() {
+  rt::LinearEvalConfig cfg;
+  cfg.epochs = profile().linear_epochs;
+  return cfg;
+}
+
+/// Prints the standard bench header.
+inline void banner(const std::string& bench, const std::string& paper_claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s   [profile: %s]\n", bench.c_str(), profile().name.c_str());
+  std::printf("Paper expectation: %s\n", paper_claim.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Prints the table and writes bench_out/<name>.csv.
+inline void emit(const rt::Table& table, const std::string& name) {
+  std::printf("%s", table.to_string().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  if (table.save_csv(path)) {
+    std::printf("[saved %s]\n", path.c_str());
+  }
+}
+
+}  // namespace rtb

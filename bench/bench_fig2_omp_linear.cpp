@@ -1,0 +1,46 @@
+// Fig. 2: linear-evaluation accuracy of OMP robust vs natural tickets.
+// The drawn ticket is frozen as a feature extractor and only a new linear
+// classifier is trained.
+//
+// Paper shape to reproduce: robust tickets win aggressively under linear
+// evaluation (>= 11.75 pts on R50/C100 up to sparsity 0.92) — a larger
+// margin than under whole-model finetuning, because frozen features must
+// absorb the domain shift alone.
+#include "bench_common.hpp"
+
+int main() {
+  rtb::banner("Fig. 2 — OMP tickets, linear evaluation",
+              "robust >> natural; margins larger than Fig. 1");
+  auto& lab = rtb::lab();
+  const auto& prof = rtb::profile();
+
+  rt::Table table({"model", "task", "sparsity", "natural_acc", "robust_acc",
+                   "robust_gain"});
+
+  for (const std::string arch : {"r18", "r50"}) {
+    for (const std::string task_name : {"cifar10", "cifar100"}) {
+      const rt::TaskData task =
+          lab.downstream(task_name, prof.down_train, prof.down_test);
+      for (float sparsity : prof.omp_grid) {
+        rt::Rng rng(777);
+        auto natural =
+            lab.omp_ticket(arch, rt::PretrainScheme::kNatural, sparsity);
+        const double nat =
+            rt::linear_eval(*natural, task, rtb::linear_config(), rng);
+        rt::Rng rng2(777);
+        auto robust =
+            lab.omp_ticket(arch, rt::PretrainScheme::kAdversarial, sparsity);
+        const double rob =
+            rt::linear_eval(*robust, task, rtb::linear_config(), rng2);
+        table.add_row({arch, task_name, static_cast<double>(sparsity),
+                       100.0 * nat, 100.0 * rob, 100.0 * (rob - nat)});
+        std::printf("  %s/%s s=%.2f  natural %.2f  robust %.2f\n",
+                    arch.c_str(), task_name.c_str(), sparsity, 100.0 * nat,
+                    100.0 * rob);
+      }
+    }
+  }
+  table.set_precision(2);
+  rtb::emit(table, "fig2_omp_linear");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 6: is adversarial pretraining necessary? Compares OMP tickets drawn
+// from naturally / adversarially / randomized-smoothing pretrained
+// MicroResNet50, transferred with whole-model finetuning — extended with two
+// further robustifiers (TRADES and Free-AT) beyond the paper's pair.
+//
+// Paper shape to reproduce: adversarial > randomized smoothing > natural —
+// robustness priors induced by either robust training algorithm are
+// inherited by the tickets, with PGD the strongest. The two extra schemes
+// probe the boundary of "properly induced": Free-AT's recycled-gradient
+// inner maximization and TRADES' KL bootstrap both deliver only PARTIAL
+// robustness at this micro pretraining budget (source adv-acc ~0.2 vs
+// PGD's ~0.75), so their tickets are expected to track their measured
+// robustness, not their reputation — the same lesson as the epsilon
+// ablation.
+#include "bench_common.hpp"
+
+int main() {
+  rtb::banner("Fig. 6 — pretraining schemes (R50, OMP)",
+              "ticket transferability tracks the STRENGTH of the induced "
+              "robustness prior: PGD-AT (adv-acc ~0.75) clearly first; "
+              "weakly-robustified schemes (rand-smooth / free-adv / trades "
+              "at this budget) cluster above or near natural");
+  auto& lab = rtb::lab();
+  const auto& prof = rtb::profile();
+
+  const std::vector<rt::PretrainScheme> schemes = {
+      rt::PretrainScheme::kNatural,
+      rt::PretrainScheme::kRandomizedSmoothing,
+      rt::PretrainScheme::kFreeAdversarial,
+      rt::PretrainScheme::kTrades,
+      rt::PretrainScheme::kAdversarial,
+  };
+
+  rt::Table table({"task", "sparsity", "scheme", "finetune_acc"});
+  rt::Table summary({"scheme", "mean_acc"});
+  std::vector<double> sums(schemes.size(), 0.0);
+  int count = 0;
+
+  const std::vector<std::string> tasks =
+      prof.quick() ? std::vector<std::string>{"cifar10"}
+                   : std::vector<std::string>{"cifar10", "cifar100"};
+  for (const std::string& task_name : tasks) {
+    const rt::TaskData task =
+        lab.downstream(task_name, prof.down_train, prof.down_test);
+    for (float sparsity : prof.omp_grid) {
+      for (std::size_t si = 0; si < schemes.size(); ++si) {
+        rt::Rng rng(606);
+        auto ticket = lab.omp_ticket("r50", schemes[si], sparsity);
+        const double acc = rt::finetune_whole_model(
+            *ticket, task, rtb::finetune_config(), rng);
+        table.add_row({task_name, static_cast<double>(sparsity),
+                       std::string(rt::scheme_name(schemes[si])), 100.0 * acc});
+        sums[si] += 100.0 * acc;
+        std::printf("  %s s=%.2f %-12s acc %.2f\n", task_name.c_str(),
+                    sparsity, rt::scheme_name(schemes[si]), 100.0 * acc);
+      }
+      ++count;
+    }
+  }
+  for (std::size_t si = 0; si < schemes.size(); ++si) {
+    summary.add_row({std::string(rt::scheme_name(schemes[si])),
+                     sums[si] / count});
+  }
+  table.set_precision(2);
+  summary.set_precision(2);
+  rtb::emit(table, "fig6_pretrain_schemes");
+  std::printf("\nMean accuracy by scheme (expect adversarial clearly first; "
+              "the weakly-robustified schemes near or above natural):\n");
+  rtb::emit(summary, "fig6_pretrain_schemes_summary");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Kernel micro-benchmarks (google-benchmark): the compute primitives whose
+// cost dominates the experiment harness. Useful for spotting performance
+// regressions in the substrate rather than reproducing a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "attack/attack.hpp"
+#include "attack/trades.hpp"
+#include "hw/shrink.hpp"
+#include "models/resnet.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "prune/omp.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  rt::Rng rng(1);
+  const rt::Tensor a = rt::Tensor::randn({n, n}, rng);
+  const rt::Tensor b = rt::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ResNetForward(benchmark::State& state) {
+  rt::Rng rng(2);
+  auto model = state.range(0) == 18 ? rt::make_micro_resnet18(10, rng)
+                                    : rt::make_micro_resnet50(10, rng);
+  model->set_training(false);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ResNetForward)->Arg(18)->Arg(50);
+
+void BM_ResNetTrainStep(benchmark::State& state) {
+  rt::Rng rng(3);
+  auto model = state.range(0) == 18 ? rt::make_micro_resnet18(10, rng)
+                                    : rt::make_micro_resnet50(10, rng);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+  std::vector<int> y(16);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    model->zero_grad();
+    const rt::Tensor logits = model->forward(x);
+    const rt::LossResult loss = rt::softmax_cross_entropy(logits, y);
+    benchmark::DoNotOptimize(model->backward(loss.grad_logits));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ResNetTrainStep)->Arg(18)->Arg(50);
+
+void BM_PgdAttack(benchmark::State& state) {
+  rt::Rng rng(4);
+  auto model = rt::make_micro_resnet18(10, rng);
+  model->set_training(false);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+  std::vector<int> y(16);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 10);
+  rt::AttackConfig cfg;
+  cfg.steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::pgd_attack(*model, x, y, cfg, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_PgdAttack)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_TradesStep(benchmark::State& state) {
+  rt::Rng rng(5);
+  auto model = rt::make_micro_resnet18(10, rng);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+  std::vector<int> y(16);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 10);
+  rt::TradesConfig cfg;
+  cfg.attack.steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    model->zero_grad();
+    benchmark::DoNotOptimize(rt::trades_step(*model, x, y, cfg, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_TradesStep)->Arg(1)->Arg(5);
+
+void BM_OptimizerStep(benchmark::State& state) {
+  rt::Rng rng(6);
+  auto model = rt::make_micro_resnet50(10, rng);
+  auto params = model->parameters();
+  for (rt::Parameter* p : params) p->grad.fill_(0.01f);
+  const bool adam = state.range(0) == 1;
+  rt::Sgd sgd(params, {});
+  rt::Adam adam_opt(params, {});
+  for (auto _ : state) {
+    if (adam) {
+      adam_opt.step();
+    } else {
+      sgd.step();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * model->num_parameters());
+}
+BENCHMARK(BM_OptimizerStep)->Arg(0)->Arg(1);  // 0 = SGD, 1 = Adam
+
+void BM_ShrunkVsMaskedForward(benchmark::State& state) {
+  // The shrink compiler's payoff measured at the kernel level: forward cost
+  // of a 70%-channel-pruned r50, masked (range 0) vs physically shrunk (1).
+  rt::Rng rng(7);
+  auto model = rt::make_micro_resnet50(10, rng);
+  rt::OmpConfig cfg;
+  cfg.sparsity = 0.7f;
+  cfg.granularity = rt::Granularity::kChannel;
+  rt::omp_prune(*model, cfg);
+  rt::neutralize_dead_internal_channels(*model);
+  if (state.range(0) == 1) {
+    rt::shrink_internal_channels(*model, rng);
+  }
+  model->set_training(false);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ShrunkVsMaskedForward)->Arg(0)->Arg(1);
+
+void BM_KlDivergence(benchmark::State& state) {
+  rt::Rng rng(8);
+  const auto n = state.range(0);
+  const rt::Tensor a = rt::Tensor::randn({n, 10}, rng);
+  const rt::Tensor b = rt::Tensor::randn({n, 10}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::kl_divergence(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KlDivergence)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

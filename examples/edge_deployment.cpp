@@ -1,0 +1,59 @@
+// Edge deployment: pick the best ticket under a hardware budget.
+//
+// The paper motivates robust tickets with resource-constrained edge
+// transfer learning. This example sweeps CHANNEL-structured sparsity (the
+// pattern real accelerators exploit), measures parameter/FLOP savings with
+// the library's model statistics, and selects the sparsest robust ticket
+// that stays within a target accuracy drop — then compares against the
+// natural ticket at the same budget.
+#include <cstdio>
+
+#include "core/robust_tickets.hpp"
+
+int main() {
+  rt::RobustTicketLab::Options opt;
+  opt.verbose = true;
+  rt::RobustTicketLab lab(opt);
+
+  const rt::TaskData task = lab.downstream("pets", 320, 320);
+  rt::FinetuneConfig ft;
+  ft.epochs = 6;
+
+  std::printf("Sweeping channel-structured tickets (R18) on '%s'...\n\n",
+              task.spec.name.c_str());
+  std::printf("%-9s %-12s %-12s %-10s %-10s\n", "sparsity", "params",
+              "MFLOPs", "nat_acc", "rob_acc");
+
+  double best_rob = 0.0;
+  float best_sparsity = 0.0f;
+  for (float sparsity : {0.0f, 0.2f, 0.4f, 0.6f, 0.8f}) {
+    rt::Rng rng(11);
+    auto natural = lab.omp_ticket("r18", rt::PretrainScheme::kNatural,
+                                  sparsity, rt::Granularity::kChannel);
+    const float nat = rt::finetune_whole_model(*natural, task, ft, rng);
+
+    rt::Rng rng2(11);
+    auto robust = lab.omp_ticket("r18", rt::PretrainScheme::kAdversarial,
+                                 sparsity, rt::Granularity::kChannel);
+    const rt::ModelStats stats = robust->stats(16, 16);
+    const float rob = rt::finetune_whole_model(*robust, task, ft, rng2);
+
+    std::printf("%-9.2f %-12lld %-12.3f %-10.2f %-10.2f\n", sparsity,
+                static_cast<long long>(stats.unmasked_prunable_params),
+                static_cast<double>(stats.sparse_flops) / 1e6, 100.0f * nat,
+                100.0f * rob);
+    if (rob > best_rob * 0.995) {  // prefer sparser models at ~equal accuracy
+      best_rob = rob;
+      best_sparsity = sparsity;
+    }
+  }
+
+  std::printf(
+      "\nRecommended edge ticket: robust @ channel sparsity %.1f "
+      "(accuracy %.2f%%)\n",
+      best_sparsity, 100.0 * best_rob);
+  std::printf(
+      "Structured channel masks remove whole output channels, so the saved\n"
+      "FLOPs translate to real speedups without sparse-kernel support.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// OoD monitoring on the edge: robust tickets as more reliable detectors.
+//
+// Fig. 8 reports that robustness priors can improve large models' OoD
+// detection. This example deploys a finetuned ticket with a max-softmax
+// -probability monitor: inputs whose confidence falls below a threshold are
+// flagged for review. It reports ROC-AUC and the operating point at 95%
+// true-positive rate for robust vs natural tickets.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/robust_tickets.hpp"
+
+namespace {
+
+/// False-positive rate of the MSP detector at >= 95% in-distribution recall.
+double fpr_at_95_tpr(std::vector<float> in_scores,
+                     std::vector<float> out_scores) {
+  std::sort(in_scores.begin(), in_scores.end());
+  // Threshold keeping 95% of in-distribution above it.
+  const std::size_t cut = in_scores.size() / 20;
+  const float threshold = in_scores[cut];
+  std::size_t fp = 0;
+  for (float s : out_scores) {
+    if (s >= threshold) ++fp;
+  }
+  return static_cast<double>(fp) / static_cast<double>(out_scores.size());
+}
+
+}  // namespace
+
+int main() {
+  rt::RobustTicketLab::Options opt;
+  opt.verbose = true;
+  rt::RobustTicketLab lab(opt);
+
+  const rt::TaskData task = lab.downstream("cars", 320, 320);
+  const rt::Dataset ood = rt::generate_ood_dataset(320, 515);
+  rt::FinetuneConfig ft;
+  ft.epochs = 6;
+
+  std::printf("Deploying 70%%-sparse R50 tickets on '%s' with an MSP "
+              "out-of-distribution monitor...\n\n",
+              task.spec.name.c_str());
+
+  for (const bool robust : {false, true}) {
+    const auto scheme = robust ? rt::PretrainScheme::kAdversarial
+                               : rt::PretrainScheme::kNatural;
+    rt::Rng rng(21);
+    auto ticket = lab.omp_ticket("r50", scheme, 0.7f);
+    const float acc = rt::finetune_whole_model(*ticket, task, ft, rng);
+
+    const rt::Tensor in_probs = rt::predict_probabilities(*ticket, task.test);
+    const rt::Tensor out_probs = rt::predict_probabilities(*ticket, ood);
+    const auto in_scores = rt::max_softmax_scores(in_probs);
+    const auto out_scores = rt::max_softmax_scores(out_probs);
+    const double auc = rt::roc_auc(in_scores, out_scores);
+    const double fpr = fpr_at_95_tpr(in_scores, out_scores);
+
+    std::printf("%s ticket:\n", robust ? "robust " : "natural");
+    std::printf("  downstream accuracy   %.2f%%\n", 100.0f * acc);
+    std::printf("  OoD ROC-AUC           %.4f\n", auc);
+    std::printf("  FPR @ 95%% TPR         %.2f%%\n\n", 100.0 * fpr);
+  }
+  std::printf("Higher AUC / lower FPR means fewer unnecessary escalations\n"
+              "when the edge device encounters unfamiliar inputs.\n");
+  return 0;
+}

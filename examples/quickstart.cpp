@@ -1,0 +1,40 @@
+// Quickstart: the headline result in ~40 lines.
+//
+// Pretrains MicroResNet18 on the synthetic source task twice (naturally and
+// adversarially), draws a 90%-sparse OMP ticket from each, finetunes both on
+// a high-domain-gap downstream task, and prints the accuracy comparison.
+// Expected outcome: the robust ticket transfers better.
+#include <cstdio>
+
+#include "core/robust_tickets.hpp"
+
+int main() {
+  rt::RobustTicketLab::Options opt;
+  opt.verbose = true;
+  rt::RobustTicketLab lab(opt);
+
+  const float sparsity = 0.9f;
+  const rt::TaskData task = lab.downstream("cifar10", 400, 400);
+  std::printf("downstream task: %s (%d classes, shift %.2f)\n",
+              task.spec.name.c_str(), task.spec.num_classes, task.spec.shift);
+
+  rt::FinetuneConfig ft;
+  rt::Rng rng(42);
+
+  auto natural = lab.omp_ticket("r18", rt::PretrainScheme::kNatural, sparsity);
+  const float nat_acc = rt::finetune_whole_model(*natural, task, ft, rng);
+
+  auto robust =
+      lab.omp_ticket("r18", rt::PretrainScheme::kAdversarial, sparsity);
+  const float rob_acc = rt::finetune_whole_model(*robust, task, ft, rng);
+
+  std::printf("\n=== OMP tickets @ sparsity %.0f%% on %s ===\n",
+              sparsity * 100.0f, task.spec.name.c_str());
+  std::printf("natural ticket accuracy: %.2f%%\n", 100.0f * nat_acc);
+  std::printf("robust  ticket accuracy: %.2f%%\n", 100.0f * rob_acc);
+  std::printf("robust - natural       : %+.2f points\n",
+              100.0f * (rob_acc - nat_acc));
+  std::printf("\n\"Robust tickets can transfer better\": %s\n",
+              rob_acc > nat_acc ? "confirmed on this run" : "not on this run");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Dense prediction beyond classification: transfer a pruned backbone to a
+// segmentation task (the Fig. 7 scenario as a runnable application).
+//
+// Builds an FCN head over a 50%-sparse robust ticket, finetunes on the
+// synthetic dense-prediction task, and prints per-class IoU plus a rendered
+// ASCII prediction for one test image.
+#include <cstdio>
+
+#include "core/robust_tickets.hpp"
+
+int main() {
+  rt::RobustTicketLab::Options opt;
+  opt.verbose = true;
+  rt::RobustTicketLab lab(opt);
+
+  const rt::SegDataset train = rt::generate_segmentation_dataset(256, 0.6f, 7);
+  const rt::SegDataset test = rt::generate_segmentation_dataset(96, 0.6f, 8);
+
+  rt::Rng rng(33);
+  auto backbone =
+      lab.omp_ticket("r50", rt::PretrainScheme::kAdversarial, 0.5f);
+
+  // Keep a handle on the net by building it here instead of the one-call
+  // pipeline, so we can render predictions afterwards.
+  rt::SegmentationNet net(std::move(backbone), train.num_classes,
+                          /*feature_stage=*/2, rng);
+  rt::Sgd sgd(net.parameters(), rt::SgdConfig{0.05f, 0.9f, 1e-4f});
+  const std::int64_t hw = rt::kImageSize * rt::kImageSize;
+  const int n = static_cast<int>(train.size());
+  for (int epoch = 0; epoch < 7; ++epoch) {
+    double loss_sum = 0.0;
+    for (const auto& idx : rt::make_batches(n, 16, rng)) {
+      const rt::Tensor x = rt::gather_images(train.images, idx);
+      std::vector<int> y;
+      for (int i : idx) {
+        y.insert(y.end(), train.labels.begin() + i * hw,
+                 train.labels.begin() + (i + 1) * hw);
+      }
+      net.set_training(true);
+      net.zero_grad();
+      const rt::Tensor logits = net.forward(x);
+      const rt::LossResult loss = rt::softmax_cross_entropy_2d(logits, y);
+      net.backward(loss.grad_logits);
+      sgd.step();
+      loss_sum += loss.loss * static_cast<double>(idx.size());
+    }
+    std::printf("epoch %d  loss %.4f\n", epoch, loss_sum / n);
+  }
+
+  const double miou = rt::evaluate_miou(net, test);
+  std::printf("\ntest mIoU (robust ticket @ 50%% sparsity): %.4f\n\n", miou);
+
+  // Render ground truth vs prediction for the first test image.
+  net.set_training(false);
+  const rt::Tensor x0 = rt::gather_images(test.images, {0});
+  const rt::Tensor logits = net.forward(x0);
+  const char glyphs[] = ".oxH";
+  std::printf("ground truth          prediction\n");
+  for (int y = 0; y < rt::kImageSize; ++y) {
+    for (int x = 0; x < rt::kImageSize; ++x) {
+      std::printf("%c", glyphs[test.labels[static_cast<std::size_t>(
+                               y * rt::kImageSize + x)]]);
+    }
+    std::printf("      ");
+    for (int x = 0; x < rt::kImageSize; ++x) {
+      int best = 0;
+      for (int c = 1; c < 4; ++c) {
+        if (logits.at(0, c, y, x) > logits.at(0, best, y, x)) best = c;
+      }
+      std::printf("%c", glyphs[best]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Why do robust tickets transfer better? A guided tour of the analysis API
+// on one large-domain-gap task:
+//   * the robustness prior selects a DIFFERENT subnetwork (mask IoU above
+//     the random null but far from 1);
+//   * robust and natural representations agree early and diverge late (CKA);
+//   * robust frozen features separate downstream classes better (Fisher
+//     ratio / kNN probe), which is exactly what linear evaluation rewards.
+#include <cstdio>
+
+#include "core/robust_tickets.hpp"
+
+int main() {
+  rt::RobustTicketLab::Options opt;
+  opt.verbose = true;
+  rt::RobustTicketLab lab(opt);
+  const float sparsity = 0.9f;
+  const rt::TaskData task = lab.downstream("cifar10", 320, 320);
+
+  // --- 1. Structural divergence of the tickets ----------------------------
+  auto robust =
+      lab.omp_ticket("r18", rt::PretrainScheme::kAdversarial, sparsity);
+  auto natural = lab.omp_ticket("r18", rt::PretrainScheme::kNatural, sparsity);
+  const rt::MaskOverlap overlap = rt::mask_overlap(
+      rt::MaskSet::capture(*robust), rt::MaskSet::capture(*natural));
+  std::printf("\n[1] mask overlap robust vs natural @ s=%.2f\n", sparsity);
+  std::printf("    IoU %.3f   random-null IoU %.3f   excess %.3f\n",
+              overlap.iou, overlap.expected_iou,
+              overlap.iou - overlap.expected_iou);
+
+  // --- 2. Where the representations diverge -------------------------------
+  const auto cka =
+      rt::cka_stage_profile(*robust, *natural, task.test.images);
+  std::printf("\n[2] CKA(robust, natural) per stage on %s:\n",
+              task.spec.name.c_str());
+  for (std::size_t s = 0; s < cka.size(); ++s) {
+    std::printf("    %-9s %.3f\n",
+                s + 1 == cka.size() ? "features"
+                                    : ("stage " + std::to_string(s)).c_str(),
+                cka[s]);
+  }
+
+  // --- 3. Frozen-feature quality on the downstream task -------------------
+  std::printf("\n[3] frozen-feature quality on %s:\n", task.spec.name.c_str());
+  for (auto* model : {robust.get(), natural.get()}) {
+    const rt::Tensor train_f =
+        rt::extract_features(*model, task.train.images);
+    const rt::Tensor test_f = rt::extract_features(*model, task.test.images);
+    const double fisher =
+        rt::fisher_separation(train_f, task.train.labels);
+    const double rank = rt::effective_rank(train_f);
+    const float knn = rt::knn_probe_accuracy(train_f, task.train.labels,
+                                             test_f, task.test.labels, 5);
+    std::printf("    %-12s fisher %.3f   eff-rank %5.2f   5-NN acc %.2f%%\n",
+                model == robust.get() ? "robust" : "natural", fisher, rank,
+                100.0f * knn);
+  }
+
+  std::printf("\nInterpretation: the robust prior rewires the ticket (1), "
+              "mostly in late stages (2),\nand the rewired features separate "
+              "unseen-domain classes better (3) — which is\nwhy linear "
+              "evaluation (Fig. 2/9) shows the largest robust-ticket "
+              "margins.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "analysis/cka.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt {
+
+namespace {
+
+/// Column-centers a copy of (n, d) features.
+Tensor center_columns(const Tensor& x) {
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  Tensor out = x;
+  for (std::int64_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) mean += x.at(i, j);
+    const float m = static_cast<float>(mean / static_cast<double>(n));
+    for (std::int64_t i = 0; i < n; ++i) out.at(i, j) -= m;
+  }
+  return out;
+}
+
+double frobenius_sq(const Tensor& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return acc;
+}
+
+/// Flattens any (N, ...) tensor to (N, rest).
+Tensor flatten_rows(const Tensor& x) {
+  std::int64_t rest = 1;
+  for (std::size_t i = 1; i < x.ndim(); ++i) rest *= x.dim(i);
+  return x.reshape({x.dim(0), rest});
+}
+
+}  // namespace
+
+double linear_cka(const Tensor& x, const Tensor& y) {
+  if (x.ndim() != 2 || y.ndim() != 2 || x.dim(0) != y.dim(0)) {
+    throw std::invalid_argument("linear_cka: (n, d) inputs with equal n");
+  }
+  if (x.dim(0) < 2) {
+    throw std::invalid_argument("linear_cka: need at least 2 examples");
+  }
+  const Tensor xc = center_columns(x);
+  const Tensor yc = center_columns(y);
+  // Work with the (d1, d2) cross-covariance form: cheaper than the (n, n)
+  // Gram form whenever d < n, and algebraically identical for linear CKA.
+  const double cross = frobenius_sq(matmul(yc, xc, /*trans_a=*/true));
+  const double xx = frobenius_sq(matmul(xc, xc, /*trans_a=*/true));
+  const double yy = frobenius_sq(matmul(yc, yc, /*trans_a=*/true));
+  const double denom = std::sqrt(xx) * std::sqrt(yy);
+  if (denom <= 0.0) return 0.0;  // a constant representation carries nothing
+  return cross / denom;
+}
+
+std::vector<double> cka_stage_profile(ResNet& a, ResNet& b,
+                                      const Tensor& images) {
+  if (a.num_stages() != b.num_stages()) {
+    throw std::invalid_argument("cka_stage_profile: stage count mismatch");
+  }
+  const bool a_training = a.training(), b_training = b.training();
+  a.set_training(false);
+  b.set_training(false);
+  std::vector<double> profile;
+  profile.reserve(static_cast<std::size_t>(a.num_stages()) + 1);
+  for (int s = 0; s < a.num_stages(); ++s) {
+    const Tensor fa = flatten_rows(a.forward_trunk(images, s));
+    const Tensor fb = flatten_rows(b.forward_trunk(images, s));
+    profile.push_back(linear_cka(fa, fb));
+  }
+  profile.push_back(
+      linear_cka(a.forward_features(images), b.forward_features(images)));
+  a.set_training(a_training);
+  b.set_training(b_training);
+  return profile;
+}
+
+}  // namespace rt

@@ -1,0 +1,30 @@
+#pragma once
+// Centered kernel alignment (CKA) between feature representations.
+//
+// Sec. III-F of the paper asks *why* robust tickets transfer better; linear
+// CKA (Kornblith et al. 2019) is the standard tool for comparing what two
+// networks learned: it is invariant to orthogonal transforms and isotropic
+// scaling of either representation, so differences reflect genuinely
+// different features rather than rotations of the same ones. The analysis
+// bench uses it to show robust and natural tickets diverge most in late
+// stages (where task-specific brittle cues live).
+
+#include <vector>
+
+#include "models/resnet.hpp"
+
+namespace rt {
+
+/// Linear CKA between two representations of the same n examples:
+///   CKA(X, Y) = ||Yc^T Xc||_F^2 / (||Xc^T Xc||_F ||Yc^T Yc||_F)
+/// with column-centered Xc (n, d1), Yc (n, d2). Returns a value in [0, 1]
+/// (1 iff the representations are identical up to rotation/scale).
+double linear_cka(const Tensor& x, const Tensor& y);
+
+/// Per-stage CKA between two models on the same image batch: entry s
+/// compares the (flattened) feature maps after trunk stage s, and the final
+/// entry compares the post-GAP features. Models must share the stage layout.
+std::vector<double> cka_stage_profile(ResNet& a, ResNet& b,
+                                      const Tensor& images);
+
+}  // namespace rt

@@ -1,0 +1,26 @@
+#pragma once
+// Rank and linear correlation, for the FID-vs-winner analysis.
+//
+// Tab. II of the paper orders downstream tasks by FID against the source and
+// observes that robust tickets win exactly on the large-FID half. The
+// analysis bench sharpens that qualitative table into a Spearman rank
+// correlation between per-task FID and the robust-vs-natural accuracy
+// margin.
+
+#include <vector>
+
+namespace rt {
+
+/// Pearson linear correlation; throws if sizes differ or n < 2. Returns 0
+/// when either input is constant.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Average ranks (1-based), ties receive the mean of their rank range.
+std::vector<double> rank_transform(const std::vector<double>& v);
+
+/// Spearman rank correlation = Pearson of the rank transforms.
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+}  // namespace rt

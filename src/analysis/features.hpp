@@ -1,0 +1,39 @@
+#pragma once
+// Feature-quality probes for pretrained / ticket representations.
+//
+// The paper attributes robust tickets' transfer advantage to better feature
+// representations ([4], [19]). These probes make "better" measurable without
+// any finetuning: class separation (Fisher ratio), dimensional richness
+// (effective rank), and non-parametric usability (kNN accuracy) of the
+// frozen features on a downstream task.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+/// Fisher class-separation ratio of (n, d) features:
+///   trace(between-class scatter) / trace(within-class scatter).
+/// Higher means classes are further apart relative to their spread; a linear
+/// probe (the paper's linear-evaluation protocol) thrives on exactly this.
+double fisher_separation(const Tensor& features, const std::vector<int>& labels);
+
+/// Effective rank (Roy & Vetterli 2007): exp(entropy of the normalized
+/// covariance eigenvalue distribution). Between 1 (all variance in one
+/// direction) and d (isotropic). Empirically (bench_analysis_why), robust
+/// features have LOWER effective rank on downstream data: their variance
+/// concentrates on the few class-relevant shape directions, while natural
+/// features spread variance across many brittle high-frequency directions
+/// that carry no downstream signal.
+double effective_rank(const Tensor& features);
+
+/// k-nearest-neighbour accuracy of frozen features: each test row is
+/// classified by majority vote of its k nearest (L2) train rows; ties break
+/// toward the nearer neighbour's class.
+float knn_probe_accuracy(const Tensor& train_features,
+                         const std::vector<int>& train_labels,
+                         const Tensor& test_features,
+                         const std::vector<int>& test_labels, int k = 5);
+
+}  // namespace rt

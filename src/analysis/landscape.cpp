@@ -1,0 +1,69 @@
+#include "analysis/landscape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace rt {
+
+namespace {
+
+double dataset_ce_loss(ResNet& model, const Dataset& data, int batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  double total = 0.0;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(data.size()), batch_size)) {
+    const Tensor x = gather_images(data.images, idx);
+    const auto y = gather_labels(data.labels, idx);
+    const Tensor logits = model.forward(x);
+    const LossResult loss = softmax_cross_entropy(logits, y);
+    total += static_cast<double>(loss.loss) *
+             static_cast<double>(idx.size());
+  }
+  model.set_training(was_training);
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+SharpnessReport loss_sharpness(ResNet& model, const Dataset& data,
+                               const SharpnessConfig& config) {
+  SharpnessReport report;
+  report.base_loss = dataset_ce_loss(model, data, config.batch_size);
+
+  auto params = model.parameters();
+  std::vector<Tensor> snapshot;
+  snapshot.reserve(params.size());
+  for (Parameter* p : params) snapshot.push_back(p->value);
+
+  Rng rng(config.seed);
+  double sum_increase = 0.0;
+  for (int dir = 0; dir < config.directions; ++dir) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Parameter& p = *params[i];
+      if (!p.trainable) continue;
+      Tensor delta = Tensor::randn(p.value.shape(), rng);
+      if (p.has_mask()) delta.mul_(p.mask);  // stay inside the ticket
+      const float dnorm = std::sqrt(delta.sum_sq());
+      const float wnorm = std::sqrt(p.value.sum_sq());
+      if (dnorm <= 0.0f || wnorm <= 0.0f) continue;
+      delta.mul_(config.rho * wnorm / dnorm);
+      p.value.add_(delta);
+    }
+    const double perturbed =
+        dataset_ce_loss(model, data, config.batch_size);
+    const double increase = perturbed - report.base_loss;
+    sum_increase += increase;
+    report.max_increase = std::max(report.max_increase, increase);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = snapshot[i];  // bit-exact restore
+    }
+  }
+  report.mean_increase =
+      sum_increase / std::max(1, config.directions);
+  return report;
+}
+
+}  // namespace rt

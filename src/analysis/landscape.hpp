@@ -1,0 +1,37 @@
+#pragma once
+// Loss-landscape sharpness probe.
+//
+// Flat minima correlate with generalization and transfer; adversarial
+// training is widely reported to flatten the loss surface. The probe
+// measures the mean/max cross-entropy increase under random weight
+// perturbations of a relative radius rho, staying inside the ticket
+// subspace (pruned weights are never perturbed), so robust and natural
+// tickets can be compared at matched sparsity.
+
+#include "data/dataset.hpp"
+#include "models/resnet.hpp"
+
+namespace rt {
+
+struct SharpnessConfig {
+  float rho = 0.05f;     ///< relative perturbation radius per parameter
+  int directions = 8;    ///< random directions sampled
+  int batch_size = 64;
+  std::uint64_t seed = 1234;
+};
+
+struct SharpnessReport {
+  double base_loss = 0.0;
+  double mean_increase = 0.0;  ///< mean over directions of L(θ+δ) - L(θ)
+  double max_increase = 0.0;
+};
+
+/// Evaluates sharpness of the model's CE loss on `data`. Each direction
+/// perturbs every parameter tensor by a Gaussian vector rescaled to
+/// rho * ||θ_layer|| (layer-normalized, the standard filter-norm trick) and
+/// multiplied by the mask where one is installed. Weights are restored
+/// bit-exactly afterwards.
+SharpnessReport loss_sharpness(ResNet& model, const Dataset& data,
+                               const SharpnessConfig& config);
+
+}  // namespace rt

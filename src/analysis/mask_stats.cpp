@@ -1,0 +1,98 @@
+#include "analysis/mask_stats.hpp"
+
+#include <stdexcept>
+
+namespace rt {
+
+namespace {
+
+struct Counts {
+  std::int64_t both = 0;
+  std::int64_t either = 0;
+  std::int64_t equal = 0;
+  std::int64_t kept_a = 0;
+  std::int64_t kept_b = 0;
+  std::int64_t total = 0;
+
+  void accumulate(const Tensor& ma, const Tensor& mb) {
+    for (std::int64_t i = 0; i < ma.numel(); ++i) {
+      const bool a = ma[i] != 0.0f;
+      const bool b = mb[i] != 0.0f;
+      both += (a && b) ? 1 : 0;
+      either += (a || b) ? 1 : 0;
+      equal += (a == b) ? 1 : 0;
+      kept_a += a ? 1 : 0;
+      kept_b += b ? 1 : 0;
+    }
+    total += ma.numel();
+  }
+
+  MaskOverlap finish() const {
+    MaskOverlap out;
+    out.positions = total;
+    if (total == 0) return out;
+    out.iou = either > 0
+                  ? static_cast<double>(both) / static_cast<double>(either)
+                  : 1.0;  // both masks empty: identical
+    out.agreement = static_cast<double>(equal) / static_cast<double>(total);
+    const double da = static_cast<double>(kept_a) / static_cast<double>(total);
+    const double db = static_cast<double>(kept_b) / static_cast<double>(total);
+    const double denom = da + db - da * db;
+    out.expected_iou = denom > 0.0 ? (da * db) / denom : 1.0;
+    return out;
+  }
+};
+
+void check_pair(const std::string& name, const Tensor& ma, const Tensor& mb) {
+  if (!ma.same_shape(mb)) {
+    throw std::invalid_argument("mask_overlap: shape mismatch at " + name);
+  }
+}
+
+}  // namespace
+
+MaskOverlap mask_overlap(const MaskSet& a, const MaskSet& b) {
+  Counts counts;
+  for (const auto& [name, ma] : a.masks()) {
+    if (!b.contains(name)) continue;
+    const Tensor& mb = b.get(name);
+    check_pair(name, ma, mb);
+    counts.accumulate(ma, mb);
+  }
+  if (counts.total == 0) {
+    throw std::invalid_argument("mask_overlap: no shared mask names");
+  }
+  return counts.finish();
+}
+
+std::map<std::string, MaskOverlap> mask_overlap_by_layer(const MaskSet& a,
+                                                         const MaskSet& b) {
+  std::map<std::string, MaskOverlap> out;
+  for (const auto& [name, ma] : a.masks()) {
+    if (!b.contains(name)) continue;
+    const Tensor& mb = b.get(name);
+    check_pair(name, ma, mb);
+    Counts counts;
+    counts.accumulate(ma, mb);
+    out.emplace(name, counts.finish());
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("mask_overlap_by_layer: no shared names");
+  }
+  return out;
+}
+
+std::map<std::string, double> keep_profile(const MaskSet& masks) {
+  std::map<std::string, double> out;
+  for (const auto& [name, mask] : masks.masks()) {
+    std::int64_t kept = 0;
+    for (std::int64_t i = 0; i < mask.numel(); ++i) {
+      kept += mask[i] != 0.0f ? 1 : 0;
+    }
+    out.emplace(name, static_cast<double>(kept) /
+                          static_cast<double>(mask.numel()));
+  }
+  return out;
+}
+
+}  // namespace rt

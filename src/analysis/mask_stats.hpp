@@ -1,0 +1,42 @@
+#pragma once
+// Mask-set comparison statistics.
+//
+// "Do robust and natural pretraining select different subnetworks?" is the
+// structural half of the paper's why-question: if OMP masks were nearly
+// identical, the transfer gap would have to come from the surviving weight
+// VALUES; if they diverge, the robustness prior changes the architecture of
+// the ticket itself. These statistics quantify that divergence against the
+// random-overlap null.
+
+#include <map>
+#include <string>
+
+#include "prune/mask.hpp"
+
+namespace rt {
+
+/// Overlap statistics between two binary masks / mask sets.
+struct MaskOverlap {
+  double iou = 0.0;        ///< |kept_a AND kept_b| / |kept_a OR kept_b|
+  double agreement = 0.0;  ///< fraction of positions with equal mask bits
+  /// IoU two independent random masks with the same densities would get in
+  /// expectation: da*db / (da + db - da*db). The excess iou - expected_iou
+  /// measures genuine structural similarity.
+  double expected_iou = 0.0;
+  std::int64_t positions = 0;
+};
+
+/// Overlap over all weights of the shared mask names. Throws if the sets
+/// share no names or shapes mismatch.
+MaskOverlap mask_overlap(const MaskSet& a, const MaskSet& b);
+
+/// Per-layer overlap, keyed by parameter name (shared names only).
+std::map<std::string, MaskOverlap> mask_overlap_by_layer(const MaskSet& a,
+                                                         const MaskSet& b);
+
+/// Fraction of weights KEPT per layer (1 - sparsity), keyed by name. Global
+/// magnitude pruning produces strongly non-uniform profiles; this exposes
+/// where in the network a ticket keeps its capacity.
+std::map<std::string, double> keep_profile(const MaskSet& masks);
+
+}  // namespace rt

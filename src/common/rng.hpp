@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through Rng (a PCG32 generator with a
+// hand-rolled Box-Muller normal transform) so that results are bit-identical
+// across platforms and standard-library implementations. std::random
+// distributions are implementation-defined and deliberately avoided.
+
+#include <cstdint>
+#include <vector>
+
+namespace rt {
+
+/// PCG32 pseudo-random generator (O'Neill 2014). 64-bit state, 32-bit output.
+class Rng {
+ public:
+  /// Seeds the generator. Two generators with the same (seed, stream) produce
+  /// identical sequences; distinct streams are statistically independent.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform float in [0, 1).
+  float uniform();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal sample via Box-Muller (deterministic, cached pair).
+  float normal();
+
+  /// Normal sample with the given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(float p);
+
+  /// Derives an independent child generator; useful for giving each dataset /
+  /// model / attack its own stream from one experiment seed.
+  Rng split();
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::uint32_t j = next_below(static_cast<std::uint32_t>(i + 1));
+      std::swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+/// Returns a permutation of [0, n).
+std::vector<int> random_permutation(int n, Rng& rng);
+
+}  // namespace rt

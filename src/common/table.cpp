@@ -1,0 +1,103 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rt {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table needs >=1 column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double d = std::get<double>(c);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision_, d);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t j = 0; j < columns_.size(); ++j) widths[j] = columns_[j].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      r.push_back(render_cell(row[j]));
+      widths[j] = std::max(widths[j], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  std::ostringstream out;
+  auto hline = [&] {
+    for (std::size_t j = 0; j < widths.size(); ++j) {
+      out << '+' << std::string(widths[j] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      out << "| " << cells[j] << std::string(widths[j] - cells[j].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  hline();
+  print_row(columns_);
+  hline();
+  for (const auto& r : rendered) print_row(r);
+  hline();
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    if (j) out << ',';
+    out << csv_escape(columns_[j]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j) out << ',';
+      out << csv_escape(render_cell(row[j]));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace rt

@@ -1,0 +1,47 @@
+#pragma once
+// Result-table assembly and rendering (stdout + CSV) used by the benchmark
+// harness to print the rows/series the paper reports.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rt {
+
+/// A cell is a string, an integer, or a double (rendered with fixed precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-oriented pretty printer for experiment results.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly one cell per column.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
+  /// Number of fractional digits used when rendering doubles (default 4).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Writes the CSV rendering to a file. Returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace rt

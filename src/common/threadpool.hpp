@@ -1,0 +1,60 @@
+#pragma once
+// Minimal persistent thread pool with a chunked parallel_for.
+//
+// The training stack parallelizes over the batch dimension in convolution and
+// pooling layers. With small tensors the per-task overhead matters, so the
+// pool hands each worker one contiguous index range rather than one index.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rt {
+
+/// Fixed-size worker pool. Use ThreadPool::instance() for the process-wide
+/// pool; construct explicitly only in tests.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(begin, end) over a partition of [0, n). Blocks until all chunks
+  /// complete. Falls back to a direct call when n is small or the pool has a
+  /// single thread.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& instance();
+
+ private:
+  struct Task {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::instance().parallel_for.
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace rt

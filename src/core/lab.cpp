@@ -1,0 +1,171 @@
+#include "core/lab.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace rt {
+
+namespace {
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("RT_CACHE_DIR")) return env;
+  return "/tmp/rticket_cache";
+}
+
+}  // namespace
+
+RobustTicketLab::RobustTicketLab(Options options)
+    : options_(std::move(options)) {
+  if (!options_.cache_dir) options_.cache_dir = default_cache_dir();
+  pretrain_attack_.epsilon = options_.adv_epsilon;
+  pretrain_attack_.step_size = options_.adv_epsilon / 3.0f;
+  pretrain_attack_.steps = options_.adv_steps;
+}
+
+const TaskData& RobustTicketLab::source() {
+  if (!source_) {
+    source_ = load_source_task(options_.source_train_size,
+                               options_.source_test_size);
+  }
+  return *source_;
+}
+
+TaskData RobustTicketLab::downstream(const std::string& name, int train_size,
+                                     int test_size) const {
+  return load_task(name, train_size, test_size);
+}
+
+std::unique_ptr<ResNet> RobustTicketLab::fresh_model(const std::string& arch,
+                                                     int num_classes) const {
+  Rng rng(options_.seed ^ 0xF00DULL);
+  if (arch == "r18") return make_micro_resnet18(num_classes, rng);
+  if (arch == "r50") return make_micro_resnet50(num_classes, rng);
+  throw std::invalid_argument("unknown arch: " + arch);
+}
+
+PretrainConfig RobustTicketLab::pretrain_config(PretrainScheme scheme) const {
+  PretrainConfig cfg;
+  cfg.scheme = scheme;
+  cfg.epochs = options_.pretrain_epochs;
+  cfg.batch_size = options_.pretrain_batch;
+  cfg.attack = pretrain_attack_;
+  cfg.smoothing_sigma = options_.rs_sigma;
+  cfg.trades_beta = options_.trades_beta;
+  cfg.free_replays = options_.free_replays;
+  cfg.verbose = options_.verbose;
+  return cfg;
+}
+
+std::string RobustTicketLab::cache_key(const std::string& arch,
+                                       PretrainScheme scheme) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s_%s_e%d_n%d_eps%.3f_sig%.3f_s%llu_v%d",
+                arch.c_str(), scheme_name(scheme), options_.pretrain_epochs,
+                options_.source_train_size,
+                static_cast<double>(options_.adv_epsilon),
+                static_cast<double>(options_.rs_sigma),
+                static_cast<unsigned long long>(options_.seed), kDataVersion);
+  std::string key = buf;
+  // Scheme-specific hyper-parameters join the key so that changing them can
+  // never serve a stale checkpoint.
+  if (scheme == PretrainScheme::kTrades) {
+    std::snprintf(buf, sizeof(buf), "_b%.1f",
+                  static_cast<double>(options_.trades_beta));
+    key += buf;
+  } else if (scheme == PretrainScheme::kFreeAdversarial) {
+    std::snprintf(buf, sizeof(buf), "_m%d", options_.free_replays);
+    key += buf;
+  }
+  return key;
+}
+
+const StateDict& RobustTicketLab::pretrained(const std::string& arch,
+                                             PretrainScheme scheme) {
+  const std::string key = cache_key(arch, scheme);
+  if (auto it = pretrained_cache_.find(key); it != pretrained_cache_.end()) {
+    return it->second;
+  }
+
+  // Disk cache lookup.
+  std::string path;
+  if (options_.cache_dir && !options_.cache_dir->empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(*options_.cache_dir, ec);
+    path = *options_.cache_dir + "/" + key + ".rtk";
+    if (std::filesystem::exists(path)) {
+      try {
+        return pretrained_cache_[key] = load_state_dict(path);
+      } catch (const std::exception&) {
+        // Corrupt cache entry: fall through and retrain.
+      }
+    }
+  }
+
+  if (options_.verbose) {
+    std::printf("[lab] pretraining %s (%s)...\n", arch.c_str(),
+                scheme_name(scheme));
+  }
+  auto model = fresh_model(arch, source().train.num_classes);
+  Rng rng(options_.seed * 7919 + static_cast<std::uint64_t>(scheme));
+  pretrain(*model, source().train, pretrain_config(scheme), rng);
+  StateDict state = model->state_dict();
+  if (!path.empty()) {
+    try {
+      save_state_dict(path, state);
+    } catch (const std::exception&) {
+      // Cache write failure is non-fatal.
+    }
+  }
+  return pretrained_cache_[key] = std::move(state);
+}
+
+std::unique_ptr<ResNet> RobustTicketLab::dense_model(const std::string& arch,
+                                                     PretrainScheme scheme) {
+  auto model = fresh_model(arch, source().train.num_classes);
+  model->load_state(pretrained(arch, scheme));
+  return model;
+}
+
+std::unique_ptr<ResNet> RobustTicketLab::omp_ticket(const std::string& arch,
+                                                    PretrainScheme scheme,
+                                                    float sparsity,
+                                                    Granularity granularity) {
+  auto model = dense_model(arch, scheme);
+  OmpConfig cfg;
+  cfg.sparsity = sparsity;
+  cfg.granularity = granularity;
+  omp_prune(*model, cfg);
+  return model;
+}
+
+std::unique_ptr<ResNet> RobustTicketLab::imp_ticket(const std::string& arch,
+                                                    PretrainScheme scheme,
+                                                    const Dataset& imp_data,
+                                                    const ImpConfig& config) {
+  auto model = dense_model(arch, scheme);
+  Rng rng(options_.seed * 104729 + 13);
+  imp_prune(*model, imp_data, config, rng);
+  return model;
+}
+
+std::unique_ptr<ResNet> RobustTicketLab::lmp_ticket(const std::string& arch,
+                                                    PretrainScheme scheme,
+                                                    const Dataset& task_data,
+                                                    const LmpConfig& config) {
+  auto model = dense_model(arch, scheme);
+  Rng rng(options_.seed * 15485863 + 29);
+  lmp_learn(*model, task_data, config, rng);
+  return model;
+}
+
+std::string winner_label(double robust_acc, double natural_acc,
+                         double match_tolerance) {
+  const double diff = robust_acc - natural_acc;
+  if (diff > match_tolerance) return "Robust";
+  if (diff < -match_tolerance) return "Natural";
+  return "Match";
+}
+
+}  // namespace rt

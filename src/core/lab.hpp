@@ -1,0 +1,109 @@
+#pragma once
+// RobustTicketLab: the high-level entry point of the library.
+//
+// Owns the source task and a cache of pretrained dense models (one per
+// architecture x pretraining scheme), and manufactures tickets on demand:
+//
+//   RobustTicketLab lab(RobustTicketLab::Options{});
+//   auto ticket = lab.omp_ticket("r18", PretrainScheme::kAdversarial, 0.9f);
+//   TaskData cifar = lab.downstream("cifar10", 400, 400);
+//   float acc = finetune_whole_model(*ticket, cifar, {}, rng);
+//
+// Pretrained checkpoints are also cached on disk (RT_CACHE_DIR, default
+// /tmp/rticket_cache) so that independent benchmark binaries reuse them.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "data/tasks.hpp"
+#include "prune/imp.hpp"
+#include "prune/lmp.hpp"
+#include "prune/omp.hpp"
+#include "transfer/evaluate.hpp"
+#include "transfer/finetune.hpp"
+#include "transfer/pretrain.hpp"
+
+namespace rt {
+
+class RobustTicketLab {
+ public:
+  struct Options {
+    int source_train_size = 800;
+    int source_test_size = 400;
+    int pretrain_epochs = 14;
+    int pretrain_batch = 32;
+    float adv_epsilon = 0.08f;   ///< PGD budget for robust pretraining
+    int adv_steps = 5;
+    float rs_sigma = 0.12f;
+    float trades_beta = 6.0f;    ///< KL weight for kTrades pretraining
+    int free_replays = 4;        ///< batch replays for kFreeAdversarial
+    std::uint64_t seed = 1;
+    bool verbose = false;
+    /// Disk cache for pretrained checkpoints; empty disables caching.
+    /// Defaults to $RT_CACHE_DIR or /tmp/rticket_cache.
+    std::optional<std::string> cache_dir;
+  };
+
+  explicit RobustTicketLab(Options options);
+
+  /// The pretraining (source) task data.
+  const TaskData& source();
+
+  /// Generated train/test data for a named suite task (see vtab_suite()).
+  TaskData downstream(const std::string& name, int train_size,
+                      int test_size) const;
+
+  /// Dense pretrained weights for arch in {"r18", "r50"}; trains on first
+  /// use, then serves from memory (and disk across processes).
+  const StateDict& pretrained(const std::string& arch, PretrainScheme scheme);
+
+  /// A fresh model initialized with the pretrained weights (dense).
+  std::unique_ptr<ResNet> dense_model(const std::string& arch,
+                                      PretrainScheme scheme);
+
+  /// OMP ticket: dense pretrained model + one-shot global magnitude mask.
+  std::unique_ptr<ResNet> omp_ticket(
+      const std::string& arch, PretrainScheme scheme, float sparsity,
+      Granularity granularity = Granularity::kElement);
+
+  /// IMP / A-IMP ticket. `imp_data` is the dataset driving the iterative
+  /// pruning (source => "US" tickets, downstream train split => "DS").
+  /// The returned model holds m ⊙ θ_pre.
+  std::unique_ptr<ResNet> imp_ticket(const std::string& arch,
+                                     PretrainScheme scheme,
+                                     const Dataset& imp_data,
+                                     const ImpConfig& config);
+
+  /// LMP ticket: learned mask over frozen pretrained weights, with the
+  /// trained task head left in place.
+  std::unique_ptr<ResNet> lmp_ticket(const std::string& arch,
+                                     PretrainScheme scheme,
+                                     const Dataset& task_data,
+                                     const LmpConfig& config);
+
+  /// Attack config matched to the pretraining budget (for Adv-Acc eval).
+  AttackConfig pretrain_attack() const { return pretrain_attack_; }
+
+  const Options& options() const { return options_; }
+
+  /// Builds an uninitialized (randomly initialized) model of the given arch.
+  std::unique_ptr<ResNet> fresh_model(const std::string& arch,
+                                      int num_classes = 10) const;
+
+ private:
+  std::string cache_key(const std::string& arch, PretrainScheme scheme) const;
+  PretrainConfig pretrain_config(PretrainScheme scheme) const;
+
+  Options options_;
+  AttackConfig pretrain_attack_;
+  std::optional<TaskData> source_;
+  std::map<std::string, StateDict> pretrained_cache_;
+};
+
+/// Classifies the Tab. II winner at a tolerance (accuracy points in [0,1]).
+std::string winner_label(double robust_acc, double natural_acc,
+                         double match_tolerance = 0.015);
+
+}  // namespace rt

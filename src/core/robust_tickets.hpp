@@ -1,0 +1,53 @@
+#pragma once
+// Umbrella header: the complete public API of the rticket library.
+//
+// Reproduces "Robust Tickets Can Transfer Better: Drawing More Transferable
+// Subnetworks in Transfer Learning" (DAC 2023). See README.md for the
+// quickstart and DESIGN.md for the architecture and experiment map.
+
+#include "analysis/cka.hpp"           // representation similarity (CKA)
+#include "analysis/correlation.hpp"   // Pearson / Spearman
+#include "analysis/features.hpp"      // Fisher ratio, effective rank, kNN
+#include "analysis/landscape.hpp"     // loss-sharpness probe
+#include "analysis/mask_stats.hpp"    // mask overlap / keep profiles
+#include "attack/attack.hpp"          // FGSM / PGD / Gaussian augmentation
+#include "attack/blackbox.hpp"        // square attack, MI-FGSM, targeted PGD
+#include "attack/smoothing.hpp"       // randomized-smoothing certification
+#include "attack/trades.hpp"          // TRADES objective, Free-AT
+#include "common/rng.hpp"             // deterministic randomness
+#include "common/table.hpp"           // result tables (stdout + CSV)
+#include "common/timer.hpp"
+#include "core/lab.hpp"               // RobustTicketLab orchestration
+#include "data/augment.hpp"           // flip/shift training augmentation
+#include "data/corruptions.hpp"       // typed corruption suite (mCA)
+#include "data/dataset.hpp"           // datasets, batching, corruption
+#include "data/detection_data.hpp"    // detection task (Fig. 7a)
+#include "data/segmentation_data.hpp" // dense-prediction task
+#include "data/synth.hpp"             // SynthVision generators
+#include "data/tasks.hpp"             // the VTAB-analogue suite
+#include "hw/cost_model.hpp"          // edge latency/energy roofline
+#include "hw/quant.hpp"               // int8 post-training quantization
+#include "hw/shrink.hpp"              // channel-shrink compiler
+#include "hw/storage.hpp"             // sparse storage formats
+#include "linalg/stats.hpp"           // feature statistics / Frechet distance
+#include "metrics/metrics.hpp"        // ECE, NLL, ROC-AUC, FID
+#include "models/detection.hpp"       // anchor-free detection head + mAP
+#include "models/probe.hpp"           // FID probe network
+#include "models/resnet.hpp"          // MicroResNet18/50
+#include "models/segmentation.hpp"    // FCN head
+#include "nn/loss.hpp"                // softmax cross-entropy losses
+#include "nn/optim.hpp"               // SGD, Adam/AdamW, LR schedules
+#include "prune/baselines.hpp"        // random/layerwise/SNIP/GraSP baselines
+#include "prune/gmp.hpp"              // gradual magnitude pruning
+#include "prune/imp.hpp"              // IMP / A-IMP
+#include "prune/lmp.hpp"              // learnable mask pruning
+#include "prune/mask.hpp"             // masks & granularities
+#include "prune/nm_sparsity.hpp"      // N:M (2:4) structured sparsity
+#include "prune/omp.hpp"              // one-shot magnitude pruning
+#include "train/loop.hpp"             // training / evaluation loops
+#include "transfer/det_transfer.hpp"  // detection transfer (Fig. 7a)
+#include "transfer/evaluate.hpp"      // Fig. 8 metric battery
+#include "transfer/fewshot.hpp"       // data-budget sweeps, ticket cloning
+#include "transfer/finetune.hpp"      // finetune / linear eval / LP-FT
+#include "transfer/pretrain.hpp"      // pretraining schemes
+#include "transfer/seg_transfer.hpp"  // segmentation transfer

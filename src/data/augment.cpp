@@ -1,0 +1,55 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rt {
+
+void flip_horizontal(Tensor& images, std::int64_t sample) {
+  const std::int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    float* plane = images.data() + (sample * c + ch) * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      float* row = plane + y * w;
+      std::reverse(row, row + w);
+    }
+  }
+}
+
+void shift_image(Tensor& images, std::int64_t sample, int dy, int dx) {
+  const std::int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  std::vector<float> buffer(static_cast<std::size_t>(h * w));
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    float* plane = images.data() + (sample * c + ch) * h * w;
+    std::fill(buffer.begin(), buffer.end(), 0.0f);
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = y - dy;
+      if (sy < 0 || sy >= h) continue;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sx = x - dx;
+        if (sx < 0 || sx >= w) continue;
+        buffer[static_cast<std::size_t>(y * w + x)] = plane[sy * w + sx];
+      }
+    }
+    std::copy(buffer.begin(), buffer.end(), plane);
+  }
+}
+
+Tensor augment_batch(const Tensor& images, const AugmentConfig& config,
+                     Rng& rng) {
+  Tensor out = images;
+  if (!config.enabled()) return out;
+  for (std::int64_t i = 0; i < out.dim(0); ++i) {
+    if (config.horizontal_flip && rng.bernoulli(0.5f)) {
+      flip_horizontal(out, i);
+    }
+    if (config.max_shift > 0) {
+      const int dy = rng.uniform_int(-config.max_shift, config.max_shift);
+      const int dx = rng.uniform_int(-config.max_shift, config.max_shift);
+      if (dy != 0 || dx != 0) shift_image(out, i, dy, dx);
+    }
+  }
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,27 @@
+#pragma once
+// Training-time data augmentation (random horizontal flip + shift-with-pad),
+// the standard recipe of the paper's finetuning protocol.
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+struct AugmentConfig {
+  bool horizontal_flip = true;
+  int max_shift = 2;  ///< uniform shift in [-max_shift, max_shift] per axis
+  bool enabled() const { return horizontal_flip || max_shift > 0; }
+};
+
+/// Returns an augmented copy of a batch (N,3,H,W). Each sample draws its own
+/// flip/shift; shifted-in pixels are zero-padded.
+Tensor augment_batch(const Tensor& images, const AugmentConfig& config,
+                     Rng& rng);
+
+/// Horizontally mirrors one sample in place.
+void flip_horizontal(Tensor& images, std::int64_t sample);
+
+/// Shifts one sample by (dy, dx) with zero padding, in place.
+void shift_image(Tensor& images, std::int64_t sample, int dy, int dx);
+
+}  // namespace rt

@@ -1,0 +1,259 @@
+#include "data/corruptions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace rt {
+namespace {
+
+void check_severity(int severity) {
+  if (severity < 1 || severity > kCorruptionSeverities) {
+    throw std::invalid_argument("corruption severity must be in [1, 5]");
+  }
+}
+
+void check_images(const Tensor& images) {
+  if (images.ndim() != 4) {
+    throw std::invalid_argument("apply_corruption: (N,C,H,W) images required");
+  }
+}
+
+// Severity tables (index severity-1). Calibrated so that severity 5 of every
+// family visibly degrades a clean micro-model while severity 1 is mild.
+constexpr float kNoiseSigma[] = {0.03f, 0.06f, 0.10f, 0.14f, 0.19f};
+constexpr float kImpulseFrac[] = {0.01f, 0.02f, 0.04f, 0.07f, 0.10f};
+constexpr int kBlurRepeats[] = {1, 2, 3, 4, 5};
+constexpr float kContrastFactor[] = {0.80f, 0.65f, 0.50f, 0.35f, 0.25f};
+constexpr float kBrightnessDelta[] = {0.06f, 0.11f, 0.16f, 0.22f, 0.28f};
+constexpr int kPixelateBlock[] = {2, 2, 4, 4, 8};
+constexpr float kOcclusionFrac[] = {0.25f, 0.35f, 0.45f, 0.55f, 0.65f};
+
+Tensor gaussian_noise(const Tensor& images, float sigma, Rng& rng) {
+  Tensor out = images;
+  float* d = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    d[i] += rng.normal(0.0f, sigma);
+  }
+  return out;
+}
+
+Tensor impulse_noise(const Tensor& images, float fraction, Rng& rng) {
+  Tensor out = images;
+  const std::int64_t n = out.dim(0), c = out.dim(1), h = out.dim(2),
+                     w = out.dim(3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        if (!rng.bernoulli(fraction)) continue;
+        const float v = rng.bernoulli(0.5f) ? 1.0f : 0.0f;
+        for (std::int64_t ch = 0; ch < c; ++ch) out.at(i, ch, y, x) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor contrast(const Tensor& images, float factor) {
+  Tensor out = images;
+  const std::int64_t n = out.dim(0);
+  const std::int64_t per_image = out.numel() / n;
+  float* d = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* img = d + i * per_image;
+    double mean = 0.0;
+    for (std::int64_t k = 0; k < per_image; ++k) mean += img[k];
+    const float m = static_cast<float>(mean / static_cast<double>(per_image));
+    for (std::int64_t k = 0; k < per_image; ++k) {
+      img[k] = m + (img[k] - m) * factor;
+    }
+  }
+  return out;
+}
+
+Tensor pixelate(const Tensor& images, int block) {
+  Tensor out = images;
+  const std::int64_t n = out.dim(0), c = out.dim(1), h = out.dim(2),
+                     w = out.dim(3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t by = 0; by < h; by += block) {
+        for (std::int64_t bx = 0; bx < w; bx += block) {
+          const std::int64_t ey = std::min<std::int64_t>(by + block, h);
+          const std::int64_t ex = std::min<std::int64_t>(bx + block, w);
+          float acc = 0.0f;
+          for (std::int64_t y = by; y < ey; ++y) {
+            for (std::int64_t x = bx; x < ex; ++x) {
+              acc += images.at(i, ch, y, x);
+            }
+          }
+          const float v =
+              acc / static_cast<float>((ey - by) * (ex - bx));
+          for (std::int64_t y = by; y < ey; ++y) {
+            for (std::int64_t x = bx; x < ex; ++x) out.at(i, ch, y, x) = v;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor occlusion(const Tensor& images, float side_fraction, Rng& rng) {
+  Tensor out = images;
+  const std::int64_t n = out.dim(0), c = out.dim(1), h = out.dim(2),
+                     w = out.dim(3);
+  const std::int64_t side = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::round(side_fraction *
+                        static_cast<float>(std::min(h, w)))));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y0 =
+        rng.next_below(static_cast<std::uint32_t>(h - side + 1));
+    const std::int64_t x0 =
+        rng.next_below(static_cast<std::uint32_t>(w - side + 1));
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = y0; y < y0 + side; ++y) {
+        for (std::int64_t x = x0; x < x0 + side; ++x) {
+          out.at(i, ch, y, x) = 0.5f;  // neutral gray patch
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CorruptionType>& corruption_suite() {
+  static const std::vector<CorruptionType> suite{
+      CorruptionType::kGaussianNoise, CorruptionType::kImpulseNoise,
+      CorruptionType::kMeanBlur,      CorruptionType::kContrast,
+      CorruptionType::kBrightness,    CorruptionType::kPixelate,
+      CorruptionType::kOcclusion,
+  };
+  return suite;
+}
+
+const char* corruption_name(CorruptionType type) {
+  switch (type) {
+    case CorruptionType::kGaussianNoise: return "gaussian_noise";
+    case CorruptionType::kImpulseNoise: return "impulse_noise";
+    case CorruptionType::kMeanBlur: return "mean_blur";
+    case CorruptionType::kContrast: return "contrast";
+    case CorruptionType::kBrightness: return "brightness";
+    case CorruptionType::kPixelate: return "pixelate";
+    case CorruptionType::kOcclusion: return "occlusion";
+  }
+  return "unknown";
+}
+
+Tensor apply_corruption(const Tensor& images, CorruptionType type,
+                        int severity, std::uint64_t seed) {
+  check_images(images);
+  check_severity(severity);
+  const int s = severity - 1;
+  // Stream keyed by (type, severity) so different cells are independent.
+  Rng rng(seed, 0x9e3779b97f4a7c15ULL ^
+                    (static_cast<std::uint64_t>(type) * 31 +
+                     static_cast<std::uint64_t>(severity)));
+  Tensor out;
+  switch (type) {
+    case CorruptionType::kGaussianNoise:
+      out = gaussian_noise(images, kNoiseSigma[s], rng);
+      break;
+    case CorruptionType::kImpulseNoise:
+      out = impulse_noise(images, kImpulseFrac[s], rng);
+      break;
+    case CorruptionType::kMeanBlur: {
+      out = images;
+      for (int r = 0; r < kBlurRepeats[s]; ++r) out = mean_blur3(out);
+      break;
+    }
+    case CorruptionType::kContrast:
+      out = contrast(images, kContrastFactor[s]);
+      break;
+    case CorruptionType::kBrightness:
+      out = images;
+      out.add_(kBrightnessDelta[s]);
+      break;
+    case CorruptionType::kPixelate:
+      out = pixelate(images, kPixelateBlock[s]);
+      break;
+    case CorruptionType::kOcclusion:
+      out = occlusion(images, kOcclusionFrac[s], rng);
+      break;
+  }
+  out.clamp_(0.0f, 1.0f);
+  return out;
+}
+
+Dataset corrupt_with(const Dataset& clean, CorruptionType type, int severity,
+                     std::uint64_t seed) {
+  Dataset out;
+  out.images = apply_corruption(clean.images, type, severity, seed);
+  out.labels = clean.labels;
+  out.num_classes = clean.num_classes;
+  out.name = clean.name + "+" + corruption_name(type) + "@" +
+             std::to_string(severity);
+  return out;
+}
+
+float CorruptionReport::family_mean(std::size_t type_index) const {
+  const auto& row = accuracy.at(type_index);
+  float acc = 0.0f;
+  for (float a : row) acc += a;
+  return row.empty() ? 0.0f : acc / static_cast<float>(row.size());
+}
+
+namespace {
+
+// Local accuracy loop (data must not depend on train/, which depends on us).
+float dataset_accuracy(Module& model, const Dataset& data, int batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  std::int64_t correct = 0;
+  for (const auto& batch :
+       make_eval_batches(static_cast<int>(data.size()), batch_size)) {
+    const Tensor x = gather_images(data.images, batch);
+    const Tensor logits = model.forward(x);
+    const std::vector<int> pred = argmax_rows(logits);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (pred[i] == data.labels[static_cast<std::size_t>(batch[i])]) {
+        ++correct;
+      }
+    }
+  }
+  model.set_training(was_training);
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+}  // namespace
+
+CorruptionReport evaluate_corruption_suite(Module& model, const Dataset& clean,
+                                           std::uint64_t seed,
+                                           int batch_size) {
+  CorruptionReport report;
+  report.clean_accuracy = dataset_accuracy(model, clean, batch_size);
+  double total = 0.0;
+  int cells = 0;
+  for (CorruptionType type : corruption_suite()) {
+    std::vector<float> row;
+    row.reserve(kCorruptionSeverities);
+    for (int s = 1; s <= kCorruptionSeverities; ++s) {
+      const Dataset corrupted = corrupt_with(clean, type, s, seed);
+      const float acc = dataset_accuracy(model, corrupted, batch_size);
+      row.push_back(acc);
+      total += acc;
+      ++cells;
+    }
+    report.accuracy.push_back(std::move(row));
+  }
+  report.mean_corruption_accuracy =
+      static_cast<float>(total / static_cast<double>(cells));
+  return report;
+}
+
+}  // namespace rt

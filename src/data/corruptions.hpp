@@ -1,0 +1,62 @@
+#pragma once
+// Typed common-corruption suite with graded severities (ImageNet-C analogue).
+//
+// Fig. 8 / Tab. I report "Crpt-Acc" on corrupted test sets. The basic
+// corrupt_dataset() in dataset.hpp applies one fixed noise+blur recipe; this
+// module generalizes it to seven corruption families, each with severity
+// levels 1..5, so robustness can be summarized as mean corruption accuracy
+// (mCA) over the whole suite — the standard ImageNet-C protocol scaled down
+// to the synthetic substrate.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+
+namespace rt {
+
+enum class CorruptionType {
+  kGaussianNoise,  ///< additive i.i.d. noise
+  kImpulseNoise,   ///< salt-and-pepper pixels
+  kMeanBlur,       ///< repeated 3x3 mean filter
+  kContrast,       ///< compress around the per-image mean
+  kBrightness,     ///< additive global offset
+  kPixelate,       ///< block-average downsample + nearest upsample
+  kOcclusion,      ///< random zeroed square patch per image
+};
+
+constexpr int kCorruptionSeverities = 5;
+
+/// All corruption families, in a fixed order (suite identity).
+const std::vector<CorruptionType>& corruption_suite();
+
+const char* corruption_name(CorruptionType type);
+
+/// Applies one corruption at the given severity (1..5, higher = harsher) to a
+/// batch of images (N,3,H,W) in [0,1]. Deterministic in (type, severity,
+/// seed). Output stays in [0,1].
+Tensor apply_corruption(const Tensor& images, CorruptionType type,
+                        int severity, std::uint64_t seed);
+
+/// Dataset-level convenience wrapper (labels/classes copied through).
+Dataset corrupt_with(const Dataset& clean, CorruptionType type, int severity,
+                     std::uint64_t seed);
+
+/// Accuracy per (type, severity) cell plus the suite mean (mCA).
+struct CorruptionReport {
+  /// accuracy[t][s-1] for suite type index t and severity s.
+  std::vector<std::vector<float>> accuracy;
+  float clean_accuracy = 0.0f;
+  float mean_corruption_accuracy = 0.0f;
+
+  /// Mean accuracy of one corruption family across severities.
+  float family_mean(std::size_t type_index) const;
+};
+
+/// Runs the full suite (|types| x 5 evaluations) on a classifier.
+CorruptionReport evaluate_corruption_suite(Module& model, const Dataset& clean,
+                                           std::uint64_t seed,
+                                           int batch_size = 64);
+
+}  // namespace rt

@@ -1,0 +1,100 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace rt {
+
+std::vector<std::vector<int>> make_batches(int n, int batch_size, Rng& rng) {
+  if (n <= 0 || batch_size <= 0) {
+    throw std::invalid_argument("make_batches: bad sizes");
+  }
+  std::vector<int> order = random_permutation(n, rng);
+  std::vector<std::vector<int>> batches;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<std::vector<int>> make_eval_batches(int n, int batch_size) {
+  std::vector<std::vector<int>> batches;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> b(static_cast<std::size_t>(end - start));
+    for (int i = start; i < end; ++i) b[static_cast<std::size_t>(i - start)] = i;
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+Tensor gather_images(const Tensor& images, const std::vector<int>& indices) {
+  if (images.ndim() < 2) throw std::invalid_argument("gather_images: ndim");
+  std::vector<std::int64_t> shape = images.shape();
+  const std::int64_t row = images.numel() / shape[0];
+  shape[0] = static_cast<std::int64_t>(indices.size());
+  Tensor out(shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t src = indices[i];
+    if (src < 0 || src >= images.dim(0)) {
+      throw std::out_of_range("gather_images: index");
+    }
+    const float* s = images.data() + src * row;
+    float* d = out.data() + static_cast<std::int64_t>(i) * row;
+    for (std::int64_t j = 0; j < row; ++j) d[j] = s[j];
+  }
+  return out;
+}
+
+std::vector<int> gather_labels(const std::vector<int>& labels,
+                               const std::vector<int>& indices) {
+  std::vector<int> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = labels.at(static_cast<std::size_t>(indices[i]));
+  }
+  return out;
+}
+
+Tensor mean_blur3(const Tensor& images) {
+  const std::int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2),
+                     w = images.dim(3);
+  Tensor out({n, c, h, w});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* src = images.data() + (i * c + ch) * h * w;
+      float* dst = out.data() + (i * c + ch) * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          float acc = 0.0f;
+          for (std::int64_t dy = -1; dy <= 1; ++dy) {
+            for (std::int64_t dx = -1; dx <= 1; ++dx) {
+              const std::int64_t yy = y + dy, xx = x + dx;
+              if (yy >= 0 && yy < h && xx >= 0 && xx < w) {
+                acc += src[yy * w + xx];
+              }
+            }
+          }
+          dst[y * w + x] = acc / 9.0f;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Dataset corrupt_dataset(const Dataset& clean, float noise_sigma, bool blur,
+                        std::uint64_t seed) {
+  Dataset out;
+  out.labels = clean.labels;
+  out.num_classes = clean.num_classes;
+  out.name = clean.name + "-corrupt";
+  out.images = blur ? mean_blur3(clean.images) : clean.images;
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < out.images.numel(); ++i) {
+    out.images[i] += rng.normal(0.0f, noise_sigma);
+  }
+  out.images.clamp_(0.0f, 1.0f);
+  return out;
+}
+
+}  // namespace rt

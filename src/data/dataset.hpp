@@ -1,0 +1,44 @@
+#pragma once
+// Dataset container, minibatching, and test-time corruption transforms.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+/// An in-memory labelled image dataset (NCHW, values in [0, 1]).
+struct Dataset {
+  Tensor images;            ///< (N, 3, H, W)
+  std::vector<int> labels;  ///< size N, in [0, num_classes)
+  int num_classes = 0;
+  std::string name;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Returns shuffled minibatch index lists covering [0, n) once.
+/// The final batch may be smaller than batch_size.
+std::vector<std::vector<int>> make_batches(int n, int batch_size, Rng& rng);
+
+/// Deterministic (unshuffled) batches for evaluation.
+std::vector<std::vector<int>> make_eval_batches(int n, int batch_size);
+
+/// Gathers the given rows of an (N, ...) tensor into a new tensor.
+Tensor gather_images(const Tensor& images, const std::vector<int>& indices);
+
+/// Gathers labels at the given indices.
+std::vector<int> gather_labels(const std::vector<int>& labels,
+                               const std::vector<int>& indices);
+
+/// Test-time corruption for Crpt-Acc (Fig. 8): additive Gaussian noise and an
+/// optional 3x3 mean blur, clamped back to [0, 1].
+Dataset corrupt_dataset(const Dataset& clean, float noise_sigma, bool blur,
+                        std::uint64_t seed);
+
+/// Applies a 3x3 mean blur (zero-padded borders) to every image.
+Tensor mean_blur3(const Tensor& images);
+
+}  // namespace rt

@@ -1,0 +1,134 @@
+#include "data/detection_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synth.hpp"
+
+namespace rt {
+
+namespace {
+constexpr int kS = kImageSize;
+// Same 3-class palette as segmentation: disk, diamond, cross.
+constexpr int kDetArchetypes[3] = {0, 9, 8};
+}  // namespace
+
+double box_iou(const BoxF& a, const BoxF& b) {
+  const float ix0 = std::max(a.x0, b.x0);
+  const float iy0 = std::max(a.y0, b.y0);
+  const float ix1 = std::min(a.x1, b.x1);
+  const float iy1 = std::min(a.y1, b.y1);
+  const float iw = ix1 - ix0, ih = iy1 - iy0;
+  if (iw <= 0.0f || ih <= 0.0f) return 0.0;
+  const double inter = static_cast<double>(iw) * static_cast<double>(ih);
+  const double uni =
+      static_cast<double>(a.area()) + static_cast<double>(b.area()) - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+DetDataset generate_detection_dataset(int n, float shift, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("detection: n must be > 0");
+  DetDataset ds;
+  ds.name = "synth-det";
+  ds.images = Tensor({n, 3, kS, kS});
+  ds.objects.resize(static_cast<std::size_t>(n));
+
+  Rng rng(seed ^ 0xDE7EC7ULL);
+  const float noise_sigma = 0.02f + 0.06f * shift;
+  const float gains[3] = {1.0f + shift * rng.uniform(-0.3f, 0.3f),
+                          1.0f + shift * rng.uniform(-0.3f, 0.3f),
+                          1.0f + shift * rng.uniform(-0.3f, 0.3f)};
+
+  for (int i = 0; i < n; ++i) {
+    Rng inst = rng.split();
+    // At most two objects: shapes are large relative to the 16-px canvas,
+    // and detection needs the centre cells to stay visually distinct.
+    const int num_shapes = inst.uniform_int(1, 2);
+
+    const float b0 = inst.uniform(0.30f, 0.45f);
+    const float gx = inst.uniform(-0.12f, 0.12f);
+    const float gy = inst.uniform(-0.12f, 0.12f);
+    float* img = ds.images.data() + static_cast<std::int64_t>(i) * 3 * kS * kS;
+    for (int ch = 0; ch < 3; ++ch) {
+      for (int y = 0; y < kS; ++y) {
+        for (int x = 0; x < kS; ++x) {
+          img[(ch * kS + y) * kS + x] =
+              b0 + gx * (static_cast<float>(x) - 7.5f) / 8.0f +
+              gy * (static_cast<float>(y) - 7.5f) / 8.0f;
+        }
+      }
+    }
+
+    std::vector<std::pair<float, float>> used_centres;
+    for (int s = 0; s < num_shapes; ++s) {
+      const int cls = inst.uniform_int(0, 2);
+      // Rejection-sample a centre at least 6.5 px from every placed object:
+      // this both separates the boxes (limited overlap, so NMS does not
+      // merge distinct ground truths) and guarantees distinct stride-2
+      // detector cells.
+      float cx = 0.0f, cy = 0.0f;
+      bool placed = false;
+      for (int attempt = 0; attempt < 16 && !placed; ++attempt) {
+        cx = inst.uniform(3.5f, 11.5f);
+        cy = inst.uniform(3.5f, 11.5f);
+        placed = true;
+        for (const auto& [ux, uy] : used_centres) {
+          const float dx = cx - ux, dy = cy - uy;
+          if (dx * dx + dy * dy < 6.5f * 6.5f) {
+            placed = false;
+            break;
+          }
+        }
+      }
+      if (!placed) continue;
+      used_centres.emplace_back(cx, cy);
+
+      float mask[kS * kS];
+      render_archetype(kDetArchetypes[cls], cx, cy, inst, mask);
+      const float amp = inst.uniform(0.40f, 0.60f);
+      // Class-biased hue with per-instance jitter: classes are separable by
+      // shape AND (noisily) by colour, as real detection categories are.
+      const float hue = static_cast<float>(cls) / 3.0f +
+                        inst.uniform(-0.12f, 0.12f);
+      float color[3];
+      for (int ch = 0; ch < 3; ++ch) {
+        color[ch] = 0.55f + 0.45f * std::sin(
+            6.2831853f * (hue + static_cast<float>(ch) / 3.0f));
+      }
+      int bx0 = kS, by0 = kS, bx1 = -1, by1 = -1;
+      for (int y = 0; y < kS; ++y) {
+        for (int x = 0; x < kS; ++x) {
+          const float m = mask[y * kS + x];
+          if (m <= 0.0f) continue;
+          for (int ch = 0; ch < 3; ++ch) {
+            img[(ch * kS + y) * kS + x] += amp * color[ch] * m;
+          }
+          if (m > 0.5f) {
+            bx0 = std::min(bx0, x);
+            by0 = std::min(by0, y);
+            bx1 = std::max(bx1, x);
+            by1 = std::max(by1, y);
+          }
+        }
+      }
+      if (bx1 < bx0) continue;  // shape support fell below threshold
+      DetObject obj;
+      obj.box = BoxF{static_cast<float>(bx0), static_cast<float>(by0),
+                     static_cast<float>(bx1 + 1), static_cast<float>(by1 + 1)};
+      obj.cls = cls;
+      ds.objects[static_cast<std::size_t>(i)].push_back(obj);
+    }
+
+    for (int ch = 0; ch < 3; ++ch) {
+      for (int px = 0; px < kS * kS; ++px) {
+        float v = img[ch * kS * kS + px] * gains[ch];
+        v += inst.normal(0.0f, noise_sigma);
+        img[ch * kS * kS + px] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace rt

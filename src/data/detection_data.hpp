@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic object-detection dataset (the Fig. 7(a) stand-in).
+//
+// Fig. 7 of the paper has two panels: (a) object detection and (b)
+// segmentation on PASCAL VOC. This dataset provides the detection half:
+// each image contains 1-3 shapes from the same 3-class palette as the
+// segmentation task, with axis-aligned ground-truth boxes derived from the
+// rendered shape support. The same `shift` knob controls the domain gap.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rt {
+
+/// Axis-aligned box in pixel coordinates, [x0, x1) x [y0, y1).
+struct BoxF {
+  float x0 = 0.0f, y0 = 0.0f, x1 = 0.0f, y1 = 0.0f;
+
+  float area() const {
+    return (x1 > x0 && y1 > y0) ? (x1 - x0) * (y1 - y0) : 0.0f;
+  }
+  float cx() const { return 0.5f * (x0 + x1); }
+  float cy() const { return 0.5f * (y0 + y1); }
+};
+
+/// Intersection-over-union of two boxes (0 when either is empty).
+double box_iou(const BoxF& a, const BoxF& b);
+
+/// One ground-truth object.
+struct DetObject {
+  BoxF box;
+  int cls = 0;  ///< in [0, num_classes)
+};
+
+struct DetDataset {
+  Tensor images;  ///< (N, 3, S, S)
+  std::vector<std::vector<DetObject>> objects;  ///< per image
+  int num_classes = 3;
+  std::string name;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Generates `n` detection samples at the given domain shift. Object
+/// centres are spaced so that no two objects of one image share a stride-2
+/// feature cell (the detector's assignment unit).
+DetDataset generate_detection_dataset(int n, float shift, std::uint64_t seed);
+
+}  // namespace rt

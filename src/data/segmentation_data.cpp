@@ -1,0 +1,111 @@
+#include "data/segmentation_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synth.hpp"
+
+namespace rt {
+
+namespace {
+constexpr int kS = kImageSize;
+// Shape classes for segmentation: disk, diamond, cross (archetypes 0, 9, 8).
+constexpr int kSegArchetypes[3] = {0, 9, 8};
+}  // namespace
+
+SegDataset generate_segmentation_dataset(int n, float shift,
+                                         std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("segmentation: n must be > 0");
+  SegDataset ds;
+  ds.name = "synth-voc";
+  ds.images = Tensor({n, 3, kS, kS});
+  ds.labels.assign(static_cast<std::size_t>(n) * kS * kS, 0);
+
+  Rng rng(seed ^ 0x5E6E57A71ULL);
+  const float noise_sigma = 0.02f + 0.06f * shift;
+  const float gain_r = 1.0f + shift * rng.uniform(-0.3f, 0.3f);
+  const float gain_g = 1.0f + shift * rng.uniform(-0.3f, 0.3f);
+  const float gain_b = 1.0f + shift * rng.uniform(-0.3f, 0.3f);
+  const float gains[3] = {gain_r, gain_g, gain_b};
+
+  for (int i = 0; i < n; ++i) {
+    Rng inst = rng.split();
+    const int num_shapes = inst.uniform_int(1, 3);
+
+    // Background.
+    const float b0 = inst.uniform(0.30f, 0.45f);
+    const float gx = inst.uniform(-0.12f, 0.12f);
+    const float gy = inst.uniform(-0.12f, 0.12f);
+    float* img = ds.images.data() + static_cast<std::int64_t>(i) * 3 * kS * kS;
+    for (int ch = 0; ch < 3; ++ch) {
+      for (int y = 0; y < kS; ++y) {
+        for (int x = 0; x < kS; ++x) {
+          img[(ch * kS + y) * kS + x] =
+              b0 + gx * (static_cast<float>(x) - 7.5f) / 8.0f +
+              gy * (static_cast<float>(y) - 7.5f) / 8.0f;
+        }
+      }
+    }
+
+    int* lbl = ds.labels.data() + static_cast<std::int64_t>(i) * kS * kS;
+    for (int s = 0; s < num_shapes; ++s) {
+      const int cls = inst.uniform_int(0, 2);  // 0..2 -> label cls+1
+      const float cx = inst.uniform(4.0f, 11.0f);
+      const float cy = inst.uniform(4.0f, 11.0f);
+      float mask[kS * kS];
+      render_archetype(kSegArchetypes[cls], cx, cy, inst, mask);
+      const float amp = inst.uniform(0.40f, 0.60f);
+      const float hue = inst.uniform();
+      // Same hue->color convention as the classification renderer.
+      float color[3];
+      for (int ch = 0; ch < 3; ++ch) {
+        color[ch] = 0.55f + 0.45f * std::sin(
+            6.2831853f * (hue + static_cast<float>(ch) / 3.0f));
+      }
+      for (int y = 0; y < kS; ++y) {
+        for (int x = 0; x < kS; ++x) {
+          const float m = mask[y * kS + x];
+          if (m <= 0.0f) continue;
+          for (int ch = 0; ch < 3; ++ch) {
+            img[(ch * kS + y) * kS + x] += amp * color[ch] * m;
+          }
+          if (m > 0.5f) lbl[y * kS + x] = cls + 1;
+        }
+      }
+    }
+
+    for (int ch = 0; ch < 3; ++ch) {
+      for (int px = 0; px < kS * kS; ++px) {
+        float v = img[ch * kS * kS + px] * gains[ch];
+        v += inst.normal(0.0f, noise_sigma);
+        img[ch * kS * kS + px] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return ds;
+}
+
+double mean_iou(const std::vector<int>& pred, const std::vector<int>& truth,
+                int num_classes) {
+  if (pred.size() != truth.size() || pred.empty()) {
+    throw std::invalid_argument("mean_iou: size mismatch");
+  }
+  double iou_sum = 0.0;
+  int counted = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    std::int64_t inter = 0, uni = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      const bool p = pred[i] == c;
+      const bool t = truth[i] == c;
+      if (p && t) ++inter;
+      if (p || t) ++uni;
+    }
+    if (uni == 0) continue;  // class absent everywhere
+    iou_sum += static_cast<double>(inter) / static_cast<double>(uni);
+    ++counted;
+  }
+  return counted > 0 ? iou_sum / counted : 0.0;
+}
+
+}  // namespace rt

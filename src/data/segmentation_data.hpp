@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic dense-prediction dataset (PASCAL-VOC stand-in for Fig. 7).
+//
+// Each image contains 1-3 shapes from a 3-class palette placed on a
+// source-style background; the label map assigns each pixel its shape class
+// (or 0 for background). Appearance uses the same renderer as the
+// classification tasks, with a moderate domain shift so the transfer setting
+// is non-trivial.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rt {
+
+/// Labelled dense-prediction data. Labels are row-major (n, y, x), values in
+/// [0, num_classes) — 0 is background.
+struct SegDataset {
+  Tensor images;            ///< (N, 3, S, S)
+  std::vector<int> labels;  ///< N * S * S
+  int num_classes = 4;      ///< background + 3 shape classes
+  std::string name;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Generates `n` segmentation samples. `shift` moves the appearance away
+/// from source statistics exactly like classification tasks do.
+SegDataset generate_segmentation_dataset(int n, float shift,
+                                         std::uint64_t seed);
+
+/// Mean intersection-over-union of predicted label maps vs ground truth.
+/// `pred` and `truth` are flat (n*S*S) label arrays. Classes absent from
+/// both prediction and truth are skipped in the mean.
+double mean_iou(const std::vector<int>& pred, const std::vector<int>& truth,
+                int num_classes);
+
+}  // namespace rt

@@ -1,0 +1,59 @@
+#include "data/tasks.hpp"
+
+#include <stdexcept>
+
+namespace rt {
+
+const std::vector<TaskEntry>& vtab_suite() {
+  // Shift values decrease with the paper's FID (Tab. II): large FID = large
+  // domain gap. Seeds are arbitrary but fixed.
+  static const std::vector<TaskEntry> kSuite = {
+      {"cifar10",    10, 0.95f, 101, 205.04, "Robust"},
+      {"aircraft",   10, 0.90f, 102, 198.33, "Robust"},
+      {"cifar100",   20, 0.85f, 103, 190.31, "Robust"},
+      {"pets",       10, 0.78f, 104, 173.23, "Robust"},
+      {"flowers",    10, 0.70f, 105, 153.76, "Robust"},
+      {"cars",       10, 0.68f, 106, 150.92, "Robust"},
+      {"food",       10, 0.52f, 107, 115.95, "Match"},
+      {"dtd",        10, 0.45f, 108, 97.33,  "Natural"},
+      {"birdsnap",   10, 0.42f, 109, 92.64,  "Match"},
+      {"sun397",     10, 0.30f, 110, 67.70,  "Natural"},
+      {"caltech101", 10, 0.25f, 111, 56.71,  "Robust"},
+      {"caltech256", 10, 0.12f, 112, 27.54,  "Match"},
+  };
+  return kSuite;
+}
+
+const TaskEntry& task_entry(const std::string& name) {
+  for (const TaskEntry& e : vtab_suite()) {
+    if (e.name == name) return e;
+  }
+  throw std::out_of_range("unknown task: " + name);
+}
+
+SynthTaskSpec task_spec(const TaskEntry& entry) {
+  return downstream_task_spec(entry.name, entry.num_classes, entry.shift,
+                              entry.seed);
+}
+
+SynthTaskSpec task_spec(const std::string& name) {
+  return task_spec(task_entry(name));
+}
+
+TaskData load_task(const SynthTaskSpec& spec, int train_size, int test_size) {
+  TaskData data;
+  data.spec = spec;
+  data.train = generate_dataset(spec, train_size, /*sample_seed=*/17);
+  data.test = generate_dataset(spec, test_size, /*sample_seed=*/29);
+  return data;
+}
+
+TaskData load_task(const std::string& name, int train_size, int test_size) {
+  return load_task(task_spec(name), train_size, test_size);
+}
+
+TaskData load_source_task(int train_size, int test_size) {
+  return load_task(source_task_spec(), train_size, test_size);
+}
+
+}  // namespace rt

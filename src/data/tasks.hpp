@@ -1,0 +1,52 @@
+#pragma once
+// Named downstream-task registry: the CIFAR/VTAB analogue suite.
+//
+// Each paper dataset is mapped to a generated task whose `shift` knob is
+// calibrated so that the measured FID ordering against the source matches
+// the paper's Tab. II ordering (CIFAR-10 largest gap ... Caltech-256
+// smallest). Class counts are scaled down to keep CPU training fast.
+
+#include <string>
+#include <vector>
+
+#include "data/synth.hpp"
+
+namespace rt {
+
+/// One benchmark downstream task.
+struct TaskEntry {
+  std::string name;        ///< paper dataset it stands in for
+  int num_classes;
+  float shift;             ///< domain-gap knob
+  std::uint64_t seed;      ///< task identity
+  double paper_fid;        ///< FID the paper reports vs ImageNet (Tab. II)
+  std::string paper_winner;///< winner reported in Tab. II
+};
+
+/// The 12-task suite of Fig. 9 / Tab. II, ordered by descending paper FID.
+const std::vector<TaskEntry>& vtab_suite();
+
+/// Looks up a suite entry by name; throws std::out_of_range if unknown.
+const TaskEntry& task_entry(const std::string& name);
+
+/// Builds the generator spec for a suite entry.
+SynthTaskSpec task_spec(const TaskEntry& entry);
+SynthTaskSpec task_spec(const std::string& name);
+
+/// Train/test split of a task, generated deterministically.
+struct TaskData {
+  SynthTaskSpec spec;
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates train/test data for a named suite task.
+TaskData load_task(const std::string& name, int train_size, int test_size);
+
+/// Generates train/test data for an arbitrary spec.
+TaskData load_task(const SynthTaskSpec& spec, int train_size, int test_size);
+
+/// The source (pretraining) task with its train/test split.
+TaskData load_source_task(int train_size, int test_size);
+
+}  // namespace rt

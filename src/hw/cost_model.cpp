@@ -1,0 +1,125 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rt {
+
+double SparseEfficiency::at(Granularity g) const {
+  switch (g) {
+    case Granularity::kElement: return element;
+    case Granularity::kRow: return row;
+    case Granularity::kKernel: return kernel;
+    case Granularity::kChannel: return channel;
+  }
+  return 0.0;
+}
+
+HardwareProfile edge_mcu_profile() {
+  HardwareProfile hw;
+  hw.name = "edge-mcu";
+  hw.macs_per_second = 2e8;    // Cortex-M-class DSP extensions
+  hw.bytes_per_second = 4e8;   // on-chip flash/SRAM
+  hw.joules_per_mac = 2e-11;
+  hw.joules_per_byte = 5e-11;
+  hw.efficiency = {0.0, 0.0, 0.0, 1.0, 0.0};
+  hw.weight_format = StorageFormat::kDenseInt8;
+  return hw;
+}
+
+HardwareProfile mobile_npu_profile() {
+  HardwareProfile hw;
+  hw.name = "mobile-npu";
+  hw.macs_per_second = 2e11;
+  hw.bytes_per_second = 2e10;
+  hw.joules_per_mac = 1e-12;
+  hw.joules_per_byte = 2e-11;
+  // 2:4 units realize 90% of nominal; coarse structure realizes all of it.
+  hw.efficiency = {0.0, 0.3, 0.6, 1.0, 0.9};
+  hw.weight_format = StorageFormat::kDenseFp16;
+  return hw;
+}
+
+HardwareProfile sparse_cpu_profile() {
+  HardwareProfile hw;
+  hw.name = "sparse-cpu";
+  hw.macs_per_second = 5e9;
+  hw.bytes_per_second = 1e10;
+  hw.joules_per_mac = 5e-12;
+  hw.joules_per_byte = 3e-11;
+  // CSR kernels realize unstructured sparsity with indexing overhead.
+  hw.efficiency = {0.55, 0.7, 0.85, 1.0, 0.75};
+  hw.weight_format = StorageFormat::kCsrFp16;
+  return hw;
+}
+
+namespace {
+
+CostEstimate estimate_with_efficiency(ResNet& model, std::int64_t height,
+                                      std::int64_t width,
+                                      const HardwareProfile& hw,
+                                      double efficiency,
+                                      std::int64_t weight_bytes) {
+  if (efficiency < 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument("cost model: efficiency must be in [0, 1]");
+  }
+  const ModelStats stats = model.stats(height, width);
+  CostEstimate out;
+  out.dense_macs = stats.dense_flops / 2;
+  const std::int64_t sparse_macs = stats.sparse_flops / 2;
+  // The device only realizes `efficiency` of the nominal MAC reduction.
+  out.effective_macs =
+      out.dense_macs -
+      static_cast<std::int64_t>(
+          efficiency * static_cast<double>(out.dense_macs - sparse_macs));
+  out.weight_bytes = weight_bytes;
+
+  const double compute_s =
+      static_cast<double>(out.effective_macs) / hw.macs_per_second;
+  const double memory_s =
+      static_cast<double>(out.weight_bytes) / hw.bytes_per_second;
+  out.latency_seconds = std::max(compute_s, memory_s);
+
+  out.energy_joules =
+      static_cast<double>(out.effective_macs) * hw.joules_per_mac +
+      static_cast<double>(out.weight_bytes) * hw.joules_per_byte;
+
+  const double dense_compute_s =
+      static_cast<double>(out.dense_macs) / hw.macs_per_second;
+  const double dense_memory_s =
+      static_cast<double>(model_bytes(model, StorageFormat::kDenseFp16)) /
+      hw.bytes_per_second;
+  const double dense_latency = std::max(dense_compute_s, dense_memory_s);
+  out.realized_speedup =
+      out.latency_seconds > 0.0 ? dense_latency / out.latency_seconds : 1.0;
+  return out;
+}
+
+}  // namespace
+
+CostEstimate estimate_cost(ResNet& model, std::int64_t height,
+                           std::int64_t width, const HardwareProfile& hw,
+                           Granularity granularity) {
+  return estimate_with_efficiency(model, height, width, hw,
+                                  hw.efficiency.at(granularity),
+                                  model_bytes(model, hw.weight_format));
+}
+
+CostEstimate estimate_nm_cost(ResNet& model, std::int64_t height,
+                              std::int64_t width, const HardwareProfile& hw,
+                              int m) {
+  if (m < 2) throw std::invalid_argument("estimate_nm_cost: m >= 2");
+  // N:M weights ship in their dedicated packed format.
+  std::int64_t bytes = 0;
+  const auto prunable = model.prunable_parameters(false);
+  for (Parameter* p : model.parameters()) {
+    const bool is_prunable =
+        std::find(prunable.begin(), prunable.end(), p) != prunable.end();
+    bytes += is_prunable ? nm_parameter_bytes(*p, m)
+                         : p->value.numel() * 2;
+  }
+  return estimate_with_efficiency(model, height, width, hw,
+                                  hw.efficiency.nm, bytes);
+}
+
+}  // namespace rt

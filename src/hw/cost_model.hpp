@@ -1,0 +1,78 @@
+#pragma once
+// Roofline-style latency / energy estimates for sparse tickets on edge
+// hardware.
+//
+// Fig. 3's motivation — "structured robust tickets benefit real-hardware
+// acceleration" — is quantified here: how much of a mask's nominal FLOP
+// reduction a given device can actually realize depends on the sparsity
+// GRANULARITY. A plain MCU only wins from channel pruning (smaller dense
+// kernels after shrink); an N:M-capable NPU also realizes 2:4 patterns;
+// a CSR-friendly CPU kernel realizes unstructured sparsity but pays an
+// indexing overhead. Latency follows the roofline max(compute, memory);
+// energy is priced per MAC and per byte moved.
+
+#include <string>
+
+#include "hw/storage.hpp"
+#include "models/resnet.hpp"
+#include "prune/mask.hpp"
+
+namespace rt {
+
+/// Fraction of the nominal (FLOP-count) sparsity speedup the device realizes
+/// at each mask granularity, in [0, 1]. 0 = executes dense regardless.
+struct SparseEfficiency {
+  double element = 0.0;
+  double row = 0.0;
+  double kernel = 0.0;
+  double channel = 1.0;  ///< channel masks shrink to smaller dense kernels
+  double nm = 0.0;       ///< hardware N:M (e.g. 2:4) support
+
+  double at(Granularity g) const;
+};
+
+struct HardwareProfile {
+  std::string name;
+  double macs_per_second = 1e9;
+  double bytes_per_second = 1e9;
+  double joules_per_mac = 1e-12;
+  double joules_per_byte = 1e-11;
+  SparseEfficiency efficiency;
+  StorageFormat weight_format = StorageFormat::kDenseFp16;
+};
+
+/// A microcontroller-class core: no sparse execution support at all; only
+/// channel shrink (and quantization) helps latency.
+HardwareProfile edge_mcu_profile();
+
+/// A mobile NPU with 2:4 structured-sparsity execution units.
+HardwareProfile mobile_npu_profile();
+
+/// A CPU with a tuned CSR sparse kernel: unstructured sparsity is usable but
+/// pays indexing overhead; structured masks approach the nominal speedup.
+HardwareProfile sparse_cpu_profile();
+
+struct CostEstimate {
+  std::int64_t dense_macs = 0;      ///< per sample
+  std::int64_t effective_macs = 0;  ///< after realizable sparsity
+  std::int64_t weight_bytes = 0;
+  double latency_seconds = 0.0;     ///< roofline max(compute, memory)
+  double energy_joules = 0.0;
+  double realized_speedup = 1.0;    ///< dense latency / sparse latency
+};
+
+/// Estimates per-sample inference cost of the model (with whatever masks are
+/// installed) at the given input resolution. `granularity` tells the model
+/// which execution pattern the masks follow (the profile's efficiency for
+/// that granularity gates the realizable FLOP reduction); pass
+/// Granularity::kElement for unstructured tickets.
+CostEstimate estimate_cost(ResNet& model, std::int64_t height,
+                           std::int64_t width, const HardwareProfile& hw,
+                           Granularity granularity);
+
+/// As above but prices an N:M mask via the profile's `nm` efficiency.
+CostEstimate estimate_nm_cost(ResNet& model, std::int64_t height,
+                              std::int64_t width, const HardwareProfile& hw,
+                              int m);
+
+}  // namespace rt

@@ -1,0 +1,105 @@
+#include "hw/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rt {
+
+const char* quant_scheme_name(QuantScheme scheme) {
+  switch (scheme) {
+    case QuantScheme::kPerTensor: return "per-tensor";
+    case QuantScheme::kPerChannel: return "per-channel";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void check_bits(int bits) {
+  if (bits < 2 || bits > 8) {
+    throw std::invalid_argument("quantization bits must be in [2, 8]");
+  }
+}
+
+float row_max_abs(const Parameter& p, std::int64_t row) {
+  const std::int64_t cols = p.value.dim(1);
+  float m = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    m = std::max(m, std::fabs(p.value.at(row, c)));
+  }
+  return m;
+}
+
+void quantize_row(Parameter& p, std::int64_t row, float scale, float qmax) {
+  const std::int64_t cols = p.value.dim(1);
+  if (scale <= 0.0f) return;  // all-zero row: nothing to do
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const float q = std::round(p.value.at(row, c) / scale);
+    p.value.at(row, c) = std::clamp(q, -qmax, qmax) * scale;
+  }
+}
+
+}  // namespace
+
+std::vector<float> fake_quantize(Parameter& p, QuantScheme scheme, int bits) {
+  check_bits(bits);
+  if (p.value.ndim() != 2) {
+    throw std::invalid_argument("fake_quantize: 2-D weights expected");
+  }
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  const std::int64_t rows = p.value.dim(0);
+  std::vector<float> scales;
+  if (scheme == QuantScheme::kPerTensor) {
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      m = std::max(m, std::fabs(p.value[i]));
+    }
+    const float scale = m > 0.0f ? m / qmax : 0.0f;
+    for (std::int64_t r = 0; r < rows; ++r) quantize_row(p, r, scale, qmax);
+    scales.assign(1, scale);
+  } else {
+    scales.reserve(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float m = row_max_abs(p, r);
+      const float scale = m > 0.0f ? m / qmax : 0.0f;
+      quantize_row(p, r, scale, qmax);
+      scales.push_back(scale);
+    }
+  }
+  // Masked weights were exactly zero and round(0/s) == 0: re-applying the
+  // mask is a no-op but keeps the invariant explicit.
+  p.apply_mask();
+  return scales;
+}
+
+QuantReport quantize_model(ResNet& model, const QuantConfig& config) {
+  check_bits(config.bits);
+  QuantReport report;
+  double abs_err_sum = 0.0;
+  std::int64_t weights = 0;
+  for (Parameter* p : model.prunable_parameters(config.include_head)) {
+    const Tensor before = p->value;
+    const std::vector<float> scales =
+        fake_quantize(*p, config.scheme, config.bits);
+    ++report.tensors_quantized;
+    for (std::int64_t i = 0; i < before.numel(); ++i) {
+      const double err =
+          std::fabs(static_cast<double>(before[i]) - p->value[i]);
+      report.max_abs_error = std::max(report.max_abs_error, err);
+      abs_err_sum += err;
+    }
+    weights += before.numel();
+    // int values (bits packed to bytes, pessimistically one byte for 8-bit,
+    // sub-byte packed) + one fp32 scale per row / tensor.
+    const std::int64_t value_bytes =
+        (before.numel() * config.bits + 7) / 8;
+    report.int_storage_bytes +=
+        value_bytes + static_cast<std::int64_t>(scales.size()) * 4;
+  }
+  report.mean_abs_error =
+      weights > 0 ? abs_err_sum / static_cast<double>(weights) : 0.0;
+  return report;
+}
+
+}  // namespace rt

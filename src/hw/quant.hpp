@@ -1,0 +1,50 @@
+#pragma once
+// Post-training int8 weight quantization (simulated).
+//
+// The final stage of the edge-deployment story (and the bridge to the
+// paper's Double-Win Quant citation [7]): tickets are stored as int8 on
+// flash. Quantization is simulated with fake-quant (quantize -> dequantize,
+// float compute), the standard way to measure PTQ accuracy without an int8
+// kernel library; storage savings are priced by src/hw/storage. Masked
+// weights stay exactly zero through quantization (0 maps to the zero-point
+// of a symmetric scheme), so ticket sparsity survives deployment.
+
+#include <vector>
+
+#include "models/resnet.hpp"
+
+namespace rt {
+
+enum class QuantScheme {
+  kPerTensor,   ///< one symmetric scale per weight tensor
+  kPerChannel,  ///< one symmetric scale per output row (channel)
+};
+
+const char* quant_scheme_name(QuantScheme scheme);
+
+struct QuantConfig {
+  QuantScheme scheme = QuantScheme::kPerChannel;
+  int bits = 8;  ///< in [2, 8]
+  /// Quantize the classifier head too (default: yes; it ships with the
+  /// deployed model even though pruning skips it).
+  bool include_head = true;
+};
+
+struct QuantReport {
+  std::int64_t tensors_quantized = 0;
+  double max_abs_error = 0.0;   ///< over all quantized weights
+  double mean_abs_error = 0.0;
+  std::int64_t int_storage_bytes = 0;  ///< values + fp32 scales
+};
+
+/// Fake-quantizes one weight tensor in place; returns the per-row (or
+/// single-element) scale vector. Symmetric: q = clamp(round(w / s), -Q, Q),
+/// w' = q * s with Q = 2^(bits-1) - 1. All-zero rows get scale 0 and stay
+/// zero.
+std::vector<float> fake_quantize(Parameter& p, QuantScheme scheme, int bits);
+
+/// Quantizes all conv/linear weights of the model in place and reports the
+/// introduced error and the deployed size.
+QuantReport quantize_model(ResNet& model, const QuantConfig& config);
+
+}  // namespace rt

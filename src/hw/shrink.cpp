@@ -1,0 +1,112 @@
+#include "hw/shrink.hpp"
+
+#include "models/blocks.hpp"
+
+namespace rt {
+
+namespace {
+
+/// True if output channel `row` of the conv carries no weight (all entries
+/// zero after masking — the mask invariant keeps masked values at zero).
+bool conv_row_dead(Conv2d& conv, std::int64_t row) {
+  const std::int64_t cols = conv.weight().value.dim(1);
+  for (std::int64_t c = 0; c < cols; ++c) {
+    if (conv.weight().value.at(row, c) != 0.0f) return false;
+  }
+  return true;
+}
+
+bool bn_channel_neutral(BatchNorm2d& bn, std::int64_t ch) {
+  return bn.gamma().value[ch] == 0.0f && bn.beta().value[ch] == 0.0f;
+}
+
+/// Zeroes gamma/beta (and the gradient-irrelevant running stats) of channels
+/// whose producing conv row is dead. Returns channels changed.
+std::int64_t neutralize_interface(Conv2d& conv, BatchNorm2d& bn) {
+  std::int64_t changed = 0;
+  for (std::int64_t ch = 0; ch < conv.out_channels(); ++ch) {
+    if (!conv_row_dead(conv, ch)) continue;
+    if (!bn_channel_neutral(bn, ch)) {
+      bn.gamma().value[ch] = 0.0f;
+      bn.beta().value[ch] = 0.0f;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+/// keep[ch] = 0 iff the channel is fully dead (removable exactly). Ensures
+/// at least one channel survives.
+std::vector<char> removable_channels(Conv2d& conv, BatchNorm2d& bn) {
+  std::vector<char> keep(static_cast<std::size_t>(conv.out_channels()), 1);
+  std::int64_t kept = conv.out_channels();
+  for (std::int64_t ch = 0; ch < conv.out_channels(); ++ch) {
+    if (kept > 1 && conv_row_dead(conv, ch) && bn_channel_neutral(bn, ch)) {
+      keep[static_cast<std::size_t>(ch)] = 0;
+      --kept;
+    }
+  }
+  return keep;
+}
+
+std::int64_t removed_count(const std::vector<char>& keep) {
+  std::int64_t removed = 0;
+  for (char k : keep) removed += k == 0 ? 1 : 0;
+  return removed;
+}
+
+}  // namespace
+
+std::int64_t neutralize_dead_internal_channels(ResNet& model) {
+  std::int64_t changed = 0;
+  for (std::size_t i = 0; i < model.trunk_size(); ++i) {
+    Module* m = &model.trunk_module(i);
+    if (auto* basic = dynamic_cast<BasicBlock*>(m)) {
+      changed += neutralize_interface(basic->conv1(), basic->bn1());
+    } else if (auto* bottleneck = dynamic_cast<BottleneckBlock*>(m)) {
+      changed += neutralize_interface(bottleneck->conv1(), bottleneck->bn1());
+      changed += neutralize_interface(bottleneck->conv2(), bottleneck->bn2());
+    }
+  }
+  return changed;
+}
+
+ShrinkReport shrink_internal_channels(ResNet& model, Rng& rng) {
+  ShrinkReport report;
+  report.params_before = model.num_parameters();
+  for (std::size_t i = 0; i < model.trunk_size(); ++i) {
+    Module* m = &model.trunk_module(i);
+    if (auto* basic = dynamic_cast<BasicBlock*>(m)) {
+      const auto keep = removable_channels(basic->conv1(), basic->bn1());
+      const std::int64_t removed = removed_count(keep);
+      if (removed > 0) {
+        basic->shrink_internal(keep, rng);
+        report.channels_removed += removed;
+        ++report.blocks_touched;
+      }
+    } else if (auto* bottleneck = dynamic_cast<BottleneckBlock*>(m)) {
+      const auto keep1 =
+          removable_channels(bottleneck->conv1(), bottleneck->bn1());
+      const auto keep2 =
+          removable_channels(bottleneck->conv2(), bottleneck->bn2());
+      const std::int64_t removed =
+          removed_count(keep1) + removed_count(keep2);
+      if (removed > 0) {
+        bottleneck->shrink_internal(keep1, keep2, rng);
+        report.channels_removed += removed;
+        ++report.blocks_touched;
+      }
+    }
+  }
+  report.params_after = model.num_parameters();
+  return report;
+}
+
+ShrinkReport compile_for_deployment(ResNet& model, Rng& rng) {
+  const std::int64_t neutralized = neutralize_dead_internal_channels(model);
+  ShrinkReport report = shrink_internal_channels(model, rng);
+  report.channels_neutralized = neutralized;
+  return report;
+}
+
+}  // namespace rt

@@ -1,0 +1,57 @@
+#pragma once
+// Channel-shrink compiler: turn channel-structured sparsity into a
+// physically smaller dense model.
+//
+// Masks make weights zero but the dense kernels still execute at full width;
+// real structured-pruning deployments remove pruned channels from the
+// tensors. This pass does that for the channels a residual network can drop
+// without re-wiring: the INTERNAL channels of each block (conv1 outputs in a
+// basic block; conv1 and conv2 outputs in a bottleneck). The residual stream
+// (stem, block outputs, projections, head input) keeps its width — pruned
+// channels there stay as masked zeros, which costs storage only.
+//
+// Exactness: an internal channel is removable iff nothing observable flows
+// through it — its conv row is all zero AND its BN gamma/beta are zero (a
+// zero conv row alone still emits the constant ReLU(beta) through BN).
+// neutralize_dead_internal_channels() zeroes those BN params for channels
+// with all-zero conv rows first (reported, since it changes the function);
+// shrink_internal_channels() then removes them with bit-exact equivalence.
+
+#include <vector>
+
+#include "models/resnet.hpp"
+
+namespace rt {
+
+struct ShrinkReport {
+  std::int64_t params_before = 0;
+  std::int64_t params_after = 0;
+  std::int64_t channels_removed = 0;
+  int blocks_touched = 0;
+  /// BN channels whose gamma/beta were zeroed by the neutralize pass.
+  std::int64_t channels_neutralized = 0;
+
+  double param_reduction() const {
+    return params_before > 0
+               ? 1.0 - static_cast<double>(params_after) /
+                           static_cast<double>(params_before)
+               : 0.0;
+  }
+};
+
+/// Zeroes bn gamma/beta of internal channels whose conv rows are entirely
+/// masked/zero, making them removable. Returns the number of channels
+/// touched (0 means the model was already shrink-ready).
+std::int64_t neutralize_dead_internal_channels(ResNet& model);
+
+/// Removes all dead internal channels in place (conv/bn tensors are rebuilt
+/// at reduced width). Call neutralize_dead_internal_channels() first; this
+/// function only removes channels that are fully dead (zero row AND neutral
+/// BN), so it is always output-preserving. At least one channel per
+/// interface is kept.
+ShrinkReport shrink_internal_channels(ResNet& model, Rng& rng);
+
+/// Convenience: neutralize + shrink, returning the combined report.
+ShrinkReport compile_for_deployment(ResNet& model, Rng& rng);
+
+}  // namespace rt

@@ -1,0 +1,132 @@
+#include "hw/storage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt {
+
+namespace {
+
+constexpr std::int64_t kFp32 = 4;
+constexpr std::int64_t kFp16 = 2;
+
+std::int64_t div_round_up(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Rows of a 2-D weight with at least one kept entry.
+std::int64_t kept_rows(const Parameter& p) {
+  const std::int64_t rows = p.value.dim(0), cols = p.value.dim(1);
+  if (!p.has_mask()) return rows;
+  std::int64_t kept = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (p.mask.at(r, c) != 0.0f) {
+        ++kept;
+        break;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+const char* storage_format_name(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kDenseFp32: return "dense-fp32";
+    case StorageFormat::kDenseFp16: return "dense-fp16";
+    case StorageFormat::kDenseInt8: return "dense-int8";
+    case StorageFormat::kBitmaskFp16: return "bitmask-fp16";
+    case StorageFormat::kCsrFp16: return "csr-fp16";
+    case StorageFormat::kChannelCompactFp16: return "chan-compact-fp16";
+  }
+  return "unknown";
+}
+
+const std::vector<StorageFormat>& all_storage_formats() {
+  static const std::vector<StorageFormat> formats{
+      StorageFormat::kDenseFp32,      StorageFormat::kDenseFp16,
+      StorageFormat::kDenseInt8,      StorageFormat::kBitmaskFp16,
+      StorageFormat::kCsrFp16,        StorageFormat::kChannelCompactFp16,
+  };
+  return formats;
+}
+
+std::int64_t nonzero_count(const Parameter& p) {
+  if (!p.has_mask()) return p.value.numel();
+  std::int64_t nnz = 0;
+  for (std::int64_t i = 0; i < p.mask.numel(); ++i) {
+    nnz += p.mask[i] != 0.0f ? 1 : 0;
+  }
+  return nnz;
+}
+
+std::int64_t parameter_bytes(const Parameter& p, StorageFormat format) {
+  if (p.value.ndim() != 2) {
+    throw std::invalid_argument("parameter_bytes: 2-D weights expected");
+  }
+  const std::int64_t numel = p.value.numel();
+  const std::int64_t rows = p.value.dim(0), cols = p.value.dim(1);
+  const std::int64_t nnz = nonzero_count(p);
+  switch (format) {
+    case StorageFormat::kDenseFp32:
+      return numel * kFp32;
+    case StorageFormat::kDenseFp16:
+      return numel * kFp16;
+    case StorageFormat::kDenseInt8:
+      // Per-output-channel symmetric scales (fp32 each).
+      return numel + rows * kFp32;
+    case StorageFormat::kBitmaskFp16:
+      return div_round_up(numel, 8) + nnz * kFp16;
+    case StorageFormat::kCsrFp16:
+      // 16-bit column indices are sufficient below 65536 columns.
+      return nnz * kFp16 + nnz * 2 + (rows + 1) * kFp32;
+    case StorageFormat::kChannelCompactFp16:
+      return kept_rows(p) * cols * kFp16 + div_round_up(rows, 8);
+  }
+  return 0;
+}
+
+std::int64_t nm_parameter_bytes(const Parameter& p, int m) {
+  if (m < 2) throw std::invalid_argument("nm_parameter_bytes: m >= 2");
+  const std::int64_t nnz = nonzero_count(p);
+  const auto index_bits = static_cast<std::int64_t>(
+      std::ceil(std::log2(static_cast<double>(m))));
+  return nnz * kFp16 + div_round_up(nnz * index_bits, 8);
+}
+
+std::int64_t model_bytes(ResNet& model, StorageFormat format) {
+  std::int64_t total = 0;
+  const auto prunable = model.prunable_parameters(/*include_head=*/false);
+  for (Parameter* p : model.parameters()) {
+    bool is_prunable = false;
+    for (const Parameter* q : prunable) {
+      if (q == p) {
+        is_prunable = true;
+        break;
+      }
+    }
+    if (is_prunable) {
+      total += parameter_bytes(*p, format);
+    } else {
+      total += p->value.numel() * kFp16;  // small tensors stay dense fp16
+    }
+  }
+  return total;
+}
+
+StorageFormat best_format(const Parameter& p) {
+  StorageFormat best = StorageFormat::kDenseFp32;
+  std::int64_t best_bytes = parameter_bytes(p, best);
+  for (StorageFormat f : all_storage_formats()) {
+    const std::int64_t bytes = parameter_bytes(p, f);
+    if (bytes < best_bytes) {
+      best = f;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+}  // namespace rt

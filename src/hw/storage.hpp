@@ -1,0 +1,55 @@
+#pragma once
+// On-device storage cost of sparse tickets.
+//
+// The paper's motivation is deploying pretrained feature extractors on edge
+// devices; a ticket's value there is measured in bytes and cycles, not just
+// sparsity. This module prices a masked parameter under the standard
+// deployment encodings so the benches can report "what does this ticket cost
+// on flash" next to its accuracy:
+//   dense fp32/fp16/int8 — no sparsity exploited;
+//   bitmask              — 1 bit/position + packed nonzero values;
+//   CSR                  — values + 16-bit column indices + row pointers;
+//   channel-compact      — kept rows stored densely + row bitmap (the right
+//                          encoding for channel-structured masks);
+//   N:M                  — values + ceil(log2(M))-bit in-group indices.
+
+#include <string>
+#include <vector>
+
+#include "models/resnet.hpp"
+
+namespace rt {
+
+enum class StorageFormat {
+  kDenseFp32,
+  kDenseFp16,
+  kDenseInt8,
+  kBitmaskFp16,
+  kCsrFp16,
+  kChannelCompactFp16,
+};
+
+const char* storage_format_name(StorageFormat format);
+
+/// All formats, iteration order of the deployment tables.
+const std::vector<StorageFormat>& all_storage_formats();
+
+/// Number of mask-nonzero entries (numel when dense).
+std::int64_t nonzero_count(const Parameter& p);
+
+/// Bytes needed to store one (possibly masked) parameter in the format.
+/// Quantized formats include their scale metadata.
+std::int64_t parameter_bytes(const Parameter& p, StorageFormat format);
+
+/// Bytes for an N:M-masked parameter: fp16 values + per-kept-value in-group
+/// index of ceil(log2(m)) bits.
+std::int64_t nm_parameter_bytes(const Parameter& p, int m);
+
+/// Total bytes of a model's prunable parameters in the format, plus all
+/// non-prunable parameters (BN affine, biases, head) stored dense fp16.
+std::int64_t model_bytes(ResNet& model, StorageFormat format);
+
+/// The cheapest format for this parameter and its installed mask.
+StorageFormat best_format(const Parameter& p);
+
+}  // namespace rt

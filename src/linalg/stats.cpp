@@ -1,0 +1,58 @@
+#include "linalg/stats.hpp"
+
+#include <stdexcept>
+
+#include "linalg/sym_eig.hpp"
+
+namespace rt {
+
+FeatureStats feature_stats(const Tensor& features) {
+  if (features.ndim() != 2) {
+    throw std::invalid_argument("feature_stats: (n, d) tensor required");
+  }
+  const std::int64_t n = features.dim(0);
+  const std::int64_t d = features.dim(1);
+  if (n < 1) throw std::invalid_argument("feature_stats: need >= 1 row");
+
+  FeatureStats out;
+  out.mean = Tensor({d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) out.mean[j] += features.at(i, j);
+  }
+  out.mean.mul_(1.0f / static_cast<float>(n));
+
+  Tensor centered({n, d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      centered.at(i, j) = features.at(i, j) - out.mean[j];
+    }
+  }
+  out.covariance = matmul(centered, centered, /*trans_a=*/true);
+  const float denom = static_cast<float>(n > 1 ? n - 1 : 1);
+  out.covariance.mul_(1.0f / denom);
+  return out;
+}
+
+double frechet_distance(const FeatureStats& a, const FeatureStats& b) {
+  if (!a.mean.same_shape(b.mean)) {
+    throw std::invalid_argument("frechet_distance: dim mismatch");
+  }
+  double mean_term = 0.0;
+  for (std::int64_t j = 0; j < a.mean.numel(); ++j) {
+    const double diff = static_cast<double>(a.mean[j]) - b.mean[j];
+    mean_term += diff * diff;
+  }
+  // Tr((S1^{1/2} S2 S1^{1/2})^{1/2}) — symmetric form avoids complex roots.
+  const Tensor root_a = sym_sqrt(a.covariance);
+  const Tensor inner = matmul(matmul(root_a, b.covariance), root_a);
+  const Tensor cross = sym_sqrt(inner);
+  const double tr =
+      static_cast<double>(trace(a.covariance)) + trace(b.covariance) -
+      2.0 * trace(cross);
+  // Numerical noise can push the trace term slightly negative for identical
+  // inputs; clamp the total at zero.
+  const double fid = mean_term + tr;
+  return fid > 0.0 ? fid : 0.0;
+}
+
+}  // namespace rt

@@ -1,0 +1,22 @@
+#pragma once
+// Feature statistics for distribution-distance metrics (FID).
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+/// First and second moments of a set of feature vectors.
+struct FeatureStats {
+  Tensor mean;        ///< (d)
+  Tensor covariance;  ///< (d, d), unbiased (n-1 denominator; n if n == 1)
+};
+
+/// Computes mean and covariance of row-major features (n, d). Requires n >= 1.
+FeatureStats feature_stats(const Tensor& features);
+
+/// Frechet distance between two Gaussians:
+///   |mu1 - mu2|^2 + Tr(S1 + S2 - 2 (S1^{1/2} S2 S1^{1/2})^{1/2}).
+/// Symmetric and zero for identical statistics (up to numerical noise).
+double frechet_distance(const FeatureStats& a, const FeatureStats& b);
+
+}  // namespace rt

@@ -1,0 +1,127 @@
+#include "linalg/sym_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rt {
+
+Tensor eye(std::int64_t n) {
+  Tensor m({n, n});
+  for (std::int64_t i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+float trace(const Tensor& a) {
+  if (a.ndim() != 2 || a.dim(0) != a.dim(1)) {
+    throw std::invalid_argument("trace: square matrix required");
+  }
+  float t = 0.0f;
+  for (std::int64_t i = 0; i < a.dim(0); ++i) t += a.at(i, i);
+  return t;
+}
+
+SymEig sym_eig(const Tensor& input, int max_sweeps, float tol) {
+  if (input.ndim() != 2 || input.dim(0) != input.dim(1)) {
+    throw std::invalid_argument("sym_eig: square matrix required");
+  }
+  const std::int64_t n = input.dim(0);
+
+  // Work in double: Jacobi rotations accumulate rounding error in float.
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i * n + j)] =
+          0.5 * (static_cast<double>(input.at(i, j)) + input.at(j, i));
+    }
+  }
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i * n + i)] = 1.0;
+
+  auto off_diag_norm = [&] {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double x = a[static_cast<std::size_t>(i * n + j)];
+        s += x * x;
+      }
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= static_cast<double>(tol)) break;
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = a[static_cast<std::size_t>(p * n + q)];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[static_cast<std::size_t>(p * n + p)];
+        const double aqq = a[static_cast<std::size_t>(q * n + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double akp = a[static_cast<std::size_t>(k * n + p)];
+          const double akq = a[static_cast<std::size_t>(k * n + q)];
+          a[static_cast<std::size_t>(k * n + p)] = c * akp - s * akq;
+          a[static_cast<std::size_t>(k * n + q)] = s * akp + c * akq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double apk = a[static_cast<std::size_t>(p * n + k)];
+          const double aqk = a[static_cast<std::size_t>(q * n + k)];
+          a[static_cast<std::size_t>(p * n + k)] = c * apk - s * aqk;
+          a[static_cast<std::size_t>(q * n + k)] = s * apk + c * aqk;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<std::size_t>(k * n + p)];
+          const double vkq = v[static_cast<std::size_t>(k * n + q)];
+          v[static_cast<std::size_t>(k * n + p)] = c * vkp - s * vkq;
+          v[static_cast<std::size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return a[static_cast<std::size_t>(x * n + x)] <
+           a[static_cast<std::size_t>(y * n + y)];
+  });
+
+  SymEig out;
+  out.eigenvalues = Tensor({n});
+  out.eigenvectors = Tensor({n, n});
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t src = order[static_cast<std::size_t>(j)];
+    out.eigenvalues[j] =
+        static_cast<float>(a[static_cast<std::size_t>(src * n + src)]);
+    for (std::int64_t i = 0; i < n; ++i) {
+      out.eigenvectors.at(i, j) =
+          static_cast<float>(v[static_cast<std::size_t>(i * n + src)]);
+    }
+  }
+  return out;
+}
+
+Tensor sym_sqrt(const Tensor& a) {
+  const SymEig eig = sym_eig(a);
+  const std::int64_t n = a.dim(0);
+  // B = V diag(sqrt(max(w,0))) V^T
+  Tensor scaled({n, n});
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float w = std::max(0.0f, eig.eigenvalues[j]);
+    const float r = std::sqrt(w);
+    for (std::int64_t i = 0; i < n; ++i) {
+      scaled.at(i, j) = eig.eigenvectors.at(i, j) * r;
+    }
+  }
+  return matmul(scaled, eig.eigenvectors, /*trans_a=*/false, /*trans_b=*/true);
+}
+
+}  // namespace rt

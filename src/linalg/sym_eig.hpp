@@ -1,0 +1,32 @@
+#pragma once
+// Symmetric eigendecomposition (cyclic Jacobi) and PSD matrix functions.
+//
+// Used by the FID metric: the Frechet distance needs Tr((S1^{1/2} S2
+// S1^{1/2})^{1/2}), i.e. two symmetric square roots. Feature dimensions in
+// this library are small (<= 128), where Jacobi is accurate and fast.
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct SymEig {
+  Tensor eigenvalues;   ///< (n) ascending
+  Tensor eigenvectors;  ///< (n, n), column j is the eigenvector of w[j]
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix (n, n).
+/// The input is symmetrized as (A + A^T)/2 before iteration.
+SymEig sym_eig(const Tensor& a, int max_sweeps = 64, float tol = 1e-10f);
+
+/// Symmetric PSD square root via eigendecomposition; negative eigenvalues
+/// (numerical noise) are clamped to zero.
+Tensor sym_sqrt(const Tensor& a);
+
+/// Trace of a square matrix.
+float trace(const Tensor& a);
+
+/// Identity matrix of size n.
+Tensor eye(std::int64_t n);
+
+}  // namespace rt

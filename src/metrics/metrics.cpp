@@ -1,0 +1,112 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.hpp"
+
+namespace rt {
+
+double expected_calibration_error(const Tensor& probs,
+                                  const std::vector<int>& labels,
+                                  int num_bins) {
+  const std::int64_t n = probs.dim(0);
+  if (static_cast<std::int64_t>(labels.size()) != n || num_bins <= 0) {
+    throw std::invalid_argument("ece: bad inputs");
+  }
+  std::vector<double> bin_conf(static_cast<std::size_t>(num_bins), 0.0);
+  std::vector<double> bin_correct(static_cast<std::size_t>(num_bins), 0.0);
+  std::vector<std::int64_t> bin_count(static_cast<std::size_t>(num_bins), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t pred = 0;
+    for (std::int64_t j = 1; j < probs.dim(1); ++j) {
+      if (probs.at(i, j) > probs.at(i, pred)) pred = j;
+    }
+    const float conf = probs.at(i, pred);
+    int bin = static_cast<int>(conf * static_cast<float>(num_bins));
+    bin = std::clamp(bin, 0, num_bins - 1);
+    bin_conf[static_cast<std::size_t>(bin)] += conf;
+    bin_correct[static_cast<std::size_t>(bin)] +=
+        (pred == labels[static_cast<std::size_t>(i)]) ? 1.0 : 0.0;
+    ++bin_count[static_cast<std::size_t>(bin)];
+  }
+  double ece = 0.0;
+  for (int b = 0; b < num_bins; ++b) {
+    const auto cnt = bin_count[static_cast<std::size_t>(b)];
+    if (cnt == 0) continue;
+    const double avg_conf = bin_conf[static_cast<std::size_t>(b)] / cnt;
+    const double avg_acc = bin_correct[static_cast<std::size_t>(b)] / cnt;
+    ece += (static_cast<double>(cnt) / static_cast<double>(n)) *
+           std::fabs(avg_conf - avg_acc);
+  }
+  return ece;
+}
+
+double negative_log_likelihood(const Tensor& probs,
+                               const std::vector<int>& labels) {
+  const std::int64_t n = probs.dim(0);
+  if (static_cast<std::int64_t>(labels.size()) != n || n == 0) {
+    throw std::invalid_argument("nll: bad inputs");
+  }
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    acc -= std::log(std::max(probs.at(i, y), 1e-12f));
+  }
+  return acc / static_cast<double>(n);
+}
+
+double roc_auc(const std::vector<float>& positive_scores,
+               const std::vector<float>& negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument("roc_auc: empty inputs");
+  }
+  // O((m+n) log(m+n)) rank computation with tie handling.
+  struct Entry {
+    float score;
+    bool positive;
+  };
+  std::vector<Entry> all;
+  all.reserve(positive_scores.size() + negative_scores.size());
+  for (float s : positive_scores) all.push_back({s, true});
+  for (float s : negative_scores) all.push_back({s, false});
+  std::sort(all.begin(), all.end(),
+            [](const Entry& a, const Entry& b) { return a.score < b.score; });
+
+  double rank_sum = 0.0;  // sum of positive ranks (1-based, ties averaged)
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].score == all[i].score) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j));
+    for (std::size_t k = i; k < j; ++k) {
+      if (all[k].positive) rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const double np = static_cast<double>(positive_scores.size());
+  const double nn = static_cast<double>(negative_scores.size());
+  return (rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+std::vector<float> max_softmax_scores(const Tensor& probs) {
+  const std::int64_t n = probs.dim(0), c = probs.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    float m = probs.at(i, 0);
+    for (std::int64_t j = 1; j < c; ++j) m = std::max(m, probs.at(i, j));
+    out[static_cast<std::size_t>(i)] = m;
+  }
+  return out;
+}
+
+double fid_between(const Tensor& images_a, const Tensor& images_b,
+                   FidProbe& probe) {
+  const Tensor fa = probe.features(images_a);
+  const Tensor fb = probe.features(images_b);
+  return frechet_distance(feature_stats(fa), feature_stats(fb));
+}
+
+}  // namespace rt

@@ -1,0 +1,36 @@
+#pragma once
+// Scalar evaluation metrics: calibration (ECE/NLL), OoD detection (ROC-AUC),
+// and the FID domain-gap measure.
+
+#include <vector>
+
+#include "models/probe.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+/// Expected calibration error with equal-width confidence bins.
+/// `probs` is (N, C) softmax output; labels in [0, C).
+double expected_calibration_error(const Tensor& probs,
+                                  const std::vector<int>& labels,
+                                  int num_bins = 15);
+
+/// Mean negative log-likelihood of the true class.
+double negative_log_likelihood(const Tensor& probs,
+                               const std::vector<int>& labels);
+
+/// Area under the ROC curve for separating positives (higher scores) from
+/// negatives, computed via the rank statistic; ties share credit.
+double roc_auc(const std::vector<float>& positive_scores,
+               const std::vector<float>& negative_scores);
+
+/// Maximum softmax probability per row — the standard OoD score.
+std::vector<float> max_softmax_scores(const Tensor& probs);
+
+/// Frechet distance between probe-feature distributions of two image sets
+/// (N_a,3,H,W) vs (N_b,3,H,W). The probe is deterministic, so values are
+/// comparable across calls.
+double fid_between(const Tensor& images_a, const Tensor& images_b,
+                   FidProbe& probe);
+
+}  // namespace rt

@@ -1,0 +1,291 @@
+#include "models/blocks.hpp"
+
+#include <stdexcept>
+
+namespace rt {
+
+namespace {
+
+/// Strips the ".weight" / ".gamma" suffix off a parameter name to recover
+/// the layer name it was constructed with.
+std::string layer_base_name(const std::string& param_name,
+                            const std::string& suffix) {
+  if (param_name.size() > suffix.size() &&
+      param_name.compare(param_name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return param_name.substr(0, param_name.size() - suffix.size());
+  }
+  return param_name;
+}
+
+std::vector<std::int64_t> kept_indices(const std::vector<char>& keep) {
+  std::vector<std::int64_t> idx;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] != 0) idx.push_back(static_cast<std::int64_t>(i));
+  }
+  if (idx.empty()) {
+    throw std::invalid_argument("channel shrink: must keep >= 1 channel");
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::unique_ptr<Conv2d> conv_keep_outputs(Conv2d& conv,
+                                          const std::vector<char>& keep,
+                                          Rng& rng) {
+  if (static_cast<std::int64_t>(keep.size()) != conv.out_channels()) {
+    throw std::invalid_argument("conv_keep_outputs: keep size mismatch");
+  }
+  const auto idx = kept_indices(keep);
+  const ConvGeometry& g = conv.geometry();
+  auto out = std::make_unique<Conv2d>(
+      conv.in_channels(), static_cast<std::int64_t>(idx.size()), g.kernel,
+      g.stride, g.padding, conv.bias() != nullptr, rng,
+      layer_base_name(conv.weight().name, ".weight"));
+  const std::int64_t cols = conv.weight().value.dim(1);
+  const bool masked = conv.weight().has_mask();
+  Tensor mask;
+  if (masked) mask = Tensor({static_cast<std::int64_t>(idx.size()), cols});
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->weight().value.at(static_cast<std::int64_t>(r), c) =
+          conv.weight().value.at(idx[r], c);
+      if (masked) {
+        mask.at(static_cast<std::int64_t>(r), c) =
+            conv.weight().mask.at(idx[r], c);
+      }
+    }
+    if (conv.bias() != nullptr) {
+      (*out->bias()).value[static_cast<std::int64_t>(r)] =
+          (*conv.bias()).value[idx[r]];
+    }
+  }
+  if (masked) out->weight().set_mask(std::move(mask));
+  return out;
+}
+
+std::unique_ptr<Conv2d> conv_keep_inputs(Conv2d& conv,
+                                         const std::vector<char>& keep,
+                                         Rng& rng) {
+  if (static_cast<std::int64_t>(keep.size()) != conv.in_channels()) {
+    throw std::invalid_argument("conv_keep_inputs: keep size mismatch");
+  }
+  const auto idx = kept_indices(keep);
+  const ConvGeometry& g = conv.geometry();
+  auto out = std::make_unique<Conv2d>(
+      static_cast<std::int64_t>(idx.size()), conv.out_channels(), g.kernel,
+      g.stride, g.padding, conv.bias() != nullptr, rng,
+      layer_base_name(conv.weight().name, ".weight"));
+  const std::int64_t k2 = g.kernel * g.kernel;
+  const std::int64_t rows = conv.out_channels();
+  const bool masked = conv.weight().has_mask();
+  Tensor mask;
+  if (masked) {
+    mask = Tensor({rows, static_cast<std::int64_t>(idx.size()) * k2});
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      for (std::int64_t t = 0; t < k2; ++t) {
+        const std::int64_t src = idx[j] * k2 + t;
+        const std::int64_t dst = static_cast<std::int64_t>(j) * k2 + t;
+        out->weight().value.at(r, dst) = conv.weight().value.at(r, src);
+        if (masked) mask.at(r, dst) = conv.weight().mask.at(r, src);
+      }
+    }
+    if (conv.bias() != nullptr) {
+      (*out->bias()).value[r] = (*conv.bias()).value[r];
+    }
+  }
+  if (masked) out->weight().set_mask(std::move(mask));
+  return out;
+}
+
+std::unique_ptr<BatchNorm2d> bn_keep_channels(BatchNorm2d& bn,
+                                              const std::vector<char>& keep) {
+  if (static_cast<std::int64_t>(keep.size()) != bn.channels()) {
+    throw std::invalid_argument("bn_keep_channels: keep size mismatch");
+  }
+  const auto idx = kept_indices(keep);
+  auto out = std::make_unique<BatchNorm2d>(
+      static_cast<std::int64_t>(idx.size()),
+      layer_base_name(bn.gamma().name, ".gamma"));
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto d = static_cast<std::int64_t>(i);
+    out->gamma().value[d] = bn.gamma().value[idx[i]];
+    out->beta().value[d] = bn.beta().value[idx[i]];
+    out->running_mean()[d] = bn.running_mean()[idx[i]];
+    out->running_var()[d] = bn.running_var()[idx[i]];
+  }
+  return out;
+}
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng, const std::string& name)
+    : out_channels_(out_channels) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                    /*with_bias=*/false, rng, name + ".conv1");
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels, name + ".bn1");
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1,
+                                    /*with_bias=*/false, rng, name + ".conv2");
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels, name + ".bn2");
+  if (stride != 1 || in_channels != out_channels) {
+    down_conv_ =
+        std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0,
+                                 /*with_bias=*/false, rng, name + ".down");
+    down_bn_ = std::make_unique<BatchNorm2d>(out_channels, name + ".down_bn");
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x) {
+  Tensor h = relu_forward(bn1_->forward(conv1_->forward(x)), gate1_);
+  h = bn2_->forward(conv2_->forward(h));
+  const Tensor shortcut =
+      down_conv_ ? down_bn_->forward(down_conv_->forward(x)) : x;
+  h.add_(shortcut);
+  return relu_forward(h, gate2_);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_out) {
+  const Tensor g_sum = relu_backward(grad_out, gate2_);
+  // Main branch.
+  Tensor g = bn2_->backward(g_sum);
+  g = conv2_->backward(g);
+  g = relu_backward(g, gate1_);
+  g = bn1_->backward(g);
+  Tensor gx = conv1_->backward(g);
+  // Shortcut branch.
+  if (down_conv_) {
+    gx.add_(down_conv_->backward(down_bn_->backward(g_sum)));
+  } else {
+    gx.add_(g_sum);
+  }
+  return gx;
+}
+
+void BasicBlock::collect_parameters(std::vector<Parameter*>& out) {
+  conv1_->collect_parameters(out);
+  bn1_->collect_parameters(out);
+  conv2_->collect_parameters(out);
+  bn2_->collect_parameters(out);
+  if (down_conv_) {
+    down_conv_->collect_parameters(out);
+    down_bn_->collect_parameters(out);
+  }
+}
+
+void BasicBlock::collect_buffers(std::vector<NamedTensor>& out) {
+  bn1_->collect_buffers(out);
+  bn2_->collect_buffers(out);
+  if (down_bn_) down_bn_->collect_buffers(out);
+}
+
+void BasicBlock::set_training(bool training) {
+  Module::set_training(training);
+  bn1_->set_training(training);
+  bn2_->set_training(training);
+  if (down_bn_) down_bn_->set_training(training);
+}
+
+std::int64_t BasicBlock::shrink_internal(const std::vector<char>& keep,
+                                         Rng& rng) {
+  conv1_ = conv_keep_outputs(*conv1_, keep, rng);
+  bn1_ = bn_keep_channels(*bn1_, keep);
+  conv2_ = conv_keep_inputs(*conv2_, keep, rng);
+  bn1_->set_training(training());
+  return conv1_->out_channels();
+}
+
+BottleneckBlock::BottleneckBlock(std::int64_t in_channels,
+                                 std::int64_t mid_channels,
+                                 std::int64_t expansion, std::int64_t stride,
+                                 Rng& rng, const std::string& name)
+    : out_channels_(mid_channels * expansion) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, mid_channels, 1, 1, 0,
+                                    /*with_bias=*/false, rng, name + ".conv1");
+  bn1_ = std::make_unique<BatchNorm2d>(mid_channels, name + ".bn1");
+  conv2_ = std::make_unique<Conv2d>(mid_channels, mid_channels, 3, stride, 1,
+                                    /*with_bias=*/false, rng, name + ".conv2");
+  bn2_ = std::make_unique<BatchNorm2d>(mid_channels, name + ".bn2");
+  conv3_ = std::make_unique<Conv2d>(mid_channels, out_channels_, 1, 1, 0,
+                                    /*with_bias=*/false, rng, name + ".conv3");
+  bn3_ = std::make_unique<BatchNorm2d>(out_channels_, name + ".bn3");
+  if (stride != 1 || in_channels != out_channels_) {
+    down_conv_ =
+        std::make_unique<Conv2d>(in_channels, out_channels_, 1, stride, 0,
+                                 /*with_bias=*/false, rng, name + ".down");
+    down_bn_ = std::make_unique<BatchNorm2d>(out_channels_, name + ".down_bn");
+  }
+}
+
+Tensor BottleneckBlock::forward(const Tensor& x) {
+  Tensor h = relu_forward(bn1_->forward(conv1_->forward(x)), gate1_);
+  h = relu_forward(bn2_->forward(conv2_->forward(h)), gate2_);
+  h = bn3_->forward(conv3_->forward(h));
+  const Tensor shortcut =
+      down_conv_ ? down_bn_->forward(down_conv_->forward(x)) : x;
+  h.add_(shortcut);
+  return relu_forward(h, gate3_);
+}
+
+Tensor BottleneckBlock::backward(const Tensor& grad_out) {
+  const Tensor g_sum = relu_backward(grad_out, gate3_);
+  Tensor g = bn3_->backward(g_sum);
+  g = conv3_->backward(g);
+  g = relu_backward(g, gate2_);
+  g = bn2_->backward(g);
+  g = conv2_->backward(g);
+  g = relu_backward(g, gate1_);
+  g = bn1_->backward(g);
+  Tensor gx = conv1_->backward(g);
+  if (down_conv_) {
+    gx.add_(down_conv_->backward(down_bn_->backward(g_sum)));
+  } else {
+    gx.add_(g_sum);
+  }
+  return gx;
+}
+
+void BottleneckBlock::collect_parameters(std::vector<Parameter*>& out) {
+  conv1_->collect_parameters(out);
+  bn1_->collect_parameters(out);
+  conv2_->collect_parameters(out);
+  bn2_->collect_parameters(out);
+  conv3_->collect_parameters(out);
+  bn3_->collect_parameters(out);
+  if (down_conv_) {
+    down_conv_->collect_parameters(out);
+    down_bn_->collect_parameters(out);
+  }
+}
+
+void BottleneckBlock::collect_buffers(std::vector<NamedTensor>& out) {
+  bn1_->collect_buffers(out);
+  bn2_->collect_buffers(out);
+  bn3_->collect_buffers(out);
+  if (down_bn_) down_bn_->collect_buffers(out);
+}
+
+void BottleneckBlock::set_training(bool training) {
+  Module::set_training(training);
+  bn1_->set_training(training);
+  bn2_->set_training(training);
+  bn3_->set_training(training);
+  if (down_bn_) down_bn_->set_training(training);
+}
+
+std::int64_t BottleneckBlock::shrink_internal(const std::vector<char>& keep1,
+                                              const std::vector<char>& keep2,
+                                              Rng& rng) {
+  conv1_ = conv_keep_outputs(*conv1_, keep1, rng);
+  bn1_ = bn_keep_channels(*bn1_, keep1);
+  conv2_ = conv_keep_inputs(*conv2_, keep1, rng);
+  conv2_ = conv_keep_outputs(*conv2_, keep2, rng);
+  bn2_ = bn_keep_channels(*bn2_, keep2);
+  conv3_ = conv_keep_inputs(*conv3_, keep2, rng);
+  bn1_->set_training(training());
+  bn2_->set_training(training());
+  return conv1_->out_channels() + conv2_->out_channels();
+}
+
+}  // namespace rt

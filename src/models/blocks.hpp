@@ -1,0 +1,112 @@
+#pragma once
+// Residual blocks (basic and bottleneck) with manual backward through the
+// skip connection.
+
+#include <memory>
+#include <string>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+
+namespace rt {
+
+/// Two 3x3 convs + identity/projection shortcut (ResNet-18/34 style).
+class BasicBlock : public Module {
+ public:
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride, Rng& rng, const std::string& name);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedTensor>& out) override;
+  void set_training(bool training) override;
+
+  std::int64_t out_channels() const { return out_channels_; }
+  bool has_projection() const { return down_conv_ != nullptr; }
+
+  // Layer access for analysis and the hw shrink compiler.
+  Conv2d& conv1() { return *conv1_; }
+  Conv2d& conv2() { return *conv2_; }
+  BatchNorm2d& bn1() { return *bn1_; }
+  BatchNorm2d& bn2() { return *bn2_; }
+
+  /// Physically removes the internal channels (conv1 outputs == conv2
+  /// inputs) with keep[c] == 0, rebuilding conv1/bn1/conv2 at the reduced
+  /// width. The result computes the same function iff every removed channel
+  /// was dead: conv1 row all-zero AND bn1 gamma == beta == 0. Returns the
+  /// number of channels kept. keep must leave at least one channel.
+  std::int64_t shrink_internal(const std::vector<char>& keep, Rng& rng);
+
+ private:
+  std::int64_t out_channels_;
+  std::unique_ptr<Conv2d> conv1_, conv2_;
+  std::unique_ptr<BatchNorm2d> bn1_, bn2_;
+  std::unique_ptr<Conv2d> down_conv_;   ///< 1x1 projection (nullptr = identity)
+  std::unique_ptr<BatchNorm2d> down_bn_;
+  Tensor gate1_, gate2_;
+};
+
+/// 1x1 reduce -> 3x3 -> 1x1 expand + shortcut (ResNet-50 style).
+/// Output channels = mid_channels * expansion.
+class BottleneckBlock : public Module {
+ public:
+  BottleneckBlock(std::int64_t in_channels, std::int64_t mid_channels,
+                  std::int64_t expansion, std::int64_t stride, Rng& rng,
+                  const std::string& name);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedTensor>& out) override;
+  void set_training(bool training) override;
+
+  std::int64_t out_channels() const { return out_channels_; }
+  bool has_projection() const { return down_conv_ != nullptr; }
+
+  // Layer access for analysis and the hw shrink compiler.
+  Conv2d& conv1() { return *conv1_; }
+  Conv2d& conv2() { return *conv2_; }
+  Conv2d& conv3() { return *conv3_; }
+  BatchNorm2d& bn1() { return *bn1_; }
+  BatchNorm2d& bn2() { return *bn2_; }
+  BatchNorm2d& bn3() { return *bn3_; }
+
+  /// Removes dead channels on both internal interfaces: keep1 selects conv1
+  /// outputs (== conv2 inputs), keep2 selects conv2 outputs (== conv3
+  /// inputs). Same equivalence precondition as BasicBlock::shrink_internal.
+  /// Returns total channels kept across both interfaces.
+  std::int64_t shrink_internal(const std::vector<char>& keep1,
+                               const std::vector<char>& keep2, Rng& rng);
+
+ private:
+  std::int64_t out_channels_;
+  std::unique_ptr<Conv2d> conv1_, conv2_, conv3_;
+  std::unique_ptr<BatchNorm2d> bn1_, bn2_, bn3_;
+  std::unique_ptr<Conv2d> down_conv_;
+  std::unique_ptr<BatchNorm2d> down_bn_;
+  Tensor gate1_, gate2_, gate3_;
+};
+
+/// Shared helpers for channel surgery on conv/bn layers; used by the block
+/// shrink methods and tested directly.
+
+/// New Conv2d keeping only the selected OUTPUT channels (weight rows and
+/// mask rows; bias entries when present).
+std::unique_ptr<Conv2d> conv_keep_outputs(Conv2d& conv,
+                                          const std::vector<char>& keep,
+                                          Rng& rng);
+
+/// New Conv2d keeping only the selected INPUT channels (column blocks of the
+/// (out, in*k*k) weight layout).
+std::unique_ptr<Conv2d> conv_keep_inputs(Conv2d& conv,
+                                         const std::vector<char>& keep,
+                                         Rng& rng);
+
+/// New BatchNorm2d keeping the selected channels of gamma/beta/running
+/// statistics.
+std::unique_ptr<BatchNorm2d> bn_keep_channels(BatchNorm2d& bn,
+                                              const std::vector<char>& keep);
+
+}  // namespace rt

@@ -1,0 +1,343 @@
+#include "models/detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synth.hpp"
+
+namespace rt {
+
+DetectionNet::DetectionNet(std::unique_ptr<ResNet> backbone, int num_classes,
+                           int feature_stage, Rng& rng)
+    : backbone_(std::move(backbone)),
+      num_classes_(num_classes),
+      feature_stage_(feature_stage),
+      stride_(1 << feature_stage) {
+  if (feature_stage < 0 || feature_stage >= backbone_->num_stages()) {
+    throw std::invalid_argument("DetectionNet: bad feature_stage");
+  }
+  const int in_ch = backbone_->stage_channels(feature_stage);
+  head_ = std::make_unique<Conv2d>(in_ch, num_classes_ + 1 + 4, 1, 1, 0,
+                                   /*with_bias=*/true, rng, "det.head");
+  // Detection-head init (standard practice): small weights so the initial
+  // box regression loss stays O(1) even on large pretrained activations,
+  // and a background-prior bias so training starts from "no objects"
+  // instead of random per-cell classes. Without this, whole-model
+  // finetuning at normal learning rates diverges on pretrained backbones.
+  head_->weight().value.mul_(0.1f);
+  (*head_->bias()).value[0] = 2.0f;
+}
+
+Tensor DetectionNet::forward(const Tensor& x) {
+  return head_->forward(backbone_->forward_trunk(x, feature_stage_));
+}
+
+Tensor DetectionNet::backward(const Tensor& grad_out) {
+  return backbone_->backward_trunk(head_->backward(grad_out), feature_stage_);
+}
+
+void DetectionNet::collect_parameters(std::vector<Parameter*>& out) {
+  backbone_->collect_parameters(out);
+  head_->collect_parameters(out);
+}
+
+void DetectionNet::collect_buffers(std::vector<NamedTensor>& out) {
+  backbone_->collect_buffers(out);
+}
+
+void DetectionNet::set_training(bool training) {
+  Module::set_training(training);
+  backbone_->set_training(training);
+  head_->set_training(training);
+}
+
+DetTargets assign_detection_targets(
+    const std::vector<std::vector<DetObject>>& truth, int stride,
+    std::int64_t hf, std::int64_t wf) {
+  const auto n = static_cast<std::int64_t>(truth.size());
+  const std::int64_t hw = hf * wf;
+  DetTargets targets;
+  targets.cls.assign(static_cast<std::size_t>(n * hw), 0);
+  targets.box.assign(static_cast<std::size_t>(n * hw * 4), 0.0f);
+  const float radius = 1.5f * static_cast<float>(stride);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (const DetObject& obj : truth[static_cast<std::size_t>(i)]) {
+      for (std::int64_t cy = 0; cy < hf; ++cy) {
+        for (std::int64_t cx = 0; cx < wf; ++cx) {
+          const float px = (static_cast<float>(cx) + 0.5f) * stride;
+          const float py = (static_cast<float>(cy) + 0.5f) * stride;
+          const float dx = px - obj.box.cx(), dy = py - obj.box.cy();
+          if (dx * dx + dy * dy > radius * radius) continue;
+          const std::int64_t cell = cy * wf + cx;
+          targets.cls[static_cast<std::size_t>(i * hw + cell)] = obj.cls + 1;
+          float* t = targets.box.data() +
+                     static_cast<std::size_t>((i * hw + cell) * 4);
+          t[0] = obj.box.cx() / static_cast<float>(stride) -
+                 static_cast<float>(cx);
+          t[1] = obj.box.cy() / static_cast<float>(stride) -
+                 static_cast<float>(cy);
+          t[2] = (obj.box.x1 - obj.box.x0) / static_cast<float>(kImageSize);
+          t[3] = (obj.box.y1 - obj.box.y0) / static_cast<float>(kImageSize);
+        }
+      }
+    }
+  }
+  return targets;
+}
+
+DetLossResult detection_loss(const Tensor& head_map,
+                             const std::vector<std::vector<DetObject>>& truth,
+                             int num_classes, int stride, float box_weight) {
+  const std::int64_t n = head_map.dim(0);
+  const std::int64_t channels = head_map.dim(1);
+  const std::int64_t hf = head_map.dim(2), wf = head_map.dim(3);
+  const std::int64_t class_ch = num_classes + 1;
+  if (channels != class_ch + 4 ||
+      static_cast<std::int64_t>(truth.size()) != n) {
+    throw std::invalid_argument("detection_loss: shape mismatch");
+  }
+  const std::int64_t hw = hf * wf;
+
+  const DetTargets targets = assign_detection_targets(truth, stride, hf, wf);
+  const std::vector<int>& cls_target = targets.cls;
+
+  DetLossResult out;
+  out.grad = Tensor(head_map.shape());
+
+  // Class loss: weighted per-cell softmax CE over the first class_ch
+  // channels. Positive cells are rare (1-3 per 64-cell map), so they are
+  // up-weighted to keep the objective from collapsing to all-background.
+  constexpr float kPositiveWeight = 4.0f;
+  double weight_sum = 0.0;
+  double ce_acc = 0.0;
+  std::vector<float> probs(static_cast<std::size_t>(class_ch));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t px = 0; px < hw; ++px) {
+      const int target = cls_target[static_cast<std::size_t>(i * hw + px)];
+      const float w = target > 0 ? kPositiveWeight : 1.0f;
+      float m = -1e30f;
+      for (std::int64_t c = 0; c < class_ch; ++c) {
+        m = std::max(m, head_map.data()[(i * channels + c) * hw + px]);
+      }
+      float z = 0.0f;
+      for (std::int64_t c = 0; c < class_ch; ++c) {
+        probs[static_cast<std::size_t>(c)] =
+            std::exp(head_map.data()[(i * channels + c) * hw + px] - m);
+        z += probs[static_cast<std::size_t>(c)];
+      }
+      const float inv_z = 1.0f / z;
+      ce_acc -= static_cast<double>(w) *
+                std::log(std::max(
+                    probs[static_cast<std::size_t>(target)] * inv_z, 1e-12f));
+      for (std::int64_t c = 0; c < class_ch; ++c) {
+        const float p = probs[static_cast<std::size_t>(c)] * inv_z;
+        out.grad.data()[(i * channels + c) * hw + px] =
+            w * (p - (c == target ? 1.0f : 0.0f));
+      }
+      weight_sum += w;
+    }
+  }
+  const float inv_weight = 1.0f / static_cast<float>(weight_sum);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < class_ch; ++c) {
+      for (std::int64_t px = 0; px < hw; ++px) {
+        out.grad.data()[(i * channels + c) * hw + px] *= inv_weight;
+      }
+    }
+  }
+  out.class_loss = static_cast<float>(ce_acc / weight_sum);
+
+  // Box loss: 0.5 * mean_{positive cells} sum_k (pred_k - t_k)^2.
+  std::int64_t num_pos = 0;
+  for (int t : cls_target) num_pos += t > 0 ? 1 : 0;
+  if (num_pos > 0) {
+    const float inv_pos = 1.0f / static_cast<float>(num_pos);
+    double box_acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t cell = 0; cell < hw; ++cell) {
+        if (cls_target[static_cast<std::size_t>(i * hw + cell)] == 0) {
+          continue;
+        }
+        const float* t = targets.box.data() +
+                         static_cast<std::size_t>((i * hw + cell) * 4);
+        for (int k = 0; k < 4; ++k) {
+          const std::int64_t idx =
+              (i * channels + class_ch + k) * hw + cell;
+          const float diff = head_map.data()[idx] - t[k];
+          box_acc += 0.5 * static_cast<double>(diff) * diff;
+          out.grad.data()[idx] += box_weight * diff * inv_pos;
+        }
+      }
+    }
+    out.box_loss = static_cast<float>(box_acc) * inv_pos;
+  }
+  out.loss = out.class_loss + box_weight * out.box_loss;
+  return out;
+}
+
+std::vector<std::vector<Detection>> decode_detections(const Tensor& head_map,
+                                                      int num_classes,
+                                                      int stride,
+                                                      float score_threshold,
+                                                      float nms_iou) {
+  const std::int64_t n = head_map.dim(0);
+  const std::int64_t channels = head_map.dim(1);
+  const std::int64_t class_ch = num_classes + 1;
+  const std::int64_t hf = head_map.dim(2), wf = head_map.dim(3);
+  const std::int64_t hw = hf * wf;
+
+  std::vector<std::vector<Detection>> out(static_cast<std::size_t>(n));
+  std::vector<float> probs(static_cast<std::size_t>(class_ch));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::vector<Detection> raw;
+    for (std::int64_t cell = 0; cell < hw; ++cell) {
+      // Softmax over the class channels of this cell.
+      float m = -1e30f;
+      for (std::int64_t c = 0; c < class_ch; ++c) {
+        m = std::max(m, head_map.data()[(i * channels + c) * hw + cell]);
+      }
+      float z = 0.0f;
+      for (std::int64_t c = 0; c < class_ch; ++c) {
+        probs[static_cast<std::size_t>(c)] = std::exp(
+            head_map.data()[(i * channels + c) * hw + cell] - m);
+        z += probs[static_cast<std::size_t>(c)];
+      }
+      std::int64_t best = 0;
+      for (std::int64_t c = 1; c < class_ch; ++c) {
+        if (probs[static_cast<std::size_t>(c)] >
+            probs[static_cast<std::size_t>(best)]) {
+          best = c;
+        }
+      }
+      if (best == 0) continue;  // background
+      const float score = probs[static_cast<std::size_t>(best)] / z;
+      if (score < score_threshold) continue;
+
+      // Centre offsets may reach ~1.5 cells beyond the cell origin under
+      // centre sampling; clamp generously rather than to [0, 1].
+      const float dx = std::clamp(
+          head_map.data()[(i * channels + class_ch + 0) * hw + cell], -2.0f,
+          3.0f);
+      const float dy = std::clamp(
+          head_map.data()[(i * channels + class_ch + 1) * hw + cell], -2.0f,
+          3.0f);
+      const float w = std::clamp(
+          head_map.data()[(i * channels + class_ch + 2) * hw + cell],
+          1.0f / kImageSize, 1.0f) * kImageSize;
+      const float h = std::clamp(
+          head_map.data()[(i * channels + class_ch + 3) * hw + cell],
+          1.0f / kImageSize, 1.0f) * kImageSize;
+      const float cx = (static_cast<float>(cell % wf) + dx) *
+                       static_cast<float>(stride);
+      const float cy = (static_cast<float>(cell / wf) + dy) *
+                       static_cast<float>(stride);
+      Detection det;
+      det.box = BoxF{cx - 0.5f * w, cy - 0.5f * h, cx + 0.5f * w,
+                     cy + 0.5f * h};
+      det.cls = static_cast<int>(best) - 1;
+      det.score = score;
+      raw.push_back(det);
+    }
+
+    // Greedy class-wise NMS (the mAP-standard choice): centre sampling makes
+    // neighbouring cells emit near-identical boxes, and per-class
+    // suppression merges them without letting a mis-classified duplicate
+    // shadow the correctly-classified one.
+    std::sort(raw.begin(), raw.end(), [](const Detection& a,
+                                         const Detection& b) {
+      return a.score > b.score;
+    });
+    std::vector<Detection>& kept = out[static_cast<std::size_t>(i)];
+    for (const Detection& det : raw) {
+      bool suppressed = false;
+      for (const Detection& k : kept) {
+        if (k.cls == det.cls &&
+            box_iou(k.box, det.box) > static_cast<double>(nms_iou)) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (!suppressed) kept.push_back(det);
+    }
+  }
+  return out;
+}
+
+double detection_map(const std::vector<std::vector<Detection>>& predictions,
+                     const std::vector<std::vector<DetObject>>& truth,
+                     int num_classes, double iou_threshold) {
+  if (predictions.size() != truth.size()) {
+    throw std::invalid_argument("detection_map: size mismatch");
+  }
+  double ap_sum = 0.0;
+  int classes_present = 0;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    // Gather class predictions (image, score) and count ground truths.
+    struct Pred {
+      std::size_t image;
+      float score;
+      BoxF box;
+    };
+    std::vector<Pred> preds;
+    std::int64_t total_gt = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      for (const DetObject& obj : truth[i]) {
+        if (obj.cls == cls) ++total_gt;
+      }
+      for (const Detection& det : predictions[i]) {
+        if (det.cls == cls) preds.push_back({i, det.score, det.box});
+      }
+    }
+    if (total_gt == 0) continue;
+    ++classes_present;
+    std::sort(preds.begin(), preds.end(),
+              [](const Pred& a, const Pred& b) { return a.score > b.score; });
+
+    std::vector<std::vector<char>> matched(truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      matched[i].assign(truth[i].size(), 0);
+    }
+    std::vector<char> is_tp(preds.size(), 0);
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+      const auto& gt = truth[preds[p].image];
+      double best_iou = 0.0;
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < gt.size(); ++j) {
+        if (gt[j].cls != cls || matched[preds[p].image][j]) continue;
+        const double iou = box_iou(preds[p].box, gt[j].box);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best_j = j;
+        }
+      }
+      if (best_iou >= iou_threshold) {
+        is_tp[p] = 1;
+        matched[preds[p].image][best_j] = 1;
+      }
+    }
+
+    // All-point interpolated AP from the precision-recall curve.
+    double ap = 0.0;
+    std::int64_t tp = 0;
+    std::vector<double> recall(preds.size()), precision(preds.size());
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+      tp += is_tp[p];
+      recall[p] = static_cast<double>(tp) / static_cast<double>(total_gt);
+      precision[p] = static_cast<double>(tp) / static_cast<double>(p + 1);
+    }
+    // Precision envelope (monotone non-increasing from the right).
+    for (std::size_t p = preds.size(); p-- > 1;) {
+      precision[p - 1] = std::max(precision[p - 1], precision[p]);
+    }
+    double prev_recall = 0.0;
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+      ap += (recall[p] - prev_recall) * precision[p];
+      prev_recall = recall[p];
+    }
+    ap_sum += ap;
+  }
+  return classes_present > 0 ? ap_sum / classes_present : 0.0;
+}
+
+}  // namespace rt

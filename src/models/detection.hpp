@@ -1,0 +1,98 @@
+#pragma once
+// Anchor-free single-scale detection head on a ResNet backbone
+// (the Fig. 7(a) object-detection transfer target).
+//
+// A 1x1 conv over one backbone feature map predicts, per cell,
+//   * num_classes + 1 class logits (channel 0 = background), and
+//   * 4 box parameters (dx, dy: centre offset in cell units from the cell
+//     origin, possibly beyond [0,1]; w, h as fractions of the image side).
+// Assignment uses FCOS-style centre sampling: every cell whose centre lies
+// within 1.5 * stride of an object centre is positive for that object and
+// regresses the same box (centre-cell-only assignment is unlearnable here:
+// objects span many cells and interior cells are locally identical).
+// Training minimizes weighted per-cell softmax CE (positives up-weighted)
+// plus an L2 box loss on positive cells; inference takes the per-cell
+// argmax, thresholds the foreground score, and lets greedy NMS merge the
+// duplicate centre-region detections.
+
+#include <memory>
+#include <vector>
+
+#include "data/detection_data.hpp"
+#include "models/resnet.hpp"
+
+namespace rt {
+
+/// One decoded detection.
+struct Detection {
+  BoxF box;
+  int cls = 0;
+  float score = 0.0f;  ///< foreground-class softmax probability
+};
+
+class DetectionNet : public Module {
+ public:
+  /// Takes ownership of the backbone. `feature_stage` selects the trunk
+  /// stage whose feature map feeds the head (stride 2^feature_stage).
+  DetectionNet(std::unique_ptr<ResNet> backbone, int num_classes,
+               int feature_stage, Rng& rng);
+
+  /// x (N,3,S,S) -> raw head map (N, num_classes+1+4, S/stride, S/stride).
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedTensor>& out) override;
+  void set_training(bool training) override;
+
+  ResNet& backbone() { return *backbone_; }
+  int num_classes() const { return num_classes_; }
+  int stride() const { return stride_; }
+
+ private:
+  std::unique_ptr<ResNet> backbone_;
+  std::unique_ptr<Conv2d> head_;
+  int num_classes_;
+  int feature_stage_;
+  int stride_;
+};
+
+/// Per-cell training targets produced by centre-sampling assignment.
+/// cls[i*hf*wf + cell] is 0 for background, otherwise object class + 1; box
+/// targets (dx, dy, w, h) are valid where cls > 0.
+struct DetTargets {
+  std::vector<int> cls;
+  std::vector<float> box;  ///< 4 per cell, row-major (cell, k)
+};
+
+DetTargets assign_detection_targets(
+    const std::vector<std::vector<DetObject>>& truth, int stride,
+    std::int64_t hf, std::int64_t wf);
+
+/// Loss of a raw head map against ground truth: mean per-cell CE over the
+/// class channels + box_weight * mean L2 over positive cells' box channels.
+/// Returns the loss and the gradient w.r.t. the head map.
+struct DetLossResult {
+  float loss = 0.0f;
+  float class_loss = 0.0f;
+  float box_loss = 0.0f;
+  Tensor grad;  ///< same shape as the head map
+};
+
+DetLossResult detection_loss(const Tensor& head_map,
+                             const std::vector<std::vector<DetObject>>& truth,
+                             int num_classes, int stride,
+                             float box_weight = 2.0f);
+
+/// Decodes per-image detections from a raw head map (argmax class, score
+/// threshold, greedy class-wise NMS at the given IoU).
+std::vector<std::vector<Detection>> decode_detections(
+    const Tensor& head_map, int num_classes, int stride,
+    float score_threshold = 0.5f, float nms_iou = 0.45f);
+
+/// Mean average precision at the given IoU threshold (all-point
+/// interpolation, mean over classes that appear in the ground truth).
+double detection_map(const std::vector<std::vector<Detection>>& predictions,
+                     const std::vector<std::vector<DetObject>>& truth,
+                     int num_classes, double iou_threshold = 0.5);
+
+}  // namespace rt

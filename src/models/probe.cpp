@@ -1,0 +1,51 @@
+#include "models/probe.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+
+namespace rt {
+
+FidProbe::FidProbe(int conv_dim, std::uint64_t seed) : conv_dim_(conv_dim) {
+  Rng rng(seed);
+  conv1_ = std::make_unique<Conv2d>(3, kStemChannels, 3, 2, 1,
+                                    /*with_bias=*/true, rng, "probe.conv1");
+  conv2_ = std::make_unique<Conv2d>(kStemChannels, conv_dim, 3, 2, 1,
+                                    /*with_bias=*/true, rng, "probe.conv2");
+  gap_ = std::make_unique<GlobalAvgPool>();
+}
+
+Tensor FidProbe::features(const Tensor& images) {
+  const Tensor a1 = conv1_->forward(images);
+  Tensor gate;
+  const Tensor h1 = relu_forward(a1, gate);
+  // Deep path: abs() keeps both signs of the random projections informative.
+  Tensor h2 = conv2_->forward(h1);
+  h2.abs_();
+  const Tensor deep = gap_->forward(h2);  // (N, conv_dim)
+
+  // High-frequency path: per-channel spatial standard deviation of the stem
+  // response — sensitive to noise/texture/pattern statistics that average
+  // out under global pooling.
+  const std::int64_t n = a1.dim(0), c = a1.dim(1), hw = a1.dim(2) * a1.dim(3);
+  Tensor out({n, static_cast<std::int64_t>(feature_dim())});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < conv_dim_; ++j) {
+      out.at(i, j) = deep.at(i, j);
+    }
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = a1.data() + (i * c + ch) * hw;
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t k = 0; k < hw; ++k) {
+        sum += p[k];
+        sq += static_cast<double>(p[k]) * p[k];
+      }
+      const double mean = sum / static_cast<double>(hw);
+      const double var = std::max(0.0, sq / static_cast<double>(hw) - mean * mean);
+      out.at(i, conv_dim_ + ch) = static_cast<float>(std::sqrt(var));
+    }
+  }
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,39 @@
+#pragma once
+// Fixed random-feature probe network for FID computation.
+//
+// The paper measures domain gaps with InceptionV3 FID; at micro scale we use
+// features from a frozen, seeded random convnet — a standard cheap FID proxy.
+// Only the *ordering* of distances matters for the Tab. II analysis, and a
+// fixed random projection preserves distributional differences.
+
+#include <memory>
+
+#include "nn/conv.hpp"
+#include "nn/pooling.hpp"
+
+namespace rt {
+
+class FidProbe {
+ public:
+  /// Deterministic: the same (conv_dim, seed) always yields the same feature
+  /// function.
+  explicit FidProbe(int conv_dim = 32, std::uint64_t seed = 20230423);
+
+  /// Maps images (N,3,H,W) to features (N, feature_dim()). H and W must be
+  /// divisible by 4 (two stride-2 convolutions). Features concatenate
+  /// pooled deep-conv magnitudes with per-channel spatial standard
+  /// deviations of the first conv — the latter keeps high-frequency
+  /// statistics (noise, texture, pattern corruption) visible after pooling.
+  Tensor features(const Tensor& images);
+
+  int feature_dim() const { return conv_dim_ + kStemChannels; }
+
+ private:
+  static constexpr int kStemChannels = 24;
+  int conv_dim_;
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<GlobalAvgPool> gap_;
+};
+
+}  // namespace rt

@@ -1,0 +1,109 @@
+#pragma once
+// Micro-ResNet classifier family used throughout the experiments.
+//
+// The paper uses ResNet18/ResNet50 on 224x224 ImageNet; this library scales
+// the same topology (residual stages, batch norm, global average pooling,
+// linear head) down to 3x16x16 synthetic images so that full
+// pretrain/prune/transfer pipelines run on a CPU in seconds. MicroResNet18
+// uses basic blocks, MicroResNet50 bottleneck blocks with more layers and a
+// wider feature head, preserving the relative over-parameterization gap.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/blocks.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace rt {
+
+struct ResNetConfig {
+  enum class BlockType { kBasic, kBottleneck };
+  BlockType block = BlockType::kBasic;
+  std::vector<int> stage_blocks{2, 2, 2, 2};
+  std::vector<int> stage_channels{8, 16, 32, 64};
+  int bottleneck_expansion = 2;
+  int in_channels = 3;
+  int num_classes = 10;
+  std::string name = "resnet";
+};
+
+/// Parameter / FLOP statistics; sparse counts honour installed masks.
+struct ModelStats {
+  std::int64_t total_params = 0;
+  std::int64_t prunable_params = 0;
+  std::int64_t unmasked_prunable_params = 0;
+  std::int64_t dense_flops = 0;   ///< MACs*2 for convs + head, per sample
+  std::int64_t sparse_flops = 0;  ///< same but weighted by mask occupancy
+};
+
+class ResNet : public Module {
+ public:
+  ResNet(const ResNetConfig& config, Rng& rng);
+
+  // ---- Classification path -------------------------------------------------
+  /// logits = head(GAP(trunk(x)))
+  Tensor forward(const Tensor& x) override;
+  /// Backward from dL/dlogits all the way to the input (returned).
+  Tensor backward(const Tensor& grad_out) override;
+
+  // ---- Feature paths (linear evaluation / segmentation) ---------------------
+  /// Post-GAP features (N, feature_dim); cached for backward_features.
+  Tensor forward_features(const Tensor& x);
+  Tensor backward_features(const Tensor& grad_features);
+  /// Feature map after the given stage (0..num_stages-1), pre-GAP.
+  Tensor forward_trunk(const Tensor& x, int upto_stage);
+  Tensor backward_trunk(const Tensor& grad, int upto_stage);
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedTensor>& out) override;
+  void set_training(bool training) override;
+
+  int feature_dim() const { return feature_dim_; }
+  int num_stages() const { return static_cast<int>(stage_end_.size()); }
+  /// Channel count of the feature map after the given stage.
+  int stage_channels(int stage) const;
+  Linear& head() { return *head_; }
+  /// Replaces the classifier head with a fresh one for a downstream task.
+  void reset_head(int num_classes, Rng& rng);
+
+  /// Conv + linear weights eligible for pruning. The classifier head is
+  /// excluded by default (it is replaced per downstream task).
+  std::vector<Parameter*> prunable_parameters(bool include_head = false);
+
+  /// Trunk module access (stem layers + residual blocks, in forward order);
+  /// used by the hw shrink compiler and representation analysis.
+  std::size_t trunk_size() const { return trunk_.size(); }
+  Module& trunk_module(std::size_t i) { return *trunk_.at(i); }
+  /// Index one past the last trunk module of the given stage (stage 0
+  /// includes the stem layers).
+  int stage_end_index(int stage) const {
+    return stage_end_.at(static_cast<std::size_t>(stage));
+  }
+
+  /// Analytic parameter/FLOP statistics at the given input resolution.
+  ModelStats stats(std::int64_t height, std::int64_t width);
+
+  const ResNetConfig& config() const { return config_; }
+
+ private:
+  ResNetConfig config_;
+  int feature_dim_ = 0;
+  // Trunk: stem conv/bn/relu followed by residual blocks, run in order.
+  std::vector<std::unique_ptr<Module>> trunk_;
+  std::vector<int> stage_end_;  ///< index one past the last trunk module of each stage
+  std::unique_ptr<GlobalAvgPool> gap_;
+  std::unique_ptr<Linear> head_;
+  int cached_trunk_depth_ = -1;  ///< trunk modules run by the last forward
+};
+
+/// ResNet18 analogue: basic blocks, 2-2-2-2.
+ResNetConfig micro_resnet18_config(int num_classes);
+/// ResNet50 analogue: bottleneck blocks, 2-3-3-2, expansion 2.
+ResNetConfig micro_resnet50_config(int num_classes);
+
+std::unique_ptr<ResNet> make_micro_resnet18(int num_classes, Rng& rng);
+std::unique_ptr<ResNet> make_micro_resnet50(int num_classes, Rng& rng);
+
+}  // namespace rt

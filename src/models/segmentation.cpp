@@ -1,0 +1,52 @@
+#include "models/segmentation.hpp"
+
+#include <stdexcept>
+
+namespace rt {
+
+SegmentationNet::SegmentationNet(std::unique_ptr<ResNet> backbone,
+                                 int num_classes, int feature_stage, Rng& rng)
+    : backbone_(std::move(backbone)), feature_stage_(feature_stage) {
+  if (feature_stage_ < 0 || feature_stage_ >= backbone_->num_stages()) {
+    throw std::invalid_argument("SegmentationNet: bad feature stage");
+  }
+  const int in_ch = backbone_->stage_channels(feature_stage_);
+  classifier_ = std::make_unique<Conv2d>(in_ch, num_classes, 1, 1, 0,
+                                         /*with_bias=*/true, rng, "seg.head");
+  std::int64_t factor = 1;
+  for (int s = 1; s <= feature_stage_; ++s) factor *= 2;
+  upsample_ = std::make_unique<NearestUpsample>(factor);
+}
+
+Tensor SegmentationNet::forward(const Tensor& x) {
+  const Tensor f = backbone_->forward_trunk(x, feature_stage_);
+  return upsample_->forward(classifier_->forward(f));
+}
+
+Tensor SegmentationNet::backward(const Tensor& grad_out) {
+  Tensor g = upsample_->backward(grad_out);
+  g = classifier_->backward(g);
+  return backbone_->backward_trunk(g, feature_stage_);
+}
+
+void SegmentationNet::collect_parameters(std::vector<Parameter*>& out) {
+  backbone_->collect_parameters(out);
+  classifier_->collect_parameters(out);
+}
+
+void SegmentationNet::collect_buffers(std::vector<NamedTensor>& out) {
+  backbone_->collect_buffers(out);
+}
+
+void SegmentationNet::set_training(bool training) {
+  Module::set_training(training);
+  backbone_->set_training(training);
+}
+
+std::vector<Parameter*> SegmentationNet::head_parameters() {
+  std::vector<Parameter*> out;
+  classifier_->collect_parameters(out);
+  return out;
+}
+
+}  // namespace rt

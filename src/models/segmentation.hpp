@@ -1,0 +1,42 @@
+#pragma once
+// FCN-style dense prediction on top of a ResNet backbone.
+//
+// Plays the role of the paper's PASCAL-VOC segmentation transfer (Fig. 7):
+// the pretrained (and possibly pruned) backbone is reused, a 1x1 classifier
+// is trained on an intermediate feature map, and logits are upsampled to the
+// input resolution.
+
+#include <memory>
+
+#include "models/resnet.hpp"
+#include "nn/pooling.hpp"
+
+namespace rt {
+
+class SegmentationNet : public Module {
+ public:
+  /// Takes ownership of the backbone. `feature_stage` selects which trunk
+  /// stage feeds the classifier (stride 2^feature_stage); logits are
+  /// upsampled by the same factor back to input resolution.
+  SegmentationNet(std::unique_ptr<ResNet> backbone, int num_classes,
+                  int feature_stage, Rng& rng);
+
+  /// x (N,3,H,W) -> per-pixel logits (N, num_classes, H, W).
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedTensor>& out) override;
+  void set_training(bool training) override;
+
+  ResNet& backbone() { return *backbone_; }
+  /// Parameters of the decode head only (for head-only finetuning).
+  std::vector<Parameter*> head_parameters();
+
+ private:
+  std::unique_ptr<ResNet> backbone_;
+  std::unique_ptr<Conv2d> classifier_;
+  std::unique_ptr<NearestUpsample> upsample_;
+  int feature_stage_;
+};
+
+}  // namespace rt

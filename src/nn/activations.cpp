@@ -1,0 +1,115 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace rt {
+
+Tensor relu_forward(const Tensor& x, Tensor& gate) {
+  gate = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* gd = gate.data();
+  float* yd = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = xd[i] > 0.0f;
+    gd[i] = pos ? 1.0f : 0.0f;
+    yd[i] = pos ? xd[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& gate) {
+  Tensor g = grad_out;
+  g.mul_(gate);
+  return g;
+}
+
+Tensor ReLU::forward(const Tensor& x) { return relu_forward(x, cached_gate_); }
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  return relu_backward(grad_out, cached_gate_);
+}
+
+LeakyReLU::LeakyReLU(float slope) : slope_(slope) {}
+
+Tensor LeakyReLU::forward(const Tensor& x) {
+  cached_gate_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* gd = cached_gate_.data();
+  float* yd = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = xd[i] > 0.0f;
+    gd[i] = pos ? 1.0f : slope_;
+    yd[i] = xd[i] * gd[i];
+  }
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  g.mul_(cached_gate_);
+  return g;
+}
+
+namespace {
+constexpr float kInvSqrt2 = 0.70710678f;
+constexpr float kInvSqrt2Pi = 0.39894228f;
+
+inline float normal_cdf(float x) {
+  return 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+}
+inline float normal_pdf(float x) {
+  return kInvSqrt2Pi * std::exp(-0.5f * x * x);
+}
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Tensor GELU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    yd[i] = xd[i] * normal_cdf(xd[i]);
+  }
+  return y;
+}
+
+Tensor GELU::backward(const Tensor& grad_out) {
+  Tensor g(grad_out.shape());
+  const float* xd = cached_input_.data();
+  const float* gout = grad_out.data();
+  float* gd = g.data();
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    // d/dx [x Phi(x)] = Phi(x) + x phi(x).
+    gd[i] = gout[i] * (normal_cdf(xd[i]) + xd[i] * normal_pdf(xd[i]));
+  }
+  return g;
+}
+
+Tensor SiLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    yd[i] = xd[i] * sigmoid(xd[i]);
+  }
+  return y;
+}
+
+Tensor SiLU::backward(const Tensor& grad_out) {
+  Tensor g(grad_out.shape());
+  const float* xd = cached_input_.data();
+  const float* gout = grad_out.data();
+  float* gd = g.data();
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float s = sigmoid(xd[i]);
+    // d/dx [x s(x)] = s + x s (1 - s).
+    gd[i] = gout[i] * (s + xd[i] * s * (1.0f - s));
+  }
+  return g;
+}
+
+}  // namespace rt

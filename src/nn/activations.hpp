@@ -1,0 +1,61 @@
+#pragma once
+// Pointwise activations.
+
+#include "nn/module.hpp"
+
+namespace rt {
+
+/// Rectified linear unit. Backward gates gradients by the forward sign.
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  Tensor cached_gate_;  ///< 1 where x > 0
+};
+
+/// Functional helpers used by composite blocks that fuse residual-add + ReLU.
+/// Returns y = max(x, 0) and writes the gate (1 where x > 0) into `gate`.
+Tensor relu_forward(const Tensor& x, Tensor& gate);
+/// Returns grad_out ⊙ gate.
+Tensor relu_backward(const Tensor& grad_out, const Tensor& gate);
+
+/// max(x, slope * x); slope in [0, 1).
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float slope = 0.01f);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  float slope_;
+  Tensor cached_gate_;  ///< 1 where x > 0, slope elsewhere
+};
+
+/// Exact Gaussian error linear unit: x * Phi(x) with Phi the standard normal
+/// CDF (erf-based, not the tanh approximation).
+class GELU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Sigmoid linear unit (swish): x * sigmoid(x).
+class SiLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace rt

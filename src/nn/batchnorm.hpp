@@ -1,0 +1,45 @@
+#pragma once
+// Batch normalization over NCHW activations with running statistics.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace rt {
+
+/// Standard BatchNorm2d. In training mode uses batch statistics and updates
+/// running estimates; in eval mode uses the running estimates. The backward
+/// pass matches the mode used by the last forward (PGD at eval time
+/// differentiates through frozen statistics).
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::int64_t channels, std::string name, float eps = 1e-5f,
+              float momentum = 0.1f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedTensor>& out) override;
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached by forward for backward.
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  ///< (C)
+  bool forward_used_batch_stats_ = false;
+};
+
+}  // namespace rt

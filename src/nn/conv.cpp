@@ -1,0 +1,237 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/threadpool.hpp"
+
+namespace rt {
+
+namespace {
+
+// C[m,n] += A[m,k] * B[k,n]; row-major, serial (parallelism lives at the
+// batch level in the calling layer).
+void gemm_nn_acc(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] += A^T where A is [k,m]; i.e. C += A'[m,k] * B[k,n].
+void gemm_tn_acc(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, const float* b, float* c) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * B^T where B is [n,k].
+void gemm_nt_acc(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
+            float* col) {
+  const std::int64_t c_in = x.dim(1);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  const float* xd = x.data() + sample * c_in * h * w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < c_in; ++c) {
+    const float* xc = xd + c * h * w;
+    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < g.kernel; ++kj, ++row) {
+        float* out = col + row * oh * ow;
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * g.stride - g.padding + ki;
+          if (ii < 0 || ii >= h) {
+            for (std::int64_t oj = 0; oj < ow; ++oj) out[oi * ow + oj] = 0.0f;
+            continue;
+          }
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * g.stride - g.padding + kj;
+            out[oi * ow + oj] =
+                (jj >= 0 && jj < w) ? xc[ii * w + jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const float* col, std::int64_t sample, const ConvGeometry& g,
+                Tensor& dx) {
+  const std::int64_t c_in = dx.dim(1);
+  const std::int64_t h = dx.dim(2);
+  const std::int64_t w = dx.dim(3);
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  float* xd = dx.data() + sample * c_in * h * w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < c_in; ++c) {
+    float* xc = xd + c * h * w;
+    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < g.kernel; ++kj, ++row) {
+        const float* in = col + row * oh * ow;
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * g.stride - g.padding + ki;
+          if (ii < 0 || ii >= h) continue;
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * g.stride - g.padding + kj;
+            if (jj >= 0 && jj < w) xc[ii * w + jj] += in[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               bool with_bias, Rng& rng, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      geom_{kernel, stride, padding},
+      has_bias_(with_bias) {
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weight_.name = name + ".weight";
+  weight_.kind = ParamKind::kConvWeight;
+  weight_.conv_in_channels = in_channels;
+  weight_.conv_kernel = kernel;
+  weight_.value = Tensor::randn({out_channels, fan_in}, rng, stddev);
+  weight_.grad = Tensor({out_channels, fan_in});
+  if (has_bias_) {
+    bias_.name = name + ".bias";
+    bias_.kind = ParamKind::kBias;
+    bias_.value = Tensor({out_channels});
+    bias_.grad = Tensor({out_channels});
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
+  }
+  cached_input_ = x;
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = geom_.out_extent(x.dim(2));
+  const std::int64_t ow = geom_.out_extent(x.dim(3));
+  const std::int64_t ckk = in_channels_ * geom_.kernel * geom_.kernel;
+  Tensor y({n, out_channels_, oh, ow});
+  const float* wd = weight_.value.data();
+  float* yd = y.data();
+  const std::int64_t ohw = oh * ow;
+
+  parallel_for(n, [&](std::int64_t begin, std::int64_t end) {
+    std::vector<float> col(static_cast<std::size_t>(ckk * ohw));
+    for (std::int64_t i = begin; i < end; ++i) {
+      im2col(cached_input_, i, geom_, col.data());
+      float* yi = yd + i * out_channels_ * ohw;
+      gemm_nn_acc(out_channels_, ohw, ckk, wd, col.data(), yi);
+      if (has_bias_) {
+        for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+          const float b = bias_.value[oc];
+          float* yrow = yi + oc * ohw;
+          for (std::int64_t j = 0; j < ohw; ++j) yrow[j] += b;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  if (x.empty()) throw std::logic_error("Conv2d::backward before forward");
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = geom_.out_extent(x.dim(2));
+  const std::int64_t ow = geom_.out_extent(x.dim(3));
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ckk = in_channels_ * geom_.kernel * geom_.kernel;
+
+  Tensor dx({n, in_channels_, x.dim(2), x.dim(3)});
+  const float* wd = weight_.value.data();
+  const float* gd = grad_out.data();
+  std::mutex accum_mutex;
+
+  parallel_for(n, [&](std::int64_t begin, std::int64_t end) {
+    std::vector<float> col(static_cast<std::size_t>(ckk * ohw));
+    std::vector<float> dcol(static_cast<std::size_t>(ckk * ohw));
+    std::vector<float> dw_local(
+        static_cast<std::size_t>(out_channels_ * ckk), 0.0f);
+    std::vector<float> db_local(
+        has_bias_ ? static_cast<std::size_t>(out_channels_) : 0u, 0.0f);
+    for (std::int64_t i = begin; i < end; ++i) {
+      im2col(x, i, geom_, col.data());
+      const float* gi = gd + i * out_channels_ * ohw;
+      // dW += gout_i (out, ohw) * col^T (ohw, ckk)
+      gemm_nt_acc(out_channels_, ckk, ohw, gi, col.data(), dw_local.data());
+      // dcol = W^T (ckk, out) * gout_i (out, ohw)
+      std::fill(dcol.begin(), dcol.end(), 0.0f);
+      gemm_tn_acc(ckk, ohw, out_channels_, wd, gi, dcol.data());
+      col2im_add(dcol.data(), i, geom_, dx);
+      if (has_bias_) {
+        for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+          const float* grow = gi + oc * ohw;
+          float acc = 0.0f;
+          for (std::int64_t j = 0; j < ohw; ++j) acc += grow[j];
+          db_local[static_cast<std::size_t>(oc)] += acc;
+        }
+      }
+    }
+    const std::lock_guard<std::mutex> lock(accum_mutex);
+    float* dw = weight_.grad.data();
+    for (std::size_t j = 0; j < dw_local.size(); ++j) dw[j] += dw_local[j];
+    if (has_bias_) {
+      float* db = bias_.grad.data();
+      for (std::size_t j = 0; j < db_local.size(); ++j) db[j] += db_local[j];
+    }
+  });
+  return dx;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+std::int64_t Conv2d::flops_per_sample(std::int64_t h, std::int64_t w) const {
+  const std::int64_t oh = geom_.out_extent(h);
+  const std::int64_t ow = geom_.out_extent(w);
+  return 2 * out_channels_ * in_channels_ * geom_.kernel * geom_.kernel * oh *
+         ow;
+}
+
+}  // namespace rt

@@ -1,0 +1,64 @@
+#pragma once
+// 2-D convolution (NCHW) via im2col + GEMM, with full backward.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace rt {
+
+/// Geometry of a convolution: output size given input size.
+struct ConvGeometry {
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 1;
+  std::int64_t out_extent(std::int64_t in_extent) const {
+    return (in_extent + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Expands one sample of x (N,C,H,W) into a (C*k*k, OH*OW) column buffer.
+/// `col` must have C*k*k*OH*OW elements. Out-of-image taps read as zero.
+void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
+            float* col);
+
+/// Scatter-adds a (C*k*k, OH*OW) column gradient back into dx (N,C,H,W) at
+/// the given sample. Inverse (adjoint) of im2col.
+void col2im_add(const float* col, std::int64_t sample, const ConvGeometry& g,
+                Tensor& dx);
+
+/// Convolution layer. Weight layout is (out_ch, in_ch*k*k); column index c
+/// decodes as in_ch = c/(k*k), kernel row = (c%(k*k))/k, kernel col = c%k.
+/// He-normal initialized. Bias optional (ResNet convs are bias-free).
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         bool with_bias, Rng& rng, std::string name);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  Parameter& weight() { return weight_; }
+  Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  const ConvGeometry& geometry() const { return geom_; }
+
+  /// Multiply-accumulate count for one sample at the given input size.
+  std::int64_t flops_per_sample(std::int64_t h, std::int64_t w) const;
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  ConvGeometry geom_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace rt

@@ -1,0 +1,37 @@
+#pragma once
+// Fully connected layer y = x W^T + b for 2-D inputs (N, in).
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace rt {
+
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool with_bias,
+         Rng& rng, std::string name);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  Parameter& weight() { return weight_; }
+  Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+  /// Re-initializes weights/bias in place (used when swapping the classifier
+  /// head for a new downstream task) and drops any installed mask.
+  void reset(Rng& rng);
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace rt

@@ -1,0 +1,199 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rt {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument("softmax: (N, C) logits required");
+  }
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor p({n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    float m = logits.at(i, 0);
+    for (std::int64_t j = 1; j < c; ++j) m = std::max(m, logits.at(i, j));
+    float z = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float e = std::exp(logits.at(i, j) - m);
+      p.at(i, j) = e;
+      z += e;
+    }
+    const float inv = 1.0f / z;
+    for (std::int64_t j = 0; j < c; ++j) p.at(i, j) *= inv;
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult out;
+  out.grad_logits = softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float p = std::max(out.grad_logits.at(i, y), 1e-12f);
+    loss -= std::log(p);
+    out.grad_logits.at(i, y) -= 1.0f;
+  }
+  out.grad_logits.mul_(inv_n);
+  out.loss = static_cast<float>(loss / static_cast<double>(n));
+  return out;
+}
+
+LossResult softmax_cross_entropy_smoothed(const Tensor& logits,
+                                          const std::vector<int>& labels,
+                                          float smoothing) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("smoothed CE: label count mismatch");
+  }
+  if (smoothing < 0.0f || smoothing >= 1.0f) {
+    throw std::invalid_argument("smoothed CE: smoothing must be in [0, 1)");
+  }
+  if (c < 2) throw std::invalid_argument("smoothed CE: need >= 2 classes");
+  const float off = smoothing / static_cast<float>(c - 1);
+  const float on = 1.0f - smoothing;
+  LossResult out;
+  out.grad_logits = softmax(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) {
+      throw std::invalid_argument("smoothed CE: label out of range");
+    }
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float t = (j == y) ? on : off;
+      const float p = std::max(out.grad_logits.at(i, j), 1e-12f);
+      loss -= static_cast<double>(t) * std::log(p);
+      out.grad_logits.at(i, j) -= t;
+    }
+  }
+  out.grad_logits.mul_(1.0f / static_cast<float>(n));
+  out.loss = static_cast<float>(loss / static_cast<double>(n));
+  return out;
+}
+
+KlResult kl_divergence(const Tensor& target_logits, const Tensor& logits) {
+  if (!target_logits.same_shape(logits) || logits.ndim() != 2) {
+    throw std::invalid_argument("kl_divergence: matching (N, C) logits");
+  }
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  const Tensor p = softmax(target_logits);  // target distribution
+  const Tensor q = softmax(logits);
+  KlResult out;
+  out.grad_target = Tensor({n, c});
+  out.grad_logits = Tensor({n, c});
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // KL_i = sum_j p_ij (log p_ij - log q_ij).
+    double kl = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float pj = std::max(p.at(i, j), 1e-12f);
+      const float qj = std::max(q.at(i, j), 1e-12f);
+      kl += static_cast<double>(pj) * (std::log(pj) - std::log(qj));
+    }
+    loss += kl;
+    // d KL / d q-logits_k = q_k - p_k (same softmax-minus-target form as CE).
+    // d KL / d p-logits_k = p_k * (log p_k - log q_k - KL_i).
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float pj = std::max(p.at(i, j), 1e-12f);
+      const float qj = std::max(q.at(i, j), 1e-12f);
+      out.grad_logits.at(i, j) = (q.at(i, j) - p.at(i, j)) * inv_n;
+      out.grad_target.at(i, j) =
+          p.at(i, j) *
+          (std::log(pj) - std::log(qj) - static_cast<float>(kl)) * inv_n;
+    }
+  }
+  out.loss = static_cast<float>(loss / static_cast<double>(n));
+  return out;
+}
+
+LossResult softmax_cross_entropy_2d(const Tensor& logits,
+                                    const std::vector<int>& labels) {
+  if (logits.ndim() != 4) {
+    throw std::invalid_argument("softmax_cross_entropy_2d: (N,C,H,W) required");
+  }
+  const std::int64_t n = logits.dim(0), c = logits.dim(1), h = logits.dim(2),
+                     w = logits.dim(3);
+  const std::int64_t hw = h * w;
+  if (static_cast<std::int64_t>(labels.size()) != n * hw) {
+    throw std::invalid_argument("softmax_cross_entropy_2d: label count");
+  }
+  LossResult out;
+  out.grad_logits = Tensor({n, c, h, w});
+  double loss = 0.0;
+  std::int64_t valid = 0;
+  std::vector<float> probs(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t px = 0; px < hw; ++px) {
+      const int y = labels[static_cast<std::size_t>(i * hw + px)];
+      if (y < 0) continue;
+      if (y >= c) {
+        throw std::invalid_argument("softmax_cross_entropy_2d: label range");
+      }
+      float m = -std::numeric_limits<float>::infinity();
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        m = std::max(m, logits.data()[(i * c + ch) * hw + px]);
+      }
+      float z = 0.0f;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        probs[static_cast<std::size_t>(ch)] =
+            std::exp(logits.data()[(i * c + ch) * hw + px] - m);
+        z += probs[static_cast<std::size_t>(ch)];
+      }
+      const float inv = 1.0f / z;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float p = probs[static_cast<std::size_t>(ch)] * inv;
+        out.grad_logits.data()[(i * c + ch) * hw + px] =
+            p - (ch == y ? 1.0f : 0.0f);
+      }
+      loss -= std::log(std::max(probs[static_cast<std::size_t>(y)] * inv,
+                                1e-12f));
+      ++valid;
+    }
+  }
+  if (valid == 0) throw std::invalid_argument("no valid pixels in loss");
+  out.grad_logits.mul_(1.0f / static_cast<float>(valid));
+  out.loss = static_cast<float>(loss / static_cast<double>(valid));
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = static_cast<int>(best);
+  }
+  return out;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const auto pred = argmax_rows(logits);
+  if (pred.size() != labels.size() || pred.empty()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+}  // namespace rt

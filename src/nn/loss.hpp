@@ -1,0 +1,53 @@
+#pragma once
+// Softmax cross-entropy losses (classification and dense prediction).
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+/// Loss value plus the gradient with respect to the logits, using mean
+/// reduction over the batch (and pixels, for the dense variant).
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad_logits;
+};
+
+/// Row-wise softmax of (N, C) logits (numerically stable).
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of (N, C) logits against integer labels in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Label-smoothed cross-entropy: the target distribution puts 1 - smoothing
+/// on the true class and smoothing/(C-1) on the rest. smoothing == 0 reduces
+/// exactly to softmax_cross_entropy.
+LossResult softmax_cross_entropy_smoothed(const Tensor& logits,
+                                          const std::vector<int>& labels,
+                                          float smoothing);
+
+/// Both sides of the batch-mean KL divergence
+///   KL(softmax(target_logits) || softmax(logits))
+/// used by the TRADES robust objective. grad_target differentiates through
+/// the *target* (clean) branch as well, which TRADES needs because the clean
+/// logits are a function of the trained weights too.
+struct KlResult {
+  float loss = 0.0f;
+  Tensor grad_target;  ///< dKL / d target_logits
+  Tensor grad_logits;  ///< dKL / d logits
+};
+
+KlResult kl_divergence(const Tensor& target_logits, const Tensor& logits);
+
+/// Pixel-wise mean cross-entropy of (N, C, H, W) logits against labels of
+/// length N*H*W (row-major n, h, w). Label -1 marks ignored pixels.
+LossResult softmax_cross_entropy_2d(const Tensor& logits,
+                                    const std::vector<int>& labels);
+
+/// Classification error helpers.
+std::vector<int> argmax_rows(const Tensor& logits);
+float accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace rt

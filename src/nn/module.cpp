@@ -1,0 +1,112 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace rt {
+
+void Parameter::apply_mask() {
+  if (has_mask()) value.mul_(mask);
+}
+
+void Parameter::mask_grad() {
+  if (has_mask()) grad.mul_(mask);
+}
+
+void Parameter::set_mask(Tensor m) {
+  if (!m.same_shape(value)) {
+    throw std::invalid_argument("Parameter::set_mask: shape mismatch for " +
+                                name);
+  }
+  mask = std::move(m);
+  apply_mask();
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::int64_t Module::num_parameters() {
+  std::int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+std::int64_t Module::num_unmasked_parameters() {
+  std::int64_t n = 0;
+  for (Parameter* p : parameters()) {
+    if (p->has_mask()) {
+      n += static_cast<std::int64_t>(p->mask.sum());
+    } else {
+      n += p->value.numel();
+    }
+  }
+  return n;
+}
+
+StateDict Module::state_dict() {
+  StateDict state;
+  for (Parameter* p : parameters()) state[p->name] = p->value;
+  std::vector<NamedTensor> buffers;
+  collect_buffers(buffers);
+  for (const auto& [name, tensor] : buffers) state[name] = *tensor;
+  return state;
+}
+
+void Module::load_state(const StateDict& state) {
+  std::vector<std::pair<std::string, Tensor*>> dests;
+  for (Parameter* p : parameters()) dests.emplace_back(p->name, &p->value);
+  std::vector<NamedTensor> buffers;
+  collect_buffers(buffers);
+  for (auto& b : buffers) dests.push_back(b);
+
+  for (const auto& [name, tensor] : state) {
+    bool found = false;
+    for (auto& [dname, dtensor] : dests) {
+      if (dname != name) continue;
+      if (!dtensor->same_shape(tensor)) {
+        throw std::invalid_argument("load_state: shape mismatch for " + name);
+      }
+      *dtensor = tensor;
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument("load_state: no destination for " + name);
+    }
+  }
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& layer : layers_) layer->collect_parameters(out);
+}
+
+void Sequential::collect_buffers(std::vector<NamedTensor>& out) {
+  for (auto& layer : layers_) layer->collect_buffers(out);
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+}  // namespace rt

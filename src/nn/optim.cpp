@@ -1,0 +1,126 @@
+#include "nn/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace rt {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter* p = params_[pi];
+    if (!p->trainable) continue;
+    p->mask_grad();
+    Tensor& v = velocity_[pi];
+    float* vd = v.data();
+    float* gd = p->grad.data();
+    float* wd = p->value.data();
+    const float wdcay = config_.weight_decay;
+    const float mom = config_.momentum;
+    const float lr = config_.lr;
+    for (std::int64_t i = 0; i < v.numel(); ++i) {
+      const float g = gd[i] + wdcay * wd[i];
+      vd[i] = mom * vd[i] + g;
+      wd[i] -= lr * vd[i];
+    }
+    p->apply_mask();
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+MultiStepLr::MultiStepLr(float base_lr, std::vector<int> milestones,
+                         float gamma)
+    : base_lr_(base_lr), milestones_(std::move(milestones)), gamma_(gamma) {
+  std::sort(milestones_.begin(), milestones_.end());
+}
+
+float MultiStepLr::lr_at(int epoch) const {
+  float lr = base_lr_;
+  for (int m : milestones_) {
+    if (epoch >= m) lr *= gamma_;
+  }
+  return lr;
+}
+
+CosineLr::CosineLr(float base_lr, int total_epochs, float min_lr)
+    : base_lr_(base_lr), total_epochs_(std::max(1, total_epochs)),
+      min_lr_(min_lr) {}
+
+float CosineLr::lr_at(int epoch) const {
+  const float t = std::clamp(
+      static_cast<float>(epoch) / static_cast<float>(total_epochs_), 0.0f,
+      1.0f);
+  const float cosv = 0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * t));
+  return min_lr_ + (base_lr_ - min_lr_) * cosv;
+}
+
+WarmupLr::WarmupLr(std::unique_ptr<LrSchedule> inner, int warmup_epochs)
+    : inner_(std::move(inner)), warmup_epochs_(std::max(0, warmup_epochs)) {}
+
+float WarmupLr::lr_at(int epoch) const {
+  const float target = inner_->lr_at(epoch);
+  if (epoch >= warmup_epochs_ || warmup_epochs_ == 0) return target;
+  return target * static_cast<float>(epoch + 1) /
+         static_cast<float>(warmup_epochs_);
+}
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter* p = params_[pi];
+    if (!p->trainable) continue;
+    p->mask_grad();
+    float* md = m_[pi].data();
+    float* vd = v_[pi].data();
+    float* gd = p->grad.data();
+    float* wd = p->value.data();
+    const float b1 = config_.beta1, b2 = config_.beta2;
+    const float lr = config_.lr, eps = config_.eps;
+    const float wdcay = config_.weight_decay;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      float g = gd[i];
+      if (wdcay != 0.0f && !config_.decoupled_weight_decay) g += wdcay * wd[i];
+      md[i] = b1 * md[i] + (1.0f - b1) * g;
+      vd[i] = b2 * vd[i] + (1.0f - b2) * g * g;
+      const float mhat = md[i] / bc1;
+      const float vhat = vd[i] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps);
+      if (wdcay != 0.0f && config_.decoupled_weight_decay) {
+        update += wdcay * wd[i];
+      }
+      wd[i] -= lr * update;
+    }
+    p->apply_mask();
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace rt

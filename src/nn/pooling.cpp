@@ -1,0 +1,135 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rt {
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(2) % kernel_ != 0 || x.dim(3) % kernel_ != 0) {
+    throw std::invalid_argument("MaxPool2d: bad input " + x.shape_str());
+  }
+  in_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = h / kernel_, ow = w / kernel_;
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  std::int64_t out_idx = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* xp = x.data() + (i * c + ch) * h * w;
+      for (std::int64_t oi = 0; oi < oh; ++oi) {
+        for (std::int64_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+            for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+              const std::int64_t idx =
+                  (oi * kernel_ + ki) * w + (oj * kernel_ + kj);
+              if (xp[idx] > best) {
+                best = xp[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[out_idx] = best;
+          argmax_[static_cast<std::size_t>(out_idx)] =
+              (i * c + ch) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (in_shape_.empty()) throw std::logic_error("MaxPool2d::backward order");
+  Tensor dx(in_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    dx[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  if (x.ndim() != 4) {
+    throw std::invalid_argument("GlobalAvgPool: bad input " + x.shape_str());
+  }
+  in_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* xp = x.data() + (i * c + ch) * hw;
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < hw; ++j) acc += xp[j];
+      y.at(i, ch) = acc * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (in_shape_.empty()) throw std::logic_error("GlobalAvgPool::backward order");
+  Tensor dx(in_shape_);
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     hw = in_shape_[2] * in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at(i, ch) * inv;
+      float* dp = dx.data() + (i * c + ch) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) dp[j] = g;
+    }
+  }
+  return dx;
+}
+
+Tensor NearestUpsample::forward(const Tensor& x) {
+  if (x.ndim() != 4) {
+    throw std::invalid_argument("NearestUpsample: bad input " + x.shape_str());
+  }
+  in_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = h * factor_, ow = w * factor_;
+  Tensor y({n, c, oh, ow});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* xp = x.data() + (i * c + ch) * h * w;
+      float* yp = y.data() + (i * c + ch) * oh * ow;
+      for (std::int64_t oi = 0; oi < oh; ++oi) {
+        const float* xrow = xp + (oi / factor_) * w;
+        for (std::int64_t oj = 0; oj < ow; ++oj) {
+          yp[oi * ow + oj] = xrow[oj / factor_];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor NearestUpsample::backward(const Tensor& grad_out) {
+  if (in_shape_.empty()) {
+    throw std::logic_error("NearestUpsample::backward order");
+  }
+  Tensor dx(in_shape_);
+  const std::int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
+                     w = in_shape_[3];
+  const std::int64_t oh = h * factor_, ow = w * factor_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* gp = grad_out.data() + (i * c + ch) * oh * ow;
+      float* dp = dx.data() + (i * c + ch) * h * w;
+      for (std::int64_t oi = 0; oi < oh; ++oi) {
+        float* drow = dp + (oi / factor_) * w;
+        for (std::int64_t oj = 0; oj < ow; ++oj) {
+          drow[oj / factor_] += gp[oi * ow + oj];
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace rt

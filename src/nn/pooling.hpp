@@ -1,0 +1,49 @@
+#pragma once
+// Spatial pooling and upsampling layers.
+
+#include "nn/module.hpp"
+
+namespace rt {
+
+/// Non-overlapping max pooling (kernel == stride, no padding). Input spatial
+/// extents must be divisible by the kernel.
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  std::int64_t kernel_;
+  std::vector<std::int64_t> argmax_;  ///< flat input index per output element
+  std::vector<std::int64_t> in_shape_;
+};
+
+/// Global average pooling: (N, C, H, W) -> (N, C).
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  std::vector<std::int64_t> in_shape_;
+};
+
+/// Nearest-neighbour upsampling by an integer factor; backward sum-pools.
+class NearestUpsample : public Module {
+ public:
+  explicit NearestUpsample(std::int64_t factor) : factor_(factor) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>&) override {}
+
+ private:
+  std::int64_t factor_;
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace rt

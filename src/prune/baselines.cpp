@@ -1,0 +1,286 @@
+#include "prune/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/loss.hpp"
+
+namespace rt {
+
+namespace {
+
+void validate_sparsity(float sparsity) {
+  if (sparsity < 0.0f || sparsity >= 1.0f) {
+    throw std::invalid_argument("baseline prune: sparsity in [0,1)");
+  }
+}
+
+/// Keeps the `keep_count` highest-scoring groups of one parameter.
+std::vector<char> keep_top(const std::vector<float>& scores,
+                           std::int64_t keep_count) {
+  std::vector<std::int64_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+  keep_count = std::clamp<std::int64_t>(keep_count, 0,
+                                        static_cast<std::int64_t>(scores.size()));
+  std::nth_element(order.begin(), order.begin() + keep_count, order.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return scores[static_cast<std::size_t>(a)] >
+                            scores[static_cast<std::size_t>(b)];
+                   });
+  std::vector<char> keep(scores.size(), 0);
+  for (std::int64_t i = 0; i < keep_count; ++i) {
+    keep[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+  }
+  return keep;
+}
+
+}  // namespace
+
+MaskSet random_prune(ResNet& model, float sparsity, Granularity granularity,
+                     Rng& rng) {
+  validate_sparsity(sparsity);
+  MaskSet out;
+  for (Parameter* p : model.prunable_parameters()) {
+    const std::int64_t groups = group_count(*p, granularity);
+    std::vector<float> scores(static_cast<std::size_t>(groups));
+    for (auto& s : scores) s = rng.uniform();
+    const auto kept = static_cast<std::int64_t>(
+        std::llround((1.0 - static_cast<double>(sparsity)) *
+                     static_cast<double>(groups)));
+    const auto keep = keep_top(scores, kept);
+    Tensor mask = mask_from_group_keep(*p, granularity, keep);
+    p->set_mask(mask);
+    out.set(p->name, std::move(mask));
+  }
+  return out;
+}
+
+MaskSet layerwise_magnitude_prune(ResNet& model, float sparsity,
+                                  Granularity granularity) {
+  validate_sparsity(sparsity);
+  MaskSet out;
+  for (Parameter* p : model.prunable_parameters()) {
+    const auto scores = group_scores(*p, granularity);
+    const auto kept = static_cast<std::int64_t>(
+        std::llround((1.0 - static_cast<double>(sparsity)) *
+                     static_cast<double>(scores.size())));
+    const auto keep = keep_top(scores, kept);
+    Tensor mask = mask_from_group_keep(*p, granularity, keep);
+    p->set_mask(mask);
+    out.set(p->name, std::move(mask));
+  }
+  return out;
+}
+
+MaskSet snip_prune(ResNet& model, const Dataset& data, const SnipConfig& config,
+                   Rng& rng) {
+  validate_sparsity(config.sparsity);
+  if (model.head().out_features() != data.num_classes) {
+    model.reset_head(data.num_classes, rng);
+  }
+  auto prunable = model.prunable_parameters();
+
+  // Accumulate |grad| over a few minibatches (weights untouched).
+  model.zero_grad();
+  model.set_training(true);
+  const int n = static_cast<int>(data.size());
+  const auto batches = make_batches(n, config.batch_size, rng);
+  const int used = std::min<int>(config.batches,
+                                 static_cast<int>(batches.size()));
+  for (int b = 0; b < used; ++b) {
+    const Tensor x = gather_images(data.images, batches[static_cast<std::size_t>(b)]);
+    const auto y = gather_labels(data.labels, batches[static_cast<std::size_t>(b)]);
+    const Tensor logits = model.forward(x);
+    const LossResult loss = softmax_cross_entropy(logits, y);
+    model.backward(loss.grad_logits);  // grads accumulate across batches
+  }
+
+  // Global ranking of group-mean |g * w| sensitivity.
+  struct GroupRef {
+    float score;
+    std::int32_t param;
+    std::int64_t group;
+    std::int64_t weights;
+  };
+  std::vector<GroupRef> groups;
+  std::int64_t total_weights = 0;
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    Parameter& p = *prunable[pi];
+    const std::int64_t gs = group_size(p, config.granularity);
+    const std::int64_t gc = group_count(p, config.granularity);
+    std::vector<float> scores(static_cast<std::size_t>(gc), 0.0f);
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      scores[static_cast<std::size_t>(i / gs)] +=
+          std::fabs(p.grad[i] * p.value[i]);
+    }
+    for (std::int64_t g = 0; g < gc; ++g) {
+      groups.push_back(GroupRef{scores[static_cast<std::size_t>(g)] /
+                                    static_cast<float>(gs),
+                                static_cast<std::int32_t>(pi), g, gs});
+    }
+    total_weights += p.value.numel();
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupRef& a, const GroupRef& b) { return a.score < b.score; });
+  const auto target_removed = static_cast<std::int64_t>(
+      static_cast<double>(config.sparsity) * static_cast<double>(total_weights));
+
+  std::vector<std::vector<char>> keep(prunable.size());
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    keep[pi].assign(static_cast<std::size_t>(
+                        group_count(*prunable[pi], config.granularity)),
+                    1);
+  }
+  std::int64_t removed = 0;
+  for (const GroupRef& g : groups) {
+    if (removed >= target_removed) break;
+    keep[static_cast<std::size_t>(g.param)][static_cast<std::size_t>(g.group)] = 0;
+    removed += g.weights;
+  }
+
+  model.zero_grad();
+  MaskSet out;
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    Tensor mask =
+        mask_from_group_keep(*prunable[pi], config.granularity, keep[pi]);
+    prunable[pi]->set_mask(mask);
+    out.set(prunable[pi]->name, std::move(mask));
+  }
+  return out;
+}
+
+namespace {
+
+/// Accumulates CE gradients over the given fixed batch list (train mode).
+void accumulate_gradients(ResNet& model, const Dataset& data,
+                          const std::vector<std::vector<int>>& batches,
+                          int used) {
+  model.zero_grad();
+  model.set_training(true);
+  for (int b = 0; b < used; ++b) {
+    const auto& idx = batches[static_cast<std::size_t>(b)];
+    const Tensor x = gather_images(data.images, idx);
+    const auto y = gather_labels(data.labels, idx);
+    const Tensor logits = model.forward(x);
+    const LossResult loss = softmax_cross_entropy(logits, y);
+    model.backward(loss.grad_logits);
+  }
+}
+
+}  // namespace
+
+MaskSet grasp_prune(ResNet& model, const Dataset& data,
+                    const GraspConfig& config, Rng& rng) {
+  validate_sparsity(config.sparsity);
+  if (model.head().out_features() != data.num_classes) {
+    model.reset_head(data.num_classes, rng);
+  }
+  auto prunable = model.prunable_parameters();
+  const auto all_params = model.parameters();
+
+  const int n = static_cast<int>(data.size());
+  const auto batches = make_batches(n, config.batch_size, rng);
+  const int used =
+      std::min<int>(config.batches, static_cast<int>(batches.size()));
+
+  // g1 = dL/dtheta at theta (same batches reused for both evaluations so the
+  // finite difference sees only the weight perturbation).
+  accumulate_gradients(model, data, batches, used);
+  std::vector<Tensor> g1, theta0;
+  g1.reserve(all_params.size());
+  theta0.reserve(all_params.size());
+  double g_norm_sq = 0.0;
+  for (Parameter* p : all_params) {
+    g1.push_back(p->grad);
+    theta0.push_back(p->value);  // snapshot for bit-exact restore
+    g_norm_sq += static_cast<double>(p->grad.sum_sq());
+  }
+  const double g_norm = std::sqrt(std::max(g_norm_sq, 1e-20));
+  const float delta =
+      config.fd_scale / static_cast<float>(g_norm);
+
+  // theta' = theta + delta * g1; g2 = dL/dtheta at theta'.
+  for (std::size_t i = 0; i < all_params.size(); ++i) {
+    all_params[i]->value.axpy_(delta, g1[i]);
+  }
+  accumulate_gradients(model, data, batches, used);
+
+  // Restore theta exactly and form Hg = (g2 - g1) / delta on the fly.
+  // GraSP score per weight: theta * (Hg); high score => removing the weight
+  // *increases* gradient flow, so remove the highest scores.
+  struct GroupRef {
+    float score;
+    std::int32_t param;
+    std::int64_t group;
+    std::int64_t weights;
+  };
+  std::vector<GroupRef> groups;
+  std::int64_t total_weights = 0;
+  std::vector<std::int32_t> prunable_index(all_params.size(), -1);
+  for (std::size_t i = 0; i < all_params.size(); ++i) {
+    for (std::size_t j = 0; j < prunable.size(); ++j) {
+      if (all_params[i] == prunable[j]) {
+        prunable_index[i] = static_cast<std::int32_t>(j);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < all_params.size(); ++i) {
+    Parameter& p = *all_params[i];
+    p.value = theta0[i];  // bit-exact restore from the snapshot
+    if (prunable_index[i] < 0) continue;
+    const std::int64_t gs = group_size(p, config.granularity);
+    const std::int64_t gc = group_count(p, config.granularity);
+    std::vector<float> scores(static_cast<std::size_t>(gc), 0.0f);
+    for (std::int64_t k = 0; k < p.value.numel(); ++k) {
+      const float hg = (p.grad[k] - g1[i][k]) / delta;
+      scores[static_cast<std::size_t>(k / gs)] += p.value[k] * hg;
+    }
+    for (std::int64_t g = 0; g < gc; ++g) {
+      groups.push_back(GroupRef{scores[static_cast<std::size_t>(g)] /
+                                    static_cast<float>(gs),
+                                prunable_index[i], g, gs});
+    }
+    total_weights += p.value.numel();
+  }
+  model.zero_grad();
+
+  // Remove the highest theta*(Hg) first.
+  std::sort(groups.begin(), groups.end(), [](const GroupRef& a,
+                                             const GroupRef& b) {
+    return a.score > b.score;
+  });
+  const auto target_removed = static_cast<std::int64_t>(
+      static_cast<double>(config.sparsity) *
+      static_cast<double>(total_weights));
+
+  std::vector<std::vector<char>> keep(prunable.size());
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    keep[pi].assign(static_cast<std::size_t>(
+                        group_count(*prunable[pi], config.granularity)),
+                    1);
+  }
+  std::int64_t removed = 0;
+  for (const GroupRef& g : groups) {
+    if (removed >= target_removed) break;
+    keep[static_cast<std::size_t>(g.param)][static_cast<std::size_t>(g.group)] =
+        0;
+    removed += g.weights;
+  }
+
+  MaskSet out;
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    Tensor mask =
+        mask_from_group_keep(*prunable[pi], config.granularity, keep[pi]);
+    prunable[pi]->set_mask(mask);
+    out.set(prunable[pi]->name, std::move(mask));
+  }
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,52 @@
+#pragma once
+// Pruning baselines used by the design-choice ablation.
+//
+// The paper draws tickets with GLOBAL magnitude ranking; these baselines
+// justify that choice: random pruning (floor), per-layer uniform magnitude
+// pruning (the common alternative), and SNIP-style connection sensitivity
+// (gradient-based one-shot scoring).
+
+#include "data/dataset.hpp"
+#include "models/resnet.hpp"
+#include "prune/mask.hpp"
+
+namespace rt {
+
+/// Uniform random mask at the requested sparsity (per parameter tensor).
+MaskSet random_prune(ResNet& model, float sparsity, Granularity granularity,
+                     Rng& rng);
+
+/// Magnitude pruning with the ratio enforced per layer instead of globally.
+MaskSet layerwise_magnitude_prune(ResNet& model, float sparsity,
+                                  Granularity granularity);
+
+struct SnipConfig {
+  float sparsity = 0.5f;
+  Granularity granularity = Granularity::kElement;
+  int batches = 4;       ///< minibatches used to estimate sensitivity
+  int batch_size = 32;
+};
+
+/// SNIP connection sensitivity: score each weight by |g * w| accumulated
+/// over a few minibatches of the given task, then keep the globally
+/// highest-scoring fraction. The head is excluded, like the other schemes.
+MaskSet snip_prune(ResNet& model, const Dataset& data, const SnipConfig& config,
+                   Rng& rng);
+
+struct GraspConfig {
+  float sparsity = 0.5f;
+  Granularity granularity = Granularity::kElement;
+  int batches = 4;        ///< minibatches for the gradient estimates
+  int batch_size = 32;
+  float fd_scale = 1e-2f; ///< finite-difference step, relative to ||g||
+};
+
+/// GraSP (Wang et al. 2020): score each weight by theta * (H g) and REMOVE
+/// the highest scores, preserving gradient flow through the pruned network.
+/// The Hessian-vector product is a finite difference of gradients at theta
+/// and theta + delta * g over the same minibatches. Weights are restored
+/// exactly; only masks change.
+MaskSet grasp_prune(ResNet& model, const Dataset& data,
+                    const GraspConfig& config, Rng& rng);
+
+}  // namespace rt

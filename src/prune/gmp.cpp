@@ -1,0 +1,69 @@
+#include "prune/gmp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "prune/omp.hpp"
+
+namespace rt {
+
+float gmp_sparsity_at(float final_sparsity, int epoch, int total_epochs) {
+  if (total_epochs <= 1) return final_sparsity;
+  const float t = std::clamp(
+      static_cast<float>(epoch) / static_cast<float>(total_epochs - 1), 0.0f,
+      1.0f);
+  const float u = 1.0f - t;
+  return final_sparsity * (1.0f - u * u * u);
+}
+
+MaskSet gmp_train_prune(ResNet& model, const Dataset& data,
+                        const GmpConfig& config, Rng& rng) {
+  if (config.final_sparsity < 0.0f || config.final_sparsity >= 1.0f) {
+    throw std::invalid_argument("gmp: final_sparsity in [0, 1)");
+  }
+  if (model.head().out_features() != data.num_classes) {
+    model.reset_head(data.num_classes, rng);
+  }
+
+  TrainLoopConfig epoch_cfg;
+  epoch_cfg.epochs = 1;
+  epoch_cfg.batch_size = config.batch_size;
+  epoch_cfg.sgd = config.sgd;
+  epoch_cfg.adversarial = config.adversarial;
+  epoch_cfg.attack = config.attack;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Prune first, then train the epoch under the new mask. Already-pruned
+    // weights are exactly zero, so global magnitude ranking re-selects them
+    // automatically: masks are nested across epochs by construction.
+    OmpConfig prune_cfg;
+    prune_cfg.sparsity =
+        gmp_sparsity_at(config.final_sparsity, epoch, config.epochs);
+    prune_cfg.granularity = config.granularity;
+    omp_prune(model, prune_cfg);
+
+    // Step decay mirroring the finetuning recipe (1/2 and 3/4 milestones).
+    epoch_cfg.sgd.lr = config.sgd.lr;
+    if (epoch >= config.epochs / 2) epoch_cfg.sgd.lr *= 0.1f;
+    if (epoch >= (3 * config.epochs) / 4) epoch_cfg.sgd.lr *= 0.1f;
+
+    const TrainStats stats = train_classifier(model, data, epoch_cfg, rng);
+    if (config.verbose) {
+      std::printf("  gmp epoch %2d  sparsity %.3f  loss %.4f  acc %.4f\n",
+                  epoch, static_cast<double>(prune_cfg.sparsity),
+                  static_cast<double>(stats.final_loss),
+                  static_cast<double>(stats.final_train_accuracy));
+    }
+  }
+
+  // Final prune to hit the exact target, then capture.
+  OmpConfig final_cfg;
+  final_cfg.sparsity = config.final_sparsity;
+  final_cfg.granularity = config.granularity;
+  omp_prune(model, final_cfg);
+  return MaskSet::capture(model);
+}
+
+}  // namespace rt

@@ -1,0 +1,40 @@
+#pragma once
+// Gradual magnitude pruning (GMP, Zhu & Gupta 2017).
+//
+// A during-training alternative to the paper's one-shot OMP and iterative
+// IMP: sparsity follows the cubic schedule
+//   s(e) = s_final * (1 - (1 - e/E)^3)
+// while finetuning proceeds, with no weight rewinding. Serves as an ablation
+// comparator for the ticket-drawing protocols (rewind vs no-rewind is one of
+// the design choices DESIGN.md calls out).
+
+#include "models/resnet.hpp"
+#include "prune/mask.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+
+struct GmpConfig {
+  float final_sparsity = 0.9f;
+  int epochs = 9;
+  Granularity granularity = Granularity::kElement;
+  SgdConfig sgd{0.02f, 0.9f, 1e-4f};
+  int batch_size = 32;
+  /// Adversarial inner objective (the A-IMP analogue for GMP).
+  bool adversarial = false;
+  AttackConfig attack;
+  bool verbose = false;
+};
+
+/// The cubic schedule value after `epoch` of `total_epochs` (both 0-based /
+/// count): 0 at epoch 0, final_sparsity at the last epoch.
+float gmp_sparsity_at(float final_sparsity, int epoch, int total_epochs);
+
+/// Finetunes `model` on `data` while progressively pruning to the target
+/// sparsity; weights are never rewound. If the head does not match the
+/// dataset it is re-initialized first. Returns the final installed masks.
+/// Masks are nested across epochs (pruned weights never return).
+MaskSet gmp_train_prune(ResNet& model, const Dataset& data,
+                        const GmpConfig& config, Rng& rng);
+
+}  // namespace rt

@@ -1,0 +1,81 @@
+#include "prune/imp.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "prune/omp.hpp"
+
+namespace rt {
+
+float imp_round_sparsity(float rate, int round, float target) {
+  const float s =
+      1.0f - std::pow(1.0f - rate, static_cast<float>(round));
+  return std::min(s, target);
+}
+
+std::vector<ImpTrajectoryPoint> imp_prune_trajectory(ResNet& model,
+                                                     const Dataset& data,
+                                                     const ImpConfig& config,
+                                                     Rng& rng) {
+  if (config.target_sparsity < 0.0f || config.target_sparsity >= 1.0f) {
+    throw std::invalid_argument("imp: target sparsity in [0,1)");
+  }
+  if (config.rate_per_round <= 0.0f || config.rate_per_round >= 1.0f) {
+    throw std::invalid_argument("imp: rate per round in (0,1)");
+  }
+  if (model.head().out_features() != data.num_classes) {
+    model.reset_head(data.num_classes, rng);
+  }
+  const StateDict pretrained = model.state_dict();
+
+  TrainLoopConfig loop;
+  loop.epochs = config.epochs_per_round;
+  loop.batch_size = config.batch_size;
+  loop.sgd = config.sgd;
+  loop.adversarial = config.adversarial;
+  loop.attack = config.attack;
+
+  std::vector<ImpTrajectoryPoint> trajectory;
+  for (int round = 1;; ++round) {
+    const float round_sparsity = imp_round_sparsity(
+        config.rate_per_round, round, config.target_sparsity);
+
+    // Train with the current mask (dense on round 1).
+    train_classifier(model, data, loop, rng);
+
+    // Prune the smallest-magnitude weights of the trained model. Previously
+    // pruned weights are exactly zero, so global magnitude ranking keeps
+    // them pruned: sparsity is monotone across rounds.
+    OmpConfig omp;
+    omp.sparsity = round_sparsity;
+    omp.granularity = config.granularity;
+    MaskSet masks = omp_prune(model, omp);
+
+    if (config.rewind_to_pretrained) {
+      model.load_state(pretrained);
+      masks.apply(model);  // re-apply: load_state restored dense values
+    }
+    if (config.verbose) {
+      std::printf("  imp round %d -> sparsity %.4f\n", round,
+                  model_sparsity(model.prunable_parameters()));
+    }
+    trajectory.push_back(
+        ImpTrajectoryPoint{round, round_sparsity, std::move(masks)});
+    if (round_sparsity >= config.target_sparsity) break;
+  }
+  if (!config.rewind_to_pretrained) {
+    // Leave the ticket contract intact: m ⊙ θ_pre.
+    model.load_state(pretrained);
+    trajectory.back().masks.apply(model);
+  }
+  return trajectory;
+}
+
+MaskSet imp_prune(ResNet& model, const Dataset& data, const ImpConfig& config,
+                  Rng& rng) {
+  auto trajectory = imp_prune_trajectory(model, data, config, rng);
+  return std::move(trajectory.back().masks);
+}
+
+}  // namespace rt

@@ -1,0 +1,67 @@
+#pragma once
+// Iterative magnitude pruning (IMP) and its adversarial variant A-IMP
+// (scheme ② of the paper).
+//
+// Repeats {train a few epochs, prune the smallest remaining weights, rewind
+// the surviving weights to their pretrained values} until the target
+// sparsity is reached (Chen et al. transfer-LTH protocol). A-IMP replaces
+// the inner training objective with the PGD minimax loss of Eq. 1; run on
+// the source task it yields "US" tickets, on the downstream task "DS"
+// tickets.
+
+#include "models/resnet.hpp"
+#include "prune/mask.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+
+struct ImpConfig {
+  float target_sparsity = 0.9f;
+  /// Fraction of the REMAINING weights pruned each round (paper: 20%).
+  float rate_per_round = 0.2f;
+  int epochs_per_round = 3;
+  Granularity granularity = Granularity::kElement;
+
+  /// Inner-loop training: adversarial=true gives A-IMP.
+  bool adversarial = false;
+  AttackConfig attack;
+  SgdConfig sgd{0.02f, 0.9f, 1e-4f};
+  int batch_size = 32;
+
+  /// Rewind surviving weights to the pretrained values after each round
+  /// (LTH protocol). If false, weights keep training across rounds.
+  bool rewind_to_pretrained = true;
+  bool verbose = false;
+};
+
+/// Runs IMP/A-IMP on `model` (which must hold pretrained weights) using
+/// `data` for the inner training loop. On return the model holds
+/// m ⊙ θ_pre (final mask, rewound weights) and the mask set is returned.
+///
+/// If the dataset's class count differs from the model head, the head is
+/// re-initialized first (the DS case: sparsity patterns are searched with
+/// downstream labels).
+MaskSet imp_prune(ResNet& model, const Dataset& data, const ImpConfig& config,
+                  Rng& rng);
+
+/// Mask snapshot after one IMP round.
+struct ImpTrajectoryPoint {
+  int round = 0;
+  float sparsity = 0.0f;
+  MaskSet masks;
+};
+
+/// Like imp_prune, but records the mask after every round, so a single
+/// iterative run yields tickets at every intermediate sparsity (IMP visits
+/// them anyway; re-running per target would waste the shared prefix).
+/// On return the model holds the FINAL mask with rewound weights.
+std::vector<ImpTrajectoryPoint> imp_prune_trajectory(ResNet& model,
+                                                     const Dataset& data,
+                                                     const ImpConfig& config,
+                                                     Rng& rng);
+
+/// The sparsity reached after `round` rounds at the given per-round rate:
+/// 1 - (1 - rate)^round, capped at `target`.
+float imp_round_sparsity(float rate, int round, float target);
+
+}  // namespace rt

@@ -1,0 +1,132 @@
+#include "prune/lmp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+
+namespace {
+
+/// Keep-vector for the top (1 - sparsity) fraction of groups by score.
+std::vector<char> topk_keep(const std::vector<float>& scores, float sparsity) {
+  const auto n = static_cast<std::int64_t>(scores.size());
+  auto kept = static_cast<std::int64_t>(
+      std::round((1.0 - static_cast<double>(sparsity)) * static_cast<double>(n)));
+  kept = std::clamp<std::int64_t>(kept, 1, n);
+  std::vector<std::int64_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::int64_t>(i);
+  std::nth_element(order.begin(), order.begin() + kept, order.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return scores[static_cast<std::size_t>(a)] >
+                            scores[static_cast<std::size_t>(b)];
+                   });
+  std::vector<char> keep(scores.size(), 0);
+  for (std::int64_t i = 0; i < kept; ++i) {
+    keep[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+  }
+  return keep;
+}
+
+/// Aggregates per-weight scores into per-group means.
+std::vector<float> aggregate_scores(const Tensor& s, std::int64_t group_sz) {
+  const std::int64_t gc = s.numel() / group_sz;
+  std::vector<float> out(static_cast<std::size_t>(gc), 0.0f);
+  for (std::int64_t i = 0; i < s.numel(); ++i) {
+    out[static_cast<std::size_t>(i / group_sz)] += s[i];
+  }
+  const float inv = 1.0f / static_cast<float>(group_sz);
+  for (float& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace
+
+MaskSet lmp_learn(ResNet& model, const Dataset& data, const LmpConfig& config,
+                  Rng& rng) {
+  if (config.sparsity < 0.0f || config.sparsity >= 1.0f) {
+    throw std::invalid_argument("lmp: sparsity in [0,1)");
+  }
+  if (model.head().out_features() != data.num_classes) {
+    model.reset_head(data.num_classes, rng);
+  }
+  auto prunable = model.prunable_parameters();
+
+  // Frozen pretrained weights and learnable scores (init: |w_pre| plus a tiny
+  // tie-breaking jitter so equal magnitudes don't alias).
+  std::vector<Tensor> theta_pre, scores, velocity;
+  theta_pre.reserve(prunable.size());
+  for (Parameter* p : prunable) {
+    p->clear_mask();
+    theta_pre.push_back(p->value);
+    Tensor s = p->value;
+    s.abs_();
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+      s[i] += 1e-4f * rng.uniform();
+    }
+    scores.push_back(std::move(s));
+    velocity.emplace_back(p->value.shape());
+  }
+
+  auto install_masks = [&] {
+    for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+      Parameter* p = prunable[pi];
+      const std::int64_t gs = group_size(*p, config.granularity);
+      const auto gscores = aggregate_scores(scores[pi], gs);
+      const auto keep = topk_keep(gscores, config.sparsity);
+      p->value = theta_pre[pi];
+      p->set_mask(mask_from_group_keep(*p, config.granularity, keep));
+    }
+  };
+
+  // Head optimizer (the only weights that train).
+  std::vector<Parameter*> head_params;
+  model.head().collect_parameters(head_params);
+  Sgd head_opt(head_params, config.head_sgd);
+
+  const int n = static_cast<int>(data.size());
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_acc = 0.0;
+    for (const auto& idx : make_batches(n, config.batch_size, rng)) {
+      install_masks();
+      const Tensor x = gather_images(data.images, idx);
+      const std::vector<int> y = gather_labels(data.labels, idx);
+      model.set_training(true);
+      model.zero_grad();
+      const Tensor logits = model.forward(x);
+      const LossResult loss = softmax_cross_entropy(logits, y);
+      model.backward(loss.grad_logits);
+      loss_acc += static_cast<double>(loss.loss) * static_cast<double>(idx.size());
+
+      // Straight-through score update BEFORE any gradient masking:
+      // dL/ds = dL/dw_eff * w_pre flows to pruned weights as well.
+      for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+        Parameter* p = prunable[pi];
+        Tensor& v = velocity[pi];
+        Tensor& s = scores[pi];
+        const Tensor& w0 = theta_pre[pi];
+        for (std::int64_t i = 0; i < s.numel(); ++i) {
+          const float g = p->grad[i] * w0[i];
+          v[i] = config.score_momentum * v[i] + g;
+          s[i] -= config.score_lr * v[i];
+        }
+      }
+      head_opt.step();
+      model.zero_grad();
+    }
+    if (config.verbose) {
+      std::printf("  lmp epoch %2d loss %.4f\n", epoch,
+                  loss_acc / static_cast<double>(n));
+    }
+  }
+
+  install_masks();
+  return MaskSet::capture(model);
+}
+
+}  // namespace rt

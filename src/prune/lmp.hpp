@@ -1,0 +1,37 @@
+#pragma once
+// Learnable mask pruning (LMP, scheme ③ of the paper).
+//
+// Learns a task-specific binary mask over the FROZEN pretrained weights
+// (Eq. 2) with edge-popup-style straight-through estimation [17]: the
+// forward pass binarizes per-weight scores to the top-k per layer, and the
+// backward pass updates all scores with dL/ds ≈ dL/dw_eff * w_pre. Only the
+// scores and the fresh classifier head are optimized; trunk weights stay at
+// their pretrained values.
+
+#include "data/dataset.hpp"
+#include "models/resnet.hpp"
+#include "nn/optim.hpp"
+#include "prune/mask.hpp"
+
+namespace rt {
+
+struct LmpConfig {
+  /// Fraction of each prunable layer's groups that is masked out.
+  float sparsity = 0.5f;
+  Granularity granularity = Granularity::kElement;
+  int epochs = 12;
+  int batch_size = 32;
+  float score_lr = 0.1f;
+  float score_momentum = 0.9f;
+  SgdConfig head_sgd{0.05f, 0.9f, 1e-4f};
+  bool verbose = false;
+};
+
+/// Learns masks on `data` (a downstream task). On return the model holds
+/// m_t ⊙ θ_pre with the learned mask installed; the mask set is returned.
+/// The classifier head is re-initialized (and trained) if its width does not
+/// match the dataset; its trained weights remain in the model.
+MaskSet lmp_learn(ResNet& model, const Dataset& data, const LmpConfig& config,
+                  Rng& rng);
+
+}  // namespace rt

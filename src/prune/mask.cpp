@@ -1,0 +1,140 @@
+#include "prune/mask.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace rt {
+
+const char* granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::kElement: return "element";
+    case Granularity::kRow: return "row";
+    case Granularity::kKernel: return "kernel";
+    case Granularity::kChannel: return "channel";
+  }
+  return "?";
+}
+
+std::int64_t group_size(const Parameter& p, Granularity g) {
+  if (!p.prunable()) throw std::invalid_argument("group_size: not prunable");
+  if (g == Granularity::kElement) return 1;
+  if (p.kind == ParamKind::kLinearWeight) {
+    return p.value.dim(1);  // whole input row per output neuron
+  }
+  const std::int64_t k = p.conv_kernel;
+  switch (g) {
+    case Granularity::kRow: return k;
+    case Granularity::kKernel: return k * k;
+    case Granularity::kChannel: return p.value.dim(1);  // in_ch * k * k
+    default: return 1;
+  }
+}
+
+std::int64_t group_count(const Parameter& p, Granularity g) {
+  return p.value.numel() / group_size(p, g);
+}
+
+std::int64_t group_of(const Parameter& p, Granularity g, std::int64_t i) {
+  return i / group_size(p, g);
+}
+
+std::vector<float> group_scores(const Parameter& p, Granularity g) {
+  const std::int64_t gs = group_size(p, g);
+  const std::int64_t gc = group_count(p, g);
+  std::vector<float> scores(static_cast<std::size_t>(gc), 0.0f);
+  const float* w = p.value.data();
+  for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+    scores[static_cast<std::size_t>(i / gs)] += std::fabs(w[i]);
+  }
+  const float inv = 1.0f / static_cast<float>(gs);
+  for (float& s : scores) s *= inv;
+  return scores;
+}
+
+Tensor mask_from_group_keep(const Parameter& p, Granularity g,
+                            const std::vector<char>& keep) {
+  const std::int64_t gs = group_size(p, g);
+  if (static_cast<std::int64_t>(keep.size()) != group_count(p, g)) {
+    throw std::invalid_argument("mask_from_group_keep: size mismatch");
+  }
+  Tensor mask(p.value.shape());
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = keep[static_cast<std::size_t>(i / gs)] ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+void MaskSet::apply(Module& model) const {
+  auto params = model.parameters();
+  for (const auto& [name, mask] : masks_) {
+    bool found = false;
+    for (Parameter* p : params) {
+      if (p->name != name) continue;
+      p->set_mask(mask);
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument("MaskSet::apply: no parameter named " + name);
+    }
+  }
+}
+
+MaskSet MaskSet::capture(Module& model) {
+  MaskSet out;
+  for (Parameter* p : model.parameters()) {
+    if (p->has_mask()) out.set(p->name, p->mask);
+  }
+  return out;
+}
+
+void MaskSet::set(const std::string& name, Tensor mask) {
+  masks_[name] = std::move(mask);
+}
+
+bool MaskSet::contains(const std::string& name) const {
+  return masks_.count(name) > 0;
+}
+
+const Tensor& MaskSet::get(const std::string& name) const {
+  auto it = masks_.find(name);
+  if (it == masks_.end()) throw std::out_of_range("MaskSet::get: " + name);
+  return it->second;
+}
+
+double MaskSet::sparsity() const {
+  double total = 0.0, kept = 0.0;
+  for (const auto& [name, mask] : masks_) {
+    total += static_cast<double>(mask.numel());
+    kept += static_cast<double>(mask.sum());
+  }
+  return total > 0.0 ? 1.0 - kept / total : 0.0;
+}
+
+void MaskSet::save(const std::string& path) const {
+  StateDict state;
+  for (const auto& [name, mask] : masks_) state[name] = mask;
+  save_state_dict(path, state);
+}
+
+MaskSet MaskSet::load(const std::string& path) {
+  MaskSet out;
+  for (auto& [name, mask] : load_state_dict(path)) {
+    out.set(name, std::move(mask));
+  }
+  return out;
+}
+
+double model_sparsity(std::vector<Parameter*> prunable) {
+  double total = 0.0, kept = 0.0;
+  for (const Parameter* p : prunable) {
+    total += static_cast<double>(p->value.numel());
+    kept += p->has_mask() ? static_cast<double>(p->mask.sum())
+                          : static_cast<double>(p->value.numel());
+  }
+  return total > 0.0 ? 1.0 - kept / total : 0.0;
+}
+
+}  // namespace rt

@@ -1,0 +1,70 @@
+#pragma once
+// Sparsity masks and structured-granularity grouping.
+//
+// A ticket is f(.; m ⊙ θ_pre): a binary mask m over the prunable weights of
+// a pretrained model. Granularities follow Fig. 3 of the paper:
+//   Element  — unstructured, one group per weight;
+//   Row      — one row of a conv kernel (k consecutive taps);
+//   Kernel   — one k x k kernel slice (an (out_ch, in_ch) pair);
+//   Channel  — one whole output channel / linear output neuron.
+// For linear weights, Row/Kernel/Channel all collapse to output-neuron rows.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace rt {
+
+enum class Granularity { kElement, kRow, kKernel, kChannel };
+
+const char* granularity_name(Granularity g);
+
+/// Number of pruning groups in the parameter at the given granularity.
+std::int64_t group_count(const Parameter& p, Granularity g);
+/// Scalar weights per group (uniform within a parameter).
+std::int64_t group_size(const Parameter& p, Granularity g);
+/// Group index of flat weight element i.
+std::int64_t group_of(const Parameter& p, Granularity g, std::int64_t i);
+
+/// Mean |w| per group — the magnitude score used to rank groups. Normalizing
+/// by group size keeps scores comparable across layers and granularities.
+std::vector<float> group_scores(const Parameter& p, Granularity g);
+
+/// Builds a binary mask keeping exactly the groups with keep[g] != 0.
+Tensor mask_from_group_keep(const Parameter& p, Granularity g,
+                            const std::vector<char>& keep);
+
+/// A named collection of masks; the serializable form of a ticket.
+class MaskSet {
+ public:
+  /// Installs masks into matching parameters of the model (by name) and
+  /// applies them. Parameters without an entry are left dense. Throws if an
+  /// entry has no matching parameter.
+  void apply(Module& model) const;
+
+  /// Reads the currently installed masks from a model.
+  static MaskSet capture(Module& model);
+
+  void set(const std::string& name, Tensor mask);
+  bool contains(const std::string& name) const;
+  const Tensor& get(const std::string& name) const;
+  std::size_t size() const { return masks_.size(); }
+  const std::map<std::string, Tensor>& masks() const { return masks_; }
+
+  /// Fraction of scalars zeroed across all masks in the set.
+  double sparsity() const;
+
+  /// Serialization via the tensor archive format.
+  void save(const std::string& path) const;
+  static MaskSet load(const std::string& path);
+
+ private:
+  std::map<std::string, Tensor> masks_;
+};
+
+/// Overall sparsity over a model's prunable parameters (masked fraction).
+double model_sparsity(std::vector<Parameter*> prunable);
+
+}  // namespace rt

@@ -1,0 +1,94 @@
+#include "prune/nm_sparsity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rt {
+
+namespace {
+
+void validate_config(int n, int m) {
+  if (m < 2 || n < 1 || n >= m) {
+    throw std::invalid_argument("N:M sparsity requires 1 <= n < m, m >= 2");
+  }
+}
+
+std::int64_t row_length(const Parameter& p) {
+  if (p.value.ndim() != 2) {
+    throw std::invalid_argument("N:M masks need 2-D weight matrices");
+  }
+  return p.value.dim(1);
+}
+
+}  // namespace
+
+Tensor nm_mask_for(const Parameter& p, int n, int m) {
+  validate_config(n, m);
+  const std::int64_t rows = p.value.dim(0);
+  const std::int64_t cols = row_length(p);
+  Tensor mask(p.value.shape());
+  std::vector<std::int64_t> order;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t g0 = 0; g0 < cols; g0 += m) {
+      const std::int64_t len = std::min<std::int64_t>(m, cols - g0);
+      const std::int64_t keep = std::min<std::int64_t>(n, len);
+      order.resize(static_cast<std::size_t>(len));
+      for (std::int64_t i = 0; i < len; ++i) order[static_cast<std::size_t>(i)] = i;
+      std::nth_element(
+          order.begin(), order.begin() + keep, order.end(),
+          [&](std::int64_t a, std::int64_t b) {
+            return std::fabs(p.value.at(r, g0 + a)) >
+                   std::fabs(p.value.at(r, g0 + b));
+          });
+      for (std::int64_t i = 0; i < keep; ++i) {
+        mask.at(r, g0 + order[static_cast<std::size_t>(i)]) = 1.0f;
+      }
+    }
+  }
+  return mask;
+}
+
+MaskSet nm_prune(ResNet& model, const NmConfig& config) {
+  validate_config(config.n, config.m);
+  MaskSet out;
+  for (Parameter* p : model.prunable_parameters(config.include_head)) {
+    Tensor mask = nm_mask_for(*p, config.n, config.m);
+    p->set_mask(mask);
+    out.set(p->name, std::move(mask));
+  }
+  return out;
+}
+
+bool validate_nm_mask(const Tensor& mask, int n, int m) {
+  validate_config(n, m);
+  if (mask.ndim() != 2) return false;
+  const std::int64_t rows = mask.dim(0), cols = mask.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t g0 = 0; g0 < cols; g0 += m) {
+      const std::int64_t len = std::min<std::int64_t>(m, cols - g0);
+      int kept = 0;
+      for (std::int64_t i = 0; i < len; ++i) {
+        const float v = mask.at(r, g0 + i);
+        if (v != 0.0f && v != 1.0f) return false;  // must be binary
+        if (v == 1.0f) ++kept;
+      }
+      if (kept > n) return false;
+    }
+  }
+  return true;
+}
+
+double nm_expected_sparsity(std::int64_t rows, std::int64_t cols, int n,
+                            int m) {
+  validate_config(n, m);
+  const std::int64_t full_groups = cols / m;
+  const std::int64_t tail = cols % m;
+  const std::int64_t kept_per_row =
+      full_groups * n + std::min<std::int64_t>(n, tail);
+  const double kept = static_cast<double>(rows * kept_per_row);
+  return 1.0 - kept / static_cast<double>(rows * cols);
+}
+
+}  // namespace rt

@@ -1,0 +1,40 @@
+#pragma once
+// N:M fine-grained structured sparsity (e.g. 2:4).
+//
+// Modern edge accelerators (NVIDIA Ampere sparse tensor cores and several
+// NPU ISAs) execute masks that keep at most N weights in every group of M
+// consecutive weights along the input dimension. N:M sits between the
+// paper's unstructured (element) tickets and its coarse row/kernel/channel
+// tickets: near-unstructured accuracy with real hardware speedup — exactly
+// the accuracy-vs-acceleration trade-off Fig. 3 explores. The hw cost model
+// (src/hw) prices these masks accordingly.
+
+#include "models/resnet.hpp"
+#include "prune/mask.hpp"
+
+namespace rt {
+
+struct NmConfig {
+  int n = 2;  ///< weights kept per group
+  int m = 4;  ///< group size (consecutive along the row / input dimension)
+  bool include_head = false;
+};
+
+/// Builds the magnitude-based N:M mask of one parameter: every complete
+/// group of `m` consecutive row elements keeps its `n` largest-magnitude
+/// entries; a trailing partial group of size L keeps min(n, L).
+Tensor nm_mask_for(const Parameter& p, int n, int m);
+
+/// Installs N:M masks on all prunable parameters. Overall sparsity is
+/// 1 - n/m (up to partial-group rounding).
+MaskSet nm_prune(ResNet& model, const NmConfig& config);
+
+/// Checks the N:M invariant on a (rows x cols) mask: no group of m
+/// consecutive elements within a row keeps more than n entries.
+bool validate_nm_mask(const Tensor& mask, int n, int m);
+
+/// The exact sparsity an N:M mask achieves on a (rows x cols) parameter,
+/// accounting for partial trailing groups.
+double nm_expected_sparsity(std::int64_t rows, std::int64_t cols, int n, int m);
+
+}  // namespace rt

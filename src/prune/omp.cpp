@@ -1,0 +1,72 @@
+#include "prune/omp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rt {
+
+namespace {
+
+struct GroupRef {
+  float score;
+  std::int32_t param;   ///< index into the prunable parameter list
+  std::int64_t group;   ///< group index within the parameter
+  std::int64_t weights; ///< scalars in the group
+};
+
+}  // namespace
+
+MaskSet omp_mask(ResNet& model, const OmpConfig& config) {
+  if (config.sparsity < 0.0f || config.sparsity >= 1.0f) {
+    throw std::invalid_argument("omp: sparsity must be in [0, 1)");
+  }
+  auto prunable = model.prunable_parameters(config.include_head);
+
+  std::vector<GroupRef> groups;
+  std::int64_t total_weights = 0;
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    const Parameter& p = *prunable[pi];
+    const auto scores = group_scores(p, config.granularity);
+    const std::int64_t gs = group_size(p, config.granularity);
+    for (std::size_t gi = 0; gi < scores.size(); ++gi) {
+      groups.push_back(GroupRef{scores[gi], static_cast<std::int32_t>(pi),
+                                static_cast<std::int64_t>(gi), gs});
+    }
+    total_weights += p.value.numel();
+  }
+
+  // Remove the lowest-scoring groups until the target weight count is gone.
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupRef& a, const GroupRef& b) { return a.score < b.score; });
+  const auto target_removed = static_cast<std::int64_t>(
+      static_cast<double>(config.sparsity) * static_cast<double>(total_weights));
+
+  std::vector<std::vector<char>> keep(prunable.size());
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    keep[pi].assign(
+        static_cast<std::size_t>(group_count(*prunable[pi], config.granularity)),
+        1);
+  }
+  std::int64_t removed = 0;
+  for (const GroupRef& g : groups) {
+    if (removed >= target_removed) break;
+    keep[static_cast<std::size_t>(g.param)][static_cast<std::size_t>(g.group)] = 0;
+    removed += g.weights;
+  }
+
+  MaskSet out;
+  for (std::size_t pi = 0; pi < prunable.size(); ++pi) {
+    out.set(prunable[pi]->name,
+            mask_from_group_keep(*prunable[pi], config.granularity, keep[pi]));
+  }
+  return out;
+}
+
+MaskSet omp_prune(ResNet& model, const OmpConfig& config) {
+  MaskSet masks = omp_mask(model, config);
+  masks.apply(model);
+  return masks;
+}
+
+}  // namespace rt

@@ -1,0 +1,30 @@
+#pragma once
+// One-shot magnitude pruning (OMP, scheme ① of the paper).
+//
+// Prunes the globally smallest-magnitude weights (or weight groups, for
+// structured sparsity) of a pretrained model to the target ratio. Robust and
+// natural tickets differ only in the pretrained weights the scheme is
+// applied to.
+
+#include "models/resnet.hpp"
+#include "prune/mask.hpp"
+
+namespace rt {
+
+struct OmpConfig {
+  /// Fraction of prunable weights to remove, in [0, 1).
+  float sparsity = 0.5f;
+  Granularity granularity = Granularity::kElement;
+  /// Prune the classifier head too (off by default: the head is replaced per
+  /// downstream task).
+  bool include_head = false;
+};
+
+/// Computes and installs a global magnitude mask over the model's prunable
+/// parameters. Returns the mask set (also installed in the model).
+MaskSet omp_prune(ResNet& model, const OmpConfig& config);
+
+/// Computes the mask without touching the model.
+MaskSet omp_mask(ResNet& model, const OmpConfig& config);
+
+}  // namespace rt

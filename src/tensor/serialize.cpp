@@ -1,0 +1,98 @@
+#include "tensor/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace rt {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'T', 'K', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  if (!out) throw std::runtime_error("serialize: write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("serialize: read failed");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.ndim()));
+  for (std::size_t i = 0; i < t.ndim(); ++i) {
+    write_pod<std::int64_t>(out, t.dim(i));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw std::runtime_error("serialize: tensor data write failed");
+}
+
+Tensor read_tensor(std::istream& in) {
+  const auto ndim = read_pod<std::uint32_t>(in);
+  if (ndim == 0 || ndim > 8) throw std::runtime_error("serialize: bad ndim");
+  std::vector<std::int64_t> shape(ndim);
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(in);
+    if (d <= 0 || d > (1 << 28)) throw std::runtime_error("serialize: bad dim");
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("serialize: tensor data read failed");
+  return t;
+}
+
+void write_state_dict(std::ostream& out, const StateDict& state) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(out, state.size());
+  for (const auto& [name, tensor] : state) {
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(out, tensor);
+  }
+  if (!out) throw std::runtime_error("serialize: state dict write failed");
+}
+
+StateDict read_state_dict(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + 4, kMagic)) {
+    throw std::runtime_error("serialize: bad magic");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  StateDict state;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto len = read_pod<std::uint32_t>(in);
+    if (len > 4096) throw std::runtime_error("serialize: name too long");
+    std::string name(len, '\0');
+    in.read(name.data(), len);
+    if (!in) throw std::runtime_error("serialize: name read failed");
+    state.emplace(std::move(name), read_tensor(in));
+  }
+  return state;
+}
+
+void save_state_dict(const std::string& path, const StateDict& state) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  write_state_dict(f, state);
+}
+
+StateDict load_state_dict(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  return read_state_dict(f);
+}
+
+}  // namespace rt

@@ -1,0 +1,36 @@
+#pragma once
+// Binary serialization for tensors and named tensor collections.
+//
+// Format (little-endian, as written by this process):
+//   magic "RTK1" | u64 count | per entry: u32 name_len, name bytes,
+//   u32 ndim, i64 dims..., f32 data...
+// Used to checkpoint pretrained models so experiments can share them.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+
+using StateDict = std::map<std::string, Tensor>;
+
+/// Writes one tensor (no header) to the stream. Throws on I/O error.
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Reads one tensor written by write_tensor. Throws on malformed input.
+Tensor read_tensor(std::istream& in);
+
+/// Writes a named collection with the archive header.
+void write_state_dict(std::ostream& out, const StateDict& state);
+
+/// Reads a named collection; validates the magic header.
+StateDict read_state_dict(std::istream& in);
+
+/// File-based convenience wrappers. Throw std::runtime_error on failure.
+void save_state_dict(const std::string& path, const StateDict& state);
+StateDict load_state_dict(const std::string& path);
+
+}  // namespace rt

@@ -1,0 +1,285 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/threadpool.hpp"
+
+namespace rt {
+
+std::int64_t shape_volume(const std::vector<std::int64_t>& shape) {
+  if (shape.empty()) throw std::invalid_argument("empty shape");
+  std::int64_t v = 1;
+  for (std::int64_t d : shape) {
+    if (d <= 0) throw std::invalid_argument("non-positive shape extent");
+    v *= d;
+  }
+  return v;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_volume(shape_)), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::ones(std::vector<std::int64_t> shape) {
+  return full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<std::int64_t> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<std::int64_t> shape,
+                         std::vector<float> data) {
+  if (shape_volume(shape) != static_cast<std::int64_t>(data.size())) {
+    throw std::invalid_argument("from_data: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) throw std::out_of_range("Tensor::dim");
+  return shape_[i];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ", ";
+    out << shape_[i];
+  }
+  out << ')';
+  return out.str();
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  return data_[static_cast<std::size_t>(
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  return data_[static_cast<std::size_t>(
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+Tensor& Tensor::fill_(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+}  // namespace
+
+Tensor& Tensor::add_(const Tensor& other) {
+  check_same_shape(*this, other, "add_");
+  const float* o = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o[i];
+  return *this;
+}
+
+Tensor& Tensor::add_(float scalar) {
+  for (float& v : data_) v += scalar;
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  check_same_shape(*this, other, "sub_");
+  const float* o = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  check_same_shape(*this, other, "mul_");
+  const float* o = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= o[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
+  check_same_shape(*this, x, "axpy_");
+  const float* o = x.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o[i];
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+Tensor& Tensor::sign_() {
+  for (float& v : data_) v = (v > 0.0f) ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+  return *this;
+}
+
+Tensor& Tensor::abs_() {
+  for (float& v : data_) v = std::fabs(v);
+  return *this;
+}
+
+Tensor Tensor::add(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+Tensor Tensor::sub(const Tensor& other) const {
+  Tensor out = *this;
+  out.sub_(other);
+  return out;
+}
+Tensor Tensor::mul(const Tensor& other) const {
+  Tensor out = *this;
+  out.mul_(other);
+  return out;
+}
+Tensor Tensor::scaled(float scalar) const {
+  Tensor out = *this;
+  out.mul_(scalar);
+  return out;
+}
+
+float Tensor::sum() const {
+  // Pairwise-ish accumulation in double for numeric stability of reductions
+  // over large activation tensors.
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::min(m, v);
+  return m;
+}
+
+float Tensor::max() const {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+std::int64_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("argmax of empty tensor");
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::sum_sq() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::linf_distance(const Tensor& other) const {
+  check_same_shape(*this, other, "linf_distance");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+Tensor Tensor::reshape(std::vector<std::int64_t> new_shape) const {
+  if (shape_volume(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: volume mismatch");
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul: operands must be 2-D");
+  }
+  const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  if (k != kb) throw std::invalid_argument("matmul: inner dim mismatch");
+
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  const std::int64_t lda = a.dim(1);
+  const std::int64_t ldb = b.dim(1);
+
+  auto kernel = [&](std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      float* crow = cd + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? ad[kk * lda + i] : ad[i * lda + kk];
+        if (av == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = bd + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        } else {
+          const float* bcol = bd + kk;  // stride ldb
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * bcol[j * ldb];
+        }
+      }
+    }
+  };
+
+  // Parallelize only when the work amortizes the fork/join cost.
+  if (m * n * k >= (1 << 18) && m > 1) {
+    parallel_for(m, kernel);
+  } else {
+    kernel(0, m);
+  }
+  return c;
+}
+
+}  // namespace rt

@@ -1,0 +1,109 @@
+#pragma once
+// Dense float32 tensor with value semantics.
+//
+// The training stack works entirely in NCHW layout for 4-D activation tensors
+// and (rows, cols) for 2-D weight matrices. Tensors own their storage
+// (std::vector<float>); copies are explicit deep copies, moves are cheap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rt {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. Every extent must be > 0.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  // ---- Factories -----------------------------------------------------------
+  static Tensor zeros(std::vector<std::int64_t> shape);
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  static Tensor ones(std::vector<std::int64_t> shape);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// I.i.d. Uniform[lo, hi) entries.
+  static Tensor uniform(std::vector<std::int64_t> shape, Rng& rng, float lo,
+                        float hi);
+  /// Adopts the given buffer; data.size() must equal the shape's volume.
+  static Tensor from_data(std::vector<std::int64_t> shape,
+                          std::vector<float> data);
+
+  // ---- Introspection -------------------------------------------------------
+  bool empty() const { return data_.empty(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::size_t ndim() const { return shape_.size(); }
+  std::int64_t dim(std::size_t i) const;
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_str() const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D indexed access (row, col). Tensor must be 2-D.
+  float& at(std::int64_t r, std::int64_t c);
+  float at(std::int64_t r, std::int64_t c) const;
+
+  /// 4-D indexed access (n, c, h, w). Tensor must be 4-D NCHW.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  // ---- In-place elementwise ops (return *this for chaining) ----------------
+  Tensor& fill_(float value);
+  Tensor& add_(const Tensor& other);          ///< this += other
+  Tensor& add_(float scalar);                 ///< this += scalar
+  Tensor& sub_(const Tensor& other);          ///< this -= other
+  Tensor& mul_(const Tensor& other);          ///< this *= other (Hadamard)
+  Tensor& mul_(float scalar);                 ///< this *= scalar
+  Tensor& axpy_(float alpha, const Tensor& x);///< this += alpha * x
+  Tensor& clamp_(float lo, float hi);
+  Tensor& sign_();                            ///< elementwise sign (0 -> 0)
+  Tensor& abs_();
+
+  // ---- Out-of-place elementwise ops ----------------------------------------
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;
+  Tensor scaled(float scalar) const;
+
+  // ---- Reductions -----------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Index of the global maximum (first occurrence).
+  std::int64_t argmax() const;
+  /// Sum of squares of all entries.
+  float sum_sq() const;
+  /// L-infinity distance to another same-shaped tensor.
+  float linf_distance(const Tensor& other) const;
+
+  /// Same data, new shape; volumes must match.
+  Tensor reshape(std::vector<std::int64_t> new_shape) const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// C = op(A) * op(B) where op is optional transposition.
+/// A is (m, k) after op, B is (k, n) after op; result is (m, n).
+/// Parallelizes over rows for large problems.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// Returns volume of a shape vector; throws on non-positive extents.
+std::int64_t shape_volume(const std::vector<std::int64_t>& shape);
+
+}  // namespace rt

@@ -1,0 +1,154 @@
+#include "train/loop.hpp"
+
+#include <cstdio>
+
+#include "attack/trades.hpp"
+#include "nn/loss.hpp"
+
+namespace rt {
+
+TrainStats train_classifier(Module& model, std::vector<Parameter*> params,
+                            const Dataset& train, const TrainLoopConfig& config,
+                            Rng& rng) {
+  Sgd sgd(std::move(params), config.sgd);
+  const MultiStepLr schedule(config.sgd.lr, config.lr_milestones,
+                             config.lr_gamma);
+  const int n = static_cast<int>(train.size());
+  TrainStats stats;
+  FreePerturbation free_delta(config.attack.epsilon);
+  const TradesConfig trades{config.trades_beta, config.attack};
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    sgd.set_lr(schedule.lr_at(epoch));
+    double loss_acc = 0.0;
+    std::int64_t correct = 0;
+    const auto batches = make_batches(n, config.batch_size, rng);
+    for (const auto& idx : batches) {
+      Tensor x = gather_images(train.images, idx);
+      const std::vector<int> y = gather_labels(train.labels, idx);
+      if (config.augment.enabled()) {
+        x = augment_batch(x, config.augment, rng);
+      }
+
+      float batch_loss = 0.0f;
+      Tensor logits;
+      if (config.adversarial) {
+        x = pgd_attack(model, x, y, config.attack, rng);
+      } else if (config.gaussian_sigma > 0.0f) {
+        x = gaussian_augment(x, config.gaussian_sigma, rng);
+      }
+
+      if (config.trades_beta > 0.0f) {
+        model.zero_grad();
+        const TradesStepResult step = trades_step(model, x, y, trades, rng);
+        sgd.step();
+        batch_loss = step.loss;
+        logits = step.clean_logits;
+      } else if (config.free_replays > 1) {
+        // Free-AT: replay the batch, recycling the input gradient of each
+        // step to advance a persistent perturbation.
+        model.set_training(true);
+        for (int r = 0; r < config.free_replays; ++r) {
+          const Tensor x_adv = free_delta.apply(x);
+          model.zero_grad();
+          logits = model.forward(x_adv);
+          const LossResult loss = softmax_cross_entropy(logits, y);
+          const Tensor input_grad = model.backward(loss.grad_logits);
+          sgd.step();
+          free_delta.update(input_grad);
+          batch_loss = loss.loss;
+        }
+      } else {
+        model.set_training(true);
+        model.zero_grad();
+        logits = model.forward(x);
+        const LossResult loss = softmax_cross_entropy(logits, y);
+        model.backward(loss.grad_logits);
+        sgd.step();
+        batch_loss = loss.loss;
+      }
+
+      loss_acc +=
+          static_cast<double>(batch_loss) * static_cast<double>(idx.size());
+      const auto pred = argmax_rows(logits);
+      for (std::size_t i = 0; i < pred.size(); ++i) {
+        if (pred[i] == y[i]) ++correct;
+      }
+    }
+    stats.final_loss = static_cast<float>(loss_acc / n);
+    stats.final_train_accuracy =
+        static_cast<float>(correct) / static_cast<float>(n);
+    if (config.verbose) {
+      std::printf("  epoch %2d  lr %.4f  loss %.4f  acc %.4f\n", epoch,
+                  sgd.lr(), stats.final_loss, stats.final_train_accuracy);
+    }
+  }
+  return stats;
+}
+
+TrainStats train_classifier(Module& model, const Dataset& train,
+                            const TrainLoopConfig& config, Rng& rng) {
+  return train_classifier(model, model.parameters(), train, config, rng);
+}
+
+float evaluate_accuracy(Module& model, const Dataset& test, int batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  std::int64_t correct = 0;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(test.size()), batch_size)) {
+    const Tensor x = gather_images(test.images, idx);
+    const std::vector<int> y = gather_labels(test.labels, idx);
+    const Tensor logits = model.forward(x);
+    const auto pred = argmax_rows(logits);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == y[i]) ++correct;
+    }
+  }
+  model.set_training(was_training);
+  return static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+Tensor predict_probabilities(Module& model, const Dataset& data,
+                             int batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  Tensor probs;
+  std::int64_t row = 0;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(data.size()), batch_size)) {
+    const Tensor x = gather_images(data.images, idx);
+    const Tensor p = softmax(model.forward(x));
+    if (probs.empty()) probs = Tensor({data.size(), p.dim(1)});
+    for (std::int64_t i = 0; i < p.dim(0); ++i, ++row) {
+      for (std::int64_t j = 0; j < p.dim(1); ++j) {
+        probs.at(row, j) = p.at(i, j);
+      }
+    }
+  }
+  model.set_training(was_training);
+  return probs;
+}
+
+float evaluate_adversarial_accuracy(Module& model, const Dataset& test,
+                                    const AttackConfig& attack, Rng& rng,
+                                    int batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  std::int64_t correct = 0;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(test.size()), batch_size)) {
+    const Tensor x = gather_images(test.images, idx);
+    const std::vector<int> y = gather_labels(test.labels, idx);
+    const Tensor adv = pgd_attack(model, x, y, attack, rng);
+    const Tensor logits = model.forward(adv);
+    const auto pred = argmax_rows(logits);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == y[i]) ++correct;
+    }
+  }
+  model.set_training(was_training);
+  return static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+}  // namespace rt

@@ -1,0 +1,67 @@
+#pragma once
+// Generic classification training/evaluation loops.
+//
+// Shared by pretraining, IMP inner training, finetuning and linear
+// evaluation. Works on any Module mapping (N,3,H,W) -> (N,C) logits.
+
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "nn/optim.hpp"
+
+namespace rt {
+
+struct TrainLoopConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  SgdConfig sgd{0.05f, 0.9f, 1e-4f};
+  /// Epochs at which the learning rate is multiplied by lr_gamma (the paper
+  /// decays by 0.1 at 1/3 and 2/3 of training; callers pass scaled values).
+  std::vector<int> lr_milestones;
+  float lr_gamma = 0.1f;
+
+  // Objective modifiers (mutually exclusive; checked in this order).
+  bool adversarial = false;      ///< PGD minimax objective (Eq. 1)
+  AttackConfig attack;
+  float trades_beta = 0.0f;      ///< >0: TRADES objective with this beta
+  int free_replays = 0;          ///< >1: Free-AT with m batch replays
+  float gaussian_sigma = 0.0f;   ///< >0: randomized-smoothing augmentation
+  /// Standard augmentation (flip/shift), applied before any adversarial or
+  /// Gaussian perturbation. Disabled by default to keep micro-runs fast.
+  AugmentConfig augment{false, 0};
+
+  bool verbose = false;          ///< per-epoch loss/accuracy to stdout
+};
+
+struct TrainStats {
+  float final_loss = 0.0f;
+  float final_train_accuracy = 0.0f;
+};
+
+/// Trains `model` in place on `train` with SGD over `params` (pass
+/// model.parameters() for whole-model training, or a subset to freeze the
+/// rest). Masked parameters stay masked throughout.
+TrainStats train_classifier(Module& model, std::vector<Parameter*> params,
+                            const Dataset& train, const TrainLoopConfig& config,
+                            Rng& rng);
+
+/// Convenience overload training all parameters.
+TrainStats train_classifier(Module& model, const Dataset& train,
+                            const TrainLoopConfig& config, Rng& rng);
+
+/// Top-1 accuracy on a dataset (eval mode; mode restored afterwards).
+float evaluate_accuracy(Module& model, const Dataset& test,
+                        int batch_size = 64);
+
+/// Softmax probabilities for the whole dataset (eval mode), shape (N, C).
+Tensor predict_probabilities(Module& model, const Dataset& data,
+                             int batch_size = 64);
+
+/// Accuracy under PGD attack (Adv-Acc).
+float evaluate_adversarial_accuracy(Module& model, const Dataset& test,
+                                    const AttackConfig& attack, Rng& rng,
+                                    int batch_size = 64);
+
+}  // namespace rt

@@ -1,0 +1,74 @@
+#include "transfer/det_transfer.hpp"
+
+#include <cstdio>
+
+namespace rt {
+
+namespace {
+
+std::vector<std::vector<DetObject>> gather_objects(
+    const std::vector<std::vector<DetObject>>& objects,
+    const std::vector<int>& idx) {
+  std::vector<std::vector<DetObject>> out;
+  out.reserve(idx.size());
+  for (int i : idx) out.push_back(objects[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+double evaluate_map(DetectionNet& net, const DetDataset& data,
+                    float score_threshold, int batch_size) {
+  const bool was_training = net.training();
+  net.set_training(false);
+  std::vector<std::vector<Detection>> all_pred;
+  std::vector<std::vector<DetObject>> all_truth;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(data.size()), batch_size)) {
+    const Tensor x = gather_images(data.images, idx);
+    const Tensor head_map = net.forward(x);
+    auto pred = decode_detections(head_map, net.num_classes(), net.stride(),
+                                  score_threshold);
+    for (auto& p : pred) all_pred.push_back(std::move(p));
+    auto truth = gather_objects(data.objects, idx);
+    for (auto& t : truth) all_truth.push_back(std::move(t));
+  }
+  net.set_training(was_training);
+  return detection_map(all_pred, all_truth, data.num_classes);
+}
+
+double detection_transfer(std::unique_ptr<ResNet> backbone,
+                          const DetDataset& train, const DetDataset& test,
+                          const DetTransferConfig& config, Rng& rng) {
+  DetectionNet net(std::move(backbone), train.num_classes,
+                   config.feature_stage, rng);
+  Sgd sgd(net.parameters(), config.sgd);
+  const MultiStepLr schedule(config.sgd.lr,
+                             {config.epochs / 2, (3 * config.epochs) / 4});
+  const int n = static_cast<int>(train.size());
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    sgd.set_lr(schedule.lr_at(epoch));
+    double loss_acc = 0.0;
+    for (const auto& idx : make_batches(n, config.batch_size, rng)) {
+      const Tensor x = gather_images(train.images, idx);
+      const auto truth = gather_objects(train.objects, idx);
+      net.set_training(true);
+      net.zero_grad();
+      const Tensor head_map = net.forward(x);
+      const DetLossResult loss =
+          detection_loss(head_map, truth, train.num_classes, net.stride(),
+                         config.box_weight);
+      net.backward(loss.grad);
+      sgd.step();
+      loss_acc +=
+          static_cast<double>(loss.loss) * static_cast<double>(idx.size());
+    }
+    if (config.verbose) {
+      std::printf("  det epoch %2d loss %.4f\n", epoch, loss_acc / n);
+    }
+  }
+  return evaluate_map(net, test, config.score_threshold);
+}
+
+}  // namespace rt

@@ -1,0 +1,37 @@
+#pragma once
+// Object-detection transfer (Fig. 7(a)): reuse a (possibly pruned)
+// pretrained backbone inside the anchor-free detection head and finetune on
+// the synthetic detection task.
+
+#include <memory>
+
+#include "data/detection_data.hpp"
+#include "models/detection.hpp"
+#include "nn/optim.hpp"
+
+namespace rt {
+
+struct DetTransferConfig {
+  int epochs = 10;
+  int batch_size = 16;
+  /// Default rate suits from-scratch micro backbones; PRETRAINED backbones
+  /// need ~0.002 (the detection loss diverges at classification-finetune
+  /// rates on deep bottleneck nets — see bench_fig7a_detection).
+  SgdConfig sgd{0.05f, 0.9f, 1e-4f};
+  int feature_stage = 1;    ///< stride-2 feature map: one cell per object
+  float box_weight = 2.0f;  ///< box-loss weight against the class CE
+  float score_threshold = 0.35f;
+  bool verbose = false;
+};
+
+/// Builds a DetectionNet around the backbone, finetunes the whole network
+/// (masks preserved) on `train`, and returns the test mAP@0.5.
+double detection_transfer(std::unique_ptr<ResNet> backbone,
+                          const DetDataset& train, const DetDataset& test,
+                          const DetTransferConfig& config, Rng& rng);
+
+/// mAP@0.5 of a trained detector on a dataset.
+double evaluate_map(DetectionNet& net, const DetDataset& data,
+                    float score_threshold = 0.5f, int batch_size = 32);
+
+}  // namespace rt

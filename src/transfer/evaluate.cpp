@@ -1,0 +1,31 @@
+#include "transfer/evaluate.hpp"
+
+namespace rt {
+
+EvalReport evaluate_full(ResNet& model, const Dataset& test,
+                         const Dataset& ood, const EvalConfig& config) {
+  EvalReport report;
+  report.accuracy = evaluate_accuracy(model, test, config.batch_size);
+
+  Rng rng(config.seed);
+  report.adv_accuracy = evaluate_adversarial_accuracy(
+      model, test, config.attack, rng, config.batch_size);
+
+  const Dataset corrupted = corrupt_dataset(test, config.corrupt_sigma,
+                                            config.corrupt_blur,
+                                            config.seed ^ 0xC0FFEEULL);
+  report.corrupt_accuracy =
+      evaluate_accuracy(model, corrupted, config.batch_size);
+
+  const Tensor probs = predict_probabilities(model, test, config.batch_size);
+  report.ece = expected_calibration_error(probs, test.labels, config.ece_bins);
+  report.nll = negative_log_likelihood(probs, test.labels);
+
+  const Tensor ood_probs =
+      predict_probabilities(model, ood, config.batch_size);
+  report.ood_auc = roc_auc(max_softmax_scores(probs),
+                           max_softmax_scores(ood_probs));
+  return report;
+}
+
+}  // namespace rt

@@ -1,0 +1,37 @@
+#pragma once
+// The full per-ticket metric battery of Fig. 8 / Tab. I:
+// clean accuracy, adversarial accuracy, corruption accuracy, ECE, NLL, and
+// OoD-detection ROC-AUC (max-softmax-probability score).
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "models/resnet.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+
+struct EvalReport {
+  double accuracy = 0.0;
+  double adv_accuracy = 0.0;
+  double corrupt_accuracy = 0.0;
+  double ece = 0.0;
+  double nll = 0.0;
+  double ood_auc = 0.0;
+};
+
+struct EvalConfig {
+  AttackConfig attack{0.06f, 0.015f, 10, true};  ///< eval PGD
+  float corrupt_sigma = 0.08f;
+  bool corrupt_blur = true;
+  int ece_bins = 15;
+  int batch_size = 64;
+  std::uint64_t seed = 99;
+};
+
+/// Runs the whole battery on a finetuned model. `ood` supplies the
+/// out-of-distribution negatives (in-distribution test samples are the
+/// positives for the MSP detector).
+EvalReport evaluate_full(ResNet& model, const Dataset& test,
+                         const Dataset& ood, const EvalConfig& config);
+
+}  // namespace rt

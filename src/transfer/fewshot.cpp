@@ -1,0 +1,42 @@
+#include "transfer/fewshot.hpp"
+
+#include "data/tasks.hpp"
+#include "prune/mask.hpp"
+
+namespace rt {
+
+std::unique_ptr<ResNet> clone_ticket(ResNet& model) {
+  Rng init_rng(0);  // initialization is immediately overwritten
+  auto clone = std::make_unique<ResNet>(model.config(), init_rng);
+  if (clone->head().out_features() != model.head().out_features()) {
+    clone->reset_head(static_cast<int>(model.head().out_features()),
+                      init_rng);
+  }
+  clone->load_state(model.state_dict());
+  MaskSet::capture(model).apply(*clone);
+  clone->set_training(model.training());
+  return clone;
+}
+
+std::vector<FewShotPoint> fewshot_sweep(ResNet& ticket,
+                                        const std::string& task_name,
+                                        const FewShotConfig& config,
+                                        Rng& rng) {
+  std::vector<FewShotPoint> out;
+  out.reserve(config.train_sizes.size());
+  for (int n : config.train_sizes) {
+    const TaskData task = load_task(task_name, n, config.test_size);
+    auto model = clone_ticket(ticket);
+    Rng point_rng = rng.split();
+    FewShotPoint point;
+    point.train_size = n;
+    point.accuracy =
+        config.linear
+            ? linear_eval(*model, task, config.linear_eval, point_rng)
+            : finetune_whole_model(*model, task, config.finetune, point_rng);
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace rt

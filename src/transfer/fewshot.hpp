@@ -1,0 +1,43 @@
+#pragma once
+// Few-shot transfer: accuracy as a function of the downstream data budget.
+//
+// The paper's whole motivation for transfer learning is downstream tasks
+// where "collecting high-quality annotated data at scale is difficult"; the
+// robust-prior question is sharpest exactly when data is scarce. This
+// harness sweeps the downstream training-set size for a fixed ticket,
+// cloning the ticket per point so budgets are independent.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transfer/finetune.hpp"
+
+namespace rt {
+
+/// Deep copy of a (possibly pruned) model: same config, weights, buffers,
+/// masks, head shape, and train/eval mode. The clone is fully independent.
+std::unique_ptr<ResNet> clone_ticket(ResNet& model);
+
+struct FewShotConfig {
+  std::vector<int> train_sizes{25, 50, 100, 200, 400};
+  int test_size = 320;
+  FinetuneConfig finetune;
+  /// Linear evaluation instead of whole-model finetuning.
+  bool linear = false;
+  LinearEvalConfig linear_eval;
+};
+
+struct FewShotPoint {
+  int train_size = 0;
+  float accuracy = 0.0f;
+};
+
+/// Runs the sweep for one ticket on one named suite task. Each point clones
+/// the ticket, draws `train_size` downstream samples, adapts, and reports
+/// test accuracy on a fixed `test_size` split.
+std::vector<FewShotPoint> fewshot_sweep(ResNet& ticket,
+                                        const std::string& task_name,
+                                        const FewShotConfig& config, Rng& rng);
+
+}  // namespace rt

@@ -1,0 +1,108 @@
+#include "transfer/finetune.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rt {
+
+float finetune_whole_model(ResNet& model, const TaskData& task,
+                           const FinetuneConfig& config, Rng& rng) {
+  model.reset_head(task.train.num_classes, rng);
+  TrainLoopConfig loop;
+  loop.epochs = config.epochs;
+  loop.batch_size = config.batch_size;
+  loop.sgd = config.sgd;
+  loop.lr_milestones = {config.epochs / 3, (2 * config.epochs) / 3};
+  loop.verbose = config.verbose;
+  train_classifier(model, task.train, loop, rng);
+  return evaluate_accuracy(model, task.test);
+}
+
+Tensor extract_features(ResNet& model, const Tensor& images, int batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  Tensor features;
+  std::int64_t row = 0;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(images.dim(0)), batch_size)) {
+    const Tensor x = gather_images(images, idx);
+    const Tensor f = model.forward_features(x);
+    if (features.empty()) features = Tensor({images.dim(0), f.dim(1)});
+    for (std::int64_t i = 0; i < f.dim(0); ++i, ++row) {
+      for (std::int64_t j = 0; j < f.dim(1); ++j) {
+        features.at(row, j) = f.at(i, j);
+      }
+    }
+  }
+  model.set_training(was_training);
+  return features;
+}
+
+float finetune_lp_ft(ResNet& model, const TaskData& task,
+                     const LinearEvalConfig& probe,
+                     const FinetuneConfig& finetune, Rng& rng) {
+  linear_eval(model, task, probe, rng);  // leaves the trained head in place
+  TrainLoopConfig loop;
+  loop.epochs = finetune.epochs;
+  loop.batch_size = finetune.batch_size;
+  loop.sgd = finetune.sgd;
+  loop.lr_milestones = {finetune.epochs / 3, (2 * finetune.epochs) / 3};
+  loop.verbose = finetune.verbose;
+  train_classifier(model, task.train, loop, rng);
+  return evaluate_accuracy(model, task.test);
+}
+
+float finetune_partial(ResNet& model, const TaskData& task, int freeze_stages,
+                       const FinetuneConfig& config, Rng& rng) {
+  if (freeze_stages < 0 || freeze_stages > model.num_stages()) {
+    throw std::invalid_argument("finetune_partial: bad freeze_stages");
+  }
+  model.reset_head(task.train.num_classes, rng);
+  const std::size_t first_trainable =
+      freeze_stages == 0
+          ? 0
+          : static_cast<std::size_t>(model.stage_end_index(freeze_stages - 1));
+  std::vector<Parameter*> params;
+  for (std::size_t i = first_trainable; i < model.trunk_size(); ++i) {
+    model.trunk_module(i).collect_parameters(params);
+  }
+  model.head().collect_parameters(params);
+
+  TrainLoopConfig loop;
+  loop.epochs = config.epochs;
+  loop.batch_size = config.batch_size;
+  loop.sgd = config.sgd;
+  loop.lr_milestones = {config.epochs / 3, (2 * config.epochs) / 3};
+  loop.verbose = config.verbose;
+  train_classifier(model, std::move(params), task.train, loop, rng);
+  return evaluate_accuracy(model, task.test);
+}
+
+float linear_eval(ResNet& model, const TaskData& task,
+                  const LinearEvalConfig& config, Rng& rng) {
+  // Precompute frozen features once; the linear head then trains at a cost
+  // independent of backbone depth.
+  Dataset train_feat;
+  train_feat.images = extract_features(model, task.train.images);
+  train_feat.labels = task.train.labels;
+  train_feat.num_classes = task.train.num_classes;
+  Dataset test_feat;
+  test_feat.images = extract_features(model, task.test.images);
+  test_feat.labels = task.test.labels;
+  test_feat.num_classes = task.test.num_classes;
+
+  model.reset_head(task.train.num_classes, rng);
+  Linear& head = model.head();
+  TrainLoopConfig loop;
+  loop.epochs = config.epochs;
+  loop.batch_size = config.batch_size;
+  loop.sgd = config.sgd;
+  loop.lr_milestones = {config.epochs / 2, (3 * config.epochs) / 4};
+  loop.verbose = config.verbose;
+  std::vector<Parameter*> head_params;
+  head.collect_parameters(head_params);
+  train_classifier(head, head_params, train_feat, loop, rng);
+  return evaluate_accuracy(head, test_feat);
+}
+
+}  // namespace rt

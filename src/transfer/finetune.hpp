@@ -1,0 +1,58 @@
+#pragma once
+// Downstream adaptation: whole-model finetuning and linear evaluation.
+
+#include "data/tasks.hpp"
+#include "models/resnet.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+
+struct FinetuneConfig {
+  int epochs = 9;
+  int batch_size = 32;
+  SgdConfig sgd{0.02f, 0.9f, 1e-4f};
+  bool verbose = false;
+};
+
+/// Whole-model finetuning: replaces the head for the task's class count and
+/// trains everything. Masked (pruned) weights remain exactly zero. Returns
+/// downstream test accuracy.
+float finetune_whole_model(ResNet& model, const TaskData& task,
+                           const FinetuneConfig& config, Rng& rng);
+
+struct LinearEvalConfig {
+  int epochs = 40;
+  int batch_size = 64;
+  SgdConfig sgd{0.1f, 0.9f, 1e-4f};
+  bool verbose = false;
+};
+
+/// Linear evaluation: the backbone is frozen as a feature extractor (features
+/// precomputed once, which is exact because nothing upstream changes) and a
+/// fresh linear classifier is trained on top. Returns test accuracy. The
+/// model's head is replaced by the trained classifier.
+float linear_eval(ResNet& model, const TaskData& task,
+                  const LinearEvalConfig& config, Rng& rng);
+
+/// Frozen-backbone features of a batch of images, shape (N, feature_dim).
+Tensor extract_features(ResNet& model, const Tensor& images,
+                        int batch_size = 64);
+
+/// LP-FT (linear probe, then finetune): first trains a fresh head on frozen
+/// features (exactly linear_eval), then finetunes the whole model from that
+/// head. Avoids the feature distortion of finetuning from a random head
+/// (Kumar et al. 2022) and is the stronger protocol at small data budgets.
+/// Returns downstream test accuracy after the finetuning phase.
+float finetune_lp_ft(ResNet& model, const TaskData& task,
+                     const LinearEvalConfig& probe,
+                     const FinetuneConfig& finetune, Rng& rng);
+
+/// Partial finetuning: the first `freeze_stages` trunk stages stay frozen
+/// (their weights receive no updates; batch-norm statistics still track the
+/// finetuning data, as is standard) and the rest plus a fresh head train.
+/// freeze_stages == 0 is whole-model finetuning; == num_stages() leaves only
+/// the head trainable (but on live, not precomputed, features).
+float finetune_partial(ResNet& model, const TaskData& task, int freeze_stages,
+                       const FinetuneConfig& config, Rng& rng);
+
+}  // namespace rt

@@ -1,0 +1,53 @@
+#include "transfer/pretrain.hpp"
+
+namespace rt {
+
+const char* scheme_name(PretrainScheme scheme) {
+  switch (scheme) {
+    case PretrainScheme::kNatural: return "natural";
+    case PretrainScheme::kAdversarial: return "adversarial";
+    case PretrainScheme::kRandomizedSmoothing: return "rand-smooth";
+    case PretrainScheme::kTrades: return "trades";
+    case PretrainScheme::kFreeAdversarial: return "free-adv";
+  }
+  return "?";
+}
+
+const std::vector<PretrainScheme>& all_pretrain_schemes() {
+  static const std::vector<PretrainScheme> schemes{
+      PretrainScheme::kNatural,
+      PretrainScheme::kAdversarial,
+      PretrainScheme::kRandomizedSmoothing,
+      PretrainScheme::kTrades,
+      PretrainScheme::kFreeAdversarial,
+  };
+  return schemes;
+}
+
+TrainStats pretrain(ResNet& model, const Dataset& source_train,
+                    const PretrainConfig& config, Rng& rng) {
+  TrainLoopConfig loop;
+  loop.epochs = config.epochs;
+  loop.batch_size = config.batch_size;
+  loop.sgd = config.sgd;
+  loop.lr_milestones = {config.epochs / 2, (3 * config.epochs) / 4};
+  loop.adversarial = config.scheme == PretrainScheme::kAdversarial;
+  loop.attack = config.attack;
+  loop.gaussian_sigma = config.scheme == PretrainScheme::kRandomizedSmoothing
+                            ? config.smoothing_sigma
+                            : 0.0f;
+  if (config.scheme == PretrainScheme::kTrades) {
+    loop.trades_beta = config.trades_beta;
+  }
+  if (config.scheme == PretrainScheme::kFreeAdversarial) {
+    loop.free_replays = config.free_replays;
+    // Free-AT effectively trains free_replays times per batch; shrink the
+    // epoch budget so its cost matches natural training (the scheme's point).
+    loop.epochs = std::max(1, config.epochs / config.free_replays);
+    loop.lr_milestones = {loop.epochs / 2, (3 * loop.epochs) / 4};
+  }
+  loop.verbose = config.verbose;
+  return train_classifier(model, source_train, loop, rng);
+}
+
+}  // namespace rt

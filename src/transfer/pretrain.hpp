@@ -1,0 +1,42 @@
+#pragma once
+// Source-task pretraining under the three schemes of the paper:
+// natural, PGD adversarial training (default robustifier), and
+// randomized-smoothing-style Gaussian augmentation (Fig. 6 alternative).
+
+#include "data/tasks.hpp"
+#include "models/resnet.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+
+enum class PretrainScheme {
+  kNatural,
+  kAdversarial,          ///< PGD adversarial training (Madry et al. [16])
+  kRandomizedSmoothing,  ///< Gaussian-noise augmentation (Cohen et al. [3])
+  kTrades,               ///< CE + beta * KL robust objective (Zhang et al.)
+  kFreeAdversarial,      ///< batch-replay free AT (Shafahi et al. [20])
+};
+
+const char* scheme_name(PretrainScheme scheme);
+
+/// All pretraining schemes, natural first (bench iteration order).
+const std::vector<PretrainScheme>& all_pretrain_schemes();
+
+struct PretrainConfig {
+  PretrainScheme scheme = PretrainScheme::kNatural;
+  int epochs = 14;
+  int batch_size = 32;
+  SgdConfig sgd{0.05f, 0.9f, 5e-4f};
+  AttackConfig attack;          ///< used by kAdversarial / kTrades / kFree*
+  float smoothing_sigma = 0.12f;///< used when scheme == kRandomizedSmoothing
+  float trades_beta = 4.0f;     ///< used when scheme == kTrades
+  int free_replays = 4;         ///< used when scheme == kFreeAdversarial
+  bool verbose = false;
+};
+
+/// Trains `model` in place on the source training set. LR decays by 0.1 at
+/// 1/2 and 3/4 of the epoch budget (the scaled-down paper recipe).
+TrainStats pretrain(ResNet& model, const Dataset& source_train,
+                    const PretrainConfig& config, Rng& rng);
+
+}  // namespace rt

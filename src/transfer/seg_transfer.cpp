@@ -1,0 +1,97 @@
+#include "transfer/seg_transfer.hpp"
+
+#include <cstdio>
+
+#include "nn/loss.hpp"
+
+namespace rt {
+
+namespace {
+
+/// Gathers flat per-pixel labels for the given sample indices.
+std::vector<int> gather_pixel_labels(const std::vector<int>& labels,
+                                     const std::vector<int>& idx,
+                                     std::int64_t pixels_per_image) {
+  std::vector<int> out;
+  out.reserve(idx.size() * static_cast<std::size_t>(pixels_per_image));
+  for (int i : idx) {
+    const auto begin = labels.begin() +
+                       static_cast<std::ptrdiff_t>(i * pixels_per_image);
+    out.insert(out.end(), begin, begin + pixels_per_image);
+  }
+  return out;
+}
+
+std::vector<int> predict_pixels(SegmentationNet& net, const Tensor& x) {
+  const Tensor logits = net.forward(x);
+  const std::int64_t n = logits.dim(0), c = logits.dim(1),
+                     hw = logits.dim(2) * logits.dim(3);
+  std::vector<int> pred(static_cast<std::size_t>(n * hw));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t px = 0; px < hw; ++px) {
+      std::int64_t best = 0;
+      for (std::int64_t ch = 1; ch < c; ++ch) {
+        if (logits.data()[(i * c + ch) * hw + px] >
+            logits.data()[(i * c + best) * hw + px]) {
+          best = ch;
+        }
+      }
+      pred[static_cast<std::size_t>(i * hw + px)] = static_cast<int>(best);
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+double evaluate_miou(SegmentationNet& net, const SegDataset& data,
+                     int batch_size) {
+  const bool was_training = net.training();
+  net.set_training(false);
+  const std::int64_t hw = data.images.dim(2) * data.images.dim(3);
+  std::vector<int> pred, truth;
+  for (const auto& idx :
+       make_eval_batches(static_cast<int>(data.size()), batch_size)) {
+    const Tensor x = gather_images(data.images, idx);
+    const auto batch_pred = predict_pixels(net, x);
+    pred.insert(pred.end(), batch_pred.begin(), batch_pred.end());
+    const auto batch_truth = gather_pixel_labels(data.labels, idx, hw);
+    truth.insert(truth.end(), batch_truth.begin(), batch_truth.end());
+  }
+  net.set_training(was_training);
+  return mean_iou(pred, truth, data.num_classes);
+}
+
+double segmentation_transfer(std::unique_ptr<ResNet> backbone,
+                             const SegDataset& train, const SegDataset& test,
+                             const SegTransferConfig& config, Rng& rng) {
+  SegmentationNet net(std::move(backbone), train.num_classes,
+                      config.feature_stage, rng);
+  Sgd sgd(net.parameters(), config.sgd);
+  const MultiStepLr schedule(config.sgd.lr,
+                             {config.epochs / 2, (3 * config.epochs) / 4});
+  const std::int64_t hw = train.images.dim(2) * train.images.dim(3);
+  const int n = static_cast<int>(train.size());
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    sgd.set_lr(schedule.lr_at(epoch));
+    double loss_acc = 0.0;
+    for (const auto& idx : make_batches(n, config.batch_size, rng)) {
+      const Tensor x = gather_images(train.images, idx);
+      const auto y = gather_pixel_labels(train.labels, idx, hw);
+      net.set_training(true);
+      net.zero_grad();
+      const Tensor logits = net.forward(x);
+      const LossResult loss = softmax_cross_entropy_2d(logits, y);
+      net.backward(loss.grad_logits);
+      sgd.step();
+      loss_acc += static_cast<double>(loss.loss) * static_cast<double>(idx.size());
+    }
+    if (config.verbose) {
+      std::printf("  seg epoch %2d loss %.4f\n", epoch, loss_acc / n);
+    }
+  }
+  return evaluate_miou(net, test);
+}
+
+}  // namespace rt

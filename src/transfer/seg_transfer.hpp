@@ -1,0 +1,31 @@
+#pragma once
+// Segmentation transfer (Fig. 7): reuse a (possibly pruned) pretrained
+// backbone inside an FCN head and finetune on the dense-prediction task.
+
+#include <memory>
+
+#include "data/segmentation_data.hpp"
+#include "models/segmentation.hpp"
+#include "nn/optim.hpp"
+
+namespace rt {
+
+struct SegTransferConfig {
+  int epochs = 8;
+  int batch_size = 16;
+  SgdConfig sgd{0.05f, 0.9f, 1e-4f};
+  int feature_stage = 2;  ///< backbone stage feeding the classifier
+  bool verbose = false;
+};
+
+/// Builds a SegmentationNet around the backbone, finetunes the whole network
+/// (masks preserved) on `train`, and returns the test mIoU.
+double segmentation_transfer(std::unique_ptr<ResNet> backbone,
+                             const SegDataset& train, const SegDataset& test,
+                             const SegTransferConfig& config, Rng& rng);
+
+/// mIoU of a trained segmentation net on a dataset.
+double evaluate_miou(SegmentationNet& net, const SegDataset& data,
+                     int batch_size = 32);
+
+}  // namespace rt

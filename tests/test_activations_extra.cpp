@@ -1,0 +1,114 @@
+// New pointwise activations (LeakyReLU / GELU / SiLU): known values,
+// finite-difference gradient checks, and shape preservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.hpp"
+
+namespace rt {
+namespace {
+
+using ActivationFactory = std::function<std::unique_ptr<Module>()>;
+
+struct ActivationCase {
+  const char* name;
+  ActivationFactory make;
+};
+
+class ActivationTest : public ::testing::TestWithParam<ActivationCase> {};
+
+TEST_P(ActivationTest, PreservesShapeAndIsFinite) {
+  auto act = GetParam().make();
+  Rng rng(1);
+  const Tensor x = Tensor::randn({4, 3, 5, 5}, rng, 2.0f);
+  const Tensor y = act->forward(x);
+  ASSERT_TRUE(y.same_shape(x));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y[i]));
+  }
+}
+
+TEST_P(ActivationTest, FixesZero) {
+  auto act = GetParam().make();
+  const Tensor x = Tensor::zeros({1, 4});
+  const Tensor y = act->forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], 0.0f);
+  }
+}
+
+TEST_P(ActivationTest, IdentityLikeForLargePositiveInputs) {
+  auto act = GetParam().make();
+  const Tensor x = Tensor::full({1, 3}, 20.0f);
+  const Tensor y = act->forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y[i], 20.0f, 1e-3f);
+  }
+}
+
+TEST_P(ActivationTest, BackwardMatchesFiniteDifference) {
+  auto act = GetParam().make();
+  Rng rng(2);
+  Tensor x = Tensor::randn({2, 6}, rng, 1.5f);
+  const Tensor y = act->forward(x);
+  // Scalar objective L = sum(y); dL/dy = 1.
+  const Tensor grad = act->backward(Tensor::ones(y.shape()));
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const float up = act->forward(x).sum();
+    x[i] = saved - eps;
+    const float dn = act->forward(x).sum();
+    x[i] = saved;
+    act->forward(x);  // restore cache for consistency
+    EXPECT_NEAR(grad[i], (up - dn) / (2.0f * eps), 5e-3f)
+        << GetParam().name << " element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pointwise, ActivationTest,
+    ::testing::Values(
+        ActivationCase{"LeakyReLU",
+                       [] { return std::make_unique<LeakyReLU>(0.1f); }},
+        ActivationCase{"GELU", [] { return std::make_unique<GELU>(); }},
+        ActivationCase{"SiLU", [] { return std::make_unique<SiLU>(); }}),
+    [](const ::testing::TestParamInfo<ActivationCase>& info) {
+      return info.param.name;
+    });
+
+TEST(LeakyReluTest, NegativeSlopeIsExact) {
+  LeakyReLU act(0.2f);
+  const Tensor x = Tensor::from_data({1, 3}, {-2.0f, 0.0f, 3.0f});
+  const Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -0.4f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(GeluTest, MatchesErfDefinitionAtKnownPoints) {
+  GELU act;
+  const Tensor x = Tensor::from_data({1, 2}, {1.0f, -1.0f});
+  const Tensor y = act.forward(x);
+  const float phi1 = 0.5f * (1.0f + std::erf(1.0f / std::sqrt(2.0f)));
+  EXPECT_NEAR(y[0], phi1, 1e-6f);
+  EXPECT_NEAR(y[1], -(1.0f - phi1), 1e-6f);
+}
+
+TEST(SiluTest, GlobalMinimumNearMinus1p278) {
+  // SiLU's minimum value is about -0.2785 at x ~ -1.2785.
+  SiLU act;
+  const Tensor x = Tensor::from_data({1, 1}, {-1.2785f});
+  const Tensor y = act.forward(x);
+  EXPECT_NEAR(y[0], -0.2785f, 1e-3f);
+  // Gradient at the minimum is ~0.
+  const Tensor g = act.backward(Tensor::ones({1, 1}));
+  EXPECT_NEAR(g[0], 0.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace rt

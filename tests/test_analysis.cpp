@@ -1,0 +1,378 @@
+// Analysis-module tests: CKA invariances, mask overlap statistics, feature
+// probes, correlation utilities, and the sharpness probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/cka.hpp"
+#include "analysis/correlation.hpp"
+#include "analysis/features.hpp"
+#include "analysis/landscape.hpp"
+#include "analysis/mask_stats.hpp"
+#include "data/synth.hpp"
+#include "data/tasks.hpp"
+#include "prune/omp.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+namespace {
+
+std::unique_ptr<ResNet> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  return std::make_unique<ResNet>(cfg, rng);
+}
+
+// ---------------------------------------------------------------------------
+// CKA
+// ---------------------------------------------------------------------------
+
+TEST(CkaTest, SelfSimilarityIsOne) {
+  Rng rng(1);
+  const Tensor x = Tensor::randn({32, 6}, rng);
+  EXPECT_NEAR(linear_cka(x, x), 1.0, 1e-6);
+}
+
+TEST(CkaTest, InvariantToIsotropicScaling) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn({24, 5}, rng);
+  const Tensor y = Tensor::randn({24, 7}, rng);
+  const double base = linear_cka(x, y);
+  EXPECT_NEAR(linear_cka(x.scaled(3.7f), y), base, 1e-6);
+  EXPECT_NEAR(linear_cka(x, y.scaled(0.02f)), base, 1e-6);
+}
+
+TEST(CkaTest, InvariantToOrthogonalTransform) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn({40, 2}, rng);
+  const Tensor y = Tensor::randn({40, 3}, rng);
+  const double base = linear_cka(x, y);
+  // Rotate the 2-D representation by 40 degrees.
+  const float a = 40.0f * 3.14159265f / 180.0f;
+  Tensor xr({40, 2});
+  for (std::int64_t i = 0; i < 40; ++i) {
+    xr.at(i, 0) = std::cos(a) * x.at(i, 0) - std::sin(a) * x.at(i, 1);
+    xr.at(i, 1) = std::sin(a) * x.at(i, 0) + std::cos(a) * x.at(i, 1);
+  }
+  EXPECT_NEAR(linear_cka(xr, y), base, 1e-5);
+}
+
+TEST(CkaTest, BoundedAndLowForIndependentFeatures) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn({200, 4}, rng);
+  const Tensor y = Tensor::randn({200, 4}, rng);
+  const double cka = linear_cka(x, y);
+  EXPECT_GE(cka, 0.0);
+  EXPECT_LE(cka, 1.0);
+  EXPECT_LT(cka, 0.35);  // independent high-n features decorrelate
+}
+
+TEST(CkaTest, RejectsMismatchedRows) {
+  Rng rng(5);
+  EXPECT_THROW(
+      linear_cka(Tensor::randn({8, 3}, rng), Tensor::randn({9, 3}, rng)),
+      std::invalid_argument);
+}
+
+TEST(CkaStageProfileTest, IdenticalModelsScoreOneEverywhere) {
+  auto model = tiny_model(6);
+  const Dataset d = generate_dataset(source_task_spec(), 16, 7);
+  const auto profile = cka_stage_profile(*model, *model, d.images);
+  ASSERT_EQ(profile.size(), static_cast<std::size_t>(model->num_stages()) + 1);
+  for (double v : profile) EXPECT_NEAR(v, 1.0, 1e-5);
+}
+
+TEST(CkaStageProfileTest, DifferentInitsDivergeButStayBounded) {
+  auto a = tiny_model(7);
+  auto b = tiny_model(8);
+  const Dataset d = generate_dataset(source_task_spec(), 24, 9);
+  const auto profile = cka_stage_profile(*a, *b, d.images);
+  for (double v : profile) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  // At least one stage must differ from perfect similarity.
+  bool any_below = false;
+  for (double v : profile) any_below = any_below || v < 0.999;
+  EXPECT_TRUE(any_below);
+}
+
+// ---------------------------------------------------------------------------
+// Mask statistics
+// ---------------------------------------------------------------------------
+
+TEST(MaskOverlapTest, IdenticalMasksAreFullyOverlapping) {
+  auto model = tiny_model(10);
+  OmpConfig cfg;
+  cfg.sparsity = 0.5f;
+  const MaskSet m = omp_prune(*model, cfg);
+  const MaskOverlap o = mask_overlap(m, m);
+  EXPECT_DOUBLE_EQ(o.iou, 1.0);
+  EXPECT_DOUBLE_EQ(o.agreement, 1.0);
+  EXPECT_GT(o.positions, 0);
+}
+
+TEST(MaskOverlapTest, DisjointMasksHaveZeroIou) {
+  MaskSet a, b;
+  a.set("w", Tensor::from_data({1, 4}, {1, 1, 0, 0}));
+  b.set("w", Tensor::from_data({1, 4}, {0, 0, 1, 1}));
+  const MaskOverlap o = mask_overlap(a, b);
+  EXPECT_DOUBLE_EQ(o.iou, 0.0);
+  EXPECT_DOUBLE_EQ(o.agreement, 0.0);
+}
+
+TEST(MaskOverlapTest, RandomMasksMatchExpectedIou) {
+  // Two independent random masks at density ~0.5 on a large tensor: the
+  // empirical IoU must be close to the analytic null expectation.
+  Rng rng(11);
+  const std::int64_t n = 20000;
+  Tensor ma({1, n}), mb({1, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    ma[i] = rng.bernoulli(0.5f) ? 1.0f : 0.0f;
+    mb[i] = rng.bernoulli(0.5f) ? 1.0f : 0.0f;
+  }
+  MaskSet a, b;
+  a.set("w", std::move(ma));
+  b.set("w", std::move(mb));
+  const MaskOverlap o = mask_overlap(a, b);
+  EXPECT_NEAR(o.iou, o.expected_iou, 0.02);
+}
+
+TEST(MaskOverlapTest, ThrowsWithoutSharedNames) {
+  MaskSet a, b;
+  a.set("x", Tensor::ones({2, 2}));
+  b.set("y", Tensor::ones({2, 2}));
+  EXPECT_THROW(mask_overlap(a, b), std::invalid_argument);
+}
+
+TEST(MaskOverlapTest, PerLayerKeysMatchSharedNames) {
+  auto model_a = tiny_model(12);
+  auto model_b = tiny_model(13);
+  OmpConfig cfg;
+  cfg.sparsity = 0.6f;
+  const MaskSet a = omp_prune(*model_a, cfg);
+  const MaskSet b = omp_prune(*model_b, cfg);
+  const auto by_layer = mask_overlap_by_layer(a, b);
+  EXPECT_EQ(by_layer.size(), a.size());
+  for (const auto& [name, overlap] : by_layer) {
+    EXPECT_TRUE(a.contains(name));
+    EXPECT_GE(overlap.iou, 0.0);
+    EXPECT_LE(overlap.iou, 1.0);
+  }
+}
+
+TEST(KeepProfileTest, MatchesGlobalSparsity) {
+  auto model = tiny_model(14);
+  OmpConfig cfg;
+  cfg.sparsity = 0.7f;
+  const MaskSet m = omp_prune(*model, cfg);
+  const auto profile = keep_profile(m);
+  double kept_weighted = 0.0, total = 0.0;
+  for (const auto& [name, kept] : profile) {
+    EXPECT_GE(kept, 0.0);
+    EXPECT_LE(kept, 1.0);
+    const double numel = static_cast<double>(m.get(name).numel());
+    kept_weighted += kept * numel;
+    total += numel;
+  }
+  EXPECT_NEAR(1.0 - kept_weighted / total, m.sparsity(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Feature probes
+// ---------------------------------------------------------------------------
+
+Tensor cluster_features(float separation, std::uint64_t seed, int per_class,
+                        std::vector<int>* labels) {
+  Rng rng(seed);
+  Tensor f({2 * per_class, 3});
+  labels->clear();
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const int cls = i < per_class ? 0 : 1;
+    labels->push_back(cls);
+    for (std::int64_t j = 0; j < 3; ++j) {
+      f.at(i, j) = rng.normal() + (cls == 0 ? 0.0f : separation);
+    }
+  }
+  return f;
+}
+
+TEST(FisherSeparationTest, GrowsWithClusterDistance) {
+  std::vector<int> labels;
+  const Tensor near = cluster_features(0.5f, 20, 40, &labels);
+  const double f_near = fisher_separation(near, labels);
+  const Tensor far = cluster_features(5.0f, 20, 40, &labels);
+  const double f_far = fisher_separation(far, labels);
+  EXPECT_GT(f_far, f_near * 5.0);
+}
+
+TEST(FisherSeparationTest, RequiresTwoClasses) {
+  Rng rng(21);
+  const Tensor f = Tensor::randn({10, 3}, rng);
+  const std::vector<int> labels(10, 0);
+  EXPECT_THROW(fisher_separation(f, labels), std::invalid_argument);
+}
+
+TEST(EffectiveRankTest, IsotropicNearDimensionRankOneNearOne) {
+  Rng rng(22);
+  const Tensor iso = Tensor::randn({400, 4}, rng);
+  EXPECT_GT(effective_rank(iso), 3.6);
+  EXPECT_LE(effective_rank(iso), 4.0 + 1e-6);
+
+  // Rank-1: every row is a multiple of the same direction.
+  Tensor rank1({50, 4});
+  for (std::int64_t i = 0; i < 50; ++i) {
+    const float a = rng.normal();
+    for (std::int64_t j = 0; j < 4; ++j) rank1.at(i, j) = a * (1.0f + j);
+  }
+  EXPECT_NEAR(effective_rank(rank1), 1.0, 0.05);
+}
+
+TEST(KnnProbeTest, PerfectOnSeparatedClusters) {
+  std::vector<int> train_labels, test_labels;
+  const Tensor train = cluster_features(8.0f, 23, 30, &train_labels);
+  const Tensor test = cluster_features(8.0f, 24, 10, &test_labels);
+  EXPECT_FLOAT_EQ(
+      knn_probe_accuracy(train, train_labels, test, test_labels, 5), 1.0f);
+}
+
+TEST(KnnProbeTest, ChanceOnUninformativeFeatures) {
+  Rng rng(25);
+  const Tensor train = Tensor::randn({60, 4}, rng);
+  const Tensor test = Tensor::randn({40, 4}, rng);
+  std::vector<int> train_labels, test_labels;
+  for (int i = 0; i < 60; ++i) train_labels.push_back(i % 2);
+  for (int i = 0; i < 40; ++i) test_labels.push_back(i % 2);
+  const float acc =
+      knn_probe_accuracy(train, train_labels, test, test_labels, 5);
+  EXPECT_GT(acc, 0.25f);
+  EXPECT_LT(acc, 0.75f);
+}
+
+TEST(KnnProbeTest, LargeKClampsToTrainSize) {
+  std::vector<int> train_labels, test_labels;
+  const Tensor train = cluster_features(8.0f, 26, 5, &train_labels);
+  const Tensor test = cluster_features(8.0f, 27, 4, &test_labels);
+  // k = 100 > 10 train rows: must not crash; balanced vote degrades info,
+  // accuracy is whatever the tie-break yields but the call must be valid.
+  const float acc =
+      knn_probe_accuracy(train, train_labels, test, test_labels, 100);
+  EXPECT_GE(acc, 0.0f);
+  EXPECT_LE(acc, 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Correlations
+// ---------------------------------------------------------------------------
+
+TEST(CorrelationTest, PearsonKnownValues) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+  const std::vector<double> flat{3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, flat), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanCapturesMonotoneNonlinear) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(i));  // monotone but wildly nonlinear
+  }
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson_correlation(x, y), 0.95);  // linear corr is weaker
+}
+
+TEST(CorrelationTest, RankTransformAveragesTies) {
+  const std::vector<double> v{3.0, 1.0, 3.0, 2.0};
+  const auto ranks = rank_transform(v);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[3], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.5);  // the two 3.0s share ranks 3 and 4
+  EXPECT_DOUBLE_EQ(ranks[2], 3.5);
+}
+
+TEST(CorrelationTest, RejectsDegenerateInput) {
+  EXPECT_THROW(pearson_correlation({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(pearson_correlation({1.0, 2.0}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharpness
+// ---------------------------------------------------------------------------
+
+TEST(SharpnessTest, RestoresWeightsExactly) {
+  auto model = tiny_model(30);
+  const TaskData task = load_task("cifar10", 48, 32);
+  std::vector<Tensor> before;
+  for (Parameter* p : model->parameters()) before.push_back(p->value);
+
+  SharpnessConfig cfg;
+  cfg.directions = 3;
+  loss_sharpness(*model, task.test, cfg);
+
+  std::size_t i = 0;
+  for (Parameter* p : model->parameters()) {
+    EXPECT_EQ(p->value.linf_distance(before[i]), 0.0f) << p->name;
+    ++i;
+  }
+}
+
+TEST(SharpnessTest, ZeroRadiusMeansZeroIncrease) {
+  auto model = tiny_model(31);
+  const TaskData task = load_task("cifar10", 32, 24);
+  SharpnessConfig cfg;
+  cfg.rho = 0.0f;
+  cfg.directions = 2;
+  const SharpnessReport r = loss_sharpness(*model, task.test, cfg);
+  EXPECT_NEAR(r.mean_increase, 0.0, 1e-6);
+  EXPECT_NEAR(r.max_increase, 0.0, 1e-6);
+  EXPECT_GT(r.base_loss, 0.0);
+}
+
+TEST(SharpnessTest, PerturbationStaysInsideTicket) {
+  // With a mask installed, the probe must not perturb pruned weights: a
+  // model whose loss only depends on surviving weights must report the same
+  // base loss and mask invariant afterwards.
+  auto model = tiny_model(32);
+  OmpConfig prune_cfg;
+  prune_cfg.sparsity = 0.5f;
+  omp_prune(*model, prune_cfg);
+  const TaskData task = load_task("cifar10", 32, 24);
+  SharpnessConfig cfg;
+  cfg.directions = 2;
+  loss_sharpness(*model, task.test, cfg);
+  for (Parameter* p : model->prunable_parameters()) {
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (p->mask[i] == 0.0f) EXPECT_FLOAT_EQ(p->value[i], 0.0f);
+    }
+  }
+}
+
+TEST(SharpnessTest, TrainedModelSitsInABasin) {
+  // After training, random perturbations should (on average) increase the
+  // loss — the probe must report a positive mean increase.
+  auto model = tiny_model(33);
+  TaskData task = load_task("cifar10", 96, 48);
+  TrainLoopConfig train_cfg;
+  train_cfg.epochs = 6;
+  Rng rng(34);
+  train_classifier(*model, task.train, train_cfg, rng);
+
+  SharpnessConfig cfg;
+  cfg.rho = 0.08f;
+  cfg.directions = 6;
+  const SharpnessReport r = loss_sharpness(*model, task.train, cfg);
+  EXPECT_GT(r.mean_increase, 0.0);
+  EXPECT_GE(r.max_increase, r.mean_increase);
+}
+
+}  // namespace
+}  // namespace rt

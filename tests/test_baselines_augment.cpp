@@ -1,0 +1,170 @@
+// Tests for pruning baselines (random / layerwise / SNIP) and the data
+// augmentation transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/augment.hpp"
+#include "data/synth.hpp"
+#include "models/resnet.hpp"
+#include "prune/baselines.hpp"
+#include "prune/omp.hpp"
+
+namespace rt {
+namespace {
+
+class BaselinePruneTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(BaselinePruneTest, RandomPruneHitsSparsity) {
+  Rng rng(1);
+  auto model = make_micro_resnet18(10, rng);
+  Rng prng(2);
+  random_prune(*model, GetParam(), Granularity::kElement, prng);
+  EXPECT_NEAR(model_sparsity(model->prunable_parameters()), GetParam(), 0.01);
+}
+
+TEST_P(BaselinePruneTest, LayerwiseHitsSparsityPerLayer) {
+  Rng rng(3);
+  auto model = make_micro_resnet18(10, rng);
+  layerwise_magnitude_prune(*model, GetParam(), Granularity::kElement);
+  for (Parameter* p : model->prunable_parameters()) {
+    const double layer_sparsity =
+        1.0 - static_cast<double>(p->mask.sum()) /
+                  static_cast<double>(p->mask.numel());
+    EXPECT_NEAR(layer_sparsity, GetParam(), 0.02) << p->name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, BaselinePruneTest,
+                         ::testing::Values(0.3f, 0.5f, 0.8f));
+
+TEST(BaselinePrune, LayerwiseKeepsLargestPerLayer) {
+  Rng rng(4);
+  auto model = make_micro_resnet18(10, rng);
+  std::map<std::string, Tensor> before;
+  for (Parameter* p : model->prunable_parameters()) before[p->name] = p->value;
+  layerwise_magnitude_prune(*model, 0.5f, Granularity::kElement);
+  for (Parameter* p : model->prunable_parameters()) {
+    const Tensor& orig = before.at(p->name);
+    float max_pruned = 0.0f, min_kept = 1e9f;
+    for (std::int64_t i = 0; i < p->mask.numel(); ++i) {
+      const float mag = std::fabs(orig[i]);
+      if (p->mask[i] == 0.0f) max_pruned = std::max(max_pruned, mag);
+      else min_kept = std::min(min_kept, mag);
+    }
+    EXPECT_LE(max_pruned, min_kept + 1e-6f) << p->name;
+  }
+}
+
+TEST(BaselinePrune, GlobalAndLayerwiseDiffer) {
+  Rng rng(5);
+  auto global_model = make_micro_resnet18(10, rng);
+  auto layer_model = make_micro_resnet18(10, rng);
+  layer_model->load_state(global_model->state_dict());
+  OmpConfig cfg;
+  cfg.sparsity = 0.8f;
+  const MaskSet global = omp_prune(*global_model, cfg);
+  const MaskSet layer =
+      layerwise_magnitude_prune(*layer_model, 0.8f, Granularity::kElement);
+  double diff = 0.0;
+  for (const auto& [name, gm] : global.masks()) {
+    diff += gm.sub(layer.get(name)).abs_().sum();
+  }
+  EXPECT_GT(diff, 0.0) << "global pruning should reallocate across layers";
+}
+
+TEST(BaselinePrune, SnipHitsGlobalSparsityAndUsesGradients) {
+  Rng rng(6);
+  auto model = make_micro_resnet18(10, rng);
+  auto magnitude_model = make_micro_resnet18(10, rng);
+  magnitude_model->load_state(model->state_dict());
+  const Dataset data = generate_dataset(source_task_spec(), 64, 7);
+
+  SnipConfig cfg;
+  cfg.sparsity = 0.7f;
+  cfg.batches = 2;
+  Rng prng(8);
+  const MaskSet snip = snip_prune(*model, data, cfg, prng);
+  EXPECT_NEAR(model_sparsity(model->prunable_parameters()), 0.7, 1e-3);
+
+  // Gradients must be cleared afterwards.
+  for (Parameter* p : model->parameters()) {
+    EXPECT_FLOAT_EQ(p->grad.sum_sq(), 0.0f) << p->name;
+  }
+
+  // SNIP should differ from pure magnitude somewhere.
+  OmpConfig omp;
+  omp.sparsity = 0.7f;
+  const MaskSet magnitude = omp_mask(*magnitude_model, omp);
+  double diff = 0.0;
+  for (const auto& [name, sm] : snip.masks()) {
+    diff += sm.sub(magnitude.get(name)).abs_().sum();
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(BaselinePrune, RejectsBadSparsity) {
+  Rng rng(9);
+  auto model = make_micro_resnet18(10, rng);
+  Rng prng(10);
+  EXPECT_THROW(random_prune(*model, 1.0f, Granularity::kElement, prng),
+               std::invalid_argument);
+  EXPECT_THROW(layerwise_magnitude_prune(*model, -0.5f, Granularity::kElement),
+               std::invalid_argument);
+}
+
+TEST(Augment, FlipIsInvolution) {
+  Rng rng(11);
+  Tensor imgs = Tensor::uniform({2, 3, 8, 8}, rng, 0.0f, 1.0f);
+  const Tensor orig = imgs;
+  flip_horizontal(imgs, 0);
+  EXPECT_GT(imgs.linf_distance(orig), 1e-4f);
+  flip_horizontal(imgs, 0);
+  EXPECT_LT(imgs.linf_distance(orig), 1e-9f);
+}
+
+TEST(Augment, FlipMirrorsColumns) {
+  Tensor imgs({1, 1, 1, 4});
+  for (int x = 0; x < 4; ++x) imgs[x] = static_cast<float>(x);
+  flip_horizontal(imgs, 0);
+  EXPECT_FLOAT_EQ(imgs[0], 3.0f);
+  EXPECT_FLOAT_EQ(imgs[3], 0.0f);
+}
+
+TEST(Augment, ShiftMovesContentAndZeroPads) {
+  Tensor imgs({1, 1, 3, 3});
+  imgs.at(0, 0, 1, 1) = 5.0f;
+  shift_image(imgs, 0, 1, -1);  // down 1, left 1
+  EXPECT_FLOAT_EQ(imgs.at(0, 0, 2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(imgs.at(0, 0, 1, 1), 0.0f);
+  // Shifted-in border is zero.
+  EXPECT_FLOAT_EQ(imgs.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Augment, BatchAugmentationPreservesShapeAndRange) {
+  Rng rng(12);
+  const Tensor imgs = Tensor::uniform({6, 3, 16, 16}, rng, 0.0f, 1.0f);
+  AugmentConfig cfg;
+  cfg.horizontal_flip = true;
+  cfg.max_shift = 2;
+  Rng arng(13);
+  const Tensor aug = augment_batch(imgs, cfg, arng);
+  EXPECT_EQ(aug.shape(), imgs.shape());
+  EXPECT_GE(aug.min(), 0.0f);
+  EXPECT_LE(aug.max(), 1.0f);
+  EXPECT_GT(aug.linf_distance(imgs), 1e-4f);
+}
+
+TEST(Augment, DisabledConfigIsIdentity) {
+  Rng rng(14);
+  const Tensor imgs = Tensor::uniform({2, 3, 8, 8}, rng, 0.0f, 1.0f);
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.max_shift = 0;
+  Rng arng(15);
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_LT(augment_batch(imgs, cfg, arng).linf_distance(imgs), 1e-9f);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,146 @@
+// Tests for the RobustTicketLab orchestration API: caching, ticket
+// factories, and the winner-label rule.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/lab.hpp"
+
+namespace rt {
+namespace {
+
+/// Small, fast lab options for tests (own cache dir to stay hermetic).
+RobustTicketLab::Options test_options(const std::string& tag) {
+  RobustTicketLab::Options opt;
+  opt.source_train_size = 120;
+  opt.source_test_size = 60;
+  opt.pretrain_epochs = 3;
+  opt.adv_steps = 2;
+  opt.seed = 5;
+  opt.cache_dir = "/tmp/rticket_test_cache_" + tag;
+  return opt;
+}
+
+TEST(WinnerLabel, ThresholdRule) {
+  EXPECT_EQ(winner_label(0.90, 0.80), "Robust");
+  EXPECT_EQ(winner_label(0.80, 0.90), "Natural");
+  EXPECT_EQ(winner_label(0.90, 0.895), "Match");
+  EXPECT_EQ(winner_label(0.90, 0.88, 0.05), "Match");
+}
+
+TEST(Lab, SourceTaskIsSharedAndSized) {
+  RobustTicketLab lab(test_options("a"));
+  const TaskData& src = lab.source();
+  EXPECT_EQ(src.train.size(), 120);
+  EXPECT_EQ(src.test.size(), 60);
+  EXPECT_EQ(src.train.num_classes, 10);
+  // Same object on repeat calls.
+  EXPECT_EQ(&lab.source(), &src);
+}
+
+TEST(Lab, FreshModelArchitectures) {
+  RobustTicketLab lab(test_options("b"));
+  EXPECT_EQ(lab.fresh_model("r18")->feature_dim(), 64);
+  EXPECT_EQ(lab.fresh_model("r50")->feature_dim(), 160);
+  EXPECT_THROW(lab.fresh_model("vgg"), std::invalid_argument);
+}
+
+TEST(Lab, PretrainedIsCachedInMemoryAndOnDisk) {
+  const auto opt = test_options("c");
+  std::filesystem::remove_all(*opt.cache_dir);
+  {
+    RobustTicketLab lab(opt);
+    const StateDict& a = lab.pretrained("r18", PretrainScheme::kNatural);
+    const StateDict& b = lab.pretrained("r18", PretrainScheme::kNatural);
+    EXPECT_EQ(&a, &b);  // memory cache
+    EXPECT_FALSE(a.empty());
+  }
+  // Second lab instance: served from disk (fast path). Equal content.
+  RobustTicketLab lab2(opt);
+  auto model = lab2.dense_model("r18", PretrainScheme::kNatural);
+  EXPECT_GT(model->num_parameters(), 0);
+  bool found_checkpoint = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(*opt.cache_dir)) {
+    if (entry.path().extension() == ".rtk") found_checkpoint = true;
+  }
+  EXPECT_TRUE(found_checkpoint);
+  std::filesystem::remove_all(*opt.cache_dir);
+}
+
+TEST(Lab, OmpTicketHasRequestedSparsity) {
+  RobustTicketLab lab(test_options("d"));
+  auto ticket = lab.omp_ticket("r18", PretrainScheme::kNatural, 0.7f);
+  EXPECT_NEAR(model_sparsity(ticket->prunable_parameters()), 0.7, 1e-3);
+}
+
+TEST(Lab, OmpTicketsFromSameSchemeShareWeights) {
+  RobustTicketLab lab(test_options("e"));
+  auto dense = lab.dense_model("r18", PretrainScheme::kNatural);
+  auto ticket = lab.omp_ticket("r18", PretrainScheme::kNatural, 0.5f);
+  // Unpruned weights must equal the dense pretrained weights.
+  const auto dense_params = dense->prunable_parameters();
+  const auto ticket_params = ticket->prunable_parameters();
+  ASSERT_EQ(dense_params.size(), ticket_params.size());
+  for (std::size_t i = 0; i < dense_params.size(); ++i) {
+    for (std::int64_t j = 0; j < dense_params[i]->value.numel(); ++j) {
+      if (ticket_params[i]->mask[j] != 0.0f) {
+        EXPECT_FLOAT_EQ(ticket_params[i]->value[j],
+                        dense_params[i]->value[j]);
+      }
+    }
+  }
+}
+
+TEST(Lab, DifferentSchemesGiveDifferentWeights) {
+  RobustTicketLab lab(test_options("f"));
+  auto nat = lab.dense_model("r18", PretrainScheme::kNatural);
+  auto adv = lab.dense_model("r18", PretrainScheme::kAdversarial);
+  EXPECT_GT(nat->state_dict()
+                .at("r18.stem.weight")
+                .linf_distance(adv->state_dict().at("r18.stem.weight")),
+            1e-6f);
+}
+
+TEST(Lab, DownstreamTaskGeneration) {
+  RobustTicketLab lab(test_options("g"));
+  const TaskData t = lab.downstream("flowers", 50, 30);
+  EXPECT_EQ(t.train.size(), 50);
+  EXPECT_EQ(t.spec.name, "flowers");
+  EXPECT_THROW(lab.downstream("nonexistent", 10, 10), std::out_of_range);
+}
+
+TEST(Lab, PretrainAttackMatchesOptions) {
+  auto opt = test_options("h");
+  opt.adv_epsilon = 0.1f;
+  opt.adv_steps = 4;
+  RobustTicketLab lab(opt);
+  EXPECT_FLOAT_EQ(lab.pretrain_attack().epsilon, 0.1f);
+  EXPECT_EQ(lab.pretrain_attack().steps, 4);
+}
+
+TEST(Lab, ImpTicketReachesTarget) {
+  RobustTicketLab lab(test_options("i"));
+  ImpConfig cfg;
+  cfg.target_sparsity = 0.5f;
+  cfg.rate_per_round = 0.3f;
+  cfg.epochs_per_round = 1;
+  auto ticket = lab.imp_ticket("r18", PretrainScheme::kNatural,
+                               lab.source().train, cfg);
+  EXPECT_NEAR(model_sparsity(ticket->prunable_parameters()), 0.5, 1e-3);
+}
+
+TEST(Lab, LmpTicketTrainsHeadForTask) {
+  RobustTicketLab lab(test_options("j"));
+  const TaskData task = lab.downstream("dtd", 40, 20);
+  LmpConfig cfg;
+  cfg.sparsity = 0.4f;
+  cfg.epochs = 1;
+  auto ticket =
+      lab.lmp_ticket("r18", PretrainScheme::kNatural, task.train, cfg);
+  EXPECT_EQ(ticket->head().out_features(), task.train.num_classes);
+  EXPECT_NEAR(model_sparsity(ticket->prunable_parameters()), 0.4, 0.02);
+}
+
+}  // namespace
+}  // namespace rt

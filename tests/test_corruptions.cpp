@@ -1,0 +1,196 @@
+// Corruption-suite tests: determinism, value range, severity ordering, and
+// the suite evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/corruptions.hpp"
+#include "data/synth.hpp"
+#include "data/tasks.hpp"
+#include "models/resnet.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+namespace {
+
+Tensor test_images() {
+  static const Tensor images = [] {
+    const Dataset d = generate_dataset(source_task_spec(), 24, 7);
+    return d.images;
+  }();
+  return images;
+}
+
+double mean_abs_diff(const Tensor& a, const Tensor& b) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return acc / static_cast<double>(a.numel());
+}
+
+class CorruptionFamilyTest
+    : public ::testing::TestWithParam<CorruptionType> {};
+
+TEST_P(CorruptionFamilyTest, DeterministicInSeed) {
+  const Tensor x = test_images();
+  const Tensor a = apply_corruption(x, GetParam(), 3, 42);
+  const Tensor b = apply_corruption(x, GetParam(), 3, 42);
+  EXPECT_EQ(a.linf_distance(b), 0.0f);
+}
+
+TEST_P(CorruptionFamilyTest, StaysInUnitRange) {
+  const Tensor x = test_images();
+  for (int s = 1; s <= kCorruptionSeverities; ++s) {
+    const Tensor y = apply_corruption(x, GetParam(), s, 5);
+    EXPECT_GE(y.min(), 0.0f) << "severity " << s;
+    EXPECT_LE(y.max(), 1.0f) << "severity " << s;
+  }
+}
+
+TEST_P(CorruptionFamilyTest, ActuallyPerturbsImages) {
+  const Tensor x = test_images();
+  const Tensor y = apply_corruption(x, GetParam(), 3, 5);
+  EXPECT_GT(mean_abs_diff(x, y), 1e-5);
+}
+
+TEST_P(CorruptionFamilyTest, SeverityFiveDistortsMoreThanSeverityOne) {
+  const Tensor x = test_images();
+  const double d1 = mean_abs_diff(x, apply_corruption(x, GetParam(), 1, 5));
+  const double d5 = mean_abs_diff(x, apply_corruption(x, GetParam(), 5, 5));
+  EXPECT_GT(d5, d1);
+}
+
+TEST_P(CorruptionFamilyTest, HasStableName) {
+  EXPECT_STRNE(corruption_name(GetParam()), "unknown");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, CorruptionFamilyTest,
+    ::testing::ValuesIn(corruption_suite()),
+    [](const ::testing::TestParamInfo<CorruptionType>& info) {
+      return corruption_name(info.param);
+    });
+
+TEST(CorruptionTest, RejectsBadSeverity) {
+  const Tensor x = test_images();
+  EXPECT_THROW(apply_corruption(x, CorruptionType::kMeanBlur, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_corruption(x, CorruptionType::kMeanBlur, 6, 1),
+               std::invalid_argument);
+}
+
+TEST(CorruptionTest, SuiteHasSevenDistinctFamilies) {
+  const auto& suite = corruption_suite();
+  EXPECT_EQ(suite.size(), 7u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(suite[i], suite[j]);
+    }
+  }
+}
+
+TEST(CorruptionTest, PixelateSeverityFiveIsBlockConstant) {
+  // Severity 5 uses 8x8 blocks on 16x16 images: each channel can hold at
+  // most 4 distinct values.
+  const Tensor x = test_images();
+  const Tensor y =
+      apply_corruption(x, CorruptionType::kPixelate, 5, 1);
+  ASSERT_EQ(y.dim(2), kImageSize);
+  for (std::int64_t ch = 0; ch < 3; ++ch) {
+    // Every pixel must equal the value of its block's top-left corner.
+    for (std::int64_t r = 0; r < kImageSize; ++r) {
+      for (std::int64_t c = 0; c < kImageSize; ++c) {
+        EXPECT_FLOAT_EQ(y.at(0, ch, r, c),
+                        y.at(0, ch, (r / 8) * 8, (c / 8) * 8));
+      }
+    }
+  }
+}
+
+TEST(CorruptionTest, OcclusionPaintsGraySquare) {
+  const Tensor x = test_images();
+  const Tensor y = apply_corruption(x, CorruptionType::kOcclusion, 3, 9);
+  // Severity 3 covers 45% of the side: a 7x7 patch on 16x16. At least that
+  // many pixels per image/channel must be exactly 0.5.
+  std::int64_t gray = 0;
+  for (std::int64_t r = 0; r < kImageSize; ++r) {
+    for (std::int64_t c = 0; c < kImageSize; ++c) {
+      if (y.at(0, 0, r, c) == 0.5f) ++gray;
+    }
+  }
+  EXPECT_GE(gray, 7 * 7);
+}
+
+TEST(CorruptionTest, BrightnessShiftsMeanUp) {
+  const Tensor x = test_images();
+  const Tensor y = apply_corruption(x, CorruptionType::kBrightness, 2, 1);
+  EXPECT_GT(y.mean(), x.mean());
+}
+
+TEST(CorruptionTest, ContrastCompressesTowardMean) {
+  const Tensor x = test_images();
+  const Tensor y = apply_corruption(x, CorruptionType::kContrast, 4, 1);
+  // Variance must strictly shrink.
+  const float mx = x.mean(), my = y.mean();
+  double vx = 0.0, vy = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    vx += (x[i] - mx) * (x[i] - mx);
+    vy += (y[i] - my) * (y[i] - my);
+  }
+  EXPECT_LT(vy, vx * 0.5);
+}
+
+TEST(CorruptionTest, DatasetWrapperPreservesLabels) {
+  const Dataset clean = generate_dataset(source_task_spec(), 16, 3);
+  const Dataset c = corrupt_with(clean, CorruptionType::kContrast, 2, 5);
+  EXPECT_EQ(c.labels, clean.labels);
+  EXPECT_EQ(c.num_classes, clean.num_classes);
+  EXPECT_NE(c.name.find("contrast"), std::string::npos);
+}
+
+TEST(CorruptionSuiteEvalTest, ReportShapeAndRanges) {
+  // A tiny trained model: corruption should not *increase* accuracy on
+  // average, and all cells must be valid accuracies.
+  Rng rng(3);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1};
+  cfg.stage_channels = {6};
+  cfg.num_classes = 10;
+  ResNet model(cfg, rng);
+  TaskData task = load_task("cifar10", 96, 64);
+  TrainLoopConfig train_cfg;
+  train_cfg.epochs = 3;
+  train_classifier(model, task.train, train_cfg, rng);
+
+  const CorruptionReport report =
+      evaluate_corruption_suite(model, task.test, 77);
+  ASSERT_EQ(report.accuracy.size(), corruption_suite().size());
+  for (std::size_t t = 0; t < report.accuracy.size(); ++t) {
+    ASSERT_EQ(report.accuracy[t].size(),
+              static_cast<std::size_t>(kCorruptionSeverities));
+    for (float a : report.accuracy[t]) {
+      EXPECT_GE(a, 0.0f);
+      EXPECT_LE(a, 1.0f);
+    }
+    EXPECT_GE(report.family_mean(t), 0.0f);
+    EXPECT_LE(report.family_mean(t), 1.0f);
+  }
+  EXPECT_GE(report.clean_accuracy, 0.0f);
+  EXPECT_LE(report.clean_accuracy, 1.0f);
+  // mCA equals the mean over all cells.
+  double total = 0.0;
+  int cells = 0;
+  for (const auto& row : report.accuracy) {
+    for (float a : row) {
+      total += a;
+      ++cells;
+    }
+  }
+  EXPECT_NEAR(report.mean_corruption_accuracy, total / cells, 1e-5);
+  // Corruption should hurt a trained model (or at worst tie).
+  EXPECT_LE(report.mean_corruption_accuracy, report.clean_accuracy + 0.05f);
+}
+
+}  // namespace
+}  // namespace rt

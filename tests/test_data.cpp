@@ -1,0 +1,254 @@
+// Tests for the synthetic data generators, task registry, batching, and
+// corruption transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <set>
+
+#include "data/segmentation_data.hpp"
+#include "data/synth.hpp"
+#include "data/tasks.hpp"
+
+namespace rt {
+namespace {
+
+TEST(SynthSource, SpecIsStable) {
+  const SynthTaskSpec a = source_task_spec();
+  const SynthTaskSpec b = source_task_spec();
+  EXPECT_EQ(a.num_classes, 10);
+  EXPECT_EQ(a.classes.size(), 10u);
+  EXPECT_EQ(a.patterns.size(), 10u);
+  for (std::size_t c = 0; c < a.patterns.size(); ++c) {
+    EXPECT_LT(a.patterns[c].linf_distance(b.patterns[c]), 1e-9f);
+    EXPECT_EQ(a.classes[c].archetype, static_cast<int>(c));
+  }
+}
+
+TEST(SynthSource, PatternsAreSignsOnly) {
+  const SynthTaskSpec spec = source_task_spec();
+  for (const Tensor& p : spec.patterns) {
+    for (std::int64_t i = 0; i < p.numel(); ++i) {
+      EXPECT_TRUE(p[i] == 1.0f || p[i] == -1.0f);
+    }
+  }
+}
+
+TEST(GenerateDataset, DeterministicGivenSeeds) {
+  const SynthTaskSpec spec = source_task_spec();
+  const Dataset a = generate_dataset(spec, 40, 7);
+  const Dataset b = generate_dataset(spec, 40, 7);
+  EXPECT_LT(a.images.linf_distance(b.images), 1e-9f);
+  EXPECT_EQ(a.labels, b.labels);
+  const Dataset c = generate_dataset(spec, 40, 8);
+  EXPECT_GT(a.images.linf_distance(c.images), 1e-3f);
+}
+
+TEST(GenerateDataset, BalancedLabelsInRange) {
+  const SynthTaskSpec spec = source_task_spec();
+  const Dataset ds = generate_dataset(spec, 100, 3);
+  std::vector<int> counts(10, 0);
+  for (int l : ds.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(GenerateDataset, PixelsInUnitRange) {
+  const Dataset ds = generate_dataset(source_task_spec(), 64, 5);
+  EXPECT_GE(ds.images.min(), 0.0f);
+  EXPECT_LE(ds.images.max(), 1.0f);
+}
+
+TEST(DownstreamSpec, ShiftZeroMatchesSourceAppearance) {
+  const SynthTaskSpec spec = downstream_task_spec("t", 10, 0.0f, 5);
+  const SynthTaskSpec src = source_task_spec();
+  for (int c = 0; c < 10; ++c) {
+    // Same archetype, same hue, same pattern as the source class.
+    EXPECT_EQ(spec.classes[static_cast<std::size_t>(c)].archetype, c);
+    for (int ch = 0; ch < 3; ++ch) {
+      EXPECT_NEAR(spec.classes[static_cast<std::size_t>(c)].color[
+                      static_cast<std::size_t>(ch)],
+                  src.classes[static_cast<std::size_t>(c)].color[
+                      static_cast<std::size_t>(ch)],
+                  1e-5f);
+    }
+    EXPECT_LT(spec.patterns[static_cast<std::size_t>(c)].linf_distance(
+                  src.patterns[static_cast<std::size_t>(c)]),
+              1e-9f);
+  }
+  EXPECT_FLOAT_EQ(spec.pattern_corruption, 0.0f);
+  for (int ch = 0; ch < 3; ++ch) {
+    EXPECT_NEAR(spec.channel_gain[static_cast<std::size_t>(ch)], 1.0f, 1e-6f);
+    EXPECT_NEAR(spec.channel_bias[static_cast<std::size_t>(ch)], 0.0f, 1e-6f);
+  }
+}
+
+TEST(DownstreamSpec, ShiftScalesGapKnobs) {
+  const SynthTaskSpec lo = downstream_task_spec("lo", 10, 0.2f, 5);
+  const SynthTaskSpec hi = downstream_task_spec("hi", 10, 0.9f, 5);
+  EXPECT_LT(lo.pattern_corruption, hi.pattern_corruption);
+  EXPECT_LT(lo.noise_sigma, hi.noise_sigma);
+  EXPECT_LT(lo.texture_amplitude, hi.texture_amplitude);
+  float lo_gain = 0.0f, hi_gain = 0.0f;
+  for (int ch = 0; ch < 3; ++ch) {
+    lo_gain += std::fabs(lo.channel_gain[static_cast<std::size_t>(ch)] - 1.0f);
+    hi_gain += std::fabs(hi.channel_gain[static_cast<std::size_t>(ch)] - 1.0f);
+  }
+  EXPECT_LT(lo_gain, hi_gain);
+}
+
+TEST(DownstreamSpec, RejectsBadShift) {
+  EXPECT_THROW(downstream_task_spec("x", 10, -0.1f, 1), std::invalid_argument);
+  EXPECT_THROW(downstream_task_spec("x", 10, 1.5f, 1), std::invalid_argument);
+}
+
+TEST(DownstreamSpec, UsesSourcePatternOfArchetype) {
+  const SynthTaskSpec spec = downstream_task_spec("t", 20, 0.5f, 9);
+  const SynthTaskSpec src = source_task_spec();
+  // Class 13 cycles to archetype 3.
+  EXPECT_EQ(spec.classes[13].archetype, 3);
+  EXPECT_LT(spec.patterns[13].linf_distance(src.patterns[3]), 1e-9f);
+}
+
+TEST(RenderArchetype, AllArchetypesProduceSupport) {
+  Rng rng(3);
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    float mask[kImageSize * kImageSize];
+    render_archetype(a, 7.5f, 7.5f, rng, mask);
+    float total = 0.0f;
+    for (float v : mask) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      total += v;
+    }
+    EXPECT_GT(total, 2.0f) << "archetype " << a << " renders almost nothing";
+    EXPECT_LT(total, 0.9f * kImageSize * kImageSize)
+        << "archetype " << a << " fills the whole image";
+  }
+}
+
+TEST(RenderArchetype, RejectsUnknownArchetype) {
+  Rng rng(1);
+  float mask[kImageSize * kImageSize];
+  EXPECT_THROW(render_archetype(-1, 8, 8, rng, mask), std::invalid_argument);
+  EXPECT_THROW(render_archetype(kNumArchetypes, 8, 8, rng, mask),
+               std::invalid_argument);
+}
+
+TEST(OodDataset, UsesHeldOutArchetypesAndZeroLabels) {
+  const Dataset ood = generate_ood_dataset(30, 11);
+  EXPECT_EQ(ood.size(), 30);
+  for (int l : ood.labels) EXPECT_EQ(l, 0);
+  EXPECT_GE(ood.images.min(), 0.0f);
+  EXPECT_LE(ood.images.max(), 1.0f);
+}
+
+TEST(TaskRegistry, TwelveTasksOrderedByPaperFid) {
+  const auto& suite = vtab_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_GT(suite[i - 1].paper_fid, suite[i].paper_fid);
+    // Shift knob must follow the paper's FID ordering.
+    EXPECT_GE(suite[i - 1].shift, suite[i].shift);
+  }
+}
+
+TEST(TaskRegistry, LookupByName) {
+  EXPECT_EQ(task_entry("cifar10").num_classes, 10);
+  EXPECT_EQ(task_entry("cifar100").num_classes, 20);
+  EXPECT_THROW(task_entry("imagenet21k"), std::out_of_range);
+}
+
+TEST(TaskRegistry, LoadTaskSplitsDiffer) {
+  const TaskData t = load_task("dtd", 60, 40);
+  EXPECT_EQ(t.train.size(), 60);
+  EXPECT_EQ(t.test.size(), 40);
+  EXPECT_EQ(t.train.num_classes, t.test.num_classes);
+  // Train and test are different draws.
+  EXPECT_GT(t.train.images.linf_distance(
+                gather_images(t.test.images,
+                              std::vector<int>(60, 0))), 0.0f);
+}
+
+TEST(Batching, CoversAllIndicesOnce) {
+  Rng rng(1);
+  const auto batches = make_batches(103, 32, rng);
+  std::set<int> seen;
+  for (const auto& b : batches) {
+    for (int i : b) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 103u);
+  EXPECT_EQ(batches.back().size(), 103u % 32u);
+}
+
+TEST(Batching, EvalBatchesAreOrdered) {
+  const auto batches = make_eval_batches(10, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(batches[2], (std::vector<int>{8, 9}));
+}
+
+TEST(Batching, GatherImagesAndLabels) {
+  Tensor imgs({3, 1, 2, 2});
+  for (std::int64_t i = 0; i < imgs.numel(); ++i) imgs[i] = static_cast<float>(i);
+  const Tensor picked = gather_images(imgs, {2, 0});
+  EXPECT_EQ(picked.dim(0), 2);
+  EXPECT_FLOAT_EQ(picked[0], 8.0f);  // first element of sample 2
+  const auto labels = gather_labels({10, 11, 12}, {2, 0});
+  EXPECT_EQ(labels, (std::vector<int>{12, 10}));
+  EXPECT_THROW(gather_images(imgs, {5}), std::out_of_range);
+}
+
+TEST(Corruption, AddsNoiseAndStaysInRange) {
+  const Dataset clean = generate_dataset(source_task_spec(), 20, 1);
+  const Dataset noisy = corrupt_dataset(clean, 0.1f, false, 5);
+  EXPECT_GT(noisy.images.linf_distance(clean.images), 0.01f);
+  EXPECT_GE(noisy.images.min(), 0.0f);
+  EXPECT_LE(noisy.images.max(), 1.0f);
+  EXPECT_EQ(noisy.labels, clean.labels);
+}
+
+TEST(Corruption, BlurSmoothsImages) {
+  Rng rng(2);
+  Tensor x = Tensor::uniform({2, 3, 8, 8}, rng, 0.0f, 1.0f);
+  const Tensor blurred = mean_blur3(x);
+  // Blur reduces total variation between horizontal neighbours.
+  auto tv = [](const Tensor& t) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i + 1 < t.numel(); ++i) {
+      acc += std::fabs(t[i + 1] - t[i]);
+    }
+    return acc;
+  };
+  EXPECT_LT(tv(blurred), tv(x));
+}
+
+TEST(Segmentation, LabelsMatchShapesAndRange) {
+  const SegDataset ds = generate_segmentation_dataset(12, 0.4f, 3);
+  EXPECT_EQ(ds.size(), 12);
+  EXPECT_EQ(static_cast<std::int64_t>(ds.labels.size()),
+            12LL * kImageSize * kImageSize);
+  int foreground = 0;
+  for (int l : ds.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, ds.num_classes);
+    if (l > 0) ++foreground;
+  }
+  // Some but not all pixels are foreground.
+  EXPECT_GT(foreground, 0);
+  EXPECT_LT(foreground, static_cast<int>(ds.labels.size()));
+}
+
+TEST(Segmentation, Deterministic) {
+  const SegDataset a = generate_segmentation_dataset(6, 0.4f, 9);
+  const SegDataset b = generate_segmentation_dataset(6, 0.4f, 9);
+  EXPECT_LT(a.images.linf_distance(b.images), 1e-9f);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace rt

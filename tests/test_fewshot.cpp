@@ -1,0 +1,180 @@
+// Few-shot harness, ticket cloning, and finetuning-variant tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synth.hpp"
+#include "data/tasks.hpp"
+#include "prune/omp.hpp"
+#include "train/loop.hpp"
+#include "transfer/fewshot.hpp"
+
+namespace rt {
+namespace {
+
+std::unique_ptr<ResNet> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  return std::make_unique<ResNet>(cfg, rng);
+}
+
+TEST(CloneTicketTest, CloneComputesIdenticalOutputs) {
+  auto model = tiny_model(1);
+  OmpConfig cfg;
+  cfg.sparsity = 0.5f;
+  omp_prune(*model, cfg);
+  auto clone = clone_ticket(*model);
+
+  const Dataset d = generate_dataset(source_task_spec(), 6, 2);
+  model->set_training(false);
+  clone->set_training(false);
+  const Tensor a = model->forward(d.images);
+  const Tensor b = clone->forward(d.images);
+  EXPECT_EQ(a.linf_distance(b), 0.0f);
+}
+
+TEST(CloneTicketTest, CloneCarriesMasks) {
+  auto model = tiny_model(2);
+  OmpConfig cfg;
+  cfg.sparsity = 0.7f;
+  omp_prune(*model, cfg);
+  auto clone = clone_ticket(*model);
+  EXPECT_NEAR(model_sparsity(clone->prunable_parameters()),
+              model_sparsity(model->prunable_parameters()), 1e-12);
+}
+
+TEST(CloneTicketTest, CloneIsIndependentOfOriginal) {
+  auto model = tiny_model(3);
+  auto clone = clone_ticket(*model);
+  const Tensor original_head = model->head().weight().value;
+
+  TaskData task = load_task("cifar10", 48, 24);
+  TrainLoopConfig cfg;
+  cfg.epochs = 2;
+  Rng rng(4);
+  train_classifier(*clone, task.train, cfg, rng);
+
+  EXPECT_EQ(model->head().weight().value.linf_distance(original_head), 0.0f);
+}
+
+TEST(CloneTicketTest, ClonePreservesResetHeadShape) {
+  auto model = tiny_model(5);
+  Rng rng(6);
+  model->reset_head(4, rng);  // downstream with 4 classes
+  auto clone = clone_ticket(*model);
+  EXPECT_EQ(clone->head().out_features(), 4);
+  EXPECT_EQ(clone->head().weight().value.linf_distance(
+                model->head().weight().value),
+            0.0f);
+}
+
+TEST(FewShotSweepTest, ReturnsOnePointPerBudgetInRange) {
+  auto model = tiny_model(7);
+  FewShotConfig cfg;
+  cfg.train_sizes = {20, 40};
+  cfg.test_size = 40;
+  cfg.finetune.epochs = 2;
+  Rng rng(8);
+  const auto points = fewshot_sweep(*model, "cifar10", cfg, rng);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].train_size, 20);
+  EXPECT_EQ(points[1].train_size, 40);
+  for (const auto& p : points) {
+    EXPECT_GE(p.accuracy, 0.0f);
+    EXPECT_LE(p.accuracy, 1.0f);
+  }
+}
+
+TEST(FewShotSweepTest, DeterministicGivenSeed) {
+  auto model = tiny_model(9);
+  FewShotConfig cfg;
+  cfg.train_sizes = {24};
+  cfg.test_size = 32;
+  cfg.finetune.epochs = 2;
+  Rng rng_a(10);
+  Rng rng_b(10);
+  const auto a = fewshot_sweep(*model, "pets", cfg, rng_a);
+  const auto b = fewshot_sweep(*model, "pets", cfg, rng_b);
+  EXPECT_FLOAT_EQ(a[0].accuracy, b[0].accuracy);
+}
+
+TEST(FewShotSweepTest, LinearModeUsesFrozenBackbone) {
+  auto model = tiny_model(11);
+  const Tensor trunk_before =
+      model->prunable_parameters().front()->value;
+  FewShotConfig cfg;
+  cfg.train_sizes = {24};
+  cfg.test_size = 24;
+  cfg.linear = true;
+  cfg.linear_eval.epochs = 5;
+  Rng rng(12);
+  const auto points = fewshot_sweep(*model, "cifar10", cfg, rng);
+  EXPECT_EQ(points.size(), 1u);
+  // The sweep clones internally; the original backbone must be untouched.
+  EXPECT_EQ(
+      model->prunable_parameters().front()->value.linf_distance(trunk_before),
+      0.0f);
+}
+
+TEST(LpFtTest, RunsAndReportsValidAccuracy) {
+  auto model = tiny_model(13);
+  TaskData task = load_task("cifar10", 64, 48);
+  LinearEvalConfig probe;
+  probe.epochs = 5;
+  FinetuneConfig ft;
+  ft.epochs = 3;
+  Rng rng(14);
+  const float acc = finetune_lp_ft(*model, task, probe, ft, rng);
+  EXPECT_GE(acc, 0.0f);
+  EXPECT_LE(acc, 1.0f);
+  // The head must match the downstream class count afterwards.
+  EXPECT_EQ(model->head().out_features(), task.train.num_classes);
+}
+
+class PartialFinetuneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialFinetuneTest, FrozenStagesDoNotMove) {
+  const int freeze = GetParam();
+  auto model = tiny_model(15);
+  // Snapshot the stem conv weight (always inside stage 0's range).
+  const Tensor stem_before = model->prunable_parameters().front()->value;
+
+  TaskData task = load_task("cifar10", 48, 32);
+  FinetuneConfig cfg;
+  cfg.epochs = 2;
+  Rng rng(16);
+  const float acc = finetune_partial(*model, task, freeze, cfg, rng);
+  EXPECT_GE(acc, 0.0f);
+  EXPECT_LE(acc, 1.0f);
+
+  const Tensor& stem_after = model->prunable_parameters().front()->value;
+  if (freeze >= 1) {
+    EXPECT_EQ(stem_after.linf_distance(stem_before), 0.0f)
+        << "frozen stem moved with freeze=" << freeze;
+  } else {
+    EXPECT_GT(stem_after.linf_distance(stem_before), 0.0f)
+        << "whole-model finetune did not update the stem";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FreezeDepths, PartialFinetuneTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(PartialFinetuneTest, RejectsBadDepth) {
+  auto model = tiny_model(17);
+  TaskData task = load_task("cifar10", 24, 16);
+  FinetuneConfig cfg;
+  cfg.epochs = 1;
+  Rng rng(18);
+  EXPECT_THROW(finetune_partial(*model, task, -1, cfg, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      finetune_partial(*model, task, model->num_stages() + 1, cfg, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,339 @@
+// Finite-difference gradient checks for every layer's manual backward pass
+// and for full residual networks. These are the load-bearing tests of the
+// training substrate: PGD attacks, IMP, and LMP all assume exact gradients.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "models/resnet.hpp"
+#include "models/segmentation.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+
+namespace rt {
+namespace {
+
+/// Scalar objective: L = <forward(x), R> for a fixed random direction R.
+/// Returns max relative-ish error between analytic and numerical gradients
+/// over the checked values.
+class GradCheck {
+ public:
+  GradCheck(Module& model, Tensor x, std::uint64_t seed)
+      : model_(model), x_(std::move(x)) {
+    Rng rng(seed);
+    const Tensor y = model_.forward(x_);
+    direction_ = Tensor::randn(y.shape(), rng);
+  }
+
+  double loss() {
+    const Tensor y = model_.forward(x_);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y[i]) * direction_[i];
+    }
+    return acc;
+  }
+
+  /// Analytic input gradient via backward().
+  Tensor analytic_input_grad() {
+    model_.forward(x_);
+    model_.zero_grad();
+    return model_.backward(direction_);
+  }
+
+  /// Checks dL/dx on `count` sampled elements; returns the MEDIAN error
+  /// over the smooth sample points (see summarize/check_scalar: ReLU
+  /// composites have rare exactly-at-kink units whose subgradient choice
+  /// legitimately differs from the symmetric numerical estimate, so the
+  /// median — not the max — is the bug detector; outliers are bounded
+  /// separately inside summarize()).
+  double check_input(int count, float eps = 1e-2f) {
+    const Tensor analytic = analytic_input_grad();
+    Rng rng(99);
+    std::vector<double> errors;
+    for (int t = 0; t < count; ++t) {
+      const std::int64_t i = rng.next_below(
+          static_cast<std::uint32_t>(x_.numel()));
+      const double err = check_scalar(&x_[i], analytic[i], eps);
+      if (err >= 0.0) errors.push_back(err);
+    }
+    return summarize(errors, count);
+  }
+
+  /// Checks dL/dtheta on `count` sampled elements of every parameter;
+  /// same median-based summary as check_input.
+  double check_params(int count, float eps = 1e-2f) {
+    model_.forward(x_);
+    model_.zero_grad();
+    model_.backward(direction_);
+    // Snapshot analytic gradients (later forwards pollute nothing, but
+    // zero_grad would).
+    std::vector<Tensor> grads;
+    for (Parameter* p : model_.parameters()) grads.push_back(p->grad);
+
+    Rng rng(7);
+    std::vector<double> errors;
+    int total = 0;
+    const auto params = model_.parameters();
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {
+      Parameter* p = params[pi];
+      for (int t = 0; t < count; ++t) {
+        const std::int64_t i = rng.next_below(
+            static_cast<std::uint32_t>(p->value.numel()));
+        const double err = check_scalar(&p->value[i], grads[pi][i], eps);
+        ++total;
+        if (err >= 0.0) errors.push_back(err);
+      }
+    }
+    return summarize(errors, total);
+  }
+
+ private:
+  /// Asserts outlier bounds and returns the median error. A genuine backward
+  /// bug (a missing or wrong gradient path) shifts essentially every sample;
+  /// kink artifacts affect only the few samples whose perturbation interval
+  /// contains a zero pre-activation.
+  double summarize(std::vector<double> errors, int requested) {
+    EXPECT_GE(static_cast<int>(errors.size()), requested / 2)
+        << "too many kink-straddling samples";
+    if (errors.empty()) return 1.0;
+    std::sort(errors.begin(), errors.end());
+    int outliers = 0;
+    for (double e : errors) {
+      if (e > 0.02) ++outliers;
+    }
+    EXPECT_LE(outliers, static_cast<int>(errors.size()) / 4)
+        << "errors are not confined to rare kink samples";
+    return errors[errors.size() / 2];
+  }
+
+  /// Central difference at two scales. ReLU nets are only piecewise smooth:
+  /// a sample whose perturbation straddles a kink has an O(1) finite-
+  /// difference error regardless of eps (the flip probability, not the flip
+  /// magnitude, shrinks with eps). Such points are detected by comparing the
+  /// eps and eps/2 estimates and skipped (return -1).
+  double check_scalar(float* v, float analytic, float eps) {
+    const auto central = [&](float e) {
+      const float saved = *v;
+      *v = saved + e;
+      const double lp = loss();
+      *v = saved - e;
+      const double lm = loss();
+      *v = saved;
+      return (lp - lm) / (2.0 * static_cast<double>(e));
+    };
+    const double d1 = central(eps);
+    const double d2 = central(eps / 2.0f);
+    if (std::fabs(d1 - d2) > 0.02 * (1.0 + std::fabs(d1) + std::fabs(d2))) {
+      return -1.0;  // non-smooth: a ReLU gate flipped inside the interval
+    }
+    return std::fabs(d2 - analytic) /
+           (1.0 + std::fabs(d2) + std::fabs(analytic));
+  }
+
+  Module& model_;
+  Tensor x_;
+  Tensor direction_;
+};
+
+constexpr double kTol = 5e-3;
+
+TEST(GradCheck, Linear) {
+  Rng rng(1);
+  Linear lin(6, 4, true, rng, "l");
+  GradCheck gc(lin, Tensor::randn({3, 6}, rng), 11);
+  EXPECT_LT(gc.check_input(10), kTol);
+  EXPECT_LT(gc.check_params(8), kTol);
+}
+
+TEST(GradCheck, ReLU) {
+  Rng rng(2);
+  ReLU relu;
+  // Keep values away from the kink at 0.
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  GradCheck gc(relu, x, 12);
+  EXPECT_LT(gc.check_input(20), kTol);
+}
+
+class ConvGradCheckTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvGradCheckTest, InputAndParams) {
+  const auto [kernel, stride, padding] = GetParam();
+  Rng rng(3);
+  Conv2d conv(3, 5, kernel, stride, padding, true, rng, "c");
+  GradCheck gc(conv, Tensor::randn({2, 3, 8, 8}, rng), 13);
+  EXPECT_LT(gc.check_input(12), kTol);
+  EXPECT_LT(gc.check_params(10), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradCheckTest,
+    ::testing::Values(std::make_tuple(3, 1, 1), std::make_tuple(3, 2, 1),
+                      std::make_tuple(1, 1, 0), std::make_tuple(1, 2, 0),
+                      std::make_tuple(5, 1, 2)));
+
+TEST(GradCheck, BatchNormTrainMode) {
+  Rng rng(4);
+  BatchNorm2d bn(3, "bn");
+  bn.set_training(true);
+  GradCheck gc(bn, Tensor::randn({4, 3, 3, 3}, rng), 14);
+  EXPECT_LT(gc.check_input(15), kTol);
+  EXPECT_LT(gc.check_params(6), kTol);
+}
+
+TEST(GradCheck, BatchNormEvalMode) {
+  Rng rng(5);
+  BatchNorm2d bn(3, "bn");
+  // Give running stats a non-trivial value first.
+  bn.set_training(true);
+  bn.forward(Tensor::randn({8, 3, 4, 4}, rng, 2.0f));
+  bn.set_training(false);
+  GradCheck gc(bn, Tensor::randn({2, 3, 4, 4}, rng), 15);
+  EXPECT_LT(gc.check_input(15), kTol);
+  EXPECT_LT(gc.check_params(6), kTol);
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(6);
+  MaxPool2d pool(2);
+  // Perturbations must not flip the argmax: spread values.
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng, 5.0f);
+  GradCheck gc(pool, x, 16);
+  EXPECT_LT(gc.check_input(12, /*eps=*/1e-3f), kTol);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(7);
+  GlobalAvgPool gap;
+  GradCheck gc(gap, Tensor::randn({3, 4, 4, 4}, rng), 17);
+  EXPECT_LT(gc.check_input(12), kTol);
+}
+
+TEST(GradCheck, NearestUpsample) {
+  Rng rng(8);
+  NearestUpsample up(2);
+  GradCheck gc(up, Tensor::randn({2, 3, 4, 4}, rng), 18);
+  EXPECT_LT(gc.check_input(12), kTol);
+}
+
+TEST(GradCheck, BasicBlockWithProjection) {
+  Rng rng(9);
+  BasicBlock block(4, 8, 2, rng, "b");
+  block.set_training(true);
+  GradCheck gc(block, Tensor::randn({2, 4, 8, 8}, rng), 19);
+  EXPECT_LT(gc.check_input(10), kTol);
+  EXPECT_LT(gc.check_params(6), kTol);
+}
+
+TEST(GradCheck, BasicBlockIdentityShortcut) {
+  Rng rng(10);
+  BasicBlock block(6, 6, 1, rng, "b");
+  block.set_training(true);
+  GradCheck gc(block, Tensor::randn({2, 6, 6, 6}, rng), 20);
+  EXPECT_LT(gc.check_input(10), kTol);
+  EXPECT_LT(gc.check_params(6), kTol);
+}
+
+TEST(GradCheck, BottleneckBlock) {
+  Rng rng(11);
+  BottleneckBlock block(4, 4, 2, 2, rng, "b");
+  block.set_training(true);
+  GradCheck gc(block, Tensor::randn({2, 4, 8, 8}, rng), 21);
+  EXPECT_LT(gc.check_input(10), kTol);
+  EXPECT_LT(gc.check_params(6), kTol);
+}
+
+TEST(GradCheck, TinyResNetEndToEnd) {
+  Rng rng(12);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {4, 8};
+  cfg.num_classes = 3;
+  cfg.name = "tiny";
+  ResNet net(cfg, rng);
+  net.set_training(true);
+  GradCheck gc(net, Tensor::randn({2, 3, 8, 8}, rng), 22);
+  EXPECT_LT(gc.check_input(8), kTol);
+  EXPECT_LT(gc.check_params(4), kTol);
+}
+
+TEST(GradCheck, TinyBottleneckResNetEndToEnd) {
+  Rng rng(13);
+  ResNetConfig cfg;
+  cfg.block = ResNetConfig::BlockType::kBottleneck;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {4, 6};
+  cfg.bottleneck_expansion = 2;
+  cfg.num_classes = 3;
+  cfg.name = "tinyb";
+  ResNet net(cfg, rng);
+  net.set_training(true);
+  GradCheck gc(net, Tensor::randn({2, 3, 8, 8}, rng), 23);
+  EXPECT_LT(gc.check_input(8), kTol);
+  EXPECT_LT(gc.check_params(4), kTol);
+}
+
+TEST(GradCheck, SegmentationNetEndToEnd) {
+  Rng rng(14);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {4, 8};
+  cfg.num_classes = 3;
+  cfg.name = "segb";
+  auto backbone = std::make_unique<ResNet>(cfg, rng);
+  SegmentationNet seg(std::move(backbone), 4, /*feature_stage=*/1, rng);
+  seg.set_training(true);
+  GradCheck gc(seg, Tensor::randn({2, 3, 8, 8}, rng), 24);
+  EXPECT_LT(gc.check_input(8), kTol);
+  EXPECT_LT(gc.check_params(4), kTol);
+}
+
+TEST(GradCheck, CrossEntropyMatchesFiniteDifference) {
+  Rng rng(15);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> labels = {1, 4, 0};
+  const auto result = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float lp = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved - eps;
+    const float lm = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved;
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(result.grad_logits[i], numeric, 5e-3f) << "logit " << i;
+  }
+}
+
+TEST(GradCheck, CrossEntropy2dMatchesFiniteDifference) {
+  Rng rng(16);
+  Tensor logits = Tensor::randn({1, 3, 2, 2}, rng);
+  const std::vector<int> labels = {0, 2, -1, 1};
+  const auto result = softmax_cross_entropy_2d(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float lp = softmax_cross_entropy_2d(logits, labels).loss;
+    logits[i] = saved - eps;
+    const float lm = softmax_cross_entropy_2d(logits, labels).loss;
+    logits[i] = saved;
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(result.grad_logits[i], numeric, 5e-3f) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rt

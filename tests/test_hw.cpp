@@ -1,0 +1,428 @@
+// Hardware/edge-module tests: storage formats, the roofline cost model, the
+// channel-shrink compiler (functional equivalence), and int8 PTQ.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "data/synth.hpp"
+#include "data/tasks.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/quant.hpp"
+#include "hw/shrink.hpp"
+#include "hw/storage.hpp"
+#include "nn/loss.hpp"
+#include "prune/nm_sparsity.hpp"
+#include "prune/omp.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+namespace {
+
+std::unique_ptr<ResNet> tiny_basic(std::uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  return std::make_unique<ResNet>(cfg, rng);
+}
+
+std::unique_ptr<ResNet> tiny_bottleneck(std::uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig cfg;
+  cfg.block = ResNetConfig::BlockType::kBottleneck;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.bottleneck_expansion = 2;
+  cfg.num_classes = 10;
+  return std::make_unique<ResNet>(cfg, rng);
+}
+
+Parameter masked_param(std::int64_t rows, std::int64_t cols, float density,
+                       std::uint64_t seed) {
+  Parameter p;
+  p.name = "w";
+  p.kind = ParamKind::kLinearWeight;
+  Rng rng(seed);
+  p.value = Tensor::randn({rows, cols}, rng);
+  Tensor mask({rows, cols});
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng.bernoulli(density) ? 1.0f : 0.0f;
+  }
+  p.set_mask(mask);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Storage formats
+// ---------------------------------------------------------------------------
+
+TEST(StorageTest, DenseFormatsHaveExactSizes) {
+  Parameter p;
+  p.kind = ParamKind::kLinearWeight;
+  Rng rng(1);
+  p.value = Tensor::randn({8, 16}, rng);  // 128 weights
+  EXPECT_EQ(parameter_bytes(p, StorageFormat::kDenseFp32), 128 * 4);
+  EXPECT_EQ(parameter_bytes(p, StorageFormat::kDenseFp16), 128 * 2);
+  EXPECT_EQ(parameter_bytes(p, StorageFormat::kDenseInt8), 128 + 8 * 4);
+}
+
+TEST(StorageTest, BitmaskWinsAtHighSparsityLosesWhenDense) {
+  const Parameter dense = masked_param(16, 64, 1.0f, 2);
+  EXPECT_GT(parameter_bytes(dense, StorageFormat::kBitmaskFp16),
+            parameter_bytes(dense, StorageFormat::kDenseFp16));
+  const Parameter sparse = masked_param(16, 64, 0.1f, 3);
+  EXPECT_LT(parameter_bytes(sparse, StorageFormat::kBitmaskFp16),
+            parameter_bytes(sparse, StorageFormat::kDenseFp16));
+}
+
+TEST(StorageTest, CsrBeatsBitmaskOnlyAtExtremeSparsity) {
+  // CSR pays 2 bytes of column index per value; the bitmask pays numel/8
+  // regardless. Crossover sits near density ~ 1/16.
+  const Parameter extreme = masked_param(32, 64, 0.02f, 4);
+  EXPECT_LT(parameter_bytes(extreme, StorageFormat::kCsrFp16),
+            parameter_bytes(extreme, StorageFormat::kBitmaskFp16));
+  const Parameter mild = masked_param(32, 64, 0.3f, 5);
+  EXPECT_GT(parameter_bytes(mild, StorageFormat::kCsrFp16),
+            parameter_bytes(mild, StorageFormat::kBitmaskFp16));
+}
+
+TEST(StorageTest, ChannelCompactPricesKeptRowsOnly) {
+  Parameter p;
+  p.kind = ParamKind::kConvWeight;
+  Rng rng(6);
+  p.value = Tensor::randn({8, 36}, rng);
+  Tensor mask = Tensor::ones({8, 36});
+  for (std::int64_t c = 0; c < 36; ++c) {  // kill rows 0..3
+    for (std::int64_t r = 0; r < 4; ++r) mask.at(r, c) = 0.0f;
+  }
+  p.set_mask(mask);
+  EXPECT_EQ(parameter_bytes(p, StorageFormat::kChannelCompactFp16),
+            4 * 36 * 2 + 1);
+}
+
+TEST(StorageTest, BestFormatIsMinimal) {
+  for (float density : {0.05f, 0.3f, 0.9f}) {
+    const Parameter p = masked_param(16, 48, density, 7);
+    const StorageFormat best = best_format(p);
+    for (StorageFormat f : all_storage_formats()) {
+      EXPECT_LE(parameter_bytes(p, best), parameter_bytes(p, f))
+          << "density " << density << " vs " << storage_format_name(f);
+    }
+  }
+}
+
+TEST(StorageTest, NmBytesPacksSubByteIndices) {
+  // 2:4 on 64 weights: 32 kept values. fp16 values = 64B; 2-bit indices
+  // packed = 8B.
+  Parameter p = masked_param(4, 16, 1.0f, 8);
+  p.clear_mask();
+  NmConfig unused;  // document intent: mask comes from nm pruning
+  (void)unused;
+  Tensor mask(p.value.shape());
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 16; c += 4) {
+      mask.at(r, c) = 1.0f;
+      mask.at(r, c + 1) = 1.0f;
+    }
+  }
+  p.set_mask(mask);
+  EXPECT_EQ(nm_parameter_bytes(p, 4), 32 * 2 + 8);
+}
+
+TEST(StorageTest, ModelBytesShrinkWithSparsityUnderBitmask) {
+  auto dense = tiny_basic(9);
+  auto sparse = tiny_basic(9);
+  OmpConfig cfg;
+  cfg.sparsity = 0.9f;
+  omp_prune(*sparse, cfg);
+  EXPECT_LT(model_bytes(*sparse, StorageFormat::kBitmaskFp16),
+            model_bytes(*dense, StorageFormat::kBitmaskFp16));
+  // Dense formats are sparsity-blind.
+  EXPECT_EQ(model_bytes(*sparse, StorageFormat::kDenseFp16),
+            model_bytes(*dense, StorageFormat::kDenseFp16));
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, DenseModelHasUnitSpeedup) {
+  auto model = tiny_basic(10);
+  const CostEstimate c = estimate_cost(*model, kImageSize, kImageSize,
+                                       mobile_npu_profile(),
+                                       Granularity::kElement);
+  EXPECT_EQ(c.dense_macs, c.effective_macs);
+  EXPECT_GT(c.latency_seconds, 0.0);
+  EXPECT_GT(c.energy_joules, 0.0);
+}
+
+TEST(CostModelTest, McuIgnoresElementSparsityButRealizesChannel) {
+  auto element = tiny_basic(11);
+  OmpConfig ecfg;
+  ecfg.sparsity = 0.7f;
+  omp_prune(*element, ecfg);
+  const CostEstimate ce = estimate_cost(*element, kImageSize, kImageSize,
+                                        edge_mcu_profile(),
+                                        Granularity::kElement);
+  EXPECT_EQ(ce.effective_macs, ce.dense_macs);  // no sparse units
+
+  auto channel = tiny_basic(11);
+  OmpConfig ccfg;
+  ccfg.sparsity = 0.7f;
+  ccfg.granularity = Granularity::kChannel;
+  omp_prune(*channel, ccfg);
+  const CostEstimate cc = estimate_cost(*channel, kImageSize, kImageSize,
+                                        edge_mcu_profile(),
+                                        Granularity::kChannel);
+  EXPECT_LT(cc.effective_macs, cc.dense_macs);
+}
+
+TEST(CostModelTest, SpeedupOrderedByGranularityOnNpu) {
+  // Same nominal sparsity, increasing granularity: the NPU realizes more of
+  // the reduction as structure coarsens (element < row < kernel < channel).
+  const HardwareProfile npu = mobile_npu_profile();
+  double prev_macs = -1.0;
+  for (Granularity g : {Granularity::kChannel, Granularity::kKernel,
+                        Granularity::kRow, Granularity::kElement}) {
+    auto model = tiny_basic(12);
+    OmpConfig cfg;
+    cfg.sparsity = 0.6f;
+    cfg.granularity = g;
+    omp_prune(*model, cfg);
+    const CostEstimate c =
+        estimate_cost(*model, kImageSize, kImageSize, npu, g);
+    if (prev_macs >= 0.0) {
+      EXPECT_GE(static_cast<double>(c.effective_macs), prev_macs)
+          << granularity_name(g);
+    }
+    prev_macs = static_cast<double>(c.effective_macs);
+  }
+}
+
+TEST(CostModelTest, NmCostBeatsDenseOnNpu) {
+  auto model = tiny_basic(13);
+  nm_prune(*model, {});  // 2:4
+  const CostEstimate sparse = estimate_nm_cost(*model, kImageSize, kImageSize,
+                                               mobile_npu_profile(), 4);
+  EXPECT_LT(sparse.effective_macs, sparse.dense_macs);
+  EXPECT_GT(sparse.realized_speedup, 1.0);
+}
+
+TEST(CostModelTest, RooflineTakesTheMax) {
+  auto model = tiny_basic(14);
+  HardwareProfile hw = mobile_npu_profile();
+  hw.bytes_per_second = 1.0;  // pathological memory: must dominate latency
+  const CostEstimate c =
+      estimate_cost(*model, kImageSize, kImageSize, hw, Granularity::kElement);
+  EXPECT_NEAR(c.latency_seconds, static_cast<double>(c.weight_bytes), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Shrink compiler
+// ---------------------------------------------------------------------------
+
+class ShrinkEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, float>> {};
+
+TEST_P(ShrinkEquivalenceTest, ShrunkModelComputesSameFunction) {
+  const auto [bottleneck, sparsity] = GetParam();
+  auto model = bottleneck ? tiny_bottleneck(15) : tiny_basic(15);
+  OmpConfig cfg;
+  cfg.sparsity = sparsity;
+  cfg.granularity = Granularity::kChannel;
+  omp_prune(*model, cfg);
+  neutralize_dead_internal_channels(*model);
+
+  const Dataset d = generate_dataset(source_task_spec(), 8, 16);
+  model->set_training(false);
+  const Tensor before = model->forward(d.images);
+  const std::int64_t params_before = model->num_parameters();
+
+  Rng rng(17);
+  const ShrinkReport report = shrink_internal_channels(*model, rng);
+  const Tensor after = model->forward(d.images);
+
+  EXPECT_LT(before.linf_distance(after), 1e-5f);
+  EXPECT_EQ(report.params_before, params_before);
+  if (sparsity >= 0.5f) {
+    EXPECT_GT(report.channels_removed, 0);
+    EXPECT_LT(report.params_after, report.params_before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchAndSparsity, ShrinkEquivalenceTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(0.3f, 0.5f, 0.7f, 0.9f)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, float>>& info) {
+      return std::string(std::get<0>(info.param) ? "bottleneck" : "basic") +
+             "_s" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 100.0f));
+    });
+
+TEST(ShrinkTest, NeutralizeIsIdempotent) {
+  auto model = tiny_basic(18);
+  OmpConfig cfg;
+  cfg.sparsity = 0.6f;
+  cfg.granularity = Granularity::kChannel;
+  omp_prune(*model, cfg);
+  EXPECT_GT(neutralize_dead_internal_channels(*model), 0);
+  EXPECT_EQ(neutralize_dead_internal_channels(*model), 0);
+}
+
+TEST(ShrinkTest, KeepsAtLeastOneChannelUnderExtremePruning) {
+  auto model = tiny_basic(19);
+  OmpConfig cfg;
+  cfg.sparsity = 0.97f;
+  cfg.granularity = Granularity::kChannel;
+  omp_prune(*model, cfg);
+  Rng rng(20);
+  compile_for_deployment(*model, rng);
+  const Dataset d = generate_dataset(source_task_spec(), 4, 21);
+  model->set_training(false);
+  const Tensor logits = model->forward(d.images);
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits[i]));
+  }
+}
+
+TEST(ShrinkTest, ShrunkModelStillTrains) {
+  auto model = tiny_basic(22);
+  OmpConfig cfg;
+  cfg.sparsity = 0.6f;
+  cfg.granularity = Granularity::kChannel;
+  omp_prune(*model, cfg);
+  Rng rng(23);
+  compile_for_deployment(*model, rng);
+
+  TaskData task = load_task("cifar10", 48, 24);
+  TrainLoopConfig train_cfg;
+  train_cfg.epochs = 2;
+  const TrainStats stats =
+      train_classifier(*model, task.train, train_cfg, rng);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+}
+
+TEST(ShrinkTest, UnprunedModelIsUntouched) {
+  auto model = tiny_basic(24);
+  Rng rng(25);
+  const ShrinkReport report = compile_for_deployment(*model, rng);
+  EXPECT_EQ(report.channels_removed, 0);
+  EXPECT_EQ(report.channels_neutralized, 0);
+  EXPECT_EQ(report.params_before, report.params_after);
+}
+
+TEST(ShrinkTest, ReportsParameterReduction) {
+  auto model = tiny_basic(26);
+  OmpConfig cfg;
+  cfg.sparsity = 0.8f;
+  cfg.granularity = Granularity::kChannel;
+  omp_prune(*model, cfg);
+  Rng rng(27);
+  const ShrinkReport report = compile_for_deployment(*model, rng);
+  EXPECT_GT(report.param_reduction(), 0.0);
+  EXPECT_LT(report.param_reduction(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Quantization
+// ---------------------------------------------------------------------------
+
+TEST(QuantTest, RoundtripErrorBoundedByHalfScale) {
+  Parameter p = masked_param(6, 20, 1.0f, 30);
+  p.clear_mask();
+  const Tensor before = p.value;
+  const auto scales = fake_quantize(p, QuantScheme::kPerChannel, 8);
+  ASSERT_EQ(scales.size(), 6u);
+  for (std::int64_t r = 0; r < 6; ++r) {
+    for (std::int64_t c = 0; c < 20; ++c) {
+      EXPECT_LE(std::fabs(before.at(r, c) - p.value.at(r, c)),
+                scales[static_cast<std::size_t>(r)] * 0.5f + 1e-7f);
+    }
+  }
+}
+
+TEST(QuantTest, MaskedWeightsStayZero) {
+  Parameter p = masked_param(8, 16, 0.5f, 31);
+  fake_quantize(p, QuantScheme::kPerChannel, 8);
+  for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+    if (p.mask[i] == 0.0f) EXPECT_FLOAT_EQ(p.value[i], 0.0f);
+  }
+}
+
+TEST(QuantTest, PerChannelBeatsPerTensorOnSkewedRows) {
+  // Rows with wildly different magnitudes: a single tensor scale wastes
+  // resolution on the small rows.
+  auto make = [] {
+    Parameter p;
+    p.kind = ParamKind::kLinearWeight;
+    Rng rng(32);
+    p.value = Tensor::randn({2, 64}, rng);
+    for (std::int64_t c = 0; c < 64; ++c) p.value.at(0, c) *= 100.0f;
+    return p;
+  };
+  Parameter per_tensor = make();
+  Parameter per_channel = make();
+  const Tensor ref = per_tensor.value;
+
+  fake_quantize(per_tensor, QuantScheme::kPerTensor, 8);
+  fake_quantize(per_channel, QuantScheme::kPerChannel, 8);
+
+  double err_tensor = 0.0, err_channel = 0.0;
+  for (std::int64_t c = 0; c < 64; ++c) {  // compare on the small row
+    err_tensor += std::fabs(ref.at(1, c) - per_tensor.value.at(1, c));
+    err_channel += std::fabs(ref.at(1, c) - per_channel.value.at(1, c));
+  }
+  EXPECT_LT(err_channel, err_tensor);
+}
+
+class QuantBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBitsTest, MoreBitsMeanLessError) {
+  const int bits = GetParam();
+  auto model_low = tiny_basic(33);
+  auto model_high = tiny_basic(33);
+  QuantConfig low;
+  low.bits = bits;
+  QuantConfig high;
+  high.bits = bits + 2;
+  const QuantReport r_low = quantize_model(*model_low, low);
+  const QuantReport r_high = quantize_model(*model_high, high);
+  EXPECT_GT(r_low.mean_abs_error, r_high.mean_abs_error);
+  EXPECT_GT(r_low.tensors_quantized, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantBitsTest, ::testing::Values(2, 4, 6));
+
+TEST(QuantTest, AllZeroRowGetsZeroScale) {
+  Parameter p;
+  p.kind = ParamKind::kLinearWeight;
+  p.value = Tensor::zeros({3, 8});
+  const auto scales = fake_quantize(p, QuantScheme::kPerChannel, 8);
+  for (float s : scales) EXPECT_FLOAT_EQ(s, 0.0f);
+  EXPECT_FLOAT_EQ(p.value.sum_sq(), 0.0f);
+}
+
+TEST(QuantTest, TrainedAccuracySurvivesInt8) {
+  auto model = tiny_basic(34);
+  TaskData task = load_task("cifar10", 96, 64);
+  TrainLoopConfig train_cfg;
+  train_cfg.epochs = 6;
+  Rng rng(35);
+  train_classifier(*model, task.train, train_cfg, rng);
+  const float before = evaluate_accuracy(*model, task.test);
+
+  QuantConfig cfg;  // per-channel int8
+  const QuantReport report = quantize_model(*model, cfg);
+  const float after = evaluate_accuracy(*model, task.test);
+  EXPECT_GE(after, before - 0.08f) << "int8 cost " << before - after;
+  EXPECT_LT(report.int_storage_bytes,
+            model_bytes(*model, StorageFormat::kDenseFp16));
+}
+
+}  // namespace
+}  // namespace rt

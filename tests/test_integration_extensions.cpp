@@ -1,0 +1,175 @@
+// Integration tests across the extension modules: lab-driven TRADES/Free-AT
+// tickets, N:M tickets surviving finetuning, GMP continuation of OMP
+// tickets, and the full deploy pipeline (finetune -> shrink -> quantize ->
+// cost model) asserting its invariants end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/robust_tickets.hpp"
+
+namespace rt {
+namespace {
+
+/// A lab small enough for tests: 160 source images, 4 epochs, no disk cache
+/// (keeps the shared benchmark cache clean and the test hermetic). Shared
+/// across the tests in this file so each pretraining scheme is trained once;
+/// all accessors hand out fresh model copies, so sharing is safe.
+RobustTicketLab& tiny_lab() {
+  static RobustTicketLab lab = [] {
+    RobustTicketLab::Options opt;
+    opt.source_train_size = 160;
+    opt.source_test_size = 80;
+    opt.pretrain_epochs = 4;
+    opt.cache_dir = std::string();  // disable disk caching
+    return RobustTicketLab(opt);
+  }();
+  return lab;
+}
+
+TEST(LabIntegrationTest, NewSchemesProduceWorkingTickets) {
+  RobustTicketLab& lab = tiny_lab();
+  const TaskData task = lab.downstream("cifar10", 64, 48);
+  for (PretrainScheme scheme :
+       {PretrainScheme::kTrades, PretrainScheme::kFreeAdversarial}) {
+    auto ticket = lab.omp_ticket("r18", scheme, 0.5f);
+    EXPECT_NEAR(model_sparsity(ticket->prunable_parameters()), 0.5, 0.02)
+        << scheme_name(scheme);
+    Rng rng(1);
+    FinetuneConfig ft;
+    ft.epochs = 2;
+    const float acc = finetune_whole_model(*ticket, task, ft, rng);
+    EXPECT_GE(acc, 0.0f);
+    EXPECT_LE(acc, 1.0f);
+  }
+}
+
+TEST(LabIntegrationTest, SchemeIsPartOfTheCacheIdentity) {
+  RobustTicketLab& lab = tiny_lab();
+  // Different schemes must yield different pretrained weights.
+  const StateDict& a = lab.pretrained("r18", PretrainScheme::kTrades);
+  const StateDict& b = lab.pretrained("r18", PretrainScheme::kNatural);
+  bool any_diff = false;
+  for (const auto& [name, tensor] : a) {
+    const auto it = b.find(name);
+    ASSERT_NE(it, b.end()) << name;
+    if (tensor.linf_distance(it->second) > 0.0f) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NmIntegrationTest, PatternSurvivesFinetuning) {
+  RobustTicketLab& lab = tiny_lab();
+  auto ticket = lab.dense_model("r18", PretrainScheme::kAdversarial);
+  nm_prune(*ticket, {});  // 2:4
+  const TaskData task = lab.downstream("pets", 64, 48);
+  Rng rng(2);
+  FinetuneConfig ft;
+  ft.epochs = 3;
+  finetune_whole_model(*ticket, task, ft, rng);
+  // The optimizer must have preserved the N:M structure exactly.
+  for (Parameter* p : ticket->prunable_parameters()) {
+    ASSERT_TRUE(p->has_mask()) << p->name;
+    EXPECT_TRUE(validate_nm_mask(p->mask, 2, 4)) << p->name;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (p->mask[i] == 0.0f) {
+        ASSERT_FLOAT_EQ(p->value[i], 0.0f) << p->name;
+      }
+    }
+  }
+}
+
+TEST(GmpIntegrationTest, ContinuesAnOmpTicketToHigherSparsity) {
+  RobustTicketLab& lab = tiny_lab();
+  auto ticket = lab.omp_ticket("r18", PretrainScheme::kAdversarial, 0.4f);
+  const MaskSet before = MaskSet::capture(*ticket);
+  const TaskData task = lab.downstream("cifar10", 64, 48);
+  GmpConfig cfg;
+  cfg.final_sparsity = 0.8f;
+  cfg.epochs = 3;
+  Rng rng(3);
+  const MaskSet after = gmp_train_prune(*ticket, task.train, cfg, rng);
+  EXPECT_NEAR(after.sparsity(), 0.8, 0.02);
+  // Nesting: everything kept at 0.8 was kept at 0.4.
+  for (const auto& [name, dense_mask] : before.masks()) {
+    const Tensor& sparse_mask = after.get(name);
+    for (std::int64_t i = 0; i < dense_mask.numel(); ++i) {
+      if (sparse_mask[i] == 1.0f) {
+        ASSERT_EQ(dense_mask[i], 1.0f) << name;
+      }
+    }
+  }
+}
+
+TEST(DeployPipelineIntegrationTest, ShrinkThenQuantKeepsInvariants) {
+  RobustTicketLab& lab = tiny_lab();
+  auto model = lab.omp_ticket("r18", PretrainScheme::kAdversarial, 0.6f,
+                              Granularity::kChannel);
+  const TaskData task = lab.downstream("cifar10", 96, 64);
+  Rng rng(4);
+  FinetuneConfig ft;
+  ft.epochs = 3;
+  finetune_whole_model(*model, task, ft, rng);
+
+  // Shrink must not change accuracy beyond the neutralize step's effect;
+  // verify exact equality of the compiled model with the neutralized one.
+  auto reference = clone_ticket(*model);
+  neutralize_dead_internal_channels(*reference);
+  const ShrinkReport report = compile_for_deployment(*model, rng);
+  EXPECT_GT(report.channels_removed, 0);
+  reference->set_training(false);
+  model->set_training(false);
+  const Tensor ref_logits = reference->forward(task.test.images);
+  const Tensor out_logits = model->forward(task.test.images);
+  EXPECT_LT(ref_logits.linf_distance(out_logits), 1e-4f);
+
+  // Quantize the shrunk model; sparsity of surviving masks and accuracy
+  // bounds must hold.
+  const float acc_before = evaluate_accuracy(*model, task.test);
+  quantize_model(*model, {});
+  const float acc_after = evaluate_accuracy(*model, task.test);
+  EXPECT_GE(acc_after, acc_before - 0.10f);
+
+  // Cost model consumes the deployed model without complaint.
+  const CostEstimate cost = estimate_cost(*model, kImageSize, kImageSize,
+                                          edge_mcu_profile(),
+                                          Granularity::kChannel);
+  EXPECT_GT(cost.realized_speedup, 0.99);
+  EXPECT_GT(cost.energy_joules, 0.0);
+}
+
+TEST(AnalysisIntegrationTest, RobustVsNaturalMasksDivergeAboveNull) {
+  RobustTicketLab& lab = tiny_lab();
+  auto robust = lab.omp_ticket("r18", PretrainScheme::kAdversarial, 0.8f);
+  auto natural = lab.omp_ticket("r18", PretrainScheme::kNatural, 0.8f);
+  const MaskOverlap o = mask_overlap(MaskSet::capture(*robust),
+                                     MaskSet::capture(*natural));
+  // Same architecture and data: masks correlate far above the random null...
+  EXPECT_GT(o.iou, o.expected_iou);
+  // ...but the robustness prior rewires a real fraction of the ticket.
+  EXPECT_LT(o.iou, 0.95);
+}
+
+TEST(CorruptionIntegrationTest, RobustTicketDegradesMoreGracefully) {
+  // The mCA analogue of Fig. 8's Crpt-Acc claim, on the source task where
+  // both models are strong: the robust ticket's corrupted-over-clean ratio
+  // must not be worse than the natural one's by more than noise.
+  RobustTicketLab& lab = tiny_lab();
+  float retention[2] = {0.0f, 0.0f};
+  const PretrainScheme schemes[2] = {PretrainScheme::kAdversarial,
+                                     PretrainScheme::kNatural};
+  for (int i = 0; i < 2; ++i) {
+    auto model = lab.dense_model("r18", schemes[i]);
+    const CorruptionReport r =
+        evaluate_corruption_suite(*model, lab.source().test, 55);
+    retention[i] = r.clean_accuracy > 0.0f
+                       ? r.mean_corruption_accuracy / r.clean_accuracy
+                       : 0.0f;
+  }
+  EXPECT_GT(retention[0], retention[1] - 0.05f)
+      << "robust " << retention[0] << " vs natural " << retention[1];
+}
+
+}  // namespace
+}  // namespace rt

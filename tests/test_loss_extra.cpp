@@ -1,0 +1,150 @@
+// Label-smoothed cross-entropy and KL-divergence (TRADES) loss tests,
+// including finite-difference checks of every returned gradient.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace rt {
+namespace {
+
+Tensor random_logits(std::int64_t n, std::int64_t c, std::uint64_t seed,
+                     float scale = 2.0f) {
+  Rng rng(seed);
+  return Tensor::randn({n, c}, rng, scale);
+}
+
+TEST(SmoothedCeTest, ZeroSmoothingMatchesPlainCe) {
+  const Tensor logits = random_logits(5, 4, 11);
+  const std::vector<int> y{0, 3, 1, 2, 2};
+  const LossResult plain = softmax_cross_entropy(logits, y);
+  const LossResult smoothed = softmax_cross_entropy_smoothed(logits, y, 0.0f);
+  EXPECT_NEAR(plain.loss, smoothed.loss, 1e-6f);
+  for (std::int64_t i = 0; i < plain.grad_logits.numel(); ++i) {
+    EXPECT_NEAR(plain.grad_logits[i], smoothed.grad_logits[i], 1e-6f);
+  }
+}
+
+TEST(SmoothedCeTest, KnownTwoClassValue) {
+  // Single sample, logits (0, 0): p = (0.5, 0.5). Target with smoothing s is
+  // (1-s, s); loss = -(1-s) log .5 - s log .5 = log 2 for every s.
+  Tensor logits({1, 2});
+  const std::vector<int> y{0};
+  for (float s : {0.0f, 0.1f, 0.3f}) {
+    const LossResult r = softmax_cross_entropy_smoothed(logits, y, s);
+    EXPECT_NEAR(r.loss, std::log(2.0f), 1e-5f) << "smoothing " << s;
+  }
+}
+
+TEST(SmoothedCeTest, GradSumsToZeroPerRow) {
+  // Softmax minus any probability-vector target has zero row sum.
+  const Tensor logits = random_logits(6, 5, 17);
+  const std::vector<int> y{4, 0, 1, 3, 2, 2};
+  const LossResult r = softmax_cross_entropy_smoothed(logits, y, 0.2f);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    float row = 0.0f;
+    for (std::int64_t j = 0; j < 5; ++j) row += r.grad_logits.at(i, j);
+    EXPECT_NEAR(row, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SmoothedCeTest, FiniteDifferenceGradient) {
+  Tensor logits = random_logits(3, 4, 23);
+  const std::vector<int> y{1, 0, 3};
+  const float smoothing = 0.15f;
+  const LossResult r = softmax_cross_entropy_smoothed(logits, y, smoothing);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float up = softmax_cross_entropy_smoothed(logits, y, smoothing).loss;
+    logits[i] = saved - eps;
+    const float dn = softmax_cross_entropy_smoothed(logits, y, smoothing).loss;
+    logits[i] = saved;
+    const float numeric = (up - dn) / (2.0f * eps);
+    EXPECT_NEAR(r.grad_logits[i], numeric, 5e-3f) << "element " << i;
+  }
+}
+
+TEST(SmoothedCeTest, RejectsBadSmoothing) {
+  const Tensor logits = random_logits(2, 3, 5);
+  const std::vector<int> y{0, 1};
+  EXPECT_THROW(softmax_cross_entropy_smoothed(logits, y, -0.1f),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy_smoothed(logits, y, 1.0f),
+               std::invalid_argument);
+}
+
+TEST(KlDivergenceTest, IdenticalLogitsGiveZeroLossAndGrads) {
+  const Tensor logits = random_logits(4, 6, 31);
+  const KlResult r = kl_divergence(logits, logits);
+  EXPECT_NEAR(r.loss, 0.0f, 1e-6f);
+  for (std::int64_t i = 0; i < r.grad_logits.numel(); ++i) {
+    EXPECT_NEAR(r.grad_logits[i], 0.0f, 1e-6f);
+    EXPECT_NEAR(r.grad_target[i], 0.0f, 1e-6f);
+  }
+}
+
+class KlNonNegativityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KlNonNegativityTest, LossIsNonNegative) {
+  const std::uint64_t seed = GetParam();
+  const Tensor a = random_logits(8, 5, seed);
+  const Tensor b = random_logits(8, 5, seed + 1000);
+  EXPECT_GE(kl_divergence(a, b).loss, -1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlNonNegativityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(KlDivergenceTest, IsAsymmetric) {
+  const Tensor a = random_logits(4, 4, 41, 3.0f);
+  const Tensor b = random_logits(4, 4, 43, 3.0f);
+  const float ab = kl_divergence(a, b).loss;
+  const float ba = kl_divergence(b, a).loss;
+  EXPECT_GT(std::abs(ab - ba), 1e-4f);
+}
+
+TEST(KlDivergenceTest, FiniteDifferenceGradLogits) {
+  const Tensor target = random_logits(3, 4, 51);
+  Tensor logits = random_logits(3, 4, 53);
+  const KlResult r = kl_divergence(target, logits);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float up = kl_divergence(target, logits).loss;
+    logits[i] = saved - eps;
+    const float dn = kl_divergence(target, logits).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(r.grad_logits[i], (up - dn) / (2.0f * eps), 5e-3f)
+        << "element " << i;
+  }
+}
+
+TEST(KlDivergenceTest, FiniteDifferenceGradTarget) {
+  Tensor target = random_logits(3, 4, 61);
+  const Tensor logits = random_logits(3, 4, 63);
+  const KlResult r = kl_divergence(target, logits);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < target.numel(); ++i) {
+    const float saved = target[i];
+    target[i] = saved + eps;
+    const float up = kl_divergence(target, logits).loss;
+    target[i] = saved - eps;
+    const float dn = kl_divergence(target, logits).loss;
+    target[i] = saved;
+    EXPECT_NEAR(r.grad_target[i], (up - dn) / (2.0f * eps), 5e-3f)
+        << "element " << i;
+  }
+}
+
+TEST(KlDivergenceTest, RejectsMismatchedShapes) {
+  const Tensor a = random_logits(2, 3, 5);
+  const Tensor b = random_logits(2, 4, 5);
+  EXPECT_THROW(kl_divergence(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,143 @@
+// Tests for evaluation metrics: ECE, NLL, ROC-AUC, mIoU, FID plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/segmentation_data.hpp"
+#include "metrics/metrics.hpp"
+
+namespace rt {
+namespace {
+
+TEST(Ece, PerfectlyCalibratedIsZero) {
+  // Confidence 1.0 and always correct.
+  const Tensor probs = Tensor::from_data({2, 2}, {1, 0, 0, 1});
+  EXPECT_NEAR(expected_calibration_error(probs, {0, 1}), 0.0, 1e-6);
+}
+
+TEST(Ece, OverconfidentWrongIsOne) {
+  const Tensor probs = Tensor::from_data({2, 2}, {1, 0, 0, 1});
+  // Always wrong with confidence 1 -> ECE = 1.
+  EXPECT_NEAR(expected_calibration_error(probs, {1, 0}), 1.0, 1e-6);
+}
+
+TEST(Ece, HalfConfidentHalfRight) {
+  // Confidence 0.6, accuracy 0.5 -> ECE = 0.1.
+  const Tensor probs =
+      Tensor::from_data({2, 2}, {0.6f, 0.4f, 0.6f, 0.4f});
+  EXPECT_NEAR(expected_calibration_error(probs, {0, 1}), 0.1, 1e-6);
+}
+
+TEST(Ece, ValidatesInputs) {
+  const Tensor probs = Tensor::from_data({1, 2}, {0.5f, 0.5f});
+  EXPECT_THROW(expected_calibration_error(probs, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(expected_calibration_error(probs, {0}, 0),
+               std::invalid_argument);
+}
+
+TEST(Nll, KnownValue) {
+  const Tensor probs = Tensor::from_data({2, 2}, {0.5f, 0.5f, 0.25f, 0.75f});
+  const double expected = -(std::log(0.5) + std::log(0.75)) / 2.0;
+  EXPECT_NEAR(negative_log_likelihood(probs, {0, 1}), expected, 1e-6);
+}
+
+TEST(Nll, ClampsZeroProbability) {
+  const Tensor probs = Tensor::from_data({1, 2}, {0.0f, 1.0f});
+  EXPECT_TRUE(std::isfinite(negative_log_likelihood(probs, {0})));
+}
+
+TEST(RocAuc, PerfectSeparation) {
+  EXPECT_NEAR(roc_auc({0.9f, 0.8f}, {0.1f, 0.2f}), 1.0, 1e-9);
+  EXPECT_NEAR(roc_auc({0.1f, 0.2f}, {0.9f, 0.8f}), 0.0, 1e-9);
+}
+
+TEST(RocAuc, TiesGiveHalfCredit) {
+  EXPECT_NEAR(roc_auc({0.5f}, {0.5f}), 0.5, 1e-9);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<float> pos(2000), neg(2000);
+  for (auto& v : pos) v = rng.uniform();
+  for (auto& v : neg) v = rng.uniform();
+  EXPECT_NEAR(roc_auc(pos, neg), 0.5, 0.03);
+}
+
+TEST(RocAuc, KnownPartialOrdering) {
+  // pos {3, 1}, neg {2, 0}: pairs (3>2, 3>0, 1<2, 1>0) -> 3/4.
+  EXPECT_NEAR(roc_auc({3.0f, 1.0f}, {2.0f, 0.0f}), 0.75, 1e-9);
+}
+
+TEST(RocAuc, EmptyThrows) {
+  EXPECT_THROW(roc_auc({}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(roc_auc({1.0f}, {}), std::invalid_argument);
+}
+
+TEST(MaxSoftmax, ExtractsRowMaxima) {
+  const Tensor probs =
+      Tensor::from_data({2, 3}, {0.2f, 0.5f, 0.3f, 0.9f, 0.05f, 0.05f});
+  const auto scores = max_softmax_scores(probs);
+  EXPECT_FLOAT_EQ(scores[0], 0.5f);
+  EXPECT_FLOAT_EQ(scores[1], 0.9f);
+}
+
+TEST(MeanIou, PerfectPrediction) {
+  const std::vector<int> labels = {0, 1, 2, 1};
+  EXPECT_NEAR(mean_iou(labels, labels, 3), 1.0, 1e-9);
+}
+
+TEST(MeanIou, KnownOverlap) {
+  // Class 0: pred {0,1}, truth {0}: IoU 1/2. Class 1: pred {2,3}, truth
+  // {1,2,3}: inter {2,3} union {1,2,3} -> 2/3.
+  const std::vector<int> pred = {0, 0, 1, 1};
+  const std::vector<int> truth = {0, 1, 1, 1};
+  EXPECT_NEAR(mean_iou(pred, truth, 2), (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(MeanIou, SkipsAbsentClasses) {
+  const std::vector<int> pred = {0, 0};
+  const std::vector<int> truth = {0, 0};
+  // Classes 1..9 absent everywhere: only class 0 counted.
+  EXPECT_NEAR(mean_iou(pred, truth, 10), 1.0, 1e-9);
+}
+
+TEST(MeanIou, SizeMismatchThrows) {
+  EXPECT_THROW(mean_iou({0}, {0, 1}, 2), std::invalid_argument);
+}
+
+TEST(FidProbe, DeterministicAcrossInstances) {
+  Rng rng(2);
+  const Tensor imgs = Tensor::uniform({4, 3, 16, 16}, rng, 0.0f, 1.0f);
+  FidProbe p1, p2;
+  const Tensor f1 = p1.features(imgs);
+  const Tensor f2 = p2.features(imgs);
+  EXPECT_LT(f1.linf_distance(f2), 1e-7f);
+  EXPECT_EQ(f1.dim(1), p1.feature_dim());
+}
+
+TEST(FidBetween, ZeroForSameImages) {
+  Rng rng(3);
+  const Tensor imgs = Tensor::uniform({32, 3, 16, 16}, rng, 0.0f, 1.0f);
+  FidProbe probe;
+  EXPECT_NEAR(fid_between(imgs, imgs, probe), 0.0, 1e-3);
+}
+
+TEST(FidBetween, NoisierImagesFartherAway) {
+  Rng rng(4);
+  const Tensor base = Tensor::uniform({48, 3, 16, 16}, rng, 0.2f, 0.8f);
+  Tensor mild = base, heavy = base;
+  for (std::int64_t i = 0; i < base.numel(); ++i) {
+    mild[i] += rng.normal(0.0f, 0.02f);
+    heavy[i] += rng.normal(0.0f, 0.15f);
+  }
+  mild.clamp_(0, 1);
+  heavy.clamp_(0, 1);
+  FidProbe probe;
+  const double d_mild = fid_between(base, mild, probe);
+  const double d_heavy = fid_between(base, heavy, probe);
+  EXPECT_GT(d_heavy, d_mild);
+}
+
+}  // namespace
+}  // namespace rt

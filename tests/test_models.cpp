@@ -1,0 +1,216 @@
+// Tests for the MicroResNet family, segmentation net, state dicts, and
+// model statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/resnet.hpp"
+#include "models/segmentation.hpp"
+#include "tensor/serialize.hpp"
+
+namespace rt {
+namespace {
+
+TEST(ResNet, ForwardShapes) {
+  Rng rng(1);
+  auto r18 = make_micro_resnet18(10, rng);
+  const Tensor x = Tensor::uniform({4, 3, 16, 16}, rng, 0.0f, 1.0f);
+  const Tensor logits = r18->forward(x);
+  EXPECT_EQ(logits.shape(), (std::vector<std::int64_t>{4, 10}));
+  EXPECT_EQ(r18->feature_dim(), 64);
+}
+
+TEST(ResNet, BottleneckForwardShapesAndWiderFeatures) {
+  Rng rng(1);
+  auto r50 = make_micro_resnet50(10, rng);
+  const Tensor x = Tensor::uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(r50->forward(x).shape(), (std::vector<std::int64_t>{2, 10}));
+  EXPECT_EQ(r50->feature_dim(), 160);
+}
+
+TEST(ResNet, R50HasMoreParamsThanR18) {
+  Rng rng(1);
+  auto r18 = make_micro_resnet18(10, rng);
+  auto r50 = make_micro_resnet50(10, rng);
+  EXPECT_GT(r50->num_parameters(), r18->num_parameters());
+}
+
+TEST(ResNet, TrunkStageShapes) {
+  Rng rng(2);
+  auto r18 = make_micro_resnet18(10, rng);
+  const Tensor x = Tensor::uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(r18->forward_trunk(x, 0).shape(),
+            (std::vector<std::int64_t>{2, 8, 16, 16}));
+  EXPECT_EQ(r18->forward_trunk(x, 1).shape(),
+            (std::vector<std::int64_t>{2, 16, 8, 8}));
+  EXPECT_EQ(r18->forward_trunk(x, 3).shape(),
+            (std::vector<std::int64_t>{2, 64, 2, 2}));
+  EXPECT_THROW(r18->forward_trunk(x, 4), std::out_of_range);
+}
+
+TEST(ResNet, BackwardTrunkRequiresMatchingForward) {
+  Rng rng(3);
+  auto r18 = make_micro_resnet18(10, rng);
+  const Tensor x = Tensor::uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
+  const Tensor f = r18->forward_trunk(x, 1);
+  EXPECT_THROW(r18->backward_trunk(f, 2), std::logic_error);
+  EXPECT_NO_THROW(r18->backward_trunk(Tensor(f.shape()), 1));
+}
+
+TEST(ResNet, FeaturesMatchForwardHead) {
+  Rng rng(4);
+  auto r18 = make_micro_resnet18(7, rng);
+  r18->set_training(false);
+  const Tensor x = Tensor::uniform({3, 3, 16, 16}, rng, 0.0f, 1.0f);
+  const Tensor f = r18->forward_features(x);
+  const Tensor logits_direct = r18->head().forward(f);
+  const Tensor logits = r18->forward(x);
+  EXPECT_LT(logits.linf_distance(logits_direct), 1e-5f);
+}
+
+TEST(ResNet, ResetHeadChangesWidthAndKeepsTrunk) {
+  Rng rng(5);
+  auto r18 = make_micro_resnet18(10, rng);
+  const StateDict before = r18->state_dict();
+  r18->reset_head(4, rng);
+  EXPECT_EQ(r18->head().out_features(), 4);
+  const Tensor x = Tensor::uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(r18->forward(x).dim(1), 4);
+  // Trunk params unchanged.
+  const StateDict after = r18->state_dict();
+  EXPECT_LT(after.at("r18.stem.weight")
+                .linf_distance(before.at("r18.stem.weight")),
+            1e-9f);
+}
+
+TEST(ResNet, PrunableExcludesHeadBnBias) {
+  Rng rng(6);
+  auto r18 = make_micro_resnet18(10, rng);
+  for (Parameter* p : r18->prunable_parameters()) {
+    EXPECT_TRUE(p->kind == ParamKind::kConvWeight ||
+                p->kind == ParamKind::kLinearWeight);
+    EXPECT_NE(p->name, "r18.head.weight");
+  }
+  bool head_found = false;
+  for (Parameter* p : r18->prunable_parameters(/*include_head=*/true)) {
+    if (p->name == "r18.head.weight") head_found = true;
+  }
+  EXPECT_TRUE(head_found);
+}
+
+TEST(ResNet, StatsCountParamsAndFlops) {
+  Rng rng(7);
+  auto r18 = make_micro_resnet18(10, rng);
+  const ModelStats s = r18->stats(16, 16);
+  EXPECT_EQ(s.total_params, r18->num_parameters());
+  EXPECT_GT(s.prunable_params, 0);
+  EXPECT_LE(s.prunable_params, s.total_params);
+  EXPECT_EQ(s.unmasked_prunable_params, s.prunable_params);
+  EXPECT_GT(s.dense_flops, 0);
+  EXPECT_EQ(s.sparse_flops, s.dense_flops);
+}
+
+TEST(ResNet, MaskedStatsReduceSparseFlops) {
+  Rng rng(8);
+  auto r18 = make_micro_resnet18(10, rng);
+  for (Parameter* p : r18->prunable_parameters()) {
+    Tensor mask(p->value.shape());
+    for (std::int64_t i = 0; i < mask.numel(); i += 2) mask[i] = 1.0f;
+    p->set_mask(mask);
+  }
+  const ModelStats s = r18->stats(16, 16);
+  EXPECT_LT(s.sparse_flops, s.dense_flops);
+  EXPECT_NEAR(static_cast<double>(s.unmasked_prunable_params),
+              0.5 * static_cast<double>(s.prunable_params),
+              0.01 * static_cast<double>(s.prunable_params));
+}
+
+TEST(ResNet, StateDictRoundTripThroughStream) {
+  Rng rng(9);
+  auto a = make_micro_resnet18(10, rng);
+  auto b = make_micro_resnet18(10, rng);
+  // Different random init.
+  const Tensor x = Tensor::uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
+  a->set_training(false);
+  b->set_training(false);
+  EXPECT_GT(a->forward(x).linf_distance(b->forward(x)), 1e-6f);
+
+  std::stringstream buf;
+  write_state_dict(buf, a->state_dict());
+  b->load_state(read_state_dict(buf));
+  EXPECT_LT(a->forward(x).linf_distance(b->forward(x)), 1e-6f);
+}
+
+TEST(ResNet, StateDictIncludesBnBuffers) {
+  Rng rng(10);
+  auto r18 = make_micro_resnet18(10, rng);
+  const StateDict state = r18->state_dict();
+  EXPECT_TRUE(state.count("r18.stem_bn.running_mean") == 1);
+  EXPECT_TRUE(state.count("r18.stem_bn.running_var") == 1);
+  EXPECT_TRUE(state.count("r18.stage0.block0.bn1.running_mean") == 1);
+}
+
+TEST(ResNet, LoadStateRejectsUnknownAndMisshapen) {
+  Rng rng(11);
+  auto r18 = make_micro_resnet18(10, rng);
+  StateDict bogus;
+  bogus["no.such.param"] = Tensor({1});
+  EXPECT_THROW(r18->load_state(bogus), std::invalid_argument);
+  StateDict misshapen;
+  misshapen["r18.stem.weight"] = Tensor({1, 1});
+  EXPECT_THROW(r18->load_state(misshapen), std::invalid_argument);
+}
+
+TEST(ResNet, UniqueParameterNames) {
+  Rng rng(12);
+  auto r50 = make_micro_resnet50(10, rng);
+  std::set<std::string> names;
+  for (Parameter* p : r50->parameters()) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate: " << p->name;
+  }
+  std::vector<Module::NamedTensor> buffers;
+  r50->collect_buffers(buffers);
+  for (const auto& [name, tensor] : buffers) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(ResNet, EvalModeIsDeterministic) {
+  Rng rng(13);
+  auto r18 = make_micro_resnet18(10, rng);
+  r18->set_training(false);
+  const Tensor x = Tensor::uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
+  const Tensor y1 = r18->forward(x);
+  const Tensor y2 = r18->forward(x);
+  EXPECT_LT(y1.linf_distance(y2), 1e-9f);
+}
+
+TEST(SegmentationNet, ForwardShapeAndBackward) {
+  Rng rng(14);
+  auto backbone = make_micro_resnet18(10, rng);
+  SegmentationNet seg(std::move(backbone), 4, 2, rng);
+  const Tensor x = Tensor::uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
+  const Tensor logits = seg.forward(x);
+  EXPECT_EQ(logits.shape(), (std::vector<std::int64_t>{2, 4, 16, 16}));
+  const Tensor g = seg.backward(Tensor(logits.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(SegmentationNet, HeadParametersSubset) {
+  Rng rng(15);
+  auto backbone = make_micro_resnet18(10, rng);
+  SegmentationNet seg(std::move(backbone), 4, 2, rng);
+  const auto head = seg.head_parameters();
+  EXPECT_EQ(head.size(), 2u);  // 1x1 conv weight + bias
+  EXPECT_LT(head.size(), seg.parameters().size());
+}
+
+TEST(SegmentationNet, RejectsBadStage) {
+  Rng rng(16);
+  auto backbone = make_micro_resnet18(10, rng);
+  EXPECT_THROW(SegmentationNet(std::move(backbone), 4, 9, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,169 @@
+// Adam / AdamW optimizer and warmup-schedule tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/optim.hpp"
+
+namespace rt {
+namespace {
+
+Parameter make_param(std::vector<std::int64_t> shape, float init) {
+  Parameter p;
+  p.name = "w";
+  p.kind = ParamKind::kLinearWeight;
+  p.value = Tensor::full(shape, init);
+  p.grad = Tensor(shape);
+  return p;
+}
+
+TEST(AdamTest, ConvergesOnQuadraticBowl) {
+  // Minimize 0.5 * ||w - t||^2; gradient is (w - t).
+  Parameter p = make_param({4}, 0.0f);
+  const float target[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  Adam adam({&p}, cfg);
+  for (int step = 0; step < 400; ++step) {
+    for (int i = 0; i < 4; ++i) p.grad[i] = p.value[i] - target[i];
+    adam.step();
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(p.value[i], target[i], 1e-2f) << "coordinate " << i;
+  }
+}
+
+TEST(AdamTest, FirstStepHasLrMagnitude) {
+  // After bias correction, the very first Adam update is lr * g/|g| = lr in
+  // magnitude (eps-perturbed), regardless of the gradient scale.
+  for (float gscale : {1e-4f, 1.0f, 1e4f}) {
+    Parameter p = make_param({1}, 0.0f);
+    AdamConfig cfg;
+    cfg.lr = 0.01f;
+    Adam adam({&p}, cfg);
+    p.grad[0] = gscale;
+    adam.step();
+    EXPECT_NEAR(std::abs(p.value[0]), cfg.lr, cfg.lr * 1e-3f)
+        << "gradient scale " << gscale;
+    EXPECT_LT(p.value[0], 0.0f);  // moves against the gradient
+  }
+}
+
+TEST(AdamTest, StepsTakenCounts) {
+  Parameter p = make_param({2}, 1.0f);
+  Adam adam({&p}, {});
+  EXPECT_EQ(adam.steps_taken(), 0);
+  p.grad.fill_(1.0f);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.steps_taken(), 2);
+}
+
+TEST(AdamTest, DecoupledDecayShrinksWeightsMultiplicatively) {
+  // With zero gradient, AdamW's update is exactly w <- w - lr * wd * w.
+  Parameter p = make_param({3}, 2.0f);
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.5f;
+  cfg.decoupled_weight_decay = true;
+  Adam adam({&p}, cfg);
+  p.grad.fill_(0.0f);
+  adam.step();
+  const float expected = 2.0f * (1.0f - cfg.lr * cfg.weight_decay);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(p.value[i], expected, 1e-5f);
+}
+
+TEST(AdamTest, ClassicDecayFlowsThroughMoments) {
+  // Classic (coupled) Adam treats decay as part of the gradient: with zero
+  // loss gradient the first update is lr * sign(wd * w) in magnitude, i.e.
+  // the adaptive normalization erases the decay *scale*. This distinguishes
+  // the two modes behaviourally.
+  Parameter p = make_param({1}, 2.0f);
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.5f;
+  cfg.decoupled_weight_decay = false;
+  Adam adam({&p}, cfg);
+  p.grad[0] = 0.0f;
+  adam.step();
+  EXPECT_NEAR(p.value[0], 2.0f - cfg.lr, 1e-4f);
+}
+
+TEST(AdamTest, UntrainableParameterIsSkipped) {
+  Parameter p = make_param({2}, 1.0f);
+  p.trainable = false;
+  Adam adam({&p}, {});
+  p.grad.fill_(5.0f);
+  adam.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.value[1], 1.0f);
+}
+
+TEST(AdamTest, ZeroGradClearsGradients) {
+  Parameter p = make_param({2}, 1.0f);
+  Adam adam({&p}, {});
+  p.grad.fill_(3.0f);
+  adam.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(p.grad[1], 0.0f);
+}
+
+// The ticket invariant must hold for Adam exactly as it does for SGD:
+// masked weights stay zero through any sequence of updates, including with
+// weight decay and stale moment state.
+class AdamMaskInvariantTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamMaskInvariantTest, MaskedWeightsStayZero) {
+  Parameter p = make_param({8}, 1.0f);
+  Tensor mask = Tensor::ones({8});
+  mask[1] = 0.0f;
+  mask[5] = 0.0f;
+  p.set_mask(mask);
+  AdamConfig cfg;
+  cfg.lr = GetParam();
+  cfg.weight_decay = 0.1f;
+  Adam adam({&p}, cfg);
+  Rng rng(7);
+  for (int step = 0; step < 25; ++step) {
+    for (int i = 0; i < 8; ++i) p.grad[i] = rng.normal();
+    adam.step();
+  }
+  EXPECT_FLOAT_EQ(p.value[1], 0.0f);
+  EXPECT_FLOAT_EQ(p.value[5], 0.0f);
+  // Unmasked coordinates must have moved.
+  EXPECT_NE(p.value[0], 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(LrSweep, AdamMaskInvariantTest,
+                         ::testing::Values(1e-3f, 1e-2f, 1e-1f));
+
+TEST(WarmupLrTest, RampsLinearlyThenDelegates) {
+  auto inner = std::make_unique<MultiStepLr>(1.0f, std::vector<int>{10}, 0.1f);
+  WarmupLr warm(std::move(inner), 4);
+  EXPECT_NEAR(warm.lr_at(0), 0.25f, 1e-6f);
+  EXPECT_NEAR(warm.lr_at(1), 0.50f, 1e-6f);
+  EXPECT_NEAR(warm.lr_at(3), 1.00f, 1e-6f);
+  EXPECT_NEAR(warm.lr_at(4), 1.00f, 1e-6f);   // past warmup: inner value
+  EXPECT_NEAR(warm.lr_at(12), 0.10f, 1e-6f);  // inner milestone applied
+}
+
+TEST(WarmupLrTest, ZeroWarmupIsIdentity) {
+  auto inner = std::make_unique<CosineLr>(0.5f, 20);
+  const CosineLr reference(0.5f, 20);
+  WarmupLr warm(std::move(inner), 0);
+  for (int e : {0, 5, 19}) {
+    EXPECT_FLOAT_EQ(warm.lr_at(e), reference.lr_at(e));
+  }
+}
+
+TEST(WarmupLrTest, WarmupScalesCosineTarget) {
+  auto inner = std::make_unique<CosineLr>(1.0f, 100);
+  const CosineLr reference(1.0f, 100);
+  WarmupLr warm(std::move(inner), 10);
+  // During warmup the value is the inner schedule scaled by (e+1)/warmup.
+  EXPECT_NEAR(warm.lr_at(4), reference.lr_at(4) * 0.5f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace rt

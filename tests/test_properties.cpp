@@ -1,0 +1,195 @@
+// Cross-module property suites (TEST_P sweeps) on the library's core
+// invariants: tensor algebra laws, RNG statistics, conv geometry, schedule
+// monotonicity, and mask/statistics consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/resnet.hpp"
+#include "nn/conv.hpp"
+#include "prune/omp.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt {
+namespace {
+
+// ---- Tensor algebra laws over random shapes --------------------------------
+
+class TensorAlgebraTest : public ::testing::TestWithParam<int> {
+ protected:
+  Tensor random(std::uint64_t salt) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000 + salt);
+    const std::int64_t n = 2 + GetParam() % 5;
+    const std::int64_t m = 3 + (GetParam() / 2) % 4;
+    return Tensor::randn({n, m}, rng);
+  }
+};
+
+TEST_P(TensorAlgebraTest, AdditionCommutes) {
+  const Tensor a = random(1), b = random(2);
+  EXPECT_LT(a.add(b).linf_distance(b.add(a)), 1e-6f);
+}
+
+TEST_P(TensorAlgebraTest, HadamardDistributesOverAddition) {
+  const Tensor a = random(3), b = random(4), c = random(5);
+  const Tensor lhs = a.mul(b.add(c));
+  const Tensor rhs = a.mul(b).add(a.mul(c));
+  EXPECT_LT(lhs.linf_distance(rhs), 1e-5f);
+}
+
+TEST_P(TensorAlgebraTest, ScalingIsLinear) {
+  const Tensor a = random(6);
+  const Tensor lhs = a.scaled(2.5f).add(a.scaled(-1.5f));
+  EXPECT_LT(lhs.linf_distance(a), 1e-5f);
+}
+
+TEST_P(TensorAlgebraTest, AxpyMatchesScaledAdd) {
+  Tensor a = random(7);
+  const Tensor x = random(8);
+  const Tensor expected = a.add(x.scaled(0.75f));
+  a.axpy_(0.75f, x);
+  EXPECT_LT(a.linf_distance(expected), 1e-6f);
+}
+
+TEST_P(TensorAlgebraTest, SumSqIsL2NormSquared) {
+  const Tensor a = random(9);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  EXPECT_NEAR(a.sum_sq(), acc, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TensorAlgebraTest, ::testing::Range(0, 8));
+
+// ---- Matmul laws ------------------------------------------------------------
+
+TEST(MatmulLaws, AssociativeWithinTolerance) {
+  Rng rng(1);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  const Tensor c = Tensor::randn({6, 3}, rng);
+  const Tensor lhs = matmul(matmul(a, b), c);
+  const Tensor rhs = matmul(a, matmul(b, c));
+  EXPECT_LT(lhs.linf_distance(rhs), 1e-4f);
+}
+
+TEST(MatmulLaws, TransposeOfProduct) {
+  // (AB)^T == B^T A^T: compute both via the transpose flags.
+  Rng rng(2);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor b = Tensor::randn({5, 3}, rng);
+  const Tensor ab = matmul(a, b);                    // (4,3)
+  const Tensor btat = matmul(b, a, true, true);      // (3,4)
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(ab.at(i, j), btat.at(j, i), 1e-5f);
+    }
+  }
+}
+
+TEST(MatmulLaws, IdentityIsNeutral) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({5, 5}, rng);
+  Tensor id({5, 5});
+  for (std::int64_t i = 0; i < 5; ++i) id.at(i, i) = 1.0f;
+  EXPECT_LT(matmul(a, id).linf_distance(a), 1e-6f);
+  EXPECT_LT(matmul(id, a).linf_distance(a), 1e-6f);
+}
+
+// ---- Conv geometry ----------------------------------------------------------
+
+class ConvGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvGeometryTest, OutputExtentFormula) {
+  const auto [extent, kernel, stride, padding] = GetParam();
+  const ConvGeometry g{kernel, stride, padding};
+  const std::int64_t out = g.out_extent(extent);
+  // Definition check: last tap must fit, next one must not.
+  EXPECT_GE((out - 1) * stride + kernel, 1);
+  EXPECT_LE((out - 1) * stride - padding + kernel, extent + padding);
+  EXPECT_GT(out * stride - padding + kernel, extent + padding);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometryTest,
+    ::testing::Combine(::testing::Values(8, 16, 17), ::testing::Values(1, 3, 5),
+                       ::testing::Values(1, 2), ::testing::Values(0, 1, 2)));
+
+// ---- RNG statistics ---------------------------------------------------------
+
+TEST(RngStats, UniformIntIsUnbiased) {
+  Rng rng(42);
+  std::vector<int> counts(8, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+  // Chi-square against uniform with 7 dof; 99.9% critical value ~ 24.3.
+  const double expected = n / 8.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 24.3);
+}
+
+TEST(RngStats, NormalTailMassReasonable) {
+  Rng rng(43);
+  int beyond2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(rng.normal()) > 2.0f) ++beyond2;
+  }
+  // P(|Z|>2) ~ 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond2) / n, 0.0455, 0.008);
+}
+
+// ---- Mask / stats consistency ----------------------------------------------
+
+class OmpGranularityProperty
+    : public ::testing::TestWithParam<std::tuple<float, Granularity>> {};
+
+TEST_P(OmpGranularityProperty, MaskSparsityMatchesModelSparsity) {
+  const auto [sparsity, granularity] = GetParam();
+  Rng rng(9);
+  auto model = make_micro_resnet18(10, rng);
+  OmpConfig cfg;
+  cfg.sparsity = sparsity;
+  cfg.granularity = granularity;
+  const MaskSet masks = omp_prune(*model, cfg);
+  // The MaskSet's own accounting agrees with the model's.
+  EXPECT_NEAR(masks.sparsity(),
+              model_sparsity(model->prunable_parameters()), 1e-6);
+  // Structured tolerance is coarser: whole groups are removed.
+  const double tol = granularity == Granularity::kElement ? 1e-3 : 0.05;
+  EXPECT_NEAR(masks.sparsity(), sparsity, tol);
+  // Sparse FLOPs shrink accordingly.
+  const ModelStats stats = model->stats(16, 16);
+  EXPECT_LT(stats.sparse_flops, stats.dense_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OmpGranularityProperty,
+    ::testing::Combine(::testing::Values(0.3f, 0.6f, 0.9f),
+                       ::testing::Values(Granularity::kElement,
+                                         Granularity::kRow,
+                                         Granularity::kKernel,
+                                         Granularity::kChannel)));
+
+// ---- Serialization stability across model mutations -------------------------
+
+TEST(StateDictProperty, ReloadIsIdempotent) {
+  Rng rng(10);
+  auto model = make_micro_resnet18(10, rng);
+  const StateDict s1 = model->state_dict();
+  model->load_state(s1);
+  const StateDict s2 = model->state_dict();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (const auto& [name, tensor] : s1) {
+    EXPECT_LT(tensor.linf_distance(s2.at(name)), 1e-9f) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rt

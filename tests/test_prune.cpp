@@ -1,0 +1,373 @@
+// Tests for masks, granularities, OMP, IMP and LMP — the paper's ticket
+// machinery. Includes the ticket invariants: sparsity exactness, structure,
+// monotone schedules, and mask preservation through finetuning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "data/synth.hpp"
+#include "models/resnet.hpp"
+#include "prune/imp.hpp"
+#include "prune/lmp.hpp"
+#include "prune/omp.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+namespace {
+
+Parameter make_conv_param(std::int64_t out, std::int64_t in, std::int64_t k) {
+  Parameter p;
+  p.name = "w";
+  p.kind = ParamKind::kConvWeight;
+  p.conv_in_channels = in;
+  p.conv_kernel = k;
+  p.value = Tensor({out, in * k * k});
+  p.grad = Tensor({out, in * k * k});
+  return p;
+}
+
+TEST(Granularity, GroupSizesForConv) {
+  const Parameter p = make_conv_param(4, 3, 3);
+  EXPECT_EQ(group_size(p, Granularity::kElement), 1);
+  EXPECT_EQ(group_size(p, Granularity::kRow), 3);
+  EXPECT_EQ(group_size(p, Granularity::kKernel), 9);
+  EXPECT_EQ(group_size(p, Granularity::kChannel), 27);
+  EXPECT_EQ(group_count(p, Granularity::kChannel), 4);
+  EXPECT_EQ(group_count(p, Granularity::kKernel), 12);
+}
+
+TEST(Granularity, LinearCollapsesToRows) {
+  Parameter p;
+  p.name = "w";
+  p.kind = ParamKind::kLinearWeight;
+  p.value = Tensor({5, 8});
+  for (auto g : {Granularity::kRow, Granularity::kKernel,
+                 Granularity::kChannel}) {
+    EXPECT_EQ(group_size(p, g), 8);
+    EXPECT_EQ(group_count(p, g), 5);
+  }
+}
+
+TEST(Granularity, ScoresAreMeanAbsPerGroup) {
+  Parameter p = make_conv_param(1, 1, 2);  // groups of 4 at kernel level
+  p.value = Tensor::from_data({1, 4}, {1, -2, 3, -4});
+  const auto elem = group_scores(p, Granularity::kElement);
+  EXPECT_FLOAT_EQ(elem[1], 2.0f);
+  const auto kern = group_scores(p, Granularity::kKernel);
+  ASSERT_EQ(kern.size(), 1u);
+  EXPECT_FLOAT_EQ(kern[0], 2.5f);
+}
+
+TEST(Granularity, MaskFromKeepRespectsGroups) {
+  const Parameter p = make_conv_param(2, 1, 3);
+  const Tensor mask =
+      mask_from_group_keep(p, Granularity::kChannel, {1, 0});
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_EQ(mask[i], 1.0f);
+  for (std::int64_t i = 9; i < 18; ++i) EXPECT_EQ(mask[i], 0.0f);
+}
+
+TEST(MaskSet, ApplyInstallsAndRejectsUnknown) {
+  Rng rng(1);
+  auto model = make_micro_resnet18(10, rng);
+  MaskSet masks;
+  masks.set("r18.stem.weight", Tensor::zeros({8, 27}));
+  masks.apply(*model);
+  bool found = false;
+  for (Parameter* p : model->parameters()) {
+    if (p->name == "r18.stem.weight") {
+      EXPECT_TRUE(p->has_mask());
+      EXPECT_FLOAT_EQ(p->value.sum_sq(), 0.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  MaskSet bogus;
+  bogus.set("nope", Tensor({1}));
+  EXPECT_THROW(bogus.apply(*model), std::invalid_argument);
+}
+
+TEST(MaskSet, SaveLoadRoundTrip) {
+  MaskSet masks;
+  masks.set("a", Tensor::from_data({4}, {1, 0, 1, 0}));
+  const std::string path = "/tmp/rt_masks_test.rtk";
+  masks.save(path);
+  const MaskSet back = MaskSet::load(path);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_LT(back.get("a").linf_distance(masks.get("a")), 1e-9f);
+  EXPECT_NEAR(back.sparsity(), 0.5, 1e-9);
+  std::filesystem::remove(path);
+}
+
+class OmpSparsityTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(OmpSparsityTest, AchievesTargetWithinTolerance) {
+  const float target = GetParam();
+  Rng rng(2);
+  auto model = make_micro_resnet18(10, rng);
+  OmpConfig cfg;
+  cfg.sparsity = target;
+  omp_prune(*model, cfg);
+  const double actual = model_sparsity(model->prunable_parameters());
+  EXPECT_NEAR(actual, target, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, OmpSparsityTest,
+                         ::testing::Values(0.0f, 0.2f, 0.5f, 0.7f, 0.9f,
+                                           0.99f));
+
+TEST(Omp, KeepsLargestMagnitudes) {
+  Rng rng(3);
+  auto model = make_micro_resnet18(10, rng);
+  // Record the global magnitude threshold implied by the mask.
+  OmpConfig cfg;
+  cfg.sparsity = 0.5f;
+  // Snapshot weights before pruning zeroes them.
+  std::map<std::string, Tensor> before;
+  for (Parameter* p : model->prunable_parameters()) before[p->name] = p->value;
+  omp_prune(*model, cfg);
+  float max_pruned = 0.0f, min_kept = 1e9f;
+  for (Parameter* p : model->prunable_parameters()) {
+    const Tensor& orig = before.at(p->name);
+    for (std::int64_t i = 0; i < p->mask.numel(); ++i) {
+      const float mag = std::fabs(orig[i]);
+      if (p->mask[i] == 0.0f) max_pruned = std::max(max_pruned, mag);
+      else min_kept = std::min(min_kept, mag);
+    }
+  }
+  EXPECT_LE(max_pruned, min_kept + 1e-6f);
+}
+
+TEST(Omp, StructuredChannelMasksWholeRows) {
+  Rng rng(4);
+  auto model = make_micro_resnet18(10, rng);
+  OmpConfig cfg;
+  cfg.sparsity = 0.5f;
+  cfg.granularity = Granularity::kChannel;
+  omp_prune(*model, cfg);
+  for (Parameter* p : model->prunable_parameters()) {
+    if (!p->has_mask() || p->kind != ParamKind::kConvWeight) continue;
+    const std::int64_t row = p->value.dim(1);
+    for (std::int64_t r = 0; r < p->value.dim(0); ++r) {
+      float s = 0.0f;
+      for (std::int64_t c = 0; c < row; ++c) s += p->mask[r * row + c];
+      EXPECT_TRUE(s == 0.0f || s == static_cast<float>(row))
+          << p->name << " row " << r << " partially masked";
+    }
+  }
+}
+
+TEST(Omp, RejectsBadSparsity) {
+  Rng rng(5);
+  auto model = make_micro_resnet18(10, rng);
+  OmpConfig cfg;
+  cfg.sparsity = 1.0f;
+  EXPECT_THROW(omp_prune(*model, cfg), std::invalid_argument);
+  cfg.sparsity = -0.1f;
+  EXPECT_THROW(omp_prune(*model, cfg), std::invalid_argument);
+}
+
+TEST(Omp, HeadExcludedByDefault) {
+  Rng rng(6);
+  auto model = make_micro_resnet18(10, rng);
+  OmpConfig cfg;
+  cfg.sparsity = 0.9f;
+  omp_prune(*model, cfg);
+  EXPECT_FALSE(model->head().weight().has_mask());
+}
+
+TEST(ImpSchedule, MonotoneAndCapped) {
+  EXPECT_NEAR(imp_round_sparsity(0.2f, 1, 0.9f), 0.2f, 1e-6f);
+  EXPECT_NEAR(imp_round_sparsity(0.2f, 2, 0.9f), 0.36f, 1e-6f);
+  float prev = 0.0f;
+  for (int r = 1; r < 30; ++r) {
+    const float s = imp_round_sparsity(0.2f, r, 0.9f);
+    EXPECT_GE(s, prev);
+    EXPECT_LE(s, 0.9f);
+    prev = s;
+  }
+  EXPECT_NEAR(prev, 0.9f, 1e-6f);
+}
+
+TEST(Imp, TrajectoryReachesTargetAndRewinds) {
+  Rng rng(7);
+  auto model = make_micro_resnet18(10, rng);
+  const StateDict pretrained = model->state_dict();
+  const Dataset data = generate_dataset(source_task_spec(), 80, 9);
+
+  ImpConfig cfg;
+  cfg.target_sparsity = 0.6f;
+  cfg.rate_per_round = 0.3f;
+  cfg.epochs_per_round = 1;
+  Rng prng(8);
+  const auto trajectory = imp_prune_trajectory(*model, data, cfg, prng);
+
+  ASSERT_GE(trajectory.size(), 2u);
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    EXPECT_GT(trajectory[i].sparsity, trajectory[i - 1].sparsity);
+  }
+  EXPECT_NEAR(trajectory.back().sparsity, 0.6f, 1e-5f);
+  EXPECT_NEAR(model_sparsity(model->prunable_parameters()), 0.6, 1e-3);
+
+  // Surviving weights equal the pretrained values (rewind contract).
+  for (Parameter* p : model->prunable_parameters()) {
+    const Tensor& orig = pretrained.at(p->name);
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (p->mask[i] != 0.0f) {
+        EXPECT_FLOAT_EQ(p->value[i], orig[i]) << p->name << "[" << i << "]";
+      } else {
+        EXPECT_FLOAT_EQ(p->value[i], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Imp, MasksAreNested) {
+  // A weight pruned in round r must stay pruned in round r+1.
+  Rng rng(9);
+  auto model = make_micro_resnet18(10, rng);
+  const Dataset data = generate_dataset(source_task_spec(), 60, 10);
+  ImpConfig cfg;
+  cfg.target_sparsity = 0.7f;
+  cfg.rate_per_round = 0.35f;
+  cfg.epochs_per_round = 1;
+  Rng prng(11);
+  const auto trajectory = imp_prune_trajectory(*model, data, cfg, prng);
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    for (const auto& [name, later] : trajectory[i].masks.masks()) {
+      const Tensor& earlier = trajectory[i - 1].masks.get(name);
+      for (std::int64_t j = 0; j < later.numel(); ++j) {
+        if (earlier[j] == 0.0f) {
+          EXPECT_EQ(later[j], 0.0f) << name << "[" << j << "] resurrected";
+        }
+      }
+    }
+  }
+}
+
+TEST(Imp, ResetsHeadForDownstreamClassCount) {
+  Rng rng(12);
+  auto model = make_micro_resnet18(10, rng);
+  const SynthTaskSpec spec = downstream_task_spec("t4", 4, 0.5f, 77);
+  const Dataset data = generate_dataset(spec, 40, 13);
+  ImpConfig cfg;
+  cfg.target_sparsity = 0.3f;
+  cfg.rate_per_round = 0.3f;
+  cfg.epochs_per_round = 1;
+  Rng prng(14);
+  imp_prune(*model, data, cfg, prng);
+  EXPECT_EQ(model->head().out_features(), 4);
+}
+
+TEST(Imp, RejectsBadConfig) {
+  Rng rng(15);
+  auto model = make_micro_resnet18(10, rng);
+  const Dataset data = generate_dataset(source_task_spec(), 20, 16);
+  ImpConfig cfg;
+  cfg.target_sparsity = 1.0f;
+  Rng prng(17);
+  EXPECT_THROW(imp_prune(*model, data, cfg, prng), std::invalid_argument);
+  cfg.target_sparsity = 0.5f;
+  cfg.rate_per_round = 0.0f;
+  EXPECT_THROW(imp_prune(*model, data, cfg, prng), std::invalid_argument);
+}
+
+TEST(Lmp, LearnsMaskAtRequestedSparsityWithFrozenWeights) {
+  Rng rng(18);
+  auto model = make_micro_resnet18(10, rng);
+  const StateDict pretrained = model->state_dict();
+  const SynthTaskSpec spec = downstream_task_spec("t6", 6, 0.5f, 88);
+  const Dataset data = generate_dataset(spec, 60, 19);
+
+  LmpConfig cfg;
+  cfg.sparsity = 0.5f;
+  cfg.epochs = 2;
+  Rng prng(20);
+  const MaskSet masks = lmp_learn(*model, data, cfg, prng);
+  EXPECT_GT(masks.size(), 0u);
+  EXPECT_NEAR(masks.sparsity(), 0.5, 0.02);
+
+  // Kept weights equal pretrained values: LMP never tunes trunk weights.
+  for (Parameter* p : model->prunable_parameters()) {
+    const Tensor& orig = pretrained.at(p->name);
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (p->mask[i] != 0.0f) {
+        EXPECT_FLOAT_EQ(p->value[i], orig[i]) << p->name;
+      }
+    }
+  }
+  // Head was retrained for 6 classes.
+  EXPECT_EQ(model->head().out_features(), 6);
+}
+
+TEST(Lmp, MaskDiffersFromPureMagnitude) {
+  // With enough training the learned mask should deviate from the |w|
+  // initialization somewhere.
+  Rng rng(21);
+  auto model = make_micro_resnet18(10, rng);
+  auto magnitude_model = make_micro_resnet18(10, rng);
+  magnitude_model->load_state(model->state_dict());
+
+  const SynthTaskSpec spec = downstream_task_spec("t5", 5, 0.6f, 99);
+  const Dataset data = generate_dataset(spec, 80, 22);
+  LmpConfig cfg;
+  cfg.sparsity = 0.5f;
+  cfg.epochs = 3;
+  Rng prng(23);
+  const MaskSet learned = lmp_learn(*model, data, cfg, prng);
+
+  OmpConfig omp;
+  omp.sparsity = 0.5f;
+  const MaskSet magnitude = omp_mask(*magnitude_model, omp);
+
+  double diff = 0.0, total = 0.0;
+  for (const auto& [name, lm] : learned.masks()) {
+    const Tensor& mm = magnitude.get(name);
+    for (std::int64_t i = 0; i < lm.numel(); ++i) {
+      diff += std::fabs(lm[i] - mm[i]);
+      total += 1.0;
+    }
+  }
+  EXPECT_GT(diff / total, 0.01) << "LMP never moved away from magnitude init";
+}
+
+TEST(Lmp, RejectsBadSparsity) {
+  Rng rng(24);
+  auto model = make_micro_resnet18(10, rng);
+  const Dataset data = generate_dataset(source_task_spec(), 20, 25);
+  LmpConfig cfg;
+  cfg.sparsity = 1.0f;
+  Rng prng(26);
+  EXPECT_THROW(lmp_learn(*model, data, cfg, prng), std::invalid_argument);
+}
+
+// The ticket contract end-to-end: finetuning a masked model never
+// resurrects pruned weights.
+TEST(TicketInvariant, FinetuningPreservesMask) {
+  Rng rng(27);
+  auto model = make_micro_resnet18(10, rng);
+  OmpConfig omp;
+  omp.sparsity = 0.8f;
+  const MaskSet masks = omp_prune(*model, omp);
+
+  const SynthTaskSpec spec = downstream_task_spec("t7", 7, 0.7f, 111);
+  const Dataset train = generate_dataset(spec, 60, 28);
+  TrainLoopConfig cfg;
+  cfg.epochs = 2;
+  Rng trng(29);
+  model->reset_head(7, rng);
+  train_classifier(*model, train, cfg, trng);
+
+  for (Parameter* p : model->prunable_parameters()) {
+    if (!p->has_mask()) continue;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (p->mask[i] == 0.0f) {
+        ASSERT_EQ(p->value[i], 0.0f) << p->name << " resurrected at " << i;
+      }
+    }
+  }
+  EXPECT_NEAR(model_sparsity(model->prunable_parameters()), 0.8, 1e-3);
+}
+
+}  // namespace
+}  // namespace rt

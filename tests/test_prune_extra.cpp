@@ -1,0 +1,309 @@
+// Tests for the pruning extensions: N:M structured sparsity, gradual
+// magnitude pruning (GMP), and the GraSP baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "data/synth.hpp"
+#include "data/tasks.hpp"
+#include "models/resnet.hpp"
+#include "nn/loss.hpp"
+#include "prune/baselines.hpp"
+#include "prune/gmp.hpp"
+#include "prune/nm_sparsity.hpp"
+#include "prune/omp.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+namespace {
+
+std::unique_ptr<ResNet> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  return std::make_unique<ResNet>(cfg, rng);
+}
+
+// ---------------------------------------------------------------------------
+// N:M sparsity
+// ---------------------------------------------------------------------------
+
+class NmPatternTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NmPatternTest, MaskSatisfiesNmInvariantOnEveryLayer) {
+  const auto [n, m] = GetParam();
+  auto model = tiny_model(1);
+  NmConfig cfg;
+  cfg.n = n;
+  cfg.m = m;
+  const MaskSet masks = nm_prune(*model, cfg);
+  EXPECT_GT(masks.size(), 0u);
+  for (const auto& [name, mask] : masks.masks()) {
+    EXPECT_TRUE(validate_nm_mask(mask, n, m)) << name;
+  }
+}
+
+TEST_P(NmPatternTest, AchievesExpectedSparsity) {
+  const auto [n, m] = GetParam();
+  auto model = tiny_model(2);
+  NmConfig cfg;
+  cfg.n = n;
+  cfg.m = m;
+  nm_prune(*model, cfg);
+  double expected_kept = 0.0, total = 0.0;
+  for (Parameter* p : model->prunable_parameters()) {
+    const double numel = static_cast<double>(p->value.numel());
+    expected_kept +=
+        numel * (1.0 - nm_expected_sparsity(p->value.dim(0), p->value.dim(1),
+                                            n, m));
+    total += numel;
+  }
+  const double got = model_sparsity(model->prunable_parameters());
+  EXPECT_NEAR(got, 1.0 - expected_kept / total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, NmPatternTest,
+    ::testing::Values(std::make_tuple(2, 4), std::make_tuple(1, 4),
+                      std::make_tuple(1, 2), std::make_tuple(4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::to_string(std::get<0>(info.param)) + "of" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(NmSparsityTest, KeepsLargestMagnitudesPerGroup) {
+  Parameter p;
+  p.kind = ParamKind::kLinearWeight;
+  p.value = Tensor::from_data({1, 8},
+                              {0.1f, -0.9f, 0.3f, -0.2f,   // group 1
+                               0.05f, 0.8f, -0.7f, 0.01f}); // group 2
+  const Tensor mask = nm_mask_for(p, 2, 4);
+  // Group 1 keeps |-0.9| and |0.3|; group 2 keeps |0.8| and |-0.7|.
+  const std::vector<float> expected{0, 1, 1, 0, 0, 1, 1, 0};
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(mask[i], expected[static_cast<std::size_t>(i)])
+        << "index " << i;
+  }
+}
+
+TEST(NmSparsityTest, PartialTrailingGroupKeepsAtMostN) {
+  Parameter p;
+  p.kind = ParamKind::kLinearWeight;
+  Rng rng(3);
+  p.value = Tensor::randn({3, 10}, rng);  // 10 = 2 full groups of 4 + tail 2
+  const Tensor mask = nm_mask_for(p, 2, 4);
+  EXPECT_TRUE(validate_nm_mask(mask, 2, 4));
+  // Tail of length 2 keeps min(2, 2) = 2: row total = 2+2+2 = 6.
+  for (std::int64_t r = 0; r < 3; ++r) {
+    float kept = 0.0f;
+    for (std::int64_t c = 0; c < 10; ++c) kept += mask.at(r, c);
+    EXPECT_FLOAT_EQ(kept, 6.0f);
+  }
+  EXPECT_NEAR(nm_expected_sparsity(3, 10, 2, 4), 1.0 - 6.0 / 10.0, 1e-12);
+}
+
+TEST(NmSparsityTest, RejectsDegenerateConfigs) {
+  auto model = tiny_model(4);
+  EXPECT_THROW(nm_prune(*model, NmConfig{4, 4, false}),
+               std::invalid_argument);
+  EXPECT_THROW(nm_prune(*model, NmConfig{0, 4, false}),
+               std::invalid_argument);
+  EXPECT_THROW(nm_prune(*model, NmConfig{1, 1, false}),
+               std::invalid_argument);
+}
+
+TEST(NmSparsityTest, ValidatorRejectsViolations) {
+  Tensor bad = Tensor::ones({1, 4});  // 4 kept in a 2:4 group
+  EXPECT_FALSE(validate_nm_mask(bad, 2, 4));
+  Tensor nonbinary = Tensor::from_data({1, 4}, {0.5f, 0.0f, 0.0f, 0.0f});
+  EXPECT_FALSE(validate_nm_mask(nonbinary, 2, 4));
+  Tensor good = Tensor::from_data({1, 4}, {1.0f, 0.0f, 1.0f, 0.0f});
+  EXPECT_TRUE(validate_nm_mask(good, 2, 4));
+}
+
+TEST(NmSparsityTest, ModelStillRunsAfterPruning) {
+  auto model = tiny_model(5);
+  nm_prune(*model, {});
+  const Dataset d = generate_dataset(source_task_spec(), 4, 9);
+  model->set_training(false);
+  const Tensor logits = model->forward(d.images);
+  EXPECT_EQ(logits.dim(0), 4);
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GMP
+// ---------------------------------------------------------------------------
+
+TEST(GmpScheduleTest, EndpointsAndMonotonicity) {
+  const float target = 0.9f;
+  const int epochs = 10;
+  EXPECT_FLOAT_EQ(gmp_sparsity_at(target, 0, epochs), 0.0f);
+  EXPECT_NEAR(gmp_sparsity_at(target, epochs - 1, epochs), target, 1e-6f);
+  float prev = -1.0f;
+  for (int e = 0; e < epochs; ++e) {
+    const float s = gmp_sparsity_at(target, e, epochs);
+    EXPECT_GT(s, prev) << "epoch " << e;
+    EXPECT_LE(s, target + 1e-6f);
+    prev = s;
+  }
+}
+
+TEST(GmpScheduleTest, CubicShapeFrontLoadsPruning) {
+  // The cubic schedule prunes faster early: the first half of training must
+  // reach well past half the target sparsity.
+  const float mid = gmp_sparsity_at(0.8f, 5, 11);  // t = 0.5
+  EXPECT_GT(mid, 0.8f * 0.5f);
+  EXPECT_NEAR(mid, 0.8f * (1.0f - 0.125f), 1e-5f);  // 1 - 0.5^3
+}
+
+TEST(GmpTrainPruneTest, ReachesTargetAndKeepsInvariant) {
+  auto model = tiny_model(6);
+  TaskData task = load_task("cifar10", 96, 32);
+  // GMP is a during-finetuning scheme; give the model a short natural
+  // training phase first (its intended starting point).
+  Rng rng(7);
+  TrainLoopConfig warm;
+  warm.epochs = 4;
+  train_classifier(*model, task.train, warm, rng);
+
+  GmpConfig cfg;
+  cfg.final_sparsity = 0.7f;
+  cfg.epochs = 4;
+  cfg.sgd.lr = 0.05f;
+  const MaskSet masks = gmp_train_prune(*model, task.train, cfg, rng);
+  EXPECT_NEAR(masks.sparsity(), 0.7, 0.02);
+  // Installed masks match the returned set and the invariant holds.
+  for (Parameter* p : model->prunable_parameters()) {
+    ASSERT_TRUE(p->has_mask());
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (p->mask[i] == 0.0f) EXPECT_FLOAT_EQ(p->value[i], 0.0f);
+    }
+  }
+  // The model must still have learned something in-sample.
+  EXPECT_GT(evaluate_accuracy(*model, task.train), 0.15f);
+}
+
+TEST(GmpTrainPruneTest, MasksAreNestedAcrossSparsityLevels) {
+  // Pruned weights stay zero, so a later (sparser) GMP mask must be a
+  // subset of any earlier (denser) one. Verify via two runs sharing the
+  // schedule prefix.
+  auto model = tiny_model(8);
+  TaskData task = load_task("cifar10", 64, 32);
+  GmpConfig cfg;
+  cfg.final_sparsity = 0.5f;
+  cfg.epochs = 3;
+  Rng rng(9);
+  gmp_train_prune(*model, task.train, cfg, rng);
+  const MaskSet at_half = MaskSet::capture(*model);
+
+  // Continue pruning the same model to 0.8.
+  GmpConfig cfg2 = cfg;
+  cfg2.final_sparsity = 0.8f;
+  cfg2.epochs = 2;
+  Rng rng2(10);
+  gmp_train_prune(*model, task.train, cfg2, rng2);
+  const MaskSet at_eighty = MaskSet::capture(*model);
+
+  for (const auto& [name, dense_mask] : at_half.masks()) {
+    const Tensor& sparse_mask = at_eighty.get(name);
+    for (std::int64_t i = 0; i < dense_mask.numel(); ++i) {
+      if (sparse_mask[i] == 1.0f) {
+        EXPECT_EQ(dense_mask[i], 1.0f) << name << " index " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraSP
+// ---------------------------------------------------------------------------
+
+TEST(GraspTest, AchievesTargetSparsityAndRestoresWeights) {
+  auto model = tiny_model(11);
+  std::vector<Tensor> before;
+  for (Parameter* p : model->parameters()) before.push_back(p->value);
+
+  TaskData task = load_task("cifar10", 64, 32);
+  GraspConfig cfg;
+  cfg.sparsity = 0.6f;
+  cfg.batches = 2;
+  Rng rng(12);
+  const MaskSet masks = grasp_prune(*model, task.train, cfg, rng);
+  EXPECT_NEAR(masks.sparsity(), 0.6, 0.02);
+
+  // Weights must be exactly restored up to the masking itself: surviving
+  // weights equal the originals.
+  std::size_t i = 0;
+  for (Parameter* p : model->parameters()) {
+    if (p->has_mask()) {
+      for (std::int64_t k = 0; k < p->value.numel(); ++k) {
+        if (p->mask[k] == 1.0f) {
+          EXPECT_FLOAT_EQ(p->value[k], before[i][k]) << p->name;
+        }
+      }
+    } else {
+      EXPECT_EQ(p->value.linf_distance(before[i]), 0.0f) << p->name;
+    }
+    ++i;
+  }
+}
+
+TEST(GraspTest, DiffersFromMagnitudeMask) {
+  auto model_a = tiny_model(13);
+  auto model_b = tiny_model(13);  // identical weights
+  TaskData task = load_task("cifar10", 64, 32);
+
+  GraspConfig gcfg;
+  gcfg.sparsity = 0.5f;
+  Rng rng(14);
+  const MaskSet grasp = grasp_prune(*model_a, task.train, gcfg, rng);
+
+  OmpConfig ocfg;
+  ocfg.sparsity = 0.5f;
+  const MaskSet magnitude = omp_mask(*model_b, ocfg);
+
+  std::int64_t differing = 0;
+  for (const auto& [name, gm] : grasp.masks()) {
+    if (!magnitude.contains(name)) continue;
+    const Tensor& mm = magnitude.get(name);
+    for (std::int64_t k = 0; k < gm.numel(); ++k) {
+      if (gm[k] != mm[k]) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0) << "GraSP degenerated into magnitude pruning";
+}
+
+TEST(GraspTest, PrunedModelKeepsGradientFlow) {
+  // The scheme's defining property: after pruning, gradients still flow
+  // (no layer is completely severed) even at high sparsity.
+  auto model = tiny_model(15);
+  TaskData task = load_task("cifar10", 64, 32);
+  GraspConfig cfg;
+  cfg.sparsity = 0.85f;
+  Rng rng(16);
+  grasp_prune(*model, task.train, cfg, rng);
+
+  const Dataset d = generate_dataset(source_task_spec(), 16, 17);
+  model->set_training(true);
+  model->zero_grad();
+  const Tensor logits = model->forward(d.images);
+  const LossResult loss = softmax_cross_entropy(logits, d.labels);
+  model->backward(loss.grad_logits);
+  float total = 0.0f;
+  for (Parameter* p : model->prunable_parameters()) {
+    p->mask_grad();
+    total += p->grad.sum_sq();
+  }
+  EXPECT_GT(total, 1e-12f);
+}
+
+}  // namespace
+}  // namespace rt

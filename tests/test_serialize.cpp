@@ -1,0 +1,79 @@
+// Tests for binary tensor/state-dict serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "tensor/serialize.hpp"
+
+namespace rt {
+namespace {
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream buf;
+  write_tensor(buf, t);
+  const Tensor back = read_tensor(buf);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_LT(back.linf_distance(t), 1e-9f);
+}
+
+TEST(Serialize, StateDictRoundTrip) {
+  Rng rng(2);
+  StateDict state;
+  state["a.weight"] = Tensor::randn({4, 4}, rng);
+  state["b.bias"] = Tensor::randn({7}, rng);
+  std::stringstream buf;
+  write_state_dict(buf, state);
+  const StateDict back = read_state_dict(buf);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_LT(back.at("a.weight").linf_distance(state.at("a.weight")), 1e-9f);
+  EXPECT_LT(back.at("b.bias").linf_distance(state.at("b.bias")), 1e-9f);
+}
+
+TEST(Serialize, EmptyStateDict) {
+  std::stringstream buf;
+  write_state_dict(buf, {});
+  EXPECT_TRUE(read_state_dict(buf).empty());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buf("NOPE....");
+  EXPECT_THROW(read_state_dict(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Rng rng(3);
+  StateDict state;
+  state["w"] = Tensor::randn({16}, rng);
+  std::stringstream buf;
+  write_state_dict(buf, state);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_state_dict(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptDims) {
+  std::stringstream buf;
+  // ndim = 9 exceeds the sanity limit.
+  const std::uint32_t bad_ndim = 9;
+  buf.write(reinterpret_cast<const char*>(&bad_ndim), sizeof(bad_ndim));
+  EXPECT_THROW(read_tensor(buf), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTripAndMissingFile) {
+  Rng rng(4);
+  StateDict state;
+  state["x"] = Tensor::randn({2, 2}, rng);
+  const std::string path = "/tmp/rt_serialize_test.rtk";
+  save_state_dict(path, state);
+  const StateDict back = load_state_dict(path);
+  EXPECT_LT(back.at("x").linf_distance(state.at("x")), 1e-9f);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_state_dict(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rt

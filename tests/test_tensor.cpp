@@ -1,0 +1,179 @@
+// Unit tests for the Tensor core: construction, ops, reductions, matmul.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2u);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeValidation) {
+  EXPECT_THROW(Tensor({0, 3}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+  EXPECT_THROW(Tensor(std::vector<std::int64_t>{}), std::invalid_argument);
+}
+
+TEST(Tensor, FullAndOnes) {
+  const Tensor f = Tensor::full({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(f[i], 2.5f);
+  const Tensor o = Tensor::ones({2, 2});
+  EXPECT_FLOAT_EQ(o.sum(), 4.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+  const Tensor t = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, Indexing4d) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[t.numel() - 1], 7.0f);
+  t.at(0, 0, 0, 0) = 3.0f;
+  EXPECT_EQ(t[0], 3.0f);
+}
+
+TEST(Tensor, ElementwiseInPlace) {
+  Tensor a = Tensor::from_data({3}, {1, -2, 3});
+  const Tensor b = Tensor::from_data({3}, {2, 2, 2});
+  a.add_(b);
+  EXPECT_EQ(a[0], 3.0f);
+  a.sub_(b);
+  EXPECT_EQ(a[1], -2.0f);
+  a.mul_(b);
+  EXPECT_EQ(a[2], 6.0f);
+  a.mul_(0.5f);
+  EXPECT_EQ(a[2], 3.0f);
+  a.add_(1.0f);
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2, 2});
+  const Tensor b({4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.mul_(b), std::invalid_argument);
+  EXPECT_THROW(a.axpy_(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a = Tensor::from_data({2}, {1, 1});
+  const Tensor x = Tensor::from_data({2}, {2, 4});
+  a.axpy_(0.5f, x);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+}
+
+TEST(Tensor, ClampSignAbs) {
+  Tensor a = Tensor::from_data({4}, {-3, -0.5f, 0, 2});
+  Tensor c = a;
+  c.clamp_(-1, 1);
+  EXPECT_EQ(c[0], -1.0f);
+  EXPECT_EQ(c[3], 1.0f);
+  Tensor s = a;
+  s.sign_();
+  EXPECT_EQ(s[0], -1.0f);
+  EXPECT_EQ(s[2], 0.0f);
+  EXPECT_EQ(s[3], 1.0f);
+  Tensor ab = a;
+  ab.abs_();
+  EXPECT_EQ(ab[0], 3.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor a = Tensor::from_data({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(a.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(a.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(a.min(), -4.0f);
+  EXPECT_FLOAT_EQ(a.max(), 3.0f);
+  EXPECT_EQ(a.argmax(), 2);
+  EXPECT_FLOAT_EQ(a.sum_sq(), 30.0f);
+}
+
+TEST(Tensor, LinfDistance) {
+  const Tensor a = Tensor::from_data({3}, {0, 1, 2});
+  const Tensor b = Tensor::from_data({3}, {0.5f, 0.9f, 2});
+  EXPECT_FLOAT_EQ(a.linf_distance(b), 0.5f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = a.reshape({3, 2});
+  EXPECT_EQ(b.at(2, 1), 6.0f);
+  EXPECT_THROW(a.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Matmul, KnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const Tensor a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  const Tensor b = Tensor::from_data({2, 2}, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_NO_THROW(matmul(a, b, false, true));
+}
+
+class MatmulTransposeTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(MatmulTransposeTest, AgreesWithNaiveReference) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(42);
+  const std::int64_t m = 5, k = 7, n = 4;
+  const Tensor a = ta ? Tensor::randn({k, m}, rng) : Tensor::randn({m, k}, rng);
+  const Tensor b = tb ? Tensor::randn({n, k}, rng) : Tensor::randn({k, n}, rng);
+  const Tensor c = matmul(a, b, ta, tb);
+  ASSERT_EQ(c.dim(0), m);
+  ASSERT_EQ(c.dim(1), n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a.at(kk, i) : a.at(i, kk);
+        const float bv = tb ? b.at(j, kk) : b.at(kk, j);
+        acc += av * bv;
+      }
+      EXPECT_NEAR(c.at(i, j), acc, 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, MatmulTransposeTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Matmul, LargeParallelPathMatchesSerial) {
+  Rng rng(7);
+  // Big enough to trigger the parallel kernel.
+  const Tensor a = Tensor::randn({128, 64}, rng);
+  const Tensor b = Tensor::randn({64, 96}, rng);
+  const Tensor c = matmul(a, b);
+  // Spot-check a few entries against the naive sum.
+  for (std::int64_t i : {0L, 63L, 127L}) {
+    for (std::int64_t j : {0L, 47L, 95L}) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < 64; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-3f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rt

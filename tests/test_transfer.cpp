@@ -1,0 +1,193 @@
+// Tests for the transfer pipelines: pretraining schemes, whole-model
+// finetuning, linear evaluation, the evaluation battery, and segmentation
+// transfer. These are integration tests on tiny models/datasets.
+#include <gtest/gtest.h>
+
+#include "data/segmentation_data.hpp"
+#include "data/synth.hpp"
+#include "models/resnet.hpp"
+#include "nn/loss.hpp"
+#include "transfer/evaluate.hpp"
+#include "transfer/finetune.hpp"
+#include "transfer/pretrain.hpp"
+#include "transfer/seg_transfer.hpp"
+
+namespace rt {
+namespace {
+
+ResNetConfig tiny_config(int classes) {
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {8, 16};
+  cfg.num_classes = classes;
+  cfg.name = "tiny";
+  return cfg;
+}
+
+TaskData tiny_task(float shift, int classes = 5, std::uint64_t seed = 31) {
+  return load_task(downstream_task_spec("tiny-task", classes, shift, seed), 80,
+                   60);
+}
+
+TEST(Pretrain, SchemeNames) {
+  EXPECT_STREQ(scheme_name(PretrainScheme::kNatural), "natural");
+  EXPECT_STREQ(scheme_name(PretrainScheme::kAdversarial), "adversarial");
+  EXPECT_STREQ(scheme_name(PretrainScheme::kRandomizedSmoothing),
+               "rand-smooth");
+}
+
+TEST(Pretrain, NaturalReachesHighSourceAccuracy) {
+  Rng rng(1);
+  ResNet model(tiny_config(10), rng);
+  const TaskData source = load_source_task(250, 100);
+  PretrainConfig cfg;
+  cfg.epochs = 12;
+  Rng prng(2);
+  pretrain(model, source.train, cfg, prng);
+  EXPECT_GT(evaluate_accuracy(model, source.test), 0.75f);
+}
+
+TEST(FinetuneWholeModel, ImprovesOverFrozenRandomHead) {
+  Rng rng(3);
+  ResNet model(tiny_config(10), rng);
+  const TaskData source = load_source_task(200, 60);
+  PretrainConfig pcfg;
+  pcfg.epochs = 10;
+  Rng prng(4);
+  pretrain(model, source.train, pcfg, prng);
+
+  const TaskData task = tiny_task(0.6f);
+  FinetuneConfig fcfg;
+  fcfg.epochs = 8;
+  Rng frng(5);
+  const float acc = finetune_whole_model(model, task, fcfg, frng);
+  EXPECT_GT(acc, 0.45f);
+  EXPECT_EQ(model.head().out_features(), 5);
+}
+
+TEST(ExtractFeatures, ShapeAndBatchInvariance) {
+  Rng rng(6);
+  ResNet model(tiny_config(10), rng);
+  const Tensor images = Tensor::uniform({10, 3, 16, 16}, rng, 0.0f, 1.0f);
+  const Tensor f_all = extract_features(model, images, 64);
+  const Tensor f_small = extract_features(model, images, 3);
+  ASSERT_EQ(f_all.dim(0), 10);
+  ASSERT_EQ(f_all.dim(1), model.feature_dim());
+  EXPECT_LT(f_all.linf_distance(f_small), 1e-5f)
+      << "features depend on batch size";
+}
+
+TEST(LinearEval, TrainsHeadOnlyAndScoresAboveChance) {
+  Rng rng(7);
+  ResNet model(tiny_config(10), rng);
+  const TaskData source = load_source_task(120, 60);
+  PretrainConfig pcfg;
+  pcfg.epochs = 6;
+  Rng prng(8);
+  pretrain(model, source.train, pcfg, prng);
+  const StateDict before = model.state_dict();
+
+  const TaskData task = tiny_task(0.3f);
+  LinearEvalConfig lcfg;
+  lcfg.epochs = 20;
+  Rng lrng(9);
+  const float acc = linear_eval(model, task, lcfg, lrng);
+  EXPECT_GT(acc, 1.0f / 5.0f + 0.15f);
+
+  const StateDict after = model.state_dict();
+  EXPECT_LT(after.at("tiny.stem.weight")
+                .linf_distance(before.at("tiny.stem.weight")),
+            1e-9f)
+      << "linear eval must not touch the backbone";
+}
+
+TEST(EvaluateFull, ProducesSaneMetricRanges) {
+  Rng rng(10);
+  ResNet model(tiny_config(10), rng);
+  const TaskData source = load_source_task(120, 60);
+  PretrainConfig pcfg;
+  pcfg.epochs = 6;
+  Rng prng(11);
+  pretrain(model, source.train, pcfg, prng);
+
+  const TaskData task = tiny_task(0.5f);
+  FinetuneConfig fcfg;
+  fcfg.epochs = 4;
+  Rng frng(12);
+  finetune_whole_model(model, task, fcfg, frng);
+
+  const Dataset ood = generate_ood_dataset(60, 13);
+  EvalConfig ecfg;
+  ecfg.attack.steps = 3;
+  const EvalReport r = evaluate_full(model, task.test, ood, ecfg);
+
+  EXPECT_GE(r.accuracy, 0.0);
+  EXPECT_LE(r.accuracy, 1.0);
+  EXPECT_LE(r.adv_accuracy, r.accuracy + 1e-6);
+  EXPECT_GE(r.corrupt_accuracy, 0.0);
+  EXPECT_GE(r.ece, 0.0);
+  EXPECT_LE(r.ece, 1.0);
+  EXPECT_GT(r.nll, 0.0);
+  EXPECT_GE(r.ood_auc, 0.0);
+  EXPECT_LE(r.ood_auc, 1.0);
+}
+
+TEST(SegTransfer, LearnsAboveChanceMiou) {
+  Rng rng(14);
+  auto backbone = std::make_unique<ResNet>(tiny_config(10), rng);
+  const TaskData source = load_source_task(100, 50);
+  PretrainConfig pcfg;
+  pcfg.epochs = 5;
+  Rng prng(15);
+  pretrain(*backbone, source.train, pcfg, prng);
+
+  const SegDataset train = generate_segmentation_dataset(80, 0.4f, 16);
+  const SegDataset test = generate_segmentation_dataset(40, 0.4f, 17);
+  SegTransferConfig scfg;
+  scfg.epochs = 5;
+  scfg.feature_stage = 1;
+  Rng srng(18);
+  const double miou =
+      segmentation_transfer(std::move(backbone), train, test, scfg, srng);
+  // Background-only prediction lands around 0.2; learned models must beat it.
+  EXPECT_GT(miou, 0.25);
+  EXPECT_LE(miou, 1.0);
+}
+
+TEST(SegTransfer, MaskedBackboneKeepsSparsityThroughTraining) {
+  Rng rng(19);
+  auto backbone = std::make_unique<ResNet>(tiny_config(10), rng);
+  // Install a 50% element mask on the first conv.
+  Parameter& stem = *backbone->prunable_parameters().front();
+  Tensor mask(stem.value.shape());
+  for (std::int64_t i = 0; i < mask.numel(); i += 2) mask[i] = 1.0f;
+  stem.set_mask(mask);
+
+  SegmentationNet net(std::move(backbone), 4, /*feature_stage=*/1, rng);
+  const SegDataset train = generate_segmentation_dataset(24, 0.4f, 20);
+  Sgd sgd(net.parameters(), SgdConfig{0.05f, 0.9f, 1e-4f});
+  const std::int64_t hw = kImageSize * kImageSize;
+  for (int step = 0; step < 6; ++step) {
+    std::vector<int> idx = {4 * step % 24, (4 * step + 1) % 24,
+                            (4 * step + 2) % 24, (4 * step + 3) % 24};
+    const Tensor x = gather_images(train.images, idx);
+    std::vector<int> y;
+    for (int i : idx) {
+      y.insert(y.end(), train.labels.begin() + i * hw,
+               train.labels.begin() + (i + 1) * hw);
+    }
+    net.zero_grad();
+    const Tensor logits = net.forward(x);
+    const LossResult loss = softmax_cross_entropy_2d(logits, y);
+    net.backward(loss.grad_logits);
+    sgd.step();
+  }
+
+  const Parameter& stem_after = *net.backbone().prunable_parameters().front();
+  for (std::int64_t i = 1; i < stem_after.value.numel(); i += 2) {
+    ASSERT_EQ(stem_after.value[i], 0.0f) << "mask violated during seg finetune";
+  }
+}
+
+}  // namespace
+}  // namespace rt
