@@ -6,6 +6,7 @@
 #include "attack/attack.hpp"
 #include "attack/trades.hpp"
 #include "hw/shrink.hpp"
+#include "linalg/gemm.hpp"
 #include "models/resnet.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
@@ -24,7 +25,54 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Raw kernel throughput (items == FLOPs) for the shared hot path; the Arg is
+// the square problem size. Sparse variants zero the given percentage of the
+// weight operand, matching the masked-ticket regime the fast path targets.
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = state.range(0);
+  const float sparsity = static_cast<float>(state.range(1)) / 100.0f;
+  rt::Rng rng(2);
+  rt::Tensor a = rt::Tensor::randn({n, n}, rng);
+  const rt::Tensor b = rt::Tensor::randn({n, n}, rng);
+  rt::Tensor c({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (rng.uniform() < sparsity) a[i] = 0.0f;
+  }
+  for (auto _ : state) {
+    rt::gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)
+    ->Args({128, 0})
+    ->Args({256, 0})
+    ->Args({256, 90})
+    ->Args({512, 0})
+    ->Args({512, 90});
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = state.range(0);
+  const float sparsity = static_cast<float>(state.range(1)) / 100.0f;
+  rt::Rng rng(3);
+  const rt::Tensor a = rt::Tensor::randn({n, n}, rng);
+  rt::Tensor b = rt::Tensor::randn({n, n}, rng);
+  rt::Tensor c({n, n});
+  // Channel-style pruning: zero whole rows of B, the nt fast-path shape.
+  const auto zero_rows = static_cast<std::int64_t>(
+      sparsity * static_cast<float>(n));
+  for (std::int64_t j = 0; j < zero_rows; ++j) {
+    for (std::int64_t kk = 0; kk < n; ++kk) b[j * n + kk] = 0.0f;
+  }
+  for (auto _ : state) {
+    rt::gemm_nt(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Args({256, 0})->Args({256, 70})->Args({512, 0});
 
 void BM_ResNetForward(benchmark::State& state) {
   rt::Rng rng(2);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-command PR gate: tier-1 verify (configure + build + full ctest) plus a
+# bench_kernels smoke run so kernel-throughput regressions surface early.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+if [[ -x build/bench_kernels ]]; then
+  echo "== bench_kernels smoke (GEMM throughput) =="
+  ./build/bench_kernels --benchmark_filter='BM_Matmul|BM_Gemm' \
+    --benchmark_min_time=0.05
+else
+  echo "bench_kernels not built (google-benchmark missing); skipping smoke run"
+fi
+
+echo "check.sh: all gates passed"

@@ -1,10 +1,12 @@
 #include "analysis/features.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <stdexcept>
 
+#include "common/threadpool.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/sym_eig.hpp"
 
@@ -92,36 +94,43 @@ float knn_probe_accuracy(const Tensor& train_features,
   const std::int64_t d = train_features.dim(1);
   const std::int64_t kk = std::min<std::int64_t>(k, n_train);
 
-  std::int64_t correct = 0;
-  std::vector<std::pair<float, int>> dist(static_cast<std::size_t>(n_train));
-  for (std::int64_t t = 0; t < n_test; ++t) {
-    for (std::int64_t i = 0; i < n_train; ++i) {
-      float acc = 0.0f;
-      for (std::int64_t j = 0; j < d; ++j) {
-        const float diff = test_features.at(t, j) - train_features.at(i, j);
-        acc += diff * diff;
+  // Test points are independent; each chunk gets its own distance scratch.
+  std::atomic<std::int64_t> correct{0};
+  parallel_for(n_test, [&](std::int64_t begin, std::int64_t end) {
+    std::vector<std::pair<float, int>> dist(static_cast<std::size_t>(n_train));
+    std::int64_t local_correct = 0;
+    for (std::int64_t t = begin; t < end; ++t) {
+      for (std::int64_t i = 0; i < n_train; ++i) {
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < d; ++j) {
+          const float diff = test_features.at(t, j) - train_features.at(i, j);
+          acc += diff * diff;
+        }
+        dist[static_cast<std::size_t>(i)] = {
+            acc, train_labels[static_cast<std::size_t>(i)]};
       }
-      dist[static_cast<std::size_t>(i)] = {
-          acc, train_labels[static_cast<std::size_t>(i)]};
-    }
-    std::partial_sort(dist.begin(), dist.begin() + kk, dist.end());
-    // Majority vote; ties resolve toward the class of the nearest member.
-    std::map<int, int> votes;
-    for (std::int64_t i = 0; i < kk; ++i) {
-      ++votes[dist[static_cast<std::size_t>(i)].second];
-    }
-    int best_class = dist[0].second;
-    int best_votes = 0;
-    for (std::int64_t i = 0; i < kk; ++i) {  // iterate in distance order
-      const int cls = dist[static_cast<std::size_t>(i)].second;
-      if (votes[cls] > best_votes) {
-        best_votes = votes[cls];
-        best_class = cls;
+      std::partial_sort(dist.begin(), dist.begin() + kk, dist.end());
+      // Majority vote; ties resolve toward the class of the nearest member.
+      std::map<int, int> votes;
+      for (std::int64_t i = 0; i < kk; ++i) {
+        ++votes[dist[static_cast<std::size_t>(i)].second];
+      }
+      int best_class = dist[0].second;
+      int best_votes = 0;
+      for (std::int64_t i = 0; i < kk; ++i) {  // iterate in distance order
+        const int cls = dist[static_cast<std::size_t>(i)].second;
+        if (votes[cls] > best_votes) {
+          best_votes = votes[cls];
+          best_class = cls;
+        }
+      }
+      if (best_class == test_labels[static_cast<std::size_t>(t)]) {
+        ++local_correct;
       }
     }
-    if (best_class == test_labels[static_cast<std::size_t>(t)]) ++correct;
-  }
-  return static_cast<float>(correct) / static_cast<float>(n_test);
+    correct += local_correct;
+  });
+  return static_cast<float>(correct.load()) / static_cast<float>(n_test);
 }
 
 }  // namespace rt

@@ -1,0 +1,28 @@
+#pragma once
+// Shared numeric constants. C++20 <numbers> supplies pi where available;
+// toolchains that predate the header get the literal so the three call sites
+// (rng, synth, optim cosine schedule) compile everywhere.
+
+#if defined(__has_include)
+#if __has_include(<numbers>)
+#include <numbers>
+#endif
+#endif
+
+// <numbers> exists on pre-C++20 standard libraries but is empty there, so
+// gate on the feature-test macro it defines, not on the header's presence.
+#if defined(__cpp_lib_math_constants) && __cpp_lib_math_constants >= 201907L
+#define RT_HAS_STD_NUMBERS 1
+#endif
+
+namespace rt {
+
+#ifdef RT_HAS_STD_NUMBERS
+inline constexpr float kPi = std::numbers::pi_v<float>;
+#else
+inline constexpr float kPi = 3.14159265358979323846f;
+#endif
+
+inline constexpr float kTwoPi = 2.0f * kPi;
+
+}  // namespace rt

@@ -1,7 +1,8 @@
 #include "common/rng.hpp"
 
 #include <cmath>
-#include <numbers>
+
+#include "common/numeric.hpp"
 
 namespace rt {
 
@@ -51,7 +52,7 @@ float Rng::normal() {
   float u1 = 1.0f - uniform();
   const float u2 = uniform();
   const float r = std::sqrt(-2.0f * std::log(u1));
-  const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+  const float theta = kTwoPi * u2;
   cached_normal_ = r * std::sin(theta);
   has_cached_normal_ = true;
   return r * std::cos(theta);

@@ -4,6 +4,13 @@
 
 namespace rt {
 
+namespace {
+// Set inside worker_loop so a nested parallel_for from a worker runs inline:
+// enqueueing from a worker and waiting on the shared pending counter would
+// deadlock once every worker blocks waiting for the others.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int extra = std::max(0, num_threads - 1);
   workers_.reserve(static_cast<std::size_t>(extra));
@@ -22,6 +29,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     Task task;
     {
@@ -43,7 +51,7 @@ void ThreadPool::parallel_for(
     std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (n <= 0) return;
   const int threads = num_threads();
-  if (threads == 1 || n == 1) {
+  if (threads == 1 || n == 1 || tl_worker_pool == this) {
     fn(0, n);
     return;
   }

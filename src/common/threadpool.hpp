@@ -25,8 +25,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs fn(begin, end) over a partition of [0, n). Blocks until all chunks
-  /// complete. Falls back to a direct call when n is small or the pool has a
-  /// single thread.
+  /// complete. Falls back to a direct call when n is small, the pool has a
+  /// single thread, or the caller is itself one of this pool's workers
+  /// (nested parallelism runs inline rather than deadlocking).
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 

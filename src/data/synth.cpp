@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
+
+#include "common/numeric.hpp"
 
 namespace rt {
 
@@ -11,7 +12,7 @@ namespace {
 
 constexpr int kS = kImageSize;
 constexpr std::uint64_t kSourceSeed = 0xA11CEULL;
-constexpr float kTwoPi = 2.0f * std::numbers::pi_v<float>;
+// kTwoPi comes from common/numeric.hpp.
 
 float soft_edge(float signed_dist, float sharpness = 1.2f) {
   // Maps signed distance (positive inside) to [0, 1] with a soft boundary.

@@ -1,0 +1,187 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/threadpool.hpp"
+
+namespace rt {
+
+namespace {
+
+// Panel sizes: a k-panel of B (kKc x kNc floats = 128 KiB) stays resident in
+// L2 while every row of the C block streams over it.
+constexpr std::int64_t kKc = 128;
+constexpr std::int64_t kNc = 256;
+
+// Minimum multiply count before fork/join pays for itself.
+constexpr std::int64_t kParallelWork = 1 << 18;
+
+// When the whole B operand sits in cache (<= 1 MiB of floats), the panel
+// loops only add overhead; stream it unblocked like the old kernels did.
+constexpr std::int64_t kCacheResidentFloats = 1 << 18;
+
+void zero_rows(float* c, std::int64_t n, std::int64_t i0, std::int64_t i1) {
+  std::memset(c + i0 * n, 0, static_cast<std::size_t>((i1 - i0) * n) *
+                                 sizeof(float));
+}
+
+// axpy cores: crow += av * brow; A supplies the multiplier either
+// untransposed (a[i*k + kk]) or transposed (a[kk*m + i]). Zero multipliers —
+// masked ticket weights — skip the whole row update. The unblocked and
+// blocked bodies are separate small functions on purpose: folding them into
+// one routine raises register pressure enough that GCC spills the inner-loop
+// bound and the streaming axpy loses ~25% throughput.
+template <bool kTransA>
+void axpy_unblocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                    const float* a, const float* b, float* c, std::int64_t i0,
+                    std::int64_t i1) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = kTransA ? a[kk * m + i] : a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+template <bool kTransA>
+void axpy_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, const float* b, float* c, std::int64_t i0,
+                  std::int64_t i1) {
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t jb = std::min(kNc, n - jc);
+    for (std::int64_t kc = 0; kc < k; kc += kKc) {
+      const std::int64_t ke = std::min(kc + kKc, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n + jc;
+        for (std::int64_t kk = kc; kk < ke; ++kk) {
+          const float av = kTransA ? a[kk * m + i] : a[i * k + kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + kk * n + jc;
+          for (std::int64_t j = 0; j < jb; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+template <bool kTransA>
+void axpy_core(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+               const float* b, float* c, bool accumulate, std::int64_t i0,
+               std::int64_t i1) {
+  if (!accumulate) zero_rows(c, n, i0, i1);
+  if (k * n <= kCacheResidentFloats) {
+    axpy_unblocked<kTransA>(m, n, k, a, b, c, i0, i1);
+  } else {
+    axpy_blocked<kTransA>(m, n, k, a, b, c, i0, i1);
+  }
+}
+
+// dot core: crow[j] += <arow, B-row j> over k-panels; B is (n x k) and rows
+// that are entirely zero (channel-pruned weights) are skipped wholesale via
+// the precomputed skip mask (null when the caller disabled the scan).
+void dot_core(std::int64_t n, std::int64_t k, const float* a, const float* b,
+              float* c, bool accumulate, const std::uint8_t* b_row_zero,
+              std::int64_t i0, std::int64_t i1) {
+  if (!accumulate) zero_rows(c, n, i0, i1);
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t je = std::min(jc + kNc, n);
+    for (std::int64_t kc = 0; kc < k; kc += kKc) {
+      const std::int64_t kb = std::min(kKc, k - kc);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * k + kc;
+        float* crow = c + i * n;
+        for (std::int64_t j = jc; j < je; ++j) {
+          if (b_row_zero && b_row_zero[static_cast<std::size_t>(j)]) continue;
+          const float* brow = b + j * k + kc;
+          float acc = 0.0f;
+          for (std::int64_t kk = 0; kk < kb; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+// One early-exiting pass over B's rows; dense rows cost one load each.
+std::vector<std::uint8_t> scan_zero_rows(std::int64_t n, std::int64_t k,
+                                         const float* b) {
+  std::vector<std::uint8_t> zero(static_cast<std::size_t>(n), 1);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float* brow = b + j * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      if (brow[kk] != 0.0f) {
+        zero[static_cast<std::size_t>(j)] = 0;
+        break;
+      }
+    }
+  }
+  return zero;
+}
+
+template <typename Core>
+void dispatch(std::int64_t m, std::int64_t n, std::int64_t k, float* c,
+              const GemmOpts& opts, const Core& core) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!opts.accumulate) zero_rows(c, n, 0, m);
+    return;
+  }
+  if (opts.parallel && m > 1 && m * n * k >= kParallelWork) {
+    parallel_for(m, core);
+  } else {
+    core(0, m);
+  }
+}
+
+}  // namespace
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c, const GemmOpts& opts) {
+  dispatch(m, n, k, c, opts, [&](std::int64_t i0, std::int64_t i1) {
+    axpy_core<false>(m, n, k, a, b, c, opts.accumulate, i0, i1);
+  });
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c, const GemmOpts& opts) {
+  dispatch(m, n, k, c, opts, [&](std::int64_t i0, std::int64_t i1) {
+    axpy_core<true>(m, n, k, a, b, c, opts.accumulate, i0, i1);
+  });
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c, const GemmOpts& opts) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    dispatch(m, n, k, c, opts, [](std::int64_t, std::int64_t) {});
+    return;
+  }
+  std::vector<std::uint8_t> b_row_zero;
+  if (opts.skip_zero_b_rows) b_row_zero = scan_zero_rows(n, k, b);
+  const std::uint8_t* mask = b_row_zero.empty() ? nullptr : b_row_zero.data();
+  dispatch(m, n, k, c, opts, [&](std::int64_t i0, std::int64_t i1) {
+    dot_core(n, k, a, b, c, opts.accumulate, mask, i0, i1);
+  });
+}
+
+void gemm_tt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c, const GemmOpts& opts) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    dispatch(m, n, k, c, opts, [](std::int64_t, std::int64_t) {});
+    return;
+  }
+  // Cold path (no hot caller transposes both sides): materialize A^T once,
+  // then reuse the nt machinery.
+  std::vector<float> at(static_cast<std::size_t>(m * k));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    for (std::int64_t i = 0; i < m; ++i) at[static_cast<std::size_t>(i * k + kk)] = arow[i];
+  }
+  gemm_nt(m, n, k, at.data(), b, c, opts);
+}
+
+}  // namespace rt

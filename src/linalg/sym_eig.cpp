@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "linalg/gemm.hpp"
+
 namespace rt {
 
 Tensor eye(std::int64_t n) {
@@ -121,7 +123,9 @@ Tensor sym_sqrt(const Tensor& a) {
       scaled.at(i, j) = eig.eigenvectors.at(i, j) * r;
     }
   }
-  return matmul(scaled, eig.eigenvectors, /*trans_a=*/false, /*trans_b=*/true);
+  Tensor out({n, n});
+  gemm_nt(n, n, n, scaled.data(), eig.eigenvectors.data(), out.data());
+  return out;
 }
 
 }  // namespace rt

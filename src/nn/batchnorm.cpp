@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/threadpool.hpp"
+
 namespace rt {
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, std::string name, float eps,
@@ -33,28 +35,29 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   std::vector<float> var(static_cast<std::size_t>(c), 0.0f);
   forward_used_batch_stats_ = training_;
   if (training_) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      double acc = 0.0;
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float* xp = x.data() + (i * c + ch) * hw;
-        for (std::int64_t j = 0; j < hw; ++j) acc += xp[j];
-      }
-      mean[static_cast<std::size_t>(ch)] =
-          static_cast<float>(acc / static_cast<double>(m));
-    }
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float mu = mean[static_cast<std::size_t>(ch)];
-      double acc = 0.0;
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float* xp = x.data() + (i * c + ch) * hw;
-        for (std::int64_t j = 0; j < hw; ++j) {
-          const double d = xp[j] - mu;
-          acc += d * d;
+    // Each channel's statistics are independent; chunk the channel range
+    // across the pool.
+    parallel_for(c, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t ch = begin; ch < end; ++ch) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* xp = x.data() + (i * c + ch) * hw;
+          for (std::int64_t j = 0; j < hw; ++j) acc += xp[j];
         }
+        const float mu = static_cast<float>(acc / static_cast<double>(m));
+        mean[static_cast<std::size_t>(ch)] = mu;
+        double vacc = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* xp = x.data() + (i * c + ch) * hw;
+          for (std::int64_t j = 0; j < hw; ++j) {
+            const double d = xp[j] - mu;
+            vacc += d * d;
+          }
+        }
+        var[static_cast<std::size_t>(ch)] =
+            static_cast<float>(vacc / static_cast<double>(m));
       }
-      var[static_cast<std::size_t>(ch)] =
-          static_cast<float>(acc / static_cast<double>(m));
-    }
+    });
     for (std::int64_t ch = 0; ch < c; ++ch) {
       running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
                           momentum_ * mean[static_cast<std::size_t>(ch)];
@@ -76,22 +79,23 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
 
   cached_xhat_ = Tensor({n, c, h, w});
   Tensor y({n, c, h, w});
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
+  parallel_for(n * c, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t p = begin; p < end; ++p) {
+      const std::int64_t ch = p % c;
       const float mu = mean[static_cast<std::size_t>(ch)];
       const float is = cached_inv_std_[ch];
       const float g = gamma_.value[ch];
       const float b = beta_.value[ch];
-      const float* xp = x.data() + (i * c + ch) * hw;
-      float* hp = cached_xhat_.data() + (i * c + ch) * hw;
-      float* yp = y.data() + (i * c + ch) * hw;
+      const float* xp = x.data() + p * hw;
+      float* hp = cached_xhat_.data() + p * hw;
+      float* yp = y.data() + p * hw;
       for (std::int64_t j = 0; j < hw; ++j) {
         const float xh = (xp[j] - mu) * is;
         hp[j] = xh;
         yp[j] = g * xh + b;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -105,41 +109,46 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const std::int64_t m = n * hw;
   Tensor dx({n, c, h, w});
 
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* gp = grad_out.data() + (i * c + ch) * hw;
-      const float* hp = cached_xhat_.data() + (i * c + ch) * hw;
-      for (std::int64_t j = 0; j < hw; ++j) {
-        sum_dy += gp[j];
-        sum_dy_xhat += static_cast<double>(gp[j]) * hp[j];
-      }
-    }
-    gamma_.grad[ch] += static_cast<float>(sum_dy_xhat);
-    beta_.grad[ch] += static_cast<float>(sum_dy);
-
-    const float g = gamma_.value[ch];
-    const float is = cached_inv_std_[ch];
-    if (forward_used_batch_stats_) {
-      const float k1 = static_cast<float>(sum_dy / static_cast<double>(m));
-      const float k2 = static_cast<float>(sum_dy_xhat / static_cast<double>(m));
+  // Channels are independent: each iteration only touches its own slice of
+  // dx and its own gamma/beta grad entry.
+  parallel_for(c, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ch = begin; ch < end; ++ch) {
+      double sum_dy = 0.0, sum_dy_xhat = 0.0;
       for (std::int64_t i = 0; i < n; ++i) {
         const float* gp = grad_out.data() + (i * c + ch) * hw;
         const float* hp = cached_xhat_.data() + (i * c + ch) * hw;
-        float* dp = dx.data() + (i * c + ch) * hw;
         for (std::int64_t j = 0; j < hw; ++j) {
-          dp[j] = g * is * (gp[j] - k1 - hp[j] * k2);
+          sum_dy += gp[j];
+          sum_dy_xhat += static_cast<double>(gp[j]) * hp[j];
         }
       }
-    } else {
-      // Frozen statistics: y = g * (x - mu) * is + b is affine in x.
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float* gp = grad_out.data() + (i * c + ch) * hw;
-        float* dp = dx.data() + (i * c + ch) * hw;
-        for (std::int64_t j = 0; j < hw; ++j) dp[j] = g * is * gp[j];
+      gamma_.grad[ch] += static_cast<float>(sum_dy_xhat);
+      beta_.grad[ch] += static_cast<float>(sum_dy);
+
+      const float g = gamma_.value[ch];
+      const float is = cached_inv_std_[ch];
+      if (forward_used_batch_stats_) {
+        const float k1 = static_cast<float>(sum_dy / static_cast<double>(m));
+        const float k2 =
+            static_cast<float>(sum_dy_xhat / static_cast<double>(m));
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* gp = grad_out.data() + (i * c + ch) * hw;
+          const float* hp = cached_xhat_.data() + (i * c + ch) * hw;
+          float* dp = dx.data() + (i * c + ch) * hw;
+          for (std::int64_t j = 0; j < hw; ++j) {
+            dp[j] = g * is * (gp[j] - k1 - hp[j] * k2);
+          }
+        }
+      } else {
+        // Frozen statistics: y = g * (x - mu) * is + b is affine in x.
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* gp = grad_out.data() + (i * c + ch) * hw;
+          float* dp = dx.data() + (i * c + ch) * hw;
+          for (std::int64_t j = 0; j < hw; ++j) dp[j] = g * is * gp[j];
+        }
       }
     }
-  }
+  });
   return dx;
 }
 

@@ -6,58 +6,9 @@
 #include <vector>
 
 #include "common/threadpool.hpp"
+#include "linalg/gemm.hpp"
 
 namespace rt {
-
-namespace {
-
-// C[m,n] += A[m,k] * B[k,n]; row-major, serial (parallelism lives at the
-// batch level in the calling layer).
-void gemm_nn_acc(std::int64_t m, std::int64_t n, std::int64_t k,
-                 const float* a, const float* b, float* c) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,n] += A^T where A is [k,m]; i.e. C += A'[m,k] * B[k,n].
-void gemm_tn_acc(std::int64_t m, std::int64_t n, std::int64_t k,
-                 const float* a, const float* b, float* c) {
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * m;
-    const float* brow = b + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,n] += A[m,k] * B^T where B is [n,k].
-void gemm_nt_acc(std::int64_t m, std::int64_t n, std::int64_t k,
-                 const float* a, const float* b, float* c) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
-}
-
-}  // namespace
 
 void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
             float* col) {
@@ -199,8 +150,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       // dW += gout_i (out, ohw) * col^T (ohw, ckk)
       gemm_nt_acc(out_channels_, ckk, ohw, gi, col.data(), dw_local.data());
       // dcol = W^T (ckk, out) * gout_i (out, ohw)
-      std::fill(dcol.begin(), dcol.end(), 0.0f);
-      gemm_tn_acc(ckk, ohw, out_channels_, wd, gi, dcol.data());
+      gemm_tn(ckk, ohw, out_channels_, wd, gi, dcol.data(),
+              {.accumulate = false, .parallel = false});
       col2im_add(dcol.data(), i, geom_, dx);
       if (has_bias_) {
         for (std::int64_t oc = 0; oc < out_channels_; ++oc) {

@@ -1,5 +1,9 @@
 #pragma once
 // 2-D convolution (NCHW) via im2col + GEMM, with full backward.
+//
+// Forward and backward parallelize over the batch dimension; each sample's
+// im2col buffer feeds the shared serial-mode kernels in linalg/gemm.hpp, so
+// all GEMM work (including the masked-weight fast paths) lives in one module.
 
 #include <cstdint>
 #include <memory>

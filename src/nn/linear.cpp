@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/gemm.hpp"
+
 namespace rt {
 
 Linear::Linear(std::int64_t in_features, std::int64_t out_features,
@@ -35,9 +37,13 @@ Tensor Linear::forward(const Tensor& x) {
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
   }
   cached_input_ = x;
-  Tensor y = matmul(x, weight_.value, /*trans_a=*/false, /*trans_b=*/true);
+  const std::int64_t n = x.dim(0);
+  // y = x W^T; the nt kernel skips output features whose weight row is
+  // entirely masked out, which is the common case for drawn tickets.
+  Tensor y({n, out_features_});
+  gemm_nt(n, out_features_, in_features_, x.data(), weight_.value.data(),
+          y.data());
   if (has_bias_) {
-    const std::int64_t n = y.dim(0);
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t j = 0; j < out_features_; ++j) {
         y.at(i, j) += bias_.value[j];
@@ -52,17 +58,20 @@ Tensor Linear::backward(const Tensor& grad_out) {
     throw std::logic_error("Linear::backward before forward");
   }
   // dW += gout^T x ; dx = gout W ; db += column sums of gout.
-  weight_.grad.add_(
-      matmul(grad_out, cached_input_, /*trans_a=*/true, /*trans_b=*/false));
+  const std::int64_t n = grad_out.dim(0);
+  gemm_tn(out_features_, in_features_, n, grad_out.data(),
+          cached_input_.data(), weight_.grad.data(), {.accumulate = true});
   if (has_bias_) {
-    const std::int64_t n = grad_out.dim(0);
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t j = 0; j < out_features_; ++j) {
         bias_.grad[j] += grad_out.at(i, j);
       }
     }
   }
-  return matmul(grad_out, weight_.value, /*trans_a=*/false, /*trans_b=*/false);
+  Tensor dx({n, in_features_});
+  gemm_nn(n, in_features_, out_features_, grad_out.data(),
+          weight_.value.data(), dx.data());
+  return dx;
 }
 
 void Linear::collect_parameters(std::vector<Parameter*>& out) {

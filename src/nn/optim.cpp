@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
+
+#include "common/numeric.hpp"
 
 namespace rt {
 
@@ -61,7 +62,7 @@ float CosineLr::lr_at(int epoch) const {
   const float t = std::clamp(
       static_cast<float>(epoch) / static_cast<float>(total_epochs_), 0.0f,
       1.0f);
-  const float cosv = 0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * t));
+  const float cosv = 0.5f * (1.0f + std::cos(kPi * t));
   return min_lr_ + (base_lr_ - min_lr_) * cosv;
 }
 

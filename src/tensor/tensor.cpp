@@ -6,7 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "common/threadpool.hpp"
+#include "linalg/gemm.hpp"
 
 namespace rt {
 
@@ -253,31 +253,14 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c.data();
-  const std::int64_t lda = a.dim(1);
-  const std::int64_t ldb = b.dim(1);
-
-  auto kernel = [&](std::int64_t row_begin, std::int64_t row_end) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      float* crow = cd + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = trans_a ? ad[kk * lda + i] : ad[i * lda + kk];
-        if (av == 0.0f) continue;
-        if (!trans_b) {
-          const float* brow = bd + kk * ldb;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        } else {
-          const float* bcol = bd + kk;  // stride ldb
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * bcol[j * ldb];
-        }
-      }
-    }
-  };
-
-  // Parallelize only when the work amortizes the fork/join cost.
-  if (m * n * k >= (1 << 18) && m > 1) {
-    parallel_for(m, kernel);
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, ad, bd, cd);
+  } else if (!trans_a && trans_b) {
+    gemm_nt(m, n, k, ad, bd, cd);
+  } else if (trans_a && !trans_b) {
+    gemm_tn(m, n, k, ad, bd, cd);
   } else {
-    kernel(0, m);
+    gemm_tt(m, n, k, ad, bd, cd);
   }
   return c;
 }

@@ -99,7 +99,8 @@ class Tensor {
 
 /// C = op(A) * op(B) where op is optional transposition.
 /// A is (m, k) after op, B is (k, n) after op; result is (m, n).
-/// Parallelizes over rows for large problems.
+/// Thin dispatcher over the blocked, thread-parallel kernels in
+/// linalg/gemm.hpp.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
 

@@ -112,6 +112,24 @@ TEST(ThreadPool, HandlesEmptyAndSingle) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A worker that re-enters parallel_for on its own pool must run the nested
+  // call inline; enqueueing would deadlock once every worker blocks on the
+  // shared pending counter. Each (outer, inner) pair must still fire once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  pool.parallel_for(64, [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t o = ob; o < oe; ++o) {
+      pool.parallel_for(16, [&, o](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          hits[static_cast<std::size_t>(o * 16 + i)]++;
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ManySmallInvocations) {
   ThreadPool pool(3);
   std::atomic<std::int64_t> total{0};
