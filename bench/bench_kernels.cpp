@@ -3,13 +3,19 @@
 // regressions in the substrate rather than reproducing a paper figure.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "attack/attack.hpp"
 #include "attack/trades.hpp"
+#include "engine/engine.hpp"
 #include "hw/shrink.hpp"
 #include "linalg/gemm.hpp"
 #include "models/resnet.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
+#include "prune/baselines.hpp"
 #include "prune/omp.hpp"
 #include "tensor/tensor.hpp"
 
@@ -176,6 +182,60 @@ void BM_ShrunkVsMaskedForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_ShrunkVsMaskedForward)->Arg(0)->Arg(1);
+
+// Serving-path throughput: eager Module::forward vs the compiled engine on
+// a 90%-sparse unstructured r18 ticket (per-layer uniform, so every conv
+// packs as CSR). The engine's win comes from conv+BN+ReLU folding, zero
+// allocation/caching, and the implicit sparse conv running O(nnz) work with
+// batch-amortized tap setup. Arg 0 = eager, 1 = engine.
+void BM_EngineThroughput(benchmark::State& state) {
+  rt::Rng rng(9);
+  auto model = rt::make_micro_resnet18(10, rng);
+  rt::layerwise_magnitude_prune(*model, 0.9f, rt::Granularity::kElement);
+  model->set_training(false);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(model->forward(x));
+    }
+  } else {
+    rt::Session session(rt::Engine::compile(*model), /*max_batch=*/16);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(session.predict(x));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EngineThroughput)->Arg(0)->Arg(1);
+
+// Session scaling: Arg concurrent threads hammering one shared Session.
+// Near-linear items/sec scaling (up to the core count) is the target; on a
+// single-core host this degenerates to a contention check.
+void BM_EngineSessionThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  rt::Rng rng(10);
+  auto model = rt::make_micro_resnet18(10, rng);
+  rt::layerwise_magnitude_prune(*model, 0.9f, rt::Granularity::kElement);
+  rt::Session session(rt::Engine::compile(*model), /*max_batch=*/16);
+  const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
+
+  constexpr int kCallsPerThread = 4;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (int c = 0; c < kCallsPerThread; ++c) {
+          benchmark::DoNotOptimize(session.predict(x));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kCallsPerThread * 16);
+}
+BENCHMARK(BM_EngineSessionThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_KlDivergence(benchmark::State& state) {
   rt::Rng rng(8);

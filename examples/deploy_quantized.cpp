@@ -28,23 +28,34 @@ int main() {
               100.0f * acc_ft);
 
   // 3. Compile for deployment: make dead channels exactly removable, then
-  //    physically remove them.
+  //    physically remove them. Accuracy checks run on the serving engine —
+  //    the same execution path an edge device would use.
   const rt::ShrinkReport shrink = rt::compile_for_deployment(*model, rng);
-  const float acc_shrunk = rt::evaluate_accuracy(*model, task.test);
-  std::printf("[2] shrink: %lld -> %lld params (-%.1f%%), %lld channels "
-              "removed, acc %.2f%%\n",
-              static_cast<long long>(shrink.params_before),
-              static_cast<long long>(shrink.params_after),
-              100.0 * shrink.param_reduction(),
-              static_cast<long long>(shrink.channels_removed),
-              100.0f * acc_shrunk);
+  {
+    rt::Session session = rt::make_eval_session(*model, task.test);
+    const float acc_shrunk = rt::evaluate_accuracy(session, task.test);
+    std::printf("[2] shrink: %lld -> %lld params (-%.1f%%), %lld channels "
+                "removed, acc %.2f%%\n",
+                static_cast<long long>(shrink.params_before),
+                static_cast<long long>(shrink.params_after),
+                100.0 * shrink.param_reduction(),
+                static_cast<long long>(shrink.channels_removed),
+                100.0f * acc_shrunk);
+  }
 
-  // 4. Quantize weights to int8 (per-channel symmetric).
-  const rt::QuantReport quant = rt::quantize_model(*model, {});
-  const float acc_int8 = rt::evaluate_accuracy(*model, task.test);
-  std::printf("[3] int8 PTQ: acc %.2f%% (delta %+.2f), %.1f KiB on flash\n",
-              100.0f * acc_int8, 100.0f * (acc_int8 - acc_shrunk),
-              static_cast<double>(quant.int_storage_bytes) / 1024.0);
+  // 4. Quantize to int8 at compile time (per-channel symmetric, via
+  //    hw/quant) and serve the quantized plan.
+  rt::CompileOptions qopt;
+  qopt.int8_weights = true;
+  rt::Session int8_session(rt::Engine::compile(*model, qopt));
+  const float acc_int8 = rt::evaluate_accuracy(int8_session, task.test);
+  const std::int64_t int8_bytes = int8_session.plan().packed_bytes();
+  std::printf("[3] int8 engine: acc %.2f%%, %.1f KiB packed "
+              "(eff. %.3f MFLOP / image)\n",
+              100.0f * acc_int8,
+              static_cast<double>(int8_bytes) / 1024.0,
+              2.0 * static_cast<double>(int8_session.plan().effective_macs()) /
+                  1e6);
 
   // 5. Price the result on an MCU-class device.
   const rt::CostEstimate cost =
@@ -55,8 +66,7 @@ int main() {
               1e3 * cost.latency_seconds, 1e6 * cost.energy_joules,
               cost.realized_speedup);
 
-  std::printf("\nDeployed: %.2f%% accuracy in %.1f KiB.\n",
-              100.0f * acc_int8,
-              static_cast<double>(quant.int_storage_bytes) / 1024.0);
+  std::printf("\nDeployed: %.2f%% accuracy in %.1f KiB.\n", 100.0f * acc_int8,
+              static_cast<double>(int8_bytes) / 1024.0);
   return 0;
 }

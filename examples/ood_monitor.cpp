@@ -50,8 +50,11 @@ int main() {
     auto ticket = lab.omp_ticket("r50", scheme, 0.7f);
     const float acc = rt::finetune_whole_model(*ticket, task, ft, rng);
 
-    const rt::Tensor in_probs = rt::predict_probabilities(*ticket, task.test);
-    const rt::Tensor out_probs = rt::predict_probabilities(*ticket, ood);
+    // Deployment path: freeze the finetuned ticket into a compiled plan and
+    // serve the monitor's probability queries through a Session.
+    rt::Session session = rt::make_eval_session(*ticket, task.test);
+    const rt::Tensor in_probs = rt::predict_probabilities(session, task.test);
+    const rt::Tensor out_probs = rt::predict_probabilities(session, ood);
     const auto in_scores = rt::max_softmax_scores(in_probs);
     const auto out_scores = rt::max_softmax_scores(out_probs);
     const double auc = rt::roc_auc(in_scores, out_scores);

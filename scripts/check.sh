@@ -11,8 +11,9 @@ cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 if [[ -x build/bench_kernels ]]; then
-  echo "== bench_kernels smoke (GEMM throughput) =="
-  ./build/bench_kernels --benchmark_filter='BM_Matmul|BM_Gemm' \
+  echo "== bench_kernels smoke (GEMM + engine throughput) =="
+  ./build/bench_kernels \
+    --benchmark_filter='BM_Matmul|BM_Gemm|BM_EngineThroughput' \
     --benchmark_min_time=0.05
 else
   echo "bench_kernels not built (google-benchmark missing); skipping smoke run"

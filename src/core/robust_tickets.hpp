@@ -25,6 +25,7 @@
 #include "data/segmentation_data.hpp" // dense-prediction task
 #include "data/synth.hpp"             // SynthVision generators
 #include "data/tasks.hpp"             // the VTAB-analogue suite
+#include "engine/engine.hpp"          // compiled serving API (Engine/Session)
 #include "hw/cost_model.hpp"          // edge latency/energy roofline
 #include "hw/quant.hpp"               // int8 post-training quantization
 #include "hw/shrink.hpp"              // channel-shrink compiler

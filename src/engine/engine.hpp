@@ -1,0 +1,78 @@
+#pragma once
+// rt::Engine — the compiled, thread-safe serving API for masked tickets.
+//
+// The Module stack (nn/) is the training path: eager, mutable, caching every
+// activation for backward. Deployment wants the opposite — an immutable
+// execution plan that spends bytes and cycles proportional to the ticket's
+// nonzeros. Engine::compile splits definition from execution:
+//
+//   auto ticket = lab.omp_ticket("r18", PretrainScheme::kAdversarial, 0.9f);
+//   finetune_whole_model(*ticket, task, {}, rng);
+//   Session session(Engine::compile(*ticket), /*max_batch=*/64);
+//   Tensor logits = session.predict(batch);        // safe from any thread
+//
+// compile() folds conv+BN(+ReLU), packs each layer into the cheapest
+// executable encoding (dense / channel-compact / CSR, optional int8 — see
+// engine/plan.hpp), and freezes the geometry so Sessions can pre-allocate
+// every buffer. A Session serves concurrent predict() calls over the shared
+// read-only plan with a checkout pool of per-call Workspaces: steady-state
+// inference performs no heap allocation beyond the returned tensor and takes
+// no lock longer than a pointer swap.
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/plan.hpp"
+#include "models/resnet.hpp"
+
+namespace rt {
+
+class Engine {
+ public:
+  /// Freezes a finished (possibly masked) ticket into an immutable plan.
+  /// Reads weights, masks (via their zeros), and BN running statistics; the
+  /// model itself is untouched and can keep training afterwards. Matches
+  /// eval-mode Module::forward within float rounding. Throws on trunk
+  /// modules the engine cannot execute.
+  static CompiledTicket compile(const ResNet& model,
+                                const CompileOptions& options = {});
+};
+
+/// Thread-safe inference front-end over a shared CompiledTicket. Any number
+/// of threads may call predict() concurrently; each call checks out a
+/// pre-allocated Workspace (growing the pool only the first time a new
+/// concurrency level is reached). Results are bitwise deterministic:
+/// execution within a call is serial, so thread scheduling cannot reorder
+/// float accumulation.
+class Session {
+ public:
+  explicit Session(CompiledTicket plan, int max_batch = 64);
+  explicit Session(std::shared_ptr<const CompiledTicket> plan,
+                   int max_batch = 64);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// (n, num_classes) logits for an (n, C, H, W) batch matching the compiled
+  /// geometry. Batches larger than max_batch are processed in chunks.
+  Tensor predict(const Tensor& x);
+  /// Row-softmax probabilities, same contract as predict().
+  Tensor predict_probabilities(const Tensor& x);
+  /// Argmax class per sample.
+  std::vector<int> classify(const Tensor& x);
+
+  const CompiledTicket& plan() const { return *plan_; }
+  int max_batch() const { return max_batch_; }
+
+ private:
+  std::unique_ptr<Workspace> acquire();
+  void release(std::unique_ptr<Workspace> ws);
+
+  std::shared_ptr<const CompiledTicket> plan_;
+  int max_batch_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Workspace>> idle_;
+};
+
+}  // namespace rt

@@ -1,0 +1,303 @@
+#include "engine/plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "linalg/gemm.hpp"
+
+namespace rt {
+
+namespace {
+
+/// Serial GEMM for the per-sample conv kernels: parallelism lives at the
+/// Session level (one Workspace per concurrent predict call).
+constexpr GemmOpts kSerial{.accumulate = false, .parallel = false};
+
+void bias_relu_inplace(float* y, const float* bias, std::int64_t channels,
+                       std::int64_t plane, bool relu) {
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float b = bias[c];
+    float* row = y + c * plane;
+    if (relu) {
+      for (std::int64_t j = 0; j < plane; ++j) {
+        row[j] = std::max(row[j] + b, 0.0f);
+      }
+    } else {
+      for (std::int64_t j = 0; j < plane; ++j) row[j] += b;
+    }
+  }
+}
+
+void add_relu_inplace(float* dst, const float* src, std::int64_t count) {
+  for (std::int64_t j = 0; j < count; ++j) {
+    dst[j] = std::max(dst[j] + src[j], 0.0f);
+  }
+}
+
+}  // namespace
+
+const char* packed_format_name(PackedFormat format) {
+  switch (format) {
+    case PackedFormat::kDense: return "dense";
+    case PackedFormat::kChannelCompact: return "chan-compact";
+    case PackedFormat::kCsr: return "csr";
+  }
+  return "unknown";
+}
+
+PackedFormat choose_packed_format(std::int64_t rows, std::int64_t cols,
+                                  std::int64_t nnz, std::int64_t kept_rows,
+                                  const CompileOptions& options) {
+  if (options.force_format) return *options.force_format;
+  if (rows <= 0 || cols <= 0) return PackedFormat::kDense;
+  if (kept_rows == 0) return PackedFormat::kChannelCompact;
+  const double density = static_cast<double>(nnz) /
+                         static_cast<double>(rows * cols);
+  const double kept_frac = static_cast<double>(kept_rows) /
+                           static_cast<double>(rows);
+  // Row-structured sparsity: the surviving rows are mostly dense, so compact
+  // them and run the dense kernel at reduced height.
+  if (kept_frac <= options.compact_max_row_fraction &&
+      density / kept_frac >= 0.5) {
+    return PackedFormat::kChannelCompact;
+  }
+  if (density <= options.csr_max_density) return PackedFormat::kCsr;
+  return PackedFormat::kDense;
+}
+
+// ---- Workspace --------------------------------------------------------------
+
+Workspace::Workspace(const CompiledTicket& plan, int max_batch)
+    : max_batch_(std::max(1, max_batch)) {
+  const std::int64_t act = plan.max_plane_floats() * max_batch_;
+  arena_.assign(static_cast<std::size_t>(3 * act + plan.col_floats() +
+                                         plan.tmp_floats()),
+                0.0f);
+  act_[0] = arena_.data();
+  act_[1] = arena_.data() + act;
+  act_[2] = arena_.data() + 2 * act;
+  col_ = arena_.data() + 3 * act;
+  tmp_ = col_ + plan.col_floats();
+}
+
+// ---- PackedConv -------------------------------------------------------------
+
+void PackedConv::run(const float* in, float* out, std::int64_t n,
+                     Workspace& ws) const {
+  const std::int64_t ohw = out_h * out_w;
+  const std::int64_t ckk = in_ch * geom.kernel * geom.kernel;
+  const std::int64_t stride_w = geom.stride * in_w;
+  if (format == PackedFormat::kCsr) {
+    // Implicit sparse conv: slide each nonzero tap over the input. All index
+    // arithmetic was resolved into the tap at compile time; the batch loop
+    // sits INSIDE the tap loop so per-nonzero setup amortizes over the batch
+    // and the weight stream stays hot. Outputs start at the folded bias, so
+    // no separate add pass is needed.
+    const std::int64_t in_f = in_floats(), out_f = out_floats();
+    for (std::int64_t r = 0; r < out_ch; ++r) {
+      float* yrow = out + r * ohw;
+      const float b = bias[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < n; ++i) {
+        float* yr = yrow + i * out_f;
+        for (std::int64_t j = 0; j < ohw; ++j) yr[j] = b;
+      }
+      const std::int32_t begin = csr.row_ptr[static_cast<std::size_t>(r)];
+      const std::int32_t end = csr.row_ptr[static_cast<std::size_t>(r) + 1];
+      for (std::int32_t t = begin; t < end; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        const float v = csr.values[ti];
+        const SparseTap& tap = taps[ti];
+        const float* __restrict xr = in + tap.x_start;
+        float* __restrict yr = yrow + tap.y_start;
+        for (std::int64_t i = 0; i < n; ++i, xr += in_f, yr += out_f) {
+          const float* __restrict xw = xr;
+          float* __restrict yw = yr;
+          if (geom.stride == 1) {
+            for (std::int32_t oi = 0; oi < tap.rows;
+                 ++oi, xw += in_w, yw += out_w) {
+              for (std::int32_t oj = 0; oj < tap.cols; ++oj) {
+                yw[oj] += v * xw[oj];
+              }
+            }
+          } else {
+            for (std::int32_t oi = 0; oi < tap.rows;
+                 ++oi, xw += stride_w, yw += out_w) {
+              for (std::int32_t oj = 0; oj < tap.cols; ++oj) {
+                yw[oj] += v * xw[oj * geom.stride];
+              }
+            }
+          }
+        }
+      }
+      if (relu) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          float* yr = yrow + i * out_f;
+          for (std::int64_t j = 0; j < ohw; ++j) {
+            yr[j] = std::max(yr[j], 0.0f);
+          }
+        }
+      }
+    }
+    return;
+  }
+  // Dense-style formats consume an im2col buffer; 1x1 stride-1 convs read
+  // the input plane directly (the column buffer would be an exact copy).
+  const bool direct_col = geom.kernel == 1 && geom.stride == 1 &&
+                          geom.padding == 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xi = in + i * in_floats();
+    float* yi = out + i * out_floats();
+    const float* colp = xi;
+    if (!direct_col) {
+      im2col_plane(xi, in_ch, in_h, in_w, geom, ws.col());
+      colp = ws.col();
+    }
+    switch (format) {
+      case PackedFormat::kDense:
+        gemm_nn(out_ch, ohw, ckk, weight.data(), colp, yi, kSerial);
+        bias_relu_inplace(yi, bias.data(), out_ch, ohw, relu);
+        break;
+      case PackedFormat::kCsr:
+        break;  // handled above
+      case PackedFormat::kChannelCompact: {
+        const auto kr = static_cast<std::int64_t>(kept.size());
+        if (kr > 0) {
+          gemm_nn(kr, ohw, ckk, weight.data(), colp, ws.tmp(), kSerial);
+        }
+        // Scatter surviving rows; pruned channels carry only their folded
+        // bias (a zero conv row through BN is a per-channel constant).
+        std::int64_t ki = 0;
+        for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+          const float b = bias[static_cast<std::size_t>(oc)];
+          float* yrow = yi + oc * ohw;
+          if (ki < kr && kept[static_cast<std::size_t>(ki)] == oc) {
+            const float* trow = ws.tmp() + ki * ohw;
+            if (relu) {
+              for (std::int64_t j = 0; j < ohw; ++j) {
+                yrow[j] = std::max(trow[j] + b, 0.0f);
+              }
+            } else {
+              for (std::int64_t j = 0; j < ohw; ++j) yrow[j] = trow[j] + b;
+            }
+            ++ki;
+          } else {
+            const float v = relu ? std::max(b, 0.0f) : b;
+            for (std::int64_t j = 0; j < ohw; ++j) yrow[j] = v;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+// ---- PackedLinear -----------------------------------------------------------
+
+void PackedLinear::run(const float* in, float* out, std::int64_t n) const {
+  if (format == PackedFormat::kCsr) {
+    spmm_csr_rhs_t(csr, n, in, out);
+  } else {
+    gemm_nt(n, out_features, in_features, in, weight.data(), out,
+            {.accumulate = false, .parallel = false,
+             .skip_zero_b_rows = false});
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* yrow = out + i * out_features;
+    for (std::int64_t j = 0; j < out_features; ++j) {
+      yrow[j] += bias[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+// ---- CompiledTicket ---------------------------------------------------------
+
+void CompiledTicket::run(const float* x, std::int64_t n, float* logits,
+                         Workspace& ws) const {
+  if (n <= 0) return;
+  if (n > ws.max_batch()) {
+    throw std::invalid_argument("CompiledTicket::run: batch > workspace");
+  }
+  stem_.run(x, ws.act(0), n, ws);
+  int cur = 0;
+  for (const CompiledBlock& b : blocks_) {
+    const int ia = (cur + 1) % 3;
+    const int ib = (cur + 2) % 3;
+    const float* block_in = ws.act(cur);
+    if (!b.c3) {
+      // Basic: in -> c1 -> c2; shortcut = in or projection; add + ReLU.
+      b.c1.run(block_in, ws.act(ia), n, ws);
+      b.c2.run(ws.act(ia), ws.act(ib), n, ws);
+      const float* shortcut = block_in;
+      if (b.down) {
+        b.down->run(block_in, ws.act(ia), n, ws);
+        shortcut = ws.act(ia);
+      }
+      add_relu_inplace(ws.act(ib), shortcut, n * b.c2.out_floats());
+      cur = ib;
+    } else {
+      // Bottleneck: in -> c1 -> c2 -> c3; buffer ia is free again once c2
+      // has consumed it, and ib once c3 has.
+      b.c1.run(block_in, ws.act(ia), n, ws);
+      b.c2.run(ws.act(ia), ws.act(ib), n, ws);
+      b.c3->run(ws.act(ib), ws.act(ia), n, ws);
+      const float* shortcut = block_in;
+      if (b.down) {
+        b.down->run(block_in, ws.act(ib), n, ws);
+        shortcut = ws.act(ib);
+      }
+      add_relu_inplace(ws.act(ia), shortcut, n * b.c3->out_floats());
+      cur = ia;
+    }
+  }
+  // Global average pooling into a free buffer, then the head.
+  const int fi = (cur + 1) % 3;
+  const std::int64_t plane = feat_h_ * feat_w_;
+  const float inv = 1.0f / static_cast<float>(plane);
+  float* feat = ws.act(fi);
+  const float* act = ws.act(cur);
+  for (std::int64_t p = 0; p < n * feature_dim_; ++p) {
+    const float* src = act + p * plane;
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < plane; ++j) acc += src[j];
+    feat[p] = acc * inv;
+  }
+  head_.run(feat, logits, n);
+}
+
+Tensor CompiledTicket::predict(const Tensor& x, Workspace& ws) const {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_ || x.dim(2) != height_ ||
+      x.dim(3) != width_) {
+    throw std::invalid_argument(
+        "CompiledTicket::predict: input " + x.shape_str() +
+        " does not match the compiled geometry");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t plane = in_channels_ * height_ * width_;
+  Tensor logits({n, num_classes_});
+  for (std::int64_t i = 0; i < n; i += ws.max_batch()) {
+    const std::int64_t chunk = std::min<std::int64_t>(ws.max_batch(), n - i);
+    run(x.data() + i * plane, chunk, logits.data() + i * num_classes_, ws);
+  }
+  return logits;
+}
+
+std::int64_t CompiledTicket::packed_bytes() const {
+  std::int64_t total = 0;
+  for (const LayerPlan& l : layers_) total += l.packed_bytes;
+  return total;
+}
+
+std::int64_t CompiledTicket::dense_macs() const {
+  std::int64_t total = 0;
+  for (const LayerPlan& l : layers_) total += l.dense_macs;
+  return total;
+}
+
+std::int64_t CompiledTicket::effective_macs() const {
+  std::int64_t total = 0;
+  for (const LayerPlan& l : layers_) total += l.effective_macs;
+  return total;
+}
+
+}  // namespace rt

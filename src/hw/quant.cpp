@@ -22,51 +22,51 @@ void check_bits(int bits) {
   }
 }
 
-float row_max_abs(const Parameter& p, std::int64_t row) {
-  const std::int64_t cols = p.value.dim(1);
+float row_max_abs(const float* row, std::int64_t cols) {
   float m = 0.0f;
-  for (std::int64_t c = 0; c < cols; ++c) {
-    m = std::max(m, std::fabs(p.value.at(row, c)));
-  }
+  for (std::int64_t c = 0; c < cols; ++c) m = std::max(m, std::fabs(row[c]));
   return m;
 }
 
-void quantize_row(Parameter& p, std::int64_t row, float scale, float qmax) {
-  const std::int64_t cols = p.value.dim(1);
+void quantize_row(float* row, std::int64_t cols, float scale, float qmax) {
   if (scale <= 0.0f) return;  // all-zero row: nothing to do
   for (std::int64_t c = 0; c < cols; ++c) {
-    const float q = std::round(p.value.at(row, c) / scale);
-    p.value.at(row, c) = std::clamp(q, -qmax, qmax) * scale;
+    const float q = std::round(row[c] / scale);
+    row[c] = std::clamp(q, -qmax, qmax) * scale;
   }
 }
 
 }  // namespace
 
-std::vector<float> fake_quantize(Parameter& p, QuantScheme scheme, int bits) {
+std::vector<float> fake_quantize_matrix(float* data, std::int64_t rows,
+                                        std::int64_t cols, QuantScheme scheme,
+                                        int bits) {
   check_bits(bits);
-  if (p.value.ndim() != 2) {
-    throw std::invalid_argument("fake_quantize: 2-D weights expected");
-  }
   const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
-  const std::int64_t rows = p.value.dim(0);
   std::vector<float> scales;
   if (scheme == QuantScheme::kPerTensor) {
-    float m = 0.0f;
-    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
-      m = std::max(m, std::fabs(p.value[i]));
-    }
+    const float m = row_max_abs(data, rows * cols);
     const float scale = m > 0.0f ? m / qmax : 0.0f;
-    for (std::int64_t r = 0; r < rows; ++r) quantize_row(p, r, scale, qmax);
+    quantize_row(data, rows * cols, scale, qmax);
     scales.assign(1, scale);
   } else {
     scales.reserve(static_cast<std::size_t>(rows));
     for (std::int64_t r = 0; r < rows; ++r) {
-      const float m = row_max_abs(p, r);
+      const float m = row_max_abs(data + r * cols, cols);
       const float scale = m > 0.0f ? m / qmax : 0.0f;
-      quantize_row(p, r, scale, qmax);
+      quantize_row(data + r * cols, cols, scale, qmax);
       scales.push_back(scale);
     }
   }
+  return scales;
+}
+
+std::vector<float> fake_quantize(Parameter& p, QuantScheme scheme, int bits) {
+  if (p.value.ndim() != 2) {
+    throw std::invalid_argument("fake_quantize: 2-D weights expected");
+  }
+  std::vector<float> scales = fake_quantize_matrix(
+      p.value.data(), p.value.dim(0), p.value.dim(1), scheme, bits);
   // Masked weights were exactly zero and round(0/s) == 0: re-applying the
   // mask is a no-op but keeps the invariant explicit.
   p.apply_mask();

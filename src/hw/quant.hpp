@@ -37,10 +37,18 @@ struct QuantReport {
   std::int64_t int_storage_bytes = 0;  ///< values + fp32 scales
 };
 
-/// Fake-quantizes one weight tensor in place; returns the per-row (or
-/// single-element) scale vector. Symmetric: q = clamp(round(w / s), -Q, Q),
-/// w' = q * s with Q = 2^(bits-1) - 1. All-zero rows get scale 0 and stay
-/// zero.
+/// Fake-quantizes a raw row-major (rows, cols) weight matrix in place and
+/// returns the per-row (kPerChannel) or single-element (kPerTensor) scale
+/// vector. Symmetric: q = clamp(round(w / s), -Q, Q), w' = q * s with
+/// Q = 2^(bits-1) - 1. All-zero rows get scale 0 and stay zero. Shared by
+/// the Parameter-level PTQ below and the engine's compile-time weight
+/// packing.
+std::vector<float> fake_quantize_matrix(float* data, std::int64_t rows,
+                                        std::int64_t cols, QuantScheme scheme,
+                                        int bits);
+
+/// Fake-quantizes one weight tensor in place; returns the scale vector (see
+/// fake_quantize_matrix). Masked weights stay exactly zero.
 std::vector<float> fake_quantize(Parameter& p, QuantScheme scheme, int bits);
 
 /// Quantizes all conv/linear weights of the model in place and reports the

@@ -26,11 +26,17 @@ class BasicBlock : public Module {
   std::int64_t out_channels() const { return out_channels_; }
   bool has_projection() const { return down_conv_ != nullptr; }
 
-  // Layer access for analysis and the hw shrink compiler.
+  // Layer access for analysis, the hw shrink compiler, and Engine::compile.
   Conv2d& conv1() { return *conv1_; }
   Conv2d& conv2() { return *conv2_; }
   BatchNorm2d& bn1() { return *bn1_; }
   BatchNorm2d& bn2() { return *bn2_; }
+  const Conv2d& conv1() const { return *conv1_; }
+  const Conv2d& conv2() const { return *conv2_; }
+  const BatchNorm2d& bn1() const { return *bn1_; }
+  const BatchNorm2d& bn2() const { return *bn2_; }
+  const Conv2d* down_conv() const { return down_conv_.get(); }
+  const BatchNorm2d* down_bn() const { return down_bn_.get(); }
 
   /// Physically removes the internal channels (conv1 outputs == conv2
   /// inputs) with keep[c] == 0, rebuilding conv1/bn1/conv2 at the reduced
@@ -65,13 +71,21 @@ class BottleneckBlock : public Module {
   std::int64_t out_channels() const { return out_channels_; }
   bool has_projection() const { return down_conv_ != nullptr; }
 
-  // Layer access for analysis and the hw shrink compiler.
+  // Layer access for analysis, the hw shrink compiler, and Engine::compile.
   Conv2d& conv1() { return *conv1_; }
   Conv2d& conv2() { return *conv2_; }
   Conv2d& conv3() { return *conv3_; }
   BatchNorm2d& bn1() { return *bn1_; }
   BatchNorm2d& bn2() { return *bn2_; }
   BatchNorm2d& bn3() { return *bn3_; }
+  const Conv2d& conv1() const { return *conv1_; }
+  const Conv2d& conv2() const { return *conv2_; }
+  const Conv2d& conv3() const { return *conv3_; }
+  const BatchNorm2d& bn1() const { return *bn1_; }
+  const BatchNorm2d& bn2() const { return *bn2_; }
+  const BatchNorm2d& bn3() const { return *bn3_; }
+  const Conv2d* down_conv() const { return down_conv_.get(); }
+  const BatchNorm2d* down_bn() const { return down_bn_.get(); }
 
   /// Removes dead channels on both internal interfaces: keep1 selects conv1
   /// outputs (== conv2 inputs), keep2 selects conv2 outputs (== conv3

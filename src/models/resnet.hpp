@@ -65,6 +65,7 @@ class ResNet : public Module {
   /// Channel count of the feature map after the given stage.
   int stage_channels(int stage) const;
   Linear& head() { return *head_; }
+  const Linear& head() const { return *head_; }
   /// Replaces the classifier head with a fresh one for a downstream task.
   void reset_head(int num_classes, Rng& rng);
 
@@ -76,6 +77,7 @@ class ResNet : public Module {
   /// used by the hw shrink compiler and representation analysis.
   std::size_t trunk_size() const { return trunk_.size(); }
   Module& trunk_module(std::size_t i) { return *trunk_.at(i); }
+  const Module& trunk_module(std::size_t i) const { return *trunk_.at(i); }
   /// Index one past the last trunk module of the given stage (stage 0
   /// includes the stem layers).
   int stage_end_index(int stage) const {

@@ -22,10 +22,15 @@ class BatchNorm2d : public Module {
   void collect_buffers(std::vector<NamedTensor>& out) override;
 
   Parameter& gamma() { return gamma_; }
+  const Parameter& gamma() const { return gamma_; }
   Parameter& beta() { return beta_; }
+  const Parameter& beta() const { return beta_; }
   Tensor& running_mean() { return running_mean_; }
+  const Tensor& running_mean() const { return running_mean_; }
   Tensor& running_var() { return running_var_; }
+  const Tensor& running_var() const { return running_var_; }
   std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
 
  private:
   std::int64_t channels_;

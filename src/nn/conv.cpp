@@ -1,7 +1,7 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -15,9 +15,13 @@ void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
   const std::int64_t c_in = x.dim(1);
   const std::int64_t h = x.dim(2);
   const std::int64_t w = x.dim(3);
+  im2col_plane(x.data() + sample * c_in * h * w, c_in, h, w, g, col);
+}
+
+void im2col_plane(const float* xd, std::int64_t c_in, std::int64_t h,
+                  std::int64_t w, const ConvGeometry& g, float* col) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
-  const float* xd = x.data() + sample * c_in * h * w;
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < c_in; ++c) {
     const float* xc = xd + c * h * w;
@@ -135,41 +139,84 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor dx({n, in_channels_, x.dim(2), x.dim(3)});
   const float* wd = weight_.value.data();
   const float* gd = grad_out.data();
-  std::mutex accum_mutex;
 
-  parallel_for(n, [&](std::int64_t begin, std::int64_t end) {
+  // Weight-gradient accumulation: each slot owns a contiguous sample range
+  // and a private partial, then the partials are combined with an
+  // atomic-free pairwise tree — no mutex serializes the workers.
+  const std::int64_t slots =
+      std::min<std::int64_t>(ThreadPool::instance().num_threads(), n);
+  std::vector<std::vector<float>> dw_part(static_cast<std::size_t>(slots));
+  std::vector<std::vector<float>> db_part(
+      has_bias_ ? static_cast<std::size_t>(slots) : 0u);
+
+  parallel_for(slots, [&](std::int64_t s0, std::int64_t s1) {
     std::vector<float> col(static_cast<std::size_t>(ckk * ohw));
     std::vector<float> dcol(static_cast<std::size_t>(ckk * ohw));
-    std::vector<float> dw_local(
-        static_cast<std::size_t>(out_channels_ * ckk), 0.0f);
-    std::vector<float> db_local(
-        has_bias_ ? static_cast<std::size_t>(out_channels_) : 0u, 0.0f);
-    for (std::int64_t i = begin; i < end; ++i) {
-      im2col(x, i, geom_, col.data());
-      const float* gi = gd + i * out_channels_ * ohw;
-      // dW += gout_i (out, ohw) * col^T (ohw, ckk)
-      gemm_nt_acc(out_channels_, ckk, ohw, gi, col.data(), dw_local.data());
-      // dcol = W^T (ckk, out) * gout_i (out, ohw)
-      gemm_tn(ckk, ohw, out_channels_, wd, gi, dcol.data(),
-              {.accumulate = false, .parallel = false});
-      col2im_add(dcol.data(), i, geom_, dx);
+    for (std::int64_t s = s0; s < s1; ++s) {
+      std::vector<float>& dw_local = dw_part[static_cast<std::size_t>(s)];
+      dw_local.assign(static_cast<std::size_t>(out_channels_ * ckk), 0.0f);
       if (has_bias_) {
-        for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-          const float* grow = gi + oc * ohw;
-          float acc = 0.0f;
-          for (std::int64_t j = 0; j < ohw; ++j) acc += grow[j];
-          db_local[static_cast<std::size_t>(oc)] += acc;
+        db_part[static_cast<std::size_t>(s)].assign(
+            static_cast<std::size_t>(out_channels_), 0.0f);
+      }
+      const std::int64_t begin = s * n / slots;
+      const std::int64_t end = (s + 1) * n / slots;
+      for (std::int64_t i = begin; i < end; ++i) {
+        im2col(x, i, geom_, col.data());
+        const float* gi = gd + i * out_channels_ * ohw;
+        // dW += gout_i (out, ohw) * col^T (ohw, ckk)
+        gemm_nt_acc(out_channels_, ckk, ohw, gi, col.data(), dw_local.data());
+        // dcol = W^T (ckk, out) * gout_i (out, ohw)
+        gemm_tn(ckk, ohw, out_channels_, wd, gi, dcol.data(),
+                {.accumulate = false, .parallel = false});
+        col2im_add(dcol.data(), i, geom_, dx);
+        if (has_bias_) {
+          float* db_local = db_part[static_cast<std::size_t>(s)].data();
+          for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+            const float* grow = gi + oc * ohw;
+            float acc = 0.0f;
+            for (std::int64_t j = 0; j < ohw; ++j) acc += grow[j];
+            db_local[oc] += acc;
+          }
         }
       }
     }
-    const std::lock_guard<std::mutex> lock(accum_mutex);
-    float* dw = weight_.grad.data();
-    for (std::size_t j = 0; j < dw_local.size(); ++j) dw[j] += dw_local[j];
-    if (has_bias_) {
-      float* db = bias_.grad.data();
-      for (std::size_t j = 0; j < db_local.size(); ++j) db[j] += db_local[j];
-    }
   });
+
+  // Pairwise tree: round r folds partial s+2^r into partial s. Each pair is
+  // an independent buffer sum, so rounds parallelize without atomics.
+  for (std::int64_t stride = 1; stride < slots; stride *= 2) {
+    const std::int64_t pairs = (slots - stride + 2 * stride - 1) / (2 * stride);
+    parallel_for(pairs, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const auto dst = static_cast<std::size_t>(p * 2 * stride);
+        const auto src = dst + static_cast<std::size_t>(stride);
+        if (src >= dw_part.size()) continue;
+        float* d = dw_part[dst].data();
+        const float* sbuf = dw_part[src].data();
+        for (std::size_t j = 0; j < dw_part[dst].size(); ++j) d[j] += sbuf[j];
+        if (has_bias_) {
+          float* db = db_part[dst].data();
+          const float* sb = db_part[src].data();
+          for (std::size_t j = 0; j < db_part[dst].size(); ++j) {
+            db[j] += sb[j];
+          }
+        }
+      }
+    });
+  }
+
+  // Fold the root partial into the parameter gradients, element-parallel.
+  float* dw = weight_.grad.data();
+  const float* root = dw_part[0].data();
+  parallel_for(static_cast<std::int64_t>(dw_part[0].size()),
+               [&](std::int64_t j0, std::int64_t j1) {
+                 for (std::int64_t j = j0; j < j1; ++j) dw[j] += root[j];
+               });
+  if (has_bias_) {
+    float* db = bias_.grad.data();
+    for (std::size_t j = 0; j < db_part[0].size(); ++j) db[j] += db_part[0][j];
+  }
   return dx;
 }
 

@@ -28,6 +28,12 @@ struct ConvGeometry {
 void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
             float* col);
 
+/// Raw-pointer core of im2col: expands one (C, H, W) plane at `x` into the
+/// column buffer. Used directly by the engine's compiled execution path,
+/// which stages activations in arena buffers rather than Tensors.
+void im2col_plane(const float* x, std::int64_t c_in, std::int64_t h,
+                  std::int64_t w, const ConvGeometry& g, float* col);
+
 /// Scatter-adds a (C*k*k, OH*OW) column gradient back into dx (N,C,H,W) at
 /// the given sample. Inverse (adjoint) of im2col.
 void col2im_add(const float* col, std::int64_t sample, const ConvGeometry& g,
@@ -47,7 +53,9 @@ class Conv2d : public Module {
   void collect_parameters(std::vector<Parameter*>& out) override;
 
   Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
   Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+  const Parameter* bias() const { return has_bias_ ? &bias_ : nullptr; }
   std::int64_t in_channels() const { return in_channels_; }
   std::int64_t out_channels() const { return out_channels_; }
   const ConvGeometry& geometry() const { return geom_; }

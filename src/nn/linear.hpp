@@ -17,7 +17,9 @@ class Linear : public Module {
   void collect_parameters(std::vector<Parameter*>& out) override;
 
   Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
   Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+  const Parameter* bias() const { return has_bias_ ? &bias_ : nullptr; }
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
 

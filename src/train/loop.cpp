@@ -91,6 +91,39 @@ TrainStats train_classifier(Module& model, const Dataset& train,
   return train_classifier(model, model.parameters(), train, config, rng);
 }
 
+namespace {
+
+std::int64_t count_correct(const std::vector<int>& pred,
+                           const std::vector<int>& labels) {
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
+
+float evaluate_accuracy(Session& session, const Dataset& test) {
+  // Session::predict chunks by its max_batch internally; one call covers the
+  // whole dataset without gather copies.
+  const std::vector<int> pred = session.classify(test.images);
+  return static_cast<float>(count_correct(pred, test.labels)) /
+         static_cast<float>(test.size());
+}
+
+Tensor predict_probabilities(Session& session, const Dataset& data) {
+  return session.predict_probabilities(data.images);
+}
+
+Session make_eval_session(const ResNet& model, const Dataset& data,
+                          int batch_size) {
+  CompileOptions options;
+  options.height = data.images.dim(2);
+  options.width = data.images.dim(3);
+  return Session(Engine::compile(model, options), batch_size);
+}
+
 float evaluate_accuracy(Module& model, const Dataset& test, int batch_size) {
   const bool was_training = model.training();
   model.set_training(false);

@@ -9,6 +9,7 @@
 #include "attack/attack.hpp"
 #include "data/augment.hpp"
 #include "data/dataset.hpp"
+#include "engine/engine.hpp"
 #include "nn/optim.hpp"
 
 namespace rt {
@@ -52,16 +53,31 @@ TrainStats train_classifier(Module& model, const Dataset& train,
                             const TrainLoopConfig& config, Rng& rng);
 
 /// Top-1 accuracy on a dataset (eval mode; mode restored afterwards).
+/// Training-time convenience; gradient-free consumers should compile the
+/// model once and use the Session overload below.
 float evaluate_accuracy(Module& model, const Dataset& test,
                         int batch_size = 64);
+
+/// Top-1 accuracy through a compiled engine Session — the serving path for
+/// read-only evaluation (no Module state is touched).
+float evaluate_accuracy(Session& session, const Dataset& test);
 
 /// Softmax probabilities for the whole dataset (eval mode), shape (N, C).
 Tensor predict_probabilities(Module& model, const Dataset& data,
                              int batch_size = 64);
 
-/// Accuracy under PGD attack (Adv-Acc).
+/// Softmax probabilities through a compiled engine Session.
+Tensor predict_probabilities(Session& session, const Dataset& data);
+
+/// Accuracy under PGD attack (Adv-Acc). Inherently eager: the attack needs
+/// input gradients, which only the Module backward path provides.
 float evaluate_adversarial_accuracy(Module& model, const Dataset& test,
                                     const AttackConfig& attack, Rng& rng,
                                     int batch_size = 64);
+
+/// Compiles a classifier for read-only evaluation at the dataset's image
+/// geometry and wraps it in a Session sized to batch_size.
+Session make_eval_session(const ResNet& model, const Dataset& data,
+                          int batch_size = 64);
 
 }  // namespace rt

@@ -5,7 +5,10 @@ namespace rt {
 EvalReport evaluate_full(ResNet& model, const Dataset& test,
                          const Dataset& ood, const EvalConfig& config) {
   EvalReport report;
-  report.accuracy = evaluate_accuracy(model, test, config.batch_size);
+  // The battery is read-only except for the PGD attack, so the ticket is
+  // compiled once and every gradient-free metric runs on the engine.
+  Session session = make_eval_session(model, test, config.batch_size);
+  report.accuracy = evaluate_accuracy(session, test);
 
   Rng rng(config.seed);
   report.adv_accuracy = evaluate_adversarial_accuracy(
@@ -14,15 +17,13 @@ EvalReport evaluate_full(ResNet& model, const Dataset& test,
   const Dataset corrupted = corrupt_dataset(test, config.corrupt_sigma,
                                             config.corrupt_blur,
                                             config.seed ^ 0xC0FFEEULL);
-  report.corrupt_accuracy =
-      evaluate_accuracy(model, corrupted, config.batch_size);
+  report.corrupt_accuracy = evaluate_accuracy(session, corrupted);
 
-  const Tensor probs = predict_probabilities(model, test, config.batch_size);
+  const Tensor probs = predict_probabilities(session, test);
   report.ece = expected_calibration_error(probs, test.labels, config.ece_bins);
   report.nll = negative_log_likelihood(probs, test.labels);
 
-  const Tensor ood_probs =
-      predict_probabilities(model, ood, config.batch_size);
+  const Tensor ood_probs = predict_probabilities(session, ood);
   report.ood_auc = roc_auc(max_softmax_scores(probs),
                            max_softmax_scores(ood_probs));
   return report;
