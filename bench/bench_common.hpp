@@ -5,8 +5,9 @@
 // writes a CSV copy to ./bench_out/. Two profiles control cost:
 //   RT_BENCH_PROFILE=quick  (default) — reduced grids/epochs, minutes total;
 //   RT_BENCH_PROFILE=full   — denser grids, closer to the paper protocol.
-// Pretrained checkpoints are cached in RT_CACHE_DIR (default
-// /tmp/rticket_cache) and shared across all bench binaries.
+// Pretrained and IMP/LMP-retrained checkpoints live in the content-addressed
+// store under RT_CACHE_DIR (default /tmp/rticket_cache), shared across all
+// bench binaries and the integration test suites.
 
 #include <cstdio>
 #include <cstdlib>

@@ -11,6 +11,7 @@
 #include "attack/trades.hpp"
 #include "engine/engine.hpp"
 #include "hw/shrink.hpp"
+#include "linalg/conv.hpp"
 #include "linalg/gemm.hpp"
 #include "models/resnet.hpp"
 #include "nn/loss.hpp"
@@ -79,6 +80,69 @@ void BM_GemmNT(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmNT)->Args({256, 0})->Args({256, 70})->Args({512, 0});
+
+// The training-path convolution pair (forward + full backward) across the
+// four ResNet-18 residual-body shapes at 32x32 input resolution, measured at
+// the kernel layer. Arg 0 runs the im2col reference (materialized column
+// buffer + legacy streaming GEMM cores — the pre-fusion baseline), Arg 1 the
+// fused implicit-GEMM kernels. Items == FLOPs, so items_per_second is
+// directly comparable between the two.
+void BM_ConvTrain(benchmark::State& state) {
+  const bool implicit = state.range(0) == 1;
+  struct Shape {
+    std::int64_t ch, h, w;
+  };
+  // 64@32^2 -> 128@16^2 -> 256@8^2 -> 512@4^2: equal MACs per layer, the
+  // full range of plane-vs-channel aspect ratios the kernels must tile.
+  constexpr Shape kShapes[] = {
+      {64, 32, 32}, {128, 16, 16}, {256, 8, 8}, {512, 4, 4}};
+  constexpr std::int64_t kBatch = 4;
+  const rt::ConvGeometry geom{3, 1, 1};
+
+  rt::Rng rng(11);
+  std::vector<rt::Tensor> xs, ws, gs, ys, dxs, dws;
+  std::int64_t flops_per_iter = 0;
+  for (const Shape& s : kShapes) {
+    const std::int64_t ckk = s.ch * 9;
+    xs.push_back(rt::Tensor::randn({kBatch, s.ch, s.h, s.w}, rng));
+    ws.push_back(rt::Tensor::randn({s.ch, ckk}, rng, 0.05f));
+    gs.push_back(rt::Tensor::randn({kBatch, s.ch, s.h, s.w}, rng));
+    ys.push_back(rt::Tensor({kBatch, s.ch, s.h, s.w}));
+    dxs.push_back(rt::Tensor({kBatch, s.ch, s.h, s.w}));
+    dws.push_back(rt::Tensor({s.ch, ckk}));
+    // forward + wgrad + dgrad each cost 2 * ch^2 * 9 * h * w MACs per sample.
+    flops_per_iter += 3 * kBatch * 2 * s.ch * ckk * s.h * s.w;
+  }
+  rt::ConvKernelOpts opts;
+  opts.algo =
+      implicit ? rt::ConvAlgo::kImplicit : rt::ConvAlgo::kIm2colReference;
+
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < xs.size(); ++l) {
+      const Shape& s = kShapes[l];
+      const std::int64_t plane = s.ch * s.h * s.w;
+      dws[l].fill_(0.0f);
+      dxs[l].fill_(0.0f);
+      for (std::int64_t i = 0; i < kBatch; ++i) {
+        rt::conv2d_forward_plane(xs[l].data() + i * plane, s.ch, s.h, s.w,
+                                 geom, ws[l].data(), s.ch,
+                                 ys[l].data() + i * plane, nullptr, false,
+                                 opts);
+        rt::conv2d_wgrad_plane(gs[l].data() + i * plane, xs[l].data() + i * plane,
+                               s.ch, s.h, s.w, geom, s.ch, dws[l].data(),
+                               opts);
+        rt::conv2d_dgrad_plane(ws[l].data(), s.ch, gs[l].data() + i * plane,
+                               s.ch, s.h, s.w, geom,
+                               dxs[l].data() + i * plane, opts);
+      }
+      benchmark::DoNotOptimize(ys[l].data());
+      benchmark::DoNotOptimize(dws[l].data());
+      benchmark::DoNotOptimize(dxs[l].data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flops_per_iter);
+}
+BENCHMARK(BM_ConvTrain)->Arg(0)->Arg(1);
 
 void BM_ResNetForward(benchmark::State& state) {
   rt::Rng rng(2);

@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # One-command PR gate: tier-1 verify (configure + build + full ctest) plus a
 # bench_kernels smoke run so kernel-throughput regressions surface early.
+#
+#   scripts/check.sh               # gate only (human-readable smoke output)
+#   scripts/check.sh --bench-json  # additionally write BENCH_kernels.json —
+#                                  # GEMM + conv + engine throughput in
+#                                  # google-benchmark's JSON schema, so the
+#                                  # kernel perf trajectory is machine-
+#                                  # readable across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_JSON=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-json) BENCH_JSON=1 ;;
+    *) echo "usage: $0 [--bench-json]" >&2; exit 2 ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
@@ -10,11 +25,23 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
+KERNEL_FILTER='BM_Matmul|BM_Gemm|BM_ConvTrain|BM_EngineThroughput'
 if [[ -x build/bench_kernels ]]; then
-  echo "== bench_kernels smoke (GEMM + engine throughput) =="
+  echo "== bench_kernels smoke (GEMM + conv + engine throughput) =="
+  # --benchmark_out writes the JSON in addition to the console report, so
+  # one run serves both the human gate and the machine-readable snapshot.
+  EXTRA_ARGS=()
+  if [[ "${BENCH_JSON}" == 1 ]]; then
+    EXTRA_ARGS+=(--benchmark_out=BENCH_kernels.json
+                 --benchmark_out_format=json)
+  fi
   ./build/bench_kernels \
-    --benchmark_filter='BM_Matmul|BM_Gemm|BM_EngineThroughput' \
-    --benchmark_min_time=0.05
+    --benchmark_filter="${KERNEL_FILTER}" \
+    --benchmark_min_time=0.05 \
+    "${EXTRA_ARGS[@]}"
+  if [[ "${BENCH_JSON}" == 1 ]]; then
+    echo "wrote BENCH_kernels.json"
+  fi
 else
   echo "bench_kernels not built (google-benchmark missing); skipping smoke run"
 fi

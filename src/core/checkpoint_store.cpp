@@ -1,0 +1,123 @@
+#include "core/checkpoint_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace rt {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+CheckpointKey& CheckpointKey::add(const std::string& field,
+                                  const std::string& value) {
+  key_ += field;
+  key_ += '=';
+  key_ += value;
+  key_ += ';';
+  return *this;
+}
+
+CheckpointKey& CheckpointKey::add(const std::string& field,
+                                  std::int64_t value) {
+  return add(field, std::to_string(value));
+}
+
+CheckpointKey& CheckpointKey::add(const std::string& field, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return add(field, std::string(buf));
+}
+
+std::uint64_t CheckpointKey::hash() const {
+  return fnv1a(key_.data(), key_.size(), kFnvOffset);
+}
+
+std::string CheckpointKey::filename() const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash()));
+  // Readable slug: the leading key fields with filesystem-hostile characters
+  // folded to '-'. Identity lives in the hash; the slug is for humans.
+  std::string slug;
+  for (const char c : key_) {
+    if (slug.size() >= 48) break;
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    slug += keep ? c : '-';
+  }
+  return std::string(hex) + "_" + slug + ".rtk";
+}
+
+std::uint64_t dataset_fingerprint(const Dataset& data) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(data.images.data(),
+            static_cast<std::size_t>(data.images.numel()) * sizeof(float), h);
+  h = fnv1a(data.labels.data(), data.labels.size() * sizeof(int), h);
+  h = fnv1a(&data.num_classes, sizeof(data.num_classes), h);
+  return h;
+}
+
+CheckpointStore::CheckpointStore(std::string root) : root_(std::move(root)) {}
+
+std::string CheckpointStore::default_root() {
+  if (const char* env = std::getenv("RT_CACHE_DIR")) return env;
+  return "/tmp/rticket_cache";
+}
+
+std::string CheckpointStore::path_for(const CheckpointKey& key) const {
+  return root_ + "/" + key.filename();
+}
+
+std::optional<StateDict> CheckpointStore::load(
+    const CheckpointKey& key) const {
+  if (!enabled()) return std::nullopt;
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  try {
+    return load_state_dict(path);
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt entry: treat as a miss and retrain
+  }
+}
+
+void CheckpointStore::store(const CheckpointKey& key,
+                            const StateDict& state) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  // The store is shared across concurrently running processes (ctest -j
+  // runs several suites against one root), so publication must be atomic:
+  // write to a pid-unique temp file and rename it into place — a reader
+  // either misses or sees a complete checkpoint, never a torn one.
+  const std::string path = path_for(key);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid());
+  try {
+    save_state_dict(tmp, state);
+    std::filesystem::rename(tmp, path);
+  } catch (const std::exception&) {
+    // Cache write failure is non-fatal; the next run retrains.
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+}  // namespace rt

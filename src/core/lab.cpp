@@ -1,24 +1,55 @@
 #include "core/lab.hpp"
 
 #include <cstdio>
-#include <cstdlib>
-#include <filesystem>
 #include <stdexcept>
+#include <utility>
+
+#include "data/synth.hpp"
 
 namespace rt {
 
 namespace {
 
-std::string default_cache_dir() {
-  if (const char* env = std::getenv("RT_CACHE_DIR")) return env;
-  return "/tmp/rticket_cache";
+/// Kernel-numerics variant of this build: FP contraction and summation
+/// width follow the target ISA, so builds vectorized differently (e.g.
+/// RT_MARCH_NATIVE on vs off) must never share checkpoints through the
+/// content-addressed store.
+constexpr const char* kKernelIsa =
+#if defined(__AVX512F__)
+    "avx512";
+#elif defined(__FMA__)
+    "fma";
+#elif defined(__AVX__)
+    "avx";
+#else
+    "base";
+#endif
+
+/// Re-installs ticket masks on a model loaded from a cached StateDict: a
+/// state dict stores values only, and a ticket's mask is exactly its zero
+/// structure (masked entries execute as stored zeros, set_mask re-zeroes
+/// them idempotently). Trained weights are never exactly 0.0f, so the
+/// reconstruction is faithful. Dense layers (no zeros) get no mask.
+void install_masks_from_zero_structure(ResNet& model) {
+  std::vector<Parameter*> params = model.parameters();
+  for (Parameter* p : params) {
+    if (!p->prunable()) continue;
+    Tensor mask(p->value.shape());
+    bool any_zero = false;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const bool zero = p->value[i] == 0.0f;
+      mask[i] = zero ? 0.0f : 1.0f;
+      any_zero = any_zero || zero;
+    }
+    if (any_zero) p->set_mask(std::move(mask));
+  }
 }
 
 }  // namespace
 
 RobustTicketLab::RobustTicketLab(Options options)
     : options_(std::move(options)) {
-  if (!options_.cache_dir) options_.cache_dir = default_cache_dir();
+  if (!options_.cache_dir) options_.cache_dir = CheckpointStore::default_root();
   pretrain_attack_.epsilon = options_.adv_epsilon;
   pretrain_attack_.step_size = options_.adv_epsilon / 3.0f;
   pretrain_attack_.steps = options_.adv_steps;
@@ -58,49 +89,51 @@ PretrainConfig RobustTicketLab::pretrain_config(PretrainScheme scheme) const {
   return cfg;
 }
 
-std::string RobustTicketLab::cache_key(const std::string& arch,
-                                       PretrainScheme scheme) const {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf), "%s_%s_e%d_n%d_eps%.3f_sig%.3f_s%llu_v%d",
-                arch.c_str(), scheme_name(scheme), options_.pretrain_epochs,
-                options_.source_train_size,
-                static_cast<double>(options_.adv_epsilon),
-                static_cast<double>(options_.rs_sigma),
-                static_cast<unsigned long long>(options_.seed), kDataVersion);
-  std::string key = buf;
+CheckpointStore RobustTicketLab::store() const {
+  return CheckpointStore(options_.cache_dir.value_or(std::string()));
+}
+
+CheckpointKey RobustTicketLab::base_key(const std::string& arch,
+                                        PretrainScheme scheme) const {
+  CheckpointKey key;
+  // kv bumps when the kernel layer's numerics change (summation order, FMA
+  // contraction): checkpoints are bit-products of the kernels that trained
+  // them, so a numerics change must miss rather than resurrect stale runs.
+  key.add("kv", 3)
+      .add("isa", kKernelIsa)
+      .add("v", kDataVersion)
+      .add("arch", arch)
+      .add("scheme", scheme_name(scheme))
+      .add("epochs", options_.pretrain_epochs)
+      .add("batch", options_.pretrain_batch)
+      .add("n", options_.source_train_size)
+      .add("eps", static_cast<double>(options_.adv_epsilon))
+      .add("steps", options_.adv_steps)
+      .add("sigma", static_cast<double>(options_.rs_sigma))
+      .add("seed", static_cast<std::int64_t>(options_.seed));
   // Scheme-specific hyper-parameters join the key so that changing them can
   // never serve a stale checkpoint.
   if (scheme == PretrainScheme::kTrades) {
-    std::snprintf(buf, sizeof(buf), "_b%.1f",
-                  static_cast<double>(options_.trades_beta));
-    key += buf;
+    key.add("beta", static_cast<double>(options_.trades_beta));
   } else if (scheme == PretrainScheme::kFreeAdversarial) {
-    std::snprintf(buf, sizeof(buf), "_m%d", options_.free_replays);
-    key += buf;
+    key.add("replays", options_.free_replays);
   }
   return key;
 }
 
 const StateDict& RobustTicketLab::pretrained(const std::string& arch,
                                              PretrainScheme scheme) {
-  const std::string key = cache_key(arch, scheme);
-  if (auto it = pretrained_cache_.find(key); it != pretrained_cache_.end()) {
+  CheckpointKey key = base_key(arch, scheme);
+  key.add("kind", "pretrain");
+  const std::string mem_key = key.str();
+  if (auto it = pretrained_cache_.find(mem_key);
+      it != pretrained_cache_.end()) {
     return it->second;
   }
 
-  // Disk cache lookup.
-  std::string path;
-  if (options_.cache_dir && !options_.cache_dir->empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(*options_.cache_dir, ec);
-    path = *options_.cache_dir + "/" + key + ".rtk";
-    if (std::filesystem::exists(path)) {
-      try {
-        return pretrained_cache_[key] = load_state_dict(path);
-      } catch (const std::exception&) {
-        // Corrupt cache entry: fall through and retrain.
-      }
-    }
+  const CheckpointStore disk = store();
+  if (std::optional<StateDict> hit = disk.load(key)) {
+    return pretrained_cache_[mem_key] = std::move(*hit);
   }
 
   if (options_.verbose) {
@@ -111,14 +144,8 @@ const StateDict& RobustTicketLab::pretrained(const std::string& arch,
   Rng rng(options_.seed * 7919 + static_cast<std::uint64_t>(scheme));
   pretrain(*model, source().train, pretrain_config(scheme), rng);
   StateDict state = model->state_dict();
-  if (!path.empty()) {
-    try {
-      save_state_dict(path, state);
-    } catch (const std::exception&) {
-      // Cache write failure is non-fatal.
-    }
-  }
-  return pretrained_cache_[key] = std::move(state);
+  disk.store(key, state);
+  return pretrained_cache_[mem_key] = std::move(state);
 }
 
 std::unique_ptr<ResNet> RobustTicketLab::dense_model(const std::string& arch,
@@ -140,13 +167,54 @@ std::unique_ptr<ResNet> RobustTicketLab::omp_ticket(const std::string& arch,
   return model;
 }
 
+std::unique_ptr<ResNet> RobustTicketLab::ticket_from_state(
+    const std::string& arch, int num_classes, StateDict state) {
+  // Only the architecture skeleton is needed — every value and buffer is
+  // overwritten by load_state — so build it from scratch rather than via
+  // dense_model(), which could trigger a full pretraining run just to be
+  // discarded when the pretrain checkpoint is absent from the store.
+  auto model = fresh_model(arch, source().train.num_classes);
+  if (model->head().out_features() != num_classes) {
+    // Mirror imp_prune/lmp_learn's head replacement so shapes match the
+    // cached state; the values are overwritten by load_state below.
+    Rng rng(options_.seed ^ 0xCAFEULL);
+    model->reset_head(num_classes, rng);
+  }
+  model->load_state(state);
+  install_masks_from_zero_structure(*model);
+  return model;
+}
+
 std::unique_ptr<ResNet> RobustTicketLab::imp_ticket(const std::string& arch,
                                                     PretrainScheme scheme,
                                                     const Dataset& imp_data,
                                                     const ImpConfig& config) {
+  CheckpointKey key = base_key(arch, scheme);
+  key.add("kind", "imp")
+      .add("sparsity", static_cast<double>(config.target_sparsity))
+      .add("rate", static_cast<double>(config.rate_per_round))
+      .add("iepochs", config.epochs_per_round)
+      .add("gran", static_cast<std::int64_t>(config.granularity))
+      .add("adv", config.adversarial)
+      .add("aeps", static_cast<double>(config.attack.epsilon))
+      .add("astep", static_cast<double>(config.attack.step_size))
+      .add("asteps", config.attack.steps)
+      .add("arand", config.attack.random_start)
+      .add("lr", static_cast<double>(config.sgd.lr))
+      .add("mom", static_cast<double>(config.sgd.momentum))
+      .add("wd", static_cast<double>(config.sgd.weight_decay))
+      .add("ibatch", config.batch_size)
+      .add("rewind", config.rewind_to_pretrained)
+      .add("data", static_cast<std::int64_t>(dataset_fingerprint(imp_data)));
+  const CheckpointStore disk = store();
+  const int num_classes = imp_data.num_classes;
+  if (std::optional<StateDict> hit = disk.load(key)) {
+    return ticket_from_state(arch, num_classes, std::move(*hit));
+  }
   auto model = dense_model(arch, scheme);
   Rng rng(options_.seed * 104729 + 13);
   imp_prune(*model, imp_data, config, rng);
+  disk.store(key, model->state_dict());
   return model;
 }
 
@@ -154,9 +222,27 @@ std::unique_ptr<ResNet> RobustTicketLab::lmp_ticket(const std::string& arch,
                                                     PretrainScheme scheme,
                                                     const Dataset& task_data,
                                                     const LmpConfig& config) {
+  CheckpointKey key = base_key(arch, scheme);
+  key.add("kind", "lmp")
+      .add("sparsity", static_cast<double>(config.sparsity))
+      .add("gran", static_cast<std::int64_t>(config.granularity))
+      .add("lepochs", config.epochs)
+      .add("lbatch", config.batch_size)
+      .add("slr", static_cast<double>(config.score_lr))
+      .add("smom", static_cast<double>(config.score_momentum))
+      .add("hlr", static_cast<double>(config.head_sgd.lr))
+      .add("hmom", static_cast<double>(config.head_sgd.momentum))
+      .add("hwd", static_cast<double>(config.head_sgd.weight_decay))
+      .add("data", static_cast<std::int64_t>(dataset_fingerprint(task_data)));
+  const CheckpointStore disk = store();
+  const int num_classes = task_data.num_classes;
+  if (std::optional<StateDict> hit = disk.load(key)) {
+    return ticket_from_state(arch, num_classes, std::move(*hit));
+  }
   auto model = dense_model(arch, scheme);
   Rng rng(options_.seed * 15485863 + 29);
   lmp_learn(*model, task_data, config, rng);
+  disk.store(key, model->state_dict());
   return model;
 }
 

@@ -9,14 +9,18 @@
 //   TaskData cifar = lab.downstream("cifar10", 400, 400);
 //   float acc = finetune_whole_model(*ticket, cifar, {}, rng);
 //
-// Pretrained checkpoints are also cached on disk (RT_CACHE_DIR, default
-// /tmp/rticket_cache) so that independent benchmark binaries reuse them.
+// Pretrained and retrained (IMP/LMP) checkpoints are cached in the
+// content-addressed CheckpointStore (core/checkpoint_store.hpp) rooted at
+// RT_CACHE_DIR (default /tmp/rticket_cache): every generation-relevant
+// option joins the key, so one shared store serves all benchmark binaries
+// and test suites without any risk of configuration collisions.
 
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "core/checkpoint_store.hpp"
 #include "data/tasks.hpp"
 #include "prune/imp.hpp"
 #include "prune/lmp.hpp"
@@ -41,8 +45,10 @@ class RobustTicketLab {
     int free_replays = 4;        ///< batch replays for kFreeAdversarial
     std::uint64_t seed = 1;
     bool verbose = false;
-    /// Disk cache for pretrained checkpoints; empty disables caching.
-    /// Defaults to $RT_CACHE_DIR or /tmp/rticket_cache.
+    /// Root of the content-addressed checkpoint store; empty disables disk
+    /// caching. Defaults to $RT_CACHE_DIR or /tmp/rticket_cache — safe to
+    /// share across differently-configured processes because every option
+    /// joins the checkpoint key.
     std::optional<std::string> cache_dir;
   };
 
@@ -70,14 +76,16 @@ class RobustTicketLab {
 
   /// IMP / A-IMP ticket. `imp_data` is the dataset driving the iterative
   /// pruning (source => "US" tickets, downstream train split => "DS").
-  /// The returned model holds m ⊙ θ_pre.
+  /// The returned model holds m ⊙ θ_pre. The retrained result is cached in
+  /// the checkpoint store (key: pretrain identity + IMP config + data
+  /// fingerprint), so repeated runs skip the inner training loops.
   std::unique_ptr<ResNet> imp_ticket(const std::string& arch,
                                      PretrainScheme scheme,
                                      const Dataset& imp_data,
                                      const ImpConfig& config);
 
   /// LMP ticket: learned mask over frozen pretrained weights, with the
-  /// trained task head left in place.
+  /// trained task head left in place. Cached like imp_ticket.
   std::unique_ptr<ResNet> lmp_ticket(const std::string& arch,
                                      PretrainScheme scheme,
                                      const Dataset& task_data,
@@ -93,8 +101,16 @@ class RobustTicketLab {
                                       int num_classes = 10) const;
 
  private:
-  std::string cache_key(const std::string& arch, PretrainScheme scheme) const;
+  /// Shared identity prefix of every checkpoint this lab can produce: arch,
+  /// scheme, and all pretraining options. Ticket keys extend it.
+  CheckpointKey base_key(const std::string& arch, PretrainScheme scheme) const;
+  CheckpointStore store() const;
   PretrainConfig pretrain_config(PretrainScheme scheme) const;
+  /// Rebuilds a cached ticket: fresh architecture skeleton (head resized to
+  /// the ticket's class count), cached values loaded, masks re-installed
+  /// from the zero structure.
+  std::unique_ptr<ResNet> ticket_from_state(const std::string& arch,
+                                            int num_classes, StateDict state);
 
   Options options_;
   AttackConfig pretrain_attack_;

@@ -186,39 +186,34 @@ PackedConv pack_conv(const Conv2d& conv, const BatchNorm2d* bn, bool relu,
   }
   pack_weights(p, std::move(w), p.out_ch, ckk, p.out_h * p.out_w, options,
                plans, /*allow_compact=*/true);
+  // Dense-style formats dispatch between the packed implicit-GEMM kernel and
+  // its zero-skipping tap path at run time; freeze the deciding statistic.
+  p.weight_zero_fraction = weight_zero_fraction(
+      p.weight.data(), static_cast<std::int64_t>(p.weight.size()));
   if (p.format == PackedFormat::kCsr) {
     // Decode each nonzero's CSR column (= in_ch * k^2 + ki * k + kj, the
     // Conv2d weight layout) into a fully resolved implicit-conv tap: base
     // input offset plus the output range whose input taps stay in bounds.
     const std::int64_t k2 = p.geom.kernel * p.geom.kernel;
     const std::int64_t stride = p.geom.stride, pad = p.geom.padding;
-    const auto valid_range = [&](std::int64_t out_extent,
-                                 std::int64_t in_extent, std::int64_t k,
-                                 std::int16_t* o0, std::int16_t* o1) {
-      const std::int64_t lo = pad - k;
-      const std::int64_t hi = in_extent - 1 + pad - k;
-      *o0 = static_cast<std::int16_t>(lo > 0 ? (lo + stride - 1) / stride : 0);
-      // hi < 0 means no output position reads in bounds; guard it before the
-      // division, which truncates toward zero and would yield o1 == 1.
-      *o1 = static_cast<std::int16_t>(
-          hi < 0 ? 0 : std::min(out_extent, hi / stride + 1));
-    };
     p.taps.reserve(p.csr.values.size());
     for (std::size_t t = 0; t < p.csr.values.size(); ++t) {
       const std::int64_t col = p.csr.col_idx[t];
       const std::int64_t cin = col / k2;
       const std::int64_t ki = (col % k2) / p.geom.kernel;
       const std::int64_t kj = col % p.geom.kernel;
-      std::int16_t oi0, oi1, oj0, oj1;
-      valid_range(p.out_h, in_h, ki, &oi0, &oi1);
-      valid_range(p.out_w, in_w, kj, &oj0, &oj1);
+      // tap_window (linalg/conv) is the same boundary math the training tap
+      // path runs — one definition for both sparse-conv executors.
+      const TapWindow wi = tap_window(p.out_h, in_h, ki, stride, pad);
+      const TapWindow wj = tap_window(p.out_w, in_w, kj, stride, pad);
+      const std::int64_t oi0 = wi.o0, oj0 = wj.o0;
       PackedConv::SparseTap tap;
       tap.x_start = static_cast<std::int32_t>(
           cin * in_h * in_w + (oi0 * stride - pad + ki) * in_w +
           oj0 * stride - pad + kj);
       tap.y_start = static_cast<std::int32_t>(oi0 * p.out_w + oj0);
-      tap.rows = static_cast<std::int32_t>(std::max<std::int64_t>(0, oi1 - oi0));
-      tap.cols = static_cast<std::int32_t>(std::max<std::int64_t>(0, oj1 - oj0));
+      tap.rows = static_cast<std::int32_t>(wi.o1 - wi.o0);
+      tap.cols = static_cast<std::int32_t>(wj.o1 - wj.o0);
       if (stride == 1 && tap.cols == p.out_w && in_w == p.out_w) {
         // Full-width window over equal-width planes: the rows are contiguous
         // in both input and output, so fold them into one long axpy.
@@ -250,14 +245,15 @@ PackedLinear pack_linear(const Linear& lin, const CompileOptions& options,
   return p;
 }
 
-/// Tracks the sizing maxima a Workspace needs.
+/// Tracks the sizing maxima a Workspace needs. The implicit-GEMM conv path
+/// gathers its panels into fixed-size kernel-layer scratch, so no im2col
+/// extent is planned anymore — only activation planes and the
+/// channel-compact epilogue buffer.
 struct ScratchExtents {
-  std::int64_t plane = 0, col = 0, tmp = 0;
+  std::int64_t plane = 0, tmp = 0;
 
   void cover(const PackedConv& c) {
     plane = std::max({plane, c.in_floats(), c.out_floats()});
-    col = std::max(col, c.in_ch * c.geom.kernel * c.geom.kernel * c.out_h *
-                            c.out_w);
     tmp = std::max(tmp, c.out_floats());
   }
 };
@@ -361,7 +357,6 @@ CompiledTicket Engine::compile(const ResNet& model,
   extents.plane = std::max(extents.plane,
                            static_cast<std::int64_t>(t.feature_dim_));
   t.max_plane_floats_ = extents.plane;
-  t.col_floats_ = extents.col;
   t.tmp_floats_ = extents.tmp;
   return t;
 }

@@ -4,30 +4,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "linalg/conv.hpp"
 #include "linalg/gemm.hpp"
 
 namespace rt {
 
 namespace {
-
-/// Serial GEMM for the per-sample conv kernels: parallelism lives at the
-/// Session level (one Workspace per concurrent predict call).
-constexpr GemmOpts kSerial{.accumulate = false, .parallel = false};
-
-void bias_relu_inplace(float* y, const float* bias, std::int64_t channels,
-                       std::int64_t plane, bool relu) {
-  for (std::int64_t c = 0; c < channels; ++c) {
-    const float b = bias[c];
-    float* row = y + c * plane;
-    if (relu) {
-      for (std::int64_t j = 0; j < plane; ++j) {
-        row[j] = std::max(row[j] + b, 0.0f);
-      }
-    } else {
-      for (std::int64_t j = 0; j < plane; ++j) row[j] += b;
-    }
-  }
-}
 
 void add_relu_inplace(float* dst, const float* src, std::int64_t count) {
   for (std::int64_t j = 0; j < count; ++j) {
@@ -71,14 +53,11 @@ PackedFormat choose_packed_format(std::int64_t rows, std::int64_t cols,
 Workspace::Workspace(const CompiledTicket& plan, int max_batch)
     : max_batch_(std::max(1, max_batch)) {
   const std::int64_t act = plan.max_plane_floats() * max_batch_;
-  arena_.assign(static_cast<std::size_t>(3 * act + plan.col_floats() +
-                                         plan.tmp_floats()),
-                0.0f);
+  arena_.assign(static_cast<std::size_t>(3 * act + plan.tmp_floats()), 0.0f);
   act_[0] = arena_.data();
   act_[1] = arena_.data() + act;
   act_[2] = arena_.data() + 2 * act;
-  col_ = arena_.data() + 3 * act;
-  tmp_ = col_ + plan.col_floats();
+  tmp_ = arena_.data() + 3 * act;
 }
 
 // ---- PackedConv -------------------------------------------------------------
@@ -86,7 +65,6 @@ Workspace::Workspace(const CompiledTicket& plan, int max_batch)
 void PackedConv::run(const float* in, float* out, std::int64_t n,
                      Workspace& ws) const {
   const std::int64_t ohw = out_h * out_w;
-  const std::int64_t ckk = in_ch * geom.kernel * geom.kernel;
   const std::int64_t stride_w = geom.stride * in_w;
   if (format == PackedFormat::kCsr) {
     // Implicit sparse conv: slide each nonzero tap over the input. All index
@@ -141,29 +119,28 @@ void PackedConv::run(const float* in, float* out, std::int64_t n,
     }
     return;
   }
-  // Dense-style formats consume an im2col buffer; 1x1 stride-1 convs read
-  // the input plane directly (the column buffer would be an exact copy).
-  const bool direct_col = geom.kernel == 1 && geom.stride == 1 &&
-                          geom.padding == 0;
+  // Dense-style formats run the fused implicit-GEMM forward: virtual im2col
+  // panels are gathered on the fly into the packed micro-kernel layout, so
+  // the per-sample column buffer is never materialized. The compile-time
+  // zero fraction steers the kernel onto its tap path for weights that are
+  // masked but not sparse enough for CSR.
+  const ConvKernelOpts kopts{ConvAlgo::kAuto, weight_zero_fraction};
   for (std::int64_t i = 0; i < n; ++i) {
     const float* xi = in + i * in_floats();
     float* yi = out + i * out_floats();
-    const float* colp = xi;
-    if (!direct_col) {
-      im2col_plane(xi, in_ch, in_h, in_w, geom, ws.col());
-      colp = ws.col();
-    }
     switch (format) {
       case PackedFormat::kDense:
-        gemm_nn(out_ch, ohw, ckk, weight.data(), colp, yi, kSerial);
-        bias_relu_inplace(yi, bias.data(), out_ch, ohw, relu);
+        conv2d_forward_plane(xi, in_ch, in_h, in_w, geom, weight.data(),
+                             out_ch, yi, bias.data(), relu, kopts);
         break;
       case PackedFormat::kCsr:
         break;  // handled above
       case PackedFormat::kChannelCompact: {
         const auto kr = static_cast<std::int64_t>(kept.size());
         if (kr > 0) {
-          gemm_nn(kr, ohw, ckk, weight.data(), colp, ws.tmp(), kSerial);
+          conv2d_forward_plane(xi, in_ch, in_h, in_w, geom, weight.data(), kr,
+                               ws.tmp(), /*bias=*/nullptr, /*relu=*/false,
+                               kopts);
         }
         // Scatter surviving rows; pruned channels carry only their folded
         // bias (a zero conv row through BN is a per-channel constant).

@@ -85,22 +85,22 @@ struct LayerPlan {
 class CompiledTicket;
 
 /// Pre-allocated scratch for one in-flight prediction: three rotating
-/// full-batch activation buffers plus per-sample im2col / epilogue scratch,
-/// all carved from one contiguous arena sized at construction. Steady-state
-/// predict() calls perform no heap allocation.
+/// full-batch activation buffers plus the channel-compact epilogue scratch,
+/// all carved from one contiguous arena sized at construction. The conv
+/// kernels gather their packed panels into fixed-size thread-local buffers
+/// (no per-layer im2col extent to plan), so steady-state predict() calls
+/// perform no heap allocation.
 class Workspace {
  public:
   Workspace(const CompiledTicket& plan, int max_batch);
 
   float* act(int i) { return act_[static_cast<std::size_t>(i)]; }
-  float* col() { return col_; }
   float* tmp() { return tmp_; }
   int max_batch() const { return max_batch_; }
 
  private:
   std::vector<float> arena_;
   float* act_[3] = {nullptr, nullptr, nullptr};
-  float* col_ = nullptr;
   float* tmp_ = nullptr;
   int max_batch_ = 0;
 };
@@ -117,6 +117,10 @@ struct PackedConv {
 
   /// kDense: (out_ch, ckk); kChannelCompact: (kept_rows.size(), ckk).
   std::vector<float> weight;
+  /// Zero fraction of `weight`, counted once at compile time so the conv
+  /// kernel dispatch (packed implicit GEMM vs zero-skipping taps) never
+  /// re-probes the weights at serve time.
+  float weight_zero_fraction = 0.0f;
   std::vector<std::int32_t> kept;  ///< kChannelCompact: surviving channels
   CsrMatrix csr;                   ///< kCsr
   /// kCsr implicit-conv tap, one per nonzero: everything the inner loop
@@ -201,8 +205,6 @@ class CompiledTicket {
 
   /// Largest per-sample activation plane across the plan (Workspace sizing).
   std::int64_t max_plane_floats() const { return max_plane_floats_; }
-  /// Largest per-sample im2col buffer across all convs.
-  std::int64_t col_floats() const { return col_floats_; }
   /// Largest per-sample conv output scratch (channel-compact epilogue).
   std::int64_t tmp_floats() const { return tmp_floats_; }
 
@@ -216,7 +218,7 @@ class CompiledTicket {
   std::int64_t height_ = 0, width_ = 0, in_channels_ = 0;
   std::int64_t feat_h_ = 0, feat_w_ = 0;  ///< spatial extent entering GAP
   int num_classes_ = 0, feature_dim_ = 0;
-  std::int64_t max_plane_floats_ = 0, col_floats_ = 0, tmp_floats_ = 0;
+  std::int64_t max_plane_floats_ = 0, tmp_floats_ = 0;
   std::vector<LayerPlan> layers_;
 };
 

@@ -1,0 +1,607 @@
+#include "linalg/conv.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "linalg/gemm.hpp"
+#include "linalg/microkernel.hpp"
+
+namespace rt {
+
+namespace {
+
+// dcol tile height for the fused dgrad scatter: one (kMcScatter x kNc) tile
+// (64 KiB) is computed to completion, scattered into dX while cache-hot,
+// then reused — the full dcol buffer never exists.
+constexpr std::int64_t kMcScatter = 64;
+
+// Weight zero fraction past which the tap path (skips zero weights
+// wholesale) overtakes the packed implicit-GEMM path's higher dense
+// throughput. Same ~5x-dense-advantage crossover reasoning as the GEMM
+// dispatch in gemm.cpp; it also matches the serving engine's CSR cutoff
+// (density <= 0.2), so training and serving flip to sparse execution at the
+// same sparsity.
+constexpr float kSparseWeightFraction = 0.80f;
+
+enum class Path { kPacked, kTaps, kRef };
+
+/// Decode table for flattened weight columns: column index r of the
+/// (out_ch, C*k*k) weight matrix touches input channel c[r] at kernel
+/// offset (ki[r], kj[r]). Rebuilt only when the geometry changes.
+struct DecodeTable {
+  std::int64_t c_in = -1, kernel = -1;
+  std::vector<std::int32_t> c, ki, kj;
+};
+
+const DecodeTable& decode_table(std::int64_t c_in, std::int64_t kernel) {
+  thread_local DecodeTable t;
+  if (t.c_in != c_in || t.kernel != kernel) {
+    const std::int64_t ckk = c_in * kernel * kernel;
+    t.c.resize(static_cast<std::size_t>(ckk));
+    t.ki.resize(static_cast<std::size_t>(ckk));
+    t.kj.resize(static_cast<std::size_t>(ckk));
+    for (std::int64_t r = 0; r < ckk; ++r) {
+      const std::int64_t k2 = kernel * kernel;
+      t.c[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(r / k2);
+      t.ki[static_cast<std::size_t>(r)] =
+          static_cast<std::int32_t>((r % k2) / kernel);
+      t.kj[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(r % kernel);
+    }
+    t.c_in = c_in;
+    t.kernel = kernel;
+  }
+  return t;
+}
+
+/// Gathers `count` consecutive virtual-im2col values of one column row
+/// (fixed channel plane + kernel offset) starting at flat output pixel
+/// `pixel0`. Decomposes the pixel range into output-image rows; interior
+/// runs collapse to a memcpy (stride 1) or a strided copy, border runs fall
+/// back to per-element guards.
+void gather_col_row(const float* xplane, std::int64_t h, std::int64_t w,
+                    std::int64_t stride, std::int64_t pad, std::int64_t ki,
+                    std::int64_t kj, std::int64_t ow, std::int64_t pixel0,
+                    std::int64_t count, float* dst) {
+  std::int64_t t = 0;
+  while (t < count) {
+    const std::int64_t pixel = pixel0 + t;
+    const std::int64_t oi = pixel / ow;
+    const std::int64_t oj = pixel % ow;
+    const std::int64_t run = std::min(count - t, ow - oj);
+    const std::int64_t ii = oi * stride - pad + ki;
+    if (ii < 0 || ii >= h) {
+      for (std::int64_t r = 0; r < run; ++r) dst[t + r] = 0.0f;
+      t += run;
+      continue;
+    }
+    const float* xrow = xplane + ii * w;
+    const std::int64_t jj = oj * stride - pad + kj;
+    if (jj >= 0 && jj + (run - 1) * stride < w) {
+      if (stride == 1) {
+        std::memcpy(dst + t, xrow + jj,
+                    static_cast<std::size_t>(run) * sizeof(float));
+      } else {
+        for (std::int64_t r = 0; r < run; ++r) {
+          dst[t + r] = xrow[jj + r * stride];
+        }
+      }
+    } else {
+      for (std::int64_t r = 0; r < run; ++r) {
+        const std::int64_t j2 = jj + r * stride;
+        dst[t + r] = (j2 >= 0 && j2 < w) ? xrow[j2] : 0.0f;
+      }
+    }
+    t += run;
+  }
+}
+
+/// Packs rows [kc, kc+kb) x pixels [jc, jc+nb) of the virtual im2col matrix
+/// into kNr-column slivers at `bp` — the forward path's B operand, gathered
+/// straight from the input plane in packed layout.
+void pack_col_panel(const float* x, std::int64_t h, std::int64_t w,
+                    const ConvGeometry& g, const DecodeTable& dec,
+                    std::int64_t kc, std::int64_t kb, std::int64_t jc,
+                    std::int64_t nb, std::int64_t ow, float* bp) {
+  for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+    const std::int64_t n_eff = std::min(kNr, nb - jr);
+    float* sliver = bp + jr * kb;
+    const std::int64_t pixel0 = jc + jr;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const auto row = static_cast<std::size_t>(kc + p);
+      const float* xplane = x + static_cast<std::int64_t>(dec.c[row]) * h * w;
+      float* dst = sliver + p * kNr;
+      gather_col_row(xplane, h, w, g.stride, g.padding, dec.ki[row],
+                     dec.kj[row], ow, pixel0, n_eff, dst);
+      for (std::int64_t j = n_eff; j < kNr; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// Packs pixels [pc, pc+kb) x columns [jc, jc+nb) of the TRANSPOSED virtual
+/// im2col matrix (the wgrad path's B operand). The kNr column decodes are
+/// hoisted per sliver; the pixel walk is incremental, so the inner body is
+/// kNr guarded loads.
+void pack_colt_panel(const float* x, std::int64_t h, std::int64_t w,
+                     const ConvGeometry& g, const DecodeTable& dec,
+                     std::int64_t pc, std::int64_t kb, std::int64_t jc,
+                     std::int64_t nb, std::int64_t ow, float* bp) {
+  for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+    const std::int64_t n_eff = std::min(kNr, nb - jr);
+    float* sliver = bp + jr * kb;
+    std::int64_t ki[kNr], kj[kNr];
+    const float* xpl[kNr];
+    for (std::int64_t j = 0; j < n_eff; ++j) {
+      const auto row = static_cast<std::size_t>(jc + jr + j);
+      ki[j] = dec.ki[row];
+      kj[j] = dec.kj[row];
+      xpl[j] = x + static_cast<std::int64_t>(dec.c[row]) * h * w;
+    }
+    std::int64_t oi = pc / ow;
+    std::int64_t oj = pc % ow;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const std::int64_t ib = oi * g.stride - g.padding;
+      const std::int64_t jb = oj * g.stride - g.padding;
+      float* dst = sliver + p * kNr;
+      for (std::int64_t j = 0; j < n_eff; ++j) {
+        const std::int64_t ii = ib + ki[j];
+        const std::int64_t jj = jb + kj[j];
+        dst[j] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                     ? xpl[j][ii * w + jj]
+                     : 0.0f;
+      }
+      for (std::int64_t j = n_eff; j < kNr; ++j) dst[j] = 0.0f;
+      if (++oj == ow) {
+        oj = 0;
+        ++oi;
+      }
+    }
+  }
+}
+
+/// Scatter-adds a computed dcol tile (rows [row0, row0+rows) x pixels
+/// [pixel0, pixel0+count), leading dimension count) into the dX plane —
+/// col2im restricted to one cache-hot tile.
+void scatter_col_tile(const float* tile, std::int64_t row0, std::int64_t rows,
+                      std::int64_t pixel0, std::int64_t count,
+                      const DecodeTable& dec, const ConvGeometry& g,
+                      std::int64_t h, std::int64_t w, std::int64_t ow,
+                      float* dx) {
+  for (std::int64_t p = 0; p < rows; ++p) {
+    const auto row = static_cast<std::size_t>(row0 + p);
+    float* xplane = dx + static_cast<std::int64_t>(dec.c[row]) * h * w;
+    const std::int64_t ki = dec.ki[row];
+    const std::int64_t kj = dec.kj[row];
+    const float* src = tile + p * count;
+    std::int64_t t = 0;
+    while (t < count) {
+      const std::int64_t pixel = pixel0 + t;
+      const std::int64_t oi = pixel / ow;
+      const std::int64_t oj = pixel % ow;
+      const std::int64_t run = std::min(count - t, ow - oj);
+      const std::int64_t ii = oi * g.stride - g.padding + ki;
+      if (ii < 0 || ii >= h) {
+        t += run;
+        continue;
+      }
+      float* xrow = xplane + ii * w;
+      const std::int64_t jj = oj * g.stride - g.padding + kj;
+      if (jj >= 0 && jj + (run - 1) * g.stride < w) {
+        if (g.stride == 1) {
+          for (std::int64_t r = 0; r < run; ++r) xrow[jj + r] += src[t + r];
+        } else {
+          for (std::int64_t r = 0; r < run; ++r) {
+            xrow[jj + r * g.stride] += src[t + r];
+          }
+        }
+      } else {
+        for (std::int64_t r = 0; r < run; ++r) {
+          const std::int64_t j2 = jj + r * g.stride;
+          if (j2 >= 0 && j2 < w) xrow[j2] += src[t + r];
+        }
+      }
+      t += run;
+    }
+  }
+}
+
+void bias_relu_epilogue(float* y, const float* bias, std::int64_t out_ch,
+                        std::int64_t plane, bool relu) {
+  if (bias == nullptr && !relu) return;
+  for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+    const float b = bias != nullptr ? bias[oc] : 0.0f;
+    float* row = y + oc * plane;
+    if (relu) {
+      for (std::int64_t j = 0; j < plane; ++j) {
+        row[j] = std::max(row[j] + b, 0.0f);
+      }
+    } else if (b != 0.0f) {
+      for (std::int64_t j = 0; j < plane; ++j) row[j] += b;
+    }
+  }
+}
+
+Path resolve_path(const ConvKernelOpts& opts, const float* weight,
+                  std::int64_t count, bool taps_available) {
+  if (opts.algo == ConvAlgo::kIm2colReference) return Path::kRef;
+  if (opts.algo == ConvAlgo::kImplicit || !taps_available) {
+    return Path::kPacked;
+  }
+  float zf = opts.weight_zero_fraction;
+  if (zf < 0.0f) zf = weight_zero_fraction(weight, count);
+  return zf >= kSparseWeightFraction ? Path::kTaps : Path::kPacked;
+}
+
+// ---- forward ----------------------------------------------------------------
+
+void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
+                    std::int64_t w, const ConvGeometry& g, const float* weight,
+                    std::int64_t out_ch, float* y) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  const DecodeTable& dec = decode_table(c_in, g.kernel);
+
+  thread_local std::vector<float> wpack;
+  thread_local std::vector<float> bbuf;
+  wpack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * ckk));
+  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+  // One full pass packs W into kMr row panels (cost 1/ohw of the MACs);
+  // panel ir starts at ir*ckk, its k-slice kc at + kc*kMr.
+  pack_a_rows(weight, ckk, 0, out_ch, 0, ckk, wpack.data());
+
+  for (std::int64_t jc = 0; jc < ohw; jc += kNc) {
+    const std::int64_t nb = std::min(kNc, ohw - jc);
+    for (std::int64_t kc = 0; kc < ckk; kc += kKc) {
+      const std::int64_t kb = std::min(kKc, ckk - kc);
+      pack_col_panel(x, h, w, g, dec, kc, kb, jc, nb, ow, bbuf.data());
+      for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
+        const std::int64_t mr = std::min(kMr, out_ch - ir);
+        const float* ap = wpack.data() + ir * ckk + kc * kMr;
+        float* crow = y + ir * ohw + jc;
+        for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+          const std::int64_t nr = std::min(kNr, nb - jr);
+          const float* bp = bbuf.data() + jr * kb;
+          if (mr == kMr && nr == kNr) {
+            micro_kernel_full(kb, ap, bp, crow + jr, ohw);
+          } else {
+            micro_kernel_edge(kb, ap, bp, crow + jr, ohw, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void forward_taps(const float* x, std::int64_t c_in, std::int64_t h,
+                  std::int64_t w, const ConvGeometry& g, const float* weight,
+                  std::int64_t out_ch, float* y) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  const std::int64_t s = g.stride;
+  const DecodeTable& dec = decode_table(c_in, g.kernel);
+  for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+    const float* wrow = weight + oc * ckk;
+    float* yplane = y + oc * ohw;
+    for (std::int64_t p = 0; p < ckk; ++p) {
+      const float v = wrow[p];
+      if (v == 0.0f) continue;
+      const auto pr = static_cast<std::size_t>(p);
+      const std::int64_t ki = dec.ki[pr], kj = dec.kj[pr];
+      const TapWindow wi = tap_window(oh, h, ki, s, g.padding);
+      const TapWindow wj = tap_window(ow, w, kj, s, g.padding);
+      const std::int64_t count = wj.o1 - wj.o0;
+      if (wi.o1 <= wi.o0 || count <= 0) continue;
+      const float* xplane =
+          x + static_cast<std::int64_t>(dec.c[pr]) * h * w;
+      const std::int64_t jj0 = wj.o0 * s - g.padding + kj;
+      for (std::int64_t oi = wi.o0; oi < wi.o1; ++oi) {
+        const std::int64_t ii = oi * s - g.padding + ki;
+        const float* __restrict xr = xplane + ii * w + jj0;
+        float* __restrict yr = yplane + oi * ow + wj.o0;
+        if (s == 1) {
+          for (std::int64_t j = 0; j < count; ++j) yr[j] += v * xr[j];
+        } else {
+          for (std::int64_t j = 0; j < count; ++j) yr[j] += v * xr[j * s];
+        }
+      }
+    }
+  }
+}
+
+void forward_ref(const float* x, std::int64_t c_in, std::int64_t h,
+                 std::int64_t w, const ConvGeometry& g, const float* weight,
+                 std::int64_t out_ch, float* y) {
+  const std::int64_t ohw = g.out_extent(h) * g.out_extent(w);
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  thread_local std::vector<float> colbuf;
+  colbuf.resize(static_cast<std::size_t>(ckk * ohw));
+  im2col_plane(x, c_in, h, w, g, colbuf.data());
+  gemm_nn(out_ch, ohw, ckk, weight, colbuf.data(), y,
+          {.accumulate = true, .parallel = false, .packed = false});
+}
+
+// ---- input gradient ---------------------------------------------------------
+
+void dgrad_packed(const float* weight, std::int64_t out_ch, const float* gout,
+                  std::int64_t c_in, std::int64_t h, std::int64_t w,
+                  const ConvGeometry& g, float* dx) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  const DecodeTable& dec = decode_table(c_in, g.kernel);
+
+  thread_local std::vector<float> wtpack;
+  thread_local std::vector<float> bbuf;
+  thread_local std::vector<float> ctile;
+  wtpack.resize(static_cast<std::size_t>(round_up(ckk, kMr) * out_ch));
+  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+  ctile.resize(static_cast<std::size_t>(kMcScatter * kNc));
+  // A = W^T: the transpose is paid once here, in packing.
+  pack_a_rows_trans(weight, ckk, 0, ckk, 0, out_ch, wtpack.data());
+
+  for (std::int64_t jc = 0; jc < ohw; jc += kNc) {
+    const std::int64_t nb = std::min(kNc, ohw - jc);
+    for (std::int64_t ic = 0; ic < ckk; ic += kMcScatter) {
+      const std::int64_t mb = std::min(kMcScatter, ckk - ic);
+      std::memset(ctile.data(), 0,
+                  static_cast<std::size_t>(mb * nb) * sizeof(float));
+      for (std::int64_t kc = 0; kc < out_ch; kc += kKc) {
+        const std::int64_t kb = std::min(kKc, out_ch - kc);
+        pack_b_cols(gout, ohw, kc, kb, jc, nb, bbuf.data());
+        for (std::int64_t ir = 0; ir < mb; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, mb - ir);
+          const float* ap = wtpack.data() + (ic + ir) * out_ch + kc * kMr;
+          float* crow = ctile.data() + ir * nb;
+          for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+            const std::int64_t nr = std::min(kNr, nb - jr);
+            const float* bp = bbuf.data() + jr * kb;
+            if (mr == kMr && nr == kNr) {
+              micro_kernel_full(kb, ap, bp, crow + jr, nb);
+            } else {
+              micro_kernel_edge(kb, ap, bp, crow + jr, nb, mr, nr);
+            }
+          }
+        }
+      }
+      scatter_col_tile(ctile.data(), ic, mb, jc, nb, dec, g, h, w, ow, dx);
+    }
+  }
+}
+
+void dgrad_taps(const float* weight, std::int64_t out_ch, const float* gout,
+                std::int64_t c_in, std::int64_t h, std::int64_t w,
+                const ConvGeometry& g, float* dx) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  const std::int64_t s = g.stride;
+  const DecodeTable& dec = decode_table(c_in, g.kernel);
+  for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+    const float* wrow = weight + oc * ckk;
+    const float* gplane = gout + oc * ohw;
+    for (std::int64_t p = 0; p < ckk; ++p) {
+      const float v = wrow[p];
+      if (v == 0.0f) continue;
+      const auto pr = static_cast<std::size_t>(p);
+      const std::int64_t ki = dec.ki[pr], kj = dec.kj[pr];
+      const TapWindow wi = tap_window(oh, h, ki, s, g.padding);
+      const TapWindow wj = tap_window(ow, w, kj, s, g.padding);
+      const std::int64_t count = wj.o1 - wj.o0;
+      if (wi.o1 <= wi.o0 || count <= 0) continue;
+      float* xplane = dx + static_cast<std::int64_t>(dec.c[pr]) * h * w;
+      const std::int64_t jj0 = wj.o0 * s - g.padding + kj;
+      for (std::int64_t oi = wi.o0; oi < wi.o1; ++oi) {
+        const std::int64_t ii = oi * s - g.padding + ki;
+        float* __restrict xr = xplane + ii * w + jj0;
+        const float* __restrict gr = gplane + oi * ow + wj.o0;
+        if (s == 1) {
+          for (std::int64_t j = 0; j < count; ++j) xr[j] += v * gr[j];
+        } else {
+          for (std::int64_t j = 0; j < count; ++j) xr[j * s] += v * gr[j];
+        }
+      }
+    }
+  }
+}
+
+void dgrad_ref(const float* weight, std::int64_t out_ch, const float* gout,
+               std::int64_t c_in, std::int64_t h, std::int64_t w,
+               const ConvGeometry& g, float* dx) {
+  const std::int64_t ohw = g.out_extent(h) * g.out_extent(w);
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  thread_local std::vector<float> dcol;
+  dcol.resize(static_cast<std::size_t>(ckk * ohw));
+  gemm_tn(ckk, ohw, out_ch, weight, gout, dcol.data(),
+          {.accumulate = false, .parallel = false, .packed = false});
+  col2im_plane_add(dcol.data(), c_in, h, w, g, dx);
+}
+
+// ---- weight gradient --------------------------------------------------------
+
+void wgrad_packed(const float* gout, const float* x, std::int64_t c_in,
+                  std::int64_t h, std::int64_t w, const ConvGeometry& g,
+                  std::int64_t out_ch, float* dw) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  const DecodeTable& dec = decode_table(c_in, g.kernel);
+
+  thread_local std::vector<float> apack;
+  thread_local std::vector<float> bbuf;
+  apack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * kKc));
+  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+
+  for (std::int64_t pc = 0; pc < ohw; pc += kKc) {
+    const std::int64_t kb = std::min(kKc, ohw - pc);
+    pack_a_rows(gout, ohw, 0, out_ch, pc, kb, apack.data());
+    for (std::int64_t jc = 0; jc < ckk; jc += kNc) {
+      const std::int64_t nb = std::min(kNc, ckk - jc);
+      pack_colt_panel(x, h, w, g, dec, pc, kb, jc, nb, ow, bbuf.data());
+      for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
+        const std::int64_t mr = std::min(kMr, out_ch - ir);
+        const float* ap = apack.data() + ir * kb;
+        float* crow = dw + ir * ckk + jc;
+        for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+          const std::int64_t nr = std::min(kNr, nb - jr);
+          const float* bp = bbuf.data() + jr * kb;
+          if (mr == kMr && nr == kNr) {
+            micro_kernel_full(kb, ap, bp, crow + jr, ckk);
+          } else {
+            micro_kernel_edge(kb, ap, bp, crow + jr, ckk, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void wgrad_ref(const float* gout, const float* x, std::int64_t c_in,
+               std::int64_t h, std::int64_t w, const ConvGeometry& g,
+               std::int64_t out_ch, float* dw) {
+  const std::int64_t ohw = g.out_extent(h) * g.out_extent(w);
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  thread_local std::vector<float> colbuf;
+  colbuf.resize(static_cast<std::size_t>(ckk * ohw));
+  im2col_plane(x, c_in, h, w, g, colbuf.data());
+  gemm_nt(out_ch, ckk, ohw, gout, colbuf.data(), dw,
+          {.accumulate = true, .parallel = false, .skip_zero_b_rows = false,
+           .packed = false});
+}
+
+}  // namespace
+
+// ---- public entry points ----------------------------------------------------
+
+void conv2d_forward_plane(const float* x, std::int64_t c_in, std::int64_t h,
+                          std::int64_t w, const ConvGeometry& g,
+                          const float* weight, std::int64_t out_ch, float* y,
+                          const float* bias, bool relu,
+                          const ConvKernelOpts& opts) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  if (out_ch <= 0 || oh <= 0 || ow <= 0) return;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  std::memset(y, 0, static_cast<std::size_t>(out_ch * oh * ow) *
+                        sizeof(float));
+  switch (resolve_path(opts, weight, out_ch * ckk, /*taps_available=*/true)) {
+    case Path::kPacked: forward_packed(x, c_in, h, w, g, weight, out_ch, y);
+      break;
+    case Path::kTaps: forward_taps(x, c_in, h, w, g, weight, out_ch, y);
+      break;
+    case Path::kRef: forward_ref(x, c_in, h, w, g, weight, out_ch, y); break;
+  }
+  bias_relu_epilogue(y, bias, out_ch, oh * ow, relu);
+}
+
+void conv2d_dgrad_plane(const float* weight, std::int64_t out_ch,
+                        const float* gout, std::int64_t c_in, std::int64_t h,
+                        std::int64_t w, const ConvGeometry& g, float* dx,
+                        const ConvKernelOpts& opts) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  if (out_ch <= 0 || oh <= 0 || ow <= 0) return;
+  const std::int64_t ckk = c_in * g.kernel * g.kernel;
+  switch (resolve_path(opts, weight, out_ch * ckk, /*taps_available=*/true)) {
+    case Path::kPacked:
+      dgrad_packed(weight, out_ch, gout, c_in, h, w, g, dx);
+      break;
+    case Path::kTaps: dgrad_taps(weight, out_ch, gout, c_in, h, w, g, dx);
+      break;
+    case Path::kRef: dgrad_ref(weight, out_ch, gout, c_in, h, w, g, dx);
+      break;
+  }
+}
+
+void conv2d_wgrad_plane(const float* gout, const float* x, std::int64_t c_in,
+                        std::int64_t h, std::int64_t w, const ConvGeometry& g,
+                        std::int64_t out_ch, float* dw,
+                        const ConvKernelOpts& opts) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  if (out_ch <= 0 || oh <= 0 || ow <= 0) return;
+  if (opts.algo == ConvAlgo::kIm2colReference) {
+    wgrad_ref(gout, x, c_in, h, w, g, out_ch, dw);
+  } else {
+    wgrad_packed(gout, x, c_in, h, w, g, out_ch, dw);
+  }
+}
+
+void im2col_plane(const float* xd, std::int64_t c_in, std::int64_t h,
+                  std::int64_t w, const ConvGeometry& g, float* col) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < c_in; ++c) {
+    const float* xc = xd + c * h * w;
+    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < g.kernel; ++kj, ++row) {
+        float* out = col + row * oh * ow;
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * g.stride - g.padding + ki;
+          const bool row_in = ii >= 0 && ii < h;
+          const float* xrow = row_in ? xc + ii * w : xc;
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * g.stride - g.padding + kj;
+            out[oi * ow + oj] =
+                (row_in && jj >= 0 && jj < w) ? xrow[jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_plane_add(const float* col, std::int64_t c_in, std::int64_t h,
+                      std::int64_t w, const ConvGeometry& g, float* dx) {
+  const std::int64_t oh = g.out_extent(h);
+  const std::int64_t ow = g.out_extent(w);
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < c_in; ++c) {
+    float* xc = dx + c * h * w;
+    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < g.kernel; ++kj, ++row) {
+        const float* in = col + row * oh * ow;
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * g.stride - g.padding + ki;
+          if (ii < 0 || ii >= h) continue;
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * g.stride - g.padding + kj;
+            if (jj >= 0 && jj < w) xc[ii * w + jj] += in[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+TapWindow tap_window(std::int64_t out_extent, std::int64_t in_extent,
+                     std::int64_t kpos, std::int64_t stride,
+                     std::int64_t pad) {
+  const std::int64_t lo = pad - kpos;
+  // hi < 0 means no output position reads in bounds; guard it before the
+  // division, which truncates toward zero and would yield o1 == 1.
+  const std::int64_t hi = in_extent - 1 + pad - kpos;
+  TapWindow win;
+  win.o0 = lo > 0 ? (lo + stride - 1) / stride : 0;
+  win.o1 = hi < 0 ? 0 : std::min(out_extent, hi / stride + 1);
+  if (win.o1 < win.o0) win.o1 = win.o0;
+  return win;
+}
+
+float weight_zero_fraction(const float* weight, std::int64_t count) {
+  if (count <= 0) return 0.0f;
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (weight[i] == 0.0f) ++zeros;
+  }
+  return static_cast<float>(zeros) / static_cast<float>(count);
+}
+
+}  // namespace rt

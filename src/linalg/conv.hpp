@@ -1,0 +1,117 @@
+#pragma once
+// Convolution kernel layer: fused implicit-GEMM forward / input-gradient /
+// weight-gradient over one (C, H, W) plane, plus the im2col/col2im reference
+// kernels they are verified against.
+//
+// The implicit kernels view the convolution as the GEMMs
+//
+//   forward:  Y (out_ch, OH*OW)  = W (out_ch, C*k*k) * col(X)
+//   dgrad:    dcol (C*k*k, OH*OW) = W^T * dY,  scattered back into dX
+//   wgrad:    dW (out_ch, C*k*k) += dY * col(X)^T
+//
+// but never materialize col(X): panels of the virtual im2col matrix are
+// gathered on the fly — in cache-sized tiles, zero-padded at image borders —
+// straight into the packed layout the shared register-tiled micro-kernel
+// (linalg/microkernel.hpp) consumes, and for dgrad each computed tile is
+// scattered into dX while still cache-hot. The full per-sample column buffer
+// (C*k*k * OH*OW floats, the dominant memory traffic of small-image
+// training) is gone from the hot path.
+//
+// Masked tickets keep their fast path: when the weight matrix is zeroed past
+// the sparsity crossover, forward and dgrad switch to a tap loop that slides
+// each nonzero weight's valid output window directly over the input — the
+// training-path analogue of the engine's compiled implicit sparse conv —
+// skipping zero weights wholesale.
+//
+// All kernels are serial on purpose: batch-level parallelism (one sample per
+// ThreadPool chunk, one Session workspace per predict) composes better than
+// intra-plane threading at these extents.
+
+#include <cstdint>
+
+namespace rt {
+
+/// Geometry of a convolution: output size given input size.
+struct ConvGeometry {
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 1;
+  std::int64_t out_extent(std::int64_t in_extent) const {
+    return (in_extent + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Algorithm selection for the plane-level conv kernels.
+enum class ConvAlgo {
+  /// Packed implicit GEMM for dense-ish weights, the zero-skipping tap path
+  /// once the weight's zero fraction crosses the sparsity threshold.
+  kAuto,
+  /// Always the packed implicit-GEMM path.
+  kImplicit,
+  /// Materialize the full im2col buffer and run the legacy streaming GEMM
+  /// cores — the pre-fusion baseline, kept for parity tests and as the
+  /// speedup reference in bench_kernels.
+  kIm2colReference,
+};
+
+struct ConvKernelOpts {
+  ConvAlgo algo = ConvAlgo::kAuto;
+  /// Fraction of zero entries in the weight matrix; negative = unknown, in
+  /// which case kAuto counts it per call. Batch loops should count once
+  /// (weights are shared across samples) and pass the value down.
+  float weight_zero_fraction = -1.0f;
+};
+
+/// Forward: y (out_ch, OH, OW) = weight (out_ch, C*k*k) applied to x
+/// (c_in, h, w). y is fully overwritten. When `bias` is non-null a
+/// per-channel bias is fused into the epilogue, and `relu` additionally
+/// clamps at zero — the serving engine's folded conv+BN(+ReLU) epilogue.
+void conv2d_forward_plane(const float* x, std::int64_t c_in, std::int64_t h,
+                          std::int64_t w, const ConvGeometry& g,
+                          const float* weight, std::int64_t out_ch, float* y,
+                          const float* bias = nullptr, bool relu = false,
+                          const ConvKernelOpts& opts = {});
+
+/// Input gradient: dx (c_in, h, w) += weight^T applied to gout
+/// (out_ch, OH, OW). Accumulates (callers zero-initialize dx once per batch).
+void conv2d_dgrad_plane(const float* weight, std::int64_t out_ch,
+                        const float* gout, std::int64_t c_in, std::int64_t h,
+                        std::int64_t w, const ConvGeometry& g, float* dx,
+                        const ConvKernelOpts& opts = {});
+
+/// Weight gradient: dw (out_ch, C*k*k) += gout (out_ch, OH, OW) *
+/// col(x)^T. Accumulates into dw (per-sample calls sum over the batch).
+/// Gradients are dense regardless of weight masks (masked entries are
+/// re-zeroed by the optimizer), so there is no tap path here.
+void conv2d_wgrad_plane(const float* gout, const float* x, std::int64_t c_in,
+                        std::int64_t h, std::int64_t w, const ConvGeometry& g,
+                        std::int64_t out_ch, float* dw,
+                        const ConvKernelOpts& opts = {});
+
+/// Reference/fallback: expands one (C, H, W) plane at `x` into a full
+/// (C*k*k, OH*OW) column buffer. Out-of-image taps read as zero. Retained as
+/// the parity oracle for the implicit kernels and for the engine's CSR
+/// workspace sizing; the training and serving hot paths no longer call it.
+void im2col_plane(const float* x, std::int64_t c_in, std::int64_t h,
+                  std::int64_t w, const ConvGeometry& g, float* col);
+
+/// Reference/fallback inverse (adjoint) of im2col_plane: scatter-adds a full
+/// (C*k*k, OH*OW) column gradient into the (c_in, h, w) plane at `dx`.
+void col2im_plane_add(const float* col, std::int64_t c_in, std::int64_t h,
+                      std::int64_t w, const ConvGeometry& g, float* dx);
+
+/// Exact zero fraction of a weight matrix — the value batch loops pass as
+/// ConvKernelOpts::weight_zero_fraction.
+float weight_zero_fraction(const float* weight, std::int64_t count);
+
+/// Output positions whose input tap at kernel offset `kpos` stays in
+/// bounds: the half-open range [o0, o1) (empty => o0 == o1). One definition
+/// shared by the training tap path and the engine's compile-time CSR tap
+/// resolution, so the two sparse-conv executors can never drift.
+struct TapWindow {
+  std::int64_t o0 = 0, o1 = 0;
+};
+TapWindow tap_window(std::int64_t out_extent, std::int64_t in_extent,
+                     std::int64_t kpos, std::int64_t stride, std::int64_t pad);
+
+}  // namespace rt

@@ -1,6 +1,6 @@
 #pragma once
 // Single-precision GEMM kernels: the one hot path shared by Linear, Conv2d
-// (im2col), Tensor::matmul, and the analysis stack.
+// (implicit-GEMM convolution), Tensor::matmul, and the analysis stack.
 //
 // All matrices are packed row-major (leading dimension == stored column
 // count). The four variants name the storage of A and B before the implied
@@ -11,12 +11,19 @@
 //   gemm_tn: C(m,n) = A(k,m)^T * B(k,n)
 //   gemm_tt: C(m,n) = A(k,m)^T * B(n,k)^T
 //
-// The implementation is cache-blocked (k- and j-panels sized to stay in L2)
-// and parallelizes over disjoint row ranges of C on the process ThreadPool
-// when the FLOP count amortizes the fork/join cost. Masked-ticket workloads
-// dominate this codebase, so the kernels carry a sparsity fast path: zero
-// multipliers are skipped element-wise in the axpy cores (nn/tn), and rows of
-// B that are entirely zero — e.g. channel-pruned weights — are skipped
+// Dense operands run through one packed, register-tiled micro-kernel
+// (linalg/microkernel.hpp): operands are gathered into zero-padded panels —
+// the packing step is where any transposition is paid, so all four variants
+// sustain the same dense throughput — and an 8x8 accumulator block lives in
+// registers across the whole k panel. The kernels parallelize over disjoint
+// row ranges of C on the process ThreadPool when the FLOP count amortizes
+// the fork/join cost.
+//
+// Masked-ticket workloads dominate this codebase, so each call samples its
+// weight operand and switches to a zero-skipping core past the crossover
+// where skipping beats the packed kernel's higher dense throughput: zero
+// multipliers are skipped element-wise in the axpy cores (nn/tn), and rows
+// of B that are entirely zero — e.g. channel-pruned weights — are skipped
 // wholesale in the dot cores (nt/tt).
 
 #include <cstdint>
@@ -30,6 +37,10 @@ struct GemmOpts {
   /// them wholesale. Disable when B is an activation buffer that is never
   /// structurally zero — the scan costs one extra pass over B per call.
   bool skip_zero_b_rows = true;
+  /// Allow the packed register-tiled path for dense operands. Disable to
+  /// force the legacy streaming cores — the pre-packing baseline, kept as a
+  /// reference for tests and speedup benchmarks.
+  bool packed = true;
 };
 
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,

@@ -1,0 +1,259 @@
+#pragma once
+// The register-tiled micro-kernel and panel-packing primitives shared by the
+// dense GEMM variants (linalg/gemm.cpp) and the fused implicit-GEMM
+// convolution kernels (linalg/conv.cpp).
+//
+// Layout contract (BLIS-style):
+//   - A is packed into row panels of kMr rows: within one panel the layout is
+//     k-major, ap[p * kMr + i] = op(A)(row0 + i, k0 + p). Rows past the
+//     matrix edge are packed as zeros, so the micro-kernel never needs an
+//     m-tail; writes for those rows are simply discarded by the caller.
+//   - B is packed into column slivers of kNr columns: bp[p * kNr + j] =
+//     op(B)(k0 + p, col0 + j), edge columns zero-padded likewise.
+//   - The micro-kernel keeps a full kMr x kNr accumulator block in registers,
+//     streams one packed A column + one packed B row per k step, and adds the
+//     block into C at the end — C traffic is O(mr*nr) per kc panel instead of
+//     O(mr*nr*kc) as in the axpy cores.
+//
+// On GCC/Clang the accumulator block is held in eight named vector-extension
+// registers (one kNr-float vector per row), so the k loop is eight
+// broadcast-FMAs plus one B load per step with zero C traffic — writing the
+// same loop over a float[8][8] array makes GCC spill the block to the stack
+// and shuffle it every iteration, which is ~4x slower. Other compilers get a
+// scalar fallback with identical semantics.
+
+#include <cstdint>
+#include <cstring>
+
+namespace rt {
+
+// Micro-tile extents (accumulator block is kMr x kNr) and the cache-blocking
+// panel sizes shared by every packed kernel: a kKc x kNc B panel (128 KiB)
+// stays L2-resident while all A row-panels stream over it.
+inline constexpr std::int64_t kMr = 8;
+inline constexpr std::int64_t kNr = 8;
+inline constexpr std::int64_t kKc = 128;
+inline constexpr std::int64_t kNc = 256;
+
+namespace detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RT_MICROKERNEL_VECTOR_EXT 1
+using VecNr __attribute__((vector_size(kNr * sizeof(float)))) = float;
+
+inline VecNr load_vec(const float* p) {
+  VecNr v;
+  std::memcpy(&v, p, sizeof(VecNr));  // unaligned-safe; compiles to one load
+  return v;
+}
+
+/// Computes the full kMr x kNr accumulator block into `acc` (row i at
+/// acc[i]). The eight accumulators are separate named values so the
+/// register allocator keeps the whole block resident across the k loop.
+inline void micro_accumulate(std::int64_t kc, const float* __restrict ap,
+                             const float* __restrict bp, VecNr acc[kMr]) {
+  VecNr c0{}, c1{}, c2{}, c3{}, c4{}, c5{}, c6{}, c7{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict a = ap + p * kMr;
+    const VecNr bv = load_vec(bp + p * kNr);
+    c0 += a[0] * bv;
+    c1 += a[1] * bv;
+    c2 += a[2] * bv;
+    c3 += a[3] * bv;
+    c4 += a[4] * bv;
+    c5 += a[5] * bv;
+    c6 += a[6] * bv;
+    c7 += a[7] * bv;
+  }
+  acc[0] = c0;
+  acc[1] = c1;
+  acc[2] = c2;
+  acc[3] = c3;
+  acc[4] = c4;
+  acc[5] = c5;
+  acc[6] = c6;
+  acc[7] = c7;
+}
+#endif
+
+}  // namespace detail
+
+/// ap: one packed A row panel (kc x kMr), bp: one packed B sliver (kc x kNr).
+/// Adds the kMr x kNr product block into C (leading dimension ldc). The
+/// full-tile body carries no bounds checks; partial edges go through
+/// micro_kernel_edge below.
+inline void micro_kernel_full(std::int64_t kc, const float* __restrict ap,
+                              const float* __restrict bp, float* __restrict c,
+                              std::int64_t ldc) {
+#ifdef RT_MICROKERNEL_VECTOR_EXT
+  detail::VecNr acc[kMr];
+  detail::micro_accumulate(kc, ap, bp, acc);
+  for (int i = 0; i < kMr; ++i) {
+    float* crow = c + i * ldc;
+    const detail::VecNr cv = detail::load_vec(crow) + acc[i];
+    std::memcpy(crow, &cv, sizeof(cv));
+  }
+#else
+  float acc[kMr][kNr] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict a = ap + p * kMr;
+    const float* __restrict b = bp + p * kNr;
+    for (int i = 0; i < kMr; ++i) {
+      const float av = a[i];
+      for (int j = 0; j < kNr; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (int i = 0; i < kMr; ++i) {
+    float* crow = c + i * ldc;
+    for (int j = 0; j < kNr; ++j) crow[j] += acc[i][j];
+  }
+#endif
+}
+
+/// Edge variant: same accumulator block, but only the leading mr x nr
+/// sub-block is written back. The packed panels are zero-padded to full
+/// width, so the arithmetic is identical — only the writeback is clipped.
+inline void micro_kernel_edge(std::int64_t kc, const float* __restrict ap,
+                              const float* __restrict bp, float* __restrict c,
+                              std::int64_t ldc, std::int64_t mr,
+                              std::int64_t nr) {
+#ifdef RT_MICROKERNEL_VECTOR_EXT
+  detail::VecNr acc[kMr];
+  detail::micro_accumulate(kc, ap, bp, acc);
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = reinterpret_cast<const float*>(&acc[i]);
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+  }
+#else
+  float acc[kMr][kNr] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict a = ap + p * kMr;
+    const float* __restrict b = bp + p * kNr;
+    for (int i = 0; i < kMr; ++i) {
+      const float av = a[i];
+      for (int j = 0; j < kNr; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+  }
+#endif
+}
+
+/// Rounds a count up to whole micro-tiles.
+inline constexpr std::int64_t round_up(std::int64_t v, std::int64_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+/// Packs rows [i0, i0+mb) x cols [k0, k0+kb) of a row-major A (lda == stored
+/// column count) into consecutive kMr row panels at `ap` (mb rounded up, zero
+/// padded). One panel occupies kb * kMr floats.
+inline void pack_a_rows(const float* a, std::int64_t lda, std::int64_t i0,
+                        std::int64_t mb, std::int64_t k0, std::int64_t kb,
+                        float* ap) {
+  for (std::int64_t ir = 0; ir < mb; ir += kMr) {
+    const std::int64_t m_eff = (mb - ir) < kMr ? (mb - ir) : kMr;
+    float* panel = ap + ir * kb;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float* acol = a + (i0 + ir) * lda + k0 + p;
+      float* dst = panel + p * kMr;
+      std::int64_t i = 0;
+      for (; i < m_eff; ++i) dst[i] = acol[i * lda];
+      for (; i < kMr; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+/// Same, but op(A) = stored^T: the source is (k, m) row-major and panel rows
+/// walk its columns. Packing is where the transpose cost is paid once, after
+/// which the micro-kernel is storage-agnostic.
+inline void pack_a_rows_trans(const float* a, std::int64_t lda, std::int64_t i0,
+                              std::int64_t mb, std::int64_t k0, std::int64_t kb,
+                              float* ap) {
+  for (std::int64_t ir = 0; ir < mb; ir += kMr) {
+    const std::int64_t m_eff = (mb - ir) < kMr ? (mb - ir) : kMr;
+    float* panel = ap + ir * kb;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float* arow = a + (k0 + p) * lda + i0 + ir;
+      float* dst = panel + p * kMr;
+      std::int64_t i = 0;
+      for (; i < m_eff; ++i) dst[i] = arow[i];
+      for (; i < kMr; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+/// Packs rows [k0, k0+kb) x cols [j0, j0+nb) of a row-major B (ldb == stored
+/// column count) into consecutive kNr column slivers at `bp` (nb rounded up,
+/// zero padded). One sliver occupies kb * kNr floats.
+inline void pack_b_cols(const float* b, std::int64_t ldb, std::int64_t k0,
+                        std::int64_t kb, std::int64_t j0, std::int64_t nb,
+                        float* bp) {
+  for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+    const std::int64_t n_eff = (nb - jr) < kNr ? (nb - jr) : kNr;
+    float* sliver = bp + jr * kb;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float* brow = b + (k0 + p) * ldb + j0 + jr;
+      float* dst = sliver + p * kNr;
+      if (n_eff == kNr) {
+        std::memcpy(dst, brow, kNr * sizeof(float));
+      } else {
+        std::int64_t j = 0;
+        for (; j < n_eff; ++j) dst[j] = brow[j];
+        for (; j < kNr; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Same, but op(B) = stored^T: the source is (n, k) row-major — the nt/tt
+/// weight layout — and slivers gather strided columns. This is the packing
+/// that closes the nt-vs-nn throughput gap: the dot cores used to re-stride
+/// B on every access, the packed sliver pays the gather exactly once.
+inline void pack_b_cols_trans(const float* b, std::int64_t ldb, std::int64_t k0,
+                              std::int64_t kb, std::int64_t j0, std::int64_t nb,
+                              float* bp) {
+  for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+    const std::int64_t n_eff = (nb - jr) < kNr ? (nb - jr) : kNr;
+    float* sliver = bp + jr * kb;
+    for (std::int64_t j = 0; j < n_eff; ++j) {
+      const float* bcol = b + (j0 + jr + j) * ldb + k0;
+      float* dst = sliver + j;
+      for (std::int64_t p = 0; p < kb; ++p) dst[p * kNr] = bcol[p];
+    }
+    if (n_eff < kNr) {
+      for (std::int64_t j = n_eff; j < kNr; ++j) {
+        float* dst = sliver + j;
+        for (std::int64_t p = 0; p < kb; ++p) dst[p * kNr] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Runs the packed micro-kernels over one (mb x nb) C block given fully
+/// packed operands: `ap` holds ceil(mb/kMr) row panels of width kb, `bp`
+/// holds ceil(nb/kNr) slivers of depth kb. C points at the block's top-left
+/// element (leading dimension ldc).
+inline void packed_block_multiply(std::int64_t mb, std::int64_t nb,
+                                  std::int64_t kb, const float* ap,
+                                  const float* bp, float* c,
+                                  std::int64_t ldc) {
+  for (std::int64_t ir = 0; ir < mb; ir += kMr) {
+    const std::int64_t mr = (mb - ir) < kMr ? (mb - ir) : kMr;
+    const float* apanel = ap + ir * kb;
+    for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+      const std::int64_t nr = (nb - jr) < kNr ? (nb - jr) : kNr;
+      const float* bsliver = bp + jr * kb;
+      float* cblk = c + ir * ldc + jr;
+      if (mr == kMr && nr == kNr) {
+        micro_kernel_full(kb, apanel, bsliver, cblk, ldc);
+      } else {
+        micro_kernel_edge(kb, apanel, bsliver, cblk, ldc, mr, nr);
+      }
+    }
+  }
+}
+
+}  // namespace rt

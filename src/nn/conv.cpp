@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "common/threadpool.hpp"
-#include "linalg/gemm.hpp"
 
 namespace rt {
 
@@ -18,58 +17,13 @@ void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
   im2col_plane(x.data() + sample * c_in * h * w, c_in, h, w, g, col);
 }
 
-void im2col_plane(const float* xd, std::int64_t c_in, std::int64_t h,
-                  std::int64_t w, const ConvGeometry& g, float* col) {
-  const std::int64_t oh = g.out_extent(h);
-  const std::int64_t ow = g.out_extent(w);
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < c_in; ++c) {
-    const float* xc = xd + c * h * w;
-    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
-      for (std::int64_t kj = 0; kj < g.kernel; ++kj, ++row) {
-        float* out = col + row * oh * ow;
-        for (std::int64_t oi = 0; oi < oh; ++oi) {
-          const std::int64_t ii = oi * g.stride - g.padding + ki;
-          if (ii < 0 || ii >= h) {
-            for (std::int64_t oj = 0; oj < ow; ++oj) out[oi * ow + oj] = 0.0f;
-            continue;
-          }
-          for (std::int64_t oj = 0; oj < ow; ++oj) {
-            const std::int64_t jj = oj * g.stride - g.padding + kj;
-            out[oi * ow + oj] =
-                (jj >= 0 && jj < w) ? xc[ii * w + jj] : 0.0f;
-          }
-        }
-      }
-    }
-  }
-}
-
 void col2im_add(const float* col, std::int64_t sample, const ConvGeometry& g,
                 Tensor& dx) {
   const std::int64_t c_in = dx.dim(1);
   const std::int64_t h = dx.dim(2);
   const std::int64_t w = dx.dim(3);
-  const std::int64_t oh = g.out_extent(h);
-  const std::int64_t ow = g.out_extent(w);
-  float* xd = dx.data() + sample * c_in * h * w;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < c_in; ++c) {
-    float* xc = xd + c * h * w;
-    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
-      for (std::int64_t kj = 0; kj < g.kernel; ++kj, ++row) {
-        const float* in = col + row * oh * ow;
-        for (std::int64_t oi = 0; oi < oh; ++oi) {
-          const std::int64_t ii = oi * g.stride - g.padding + ki;
-          if (ii < 0 || ii >= h) continue;
-          for (std::int64_t oj = 0; oj < ow; ++oj) {
-            const std::int64_t jj = oj * g.stride - g.padding + kj;
-            if (jj >= 0 && jj < w) xc[ii * w + jj] += in[oi * ow + oj];
-          }
-        }
-      }
-    }
-  }
+  col2im_plane_add(col, c_in, h, w, g,
+                   dx.data() + sample * c_in * h * w);
 }
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -101,27 +55,29 @@ Tensor Conv2d::forward(const Tensor& x) {
   }
   cached_input_ = x;
   const std::int64_t n = x.dim(0);
-  const std::int64_t oh = geom_.out_extent(x.dim(2));
-  const std::int64_t ow = geom_.out_extent(x.dim(3));
-  const std::int64_t ckk = in_channels_ * geom_.kernel * geom_.kernel;
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t oh = geom_.out_extent(h);
+  const std::int64_t ow = geom_.out_extent(w);
   Tensor y({n, out_channels_, oh, ow});
   const float* wd = weight_.value.data();
+  const float* xd = x.data();
+  const float* bd = has_bias_ ? bias_.value.data() : nullptr;
   float* yd = y.data();
-  const std::int64_t ohw = oh * ow;
+  const std::int64_t in_plane = in_channels_ * h * w;
+  const std::int64_t out_plane = out_channels_ * oh * ow;
+
+  // The weight is shared across the batch: count its zero fraction once so
+  // every sample's kernel call dispatches without re-probing it.
+  ConvKernelOpts kopts;
+  kopts.weight_zero_fraction =
+      weight_zero_fraction(wd, weight_.value.numel());
 
   parallel_for(n, [&](std::int64_t begin, std::int64_t end) {
-    std::vector<float> col(static_cast<std::size_t>(ckk * ohw));
     for (std::int64_t i = begin; i < end; ++i) {
-      im2col(cached_input_, i, geom_, col.data());
-      float* yi = yd + i * out_channels_ * ohw;
-      gemm_nn_acc(out_channels_, ohw, ckk, wd, col.data(), yi);
-      if (has_bias_) {
-        for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-          const float b = bias_.value[oc];
-          float* yrow = yi + oc * ohw;
-          for (std::int64_t j = 0; j < ohw; ++j) yrow[j] += b;
-        }
-      }
+      conv2d_forward_plane(xd + i * in_plane, in_channels_, h, w, geom_, wd,
+                           out_channels_, yd + i * out_plane, bd,
+                           /*relu=*/false, kopts);
     }
   });
   return y;
@@ -131,14 +87,22 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const Tensor& x = cached_input_;
   if (x.empty()) throw std::logic_error("Conv2d::backward before forward");
   const std::int64_t n = x.dim(0);
-  const std::int64_t oh = geom_.out_extent(x.dim(2));
-  const std::int64_t ow = geom_.out_extent(x.dim(3));
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t oh = geom_.out_extent(h);
+  const std::int64_t ow = geom_.out_extent(w);
   const std::int64_t ohw = oh * ow;
   const std::int64_t ckk = in_channels_ * geom_.kernel * geom_.kernel;
+  const std::int64_t in_plane = in_channels_ * h * w;
 
-  Tensor dx({n, in_channels_, x.dim(2), x.dim(3)});
+  Tensor dx({n, in_channels_, h, w});
   const float* wd = weight_.value.data();
   const float* gd = grad_out.data();
+  const float* xd = x.data();
+
+  ConvKernelOpts kopts;
+  kopts.weight_zero_fraction =
+      weight_zero_fraction(wd, weight_.value.numel());
 
   // Weight-gradient accumulation: each slot owns a contiguous sample range
   // and a private partial, then the partials are combined with an
@@ -150,8 +114,6 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       has_bias_ ? static_cast<std::size_t>(slots) : 0u);
 
   parallel_for(slots, [&](std::int64_t s0, std::int64_t s1) {
-    std::vector<float> col(static_cast<std::size_t>(ckk * ohw));
-    std::vector<float> dcol(static_cast<std::size_t>(ckk * ohw));
     for (std::int64_t s = s0; s < s1; ++s) {
       std::vector<float>& dw_local = dw_part[static_cast<std::size_t>(s)];
       dw_local.assign(static_cast<std::size_t>(out_channels_ * ckk), 0.0f);
@@ -162,14 +124,13 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       const std::int64_t begin = s * n / slots;
       const std::int64_t end = (s + 1) * n / slots;
       for (std::int64_t i = begin; i < end; ++i) {
-        im2col(x, i, geom_, col.data());
         const float* gi = gd + i * out_channels_ * ohw;
-        // dW += gout_i (out, ohw) * col^T (ohw, ckk)
-        gemm_nt_acc(out_channels_, ckk, ohw, gi, col.data(), dw_local.data());
-        // dcol = W^T (ckk, out) * gout_i (out, ohw)
-        gemm_tn(ckk, ohw, out_channels_, wd, gi, dcol.data(),
-                {.accumulate = false, .parallel = false});
-        col2im_add(dcol.data(), i, geom_, dx);
+        // dW += gout_i * col(x_i)^T, fused — no im2col materialization.
+        conv2d_wgrad_plane(gi, xd + i * in_plane, in_channels_, h, w, geom_,
+                           out_channels_, dw_local.data(), kopts);
+        // dx_i += W^T * gout_i, computed in tiles scattered while cache-hot.
+        conv2d_dgrad_plane(wd, out_channels_, gi, in_channels_, h, w, geom_,
+                           dx.data() + i * in_plane, kopts);
         if (has_bias_) {
           float* db_local = db_part[static_cast<std::size_t>(s)].data();
           for (std::int64_t oc = 0; oc < out_channels_; ++oc) {

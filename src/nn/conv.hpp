@@ -1,38 +1,29 @@
 #pragma once
-// 2-D convolution (NCHW) via im2col + GEMM, with full backward.
+// 2-D convolution (NCHW) with full backward, running on the fused
+// implicit-GEMM kernels in linalg/conv.hpp.
 //
-// Forward and backward parallelize over the batch dimension; each sample's
-// im2col buffer feeds the shared serial-mode kernels in linalg/gemm.hpp, so
-// all GEMM work (including the masked-weight fast paths) lives in one module.
+// Forward and backward parallelize over the batch dimension; each sample
+// runs the serial plane kernels, so all convolution arithmetic (including
+// the masked-weight tap fast path) lives in the linalg kernel layer. No
+// per-sample im2col/col2im buffer is materialized on the training path —
+// the per-batch weight zero fraction is counted once and passed down so the
+// kernels pick the packed or tap path without re-probing per sample.
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "linalg/conv.hpp"
 #include "nn/module.hpp"
 
 namespace rt {
 
-/// Geometry of a convolution: output size given input size.
-struct ConvGeometry {
-  std::int64_t kernel = 3;
-  std::int64_t stride = 1;
-  std::int64_t padding = 1;
-  std::int64_t out_extent(std::int64_t in_extent) const {
-    return (in_extent + 2 * padding - kernel) / stride + 1;
-  }
-};
-
 /// Expands one sample of x (N,C,H,W) into a (C*k*k, OH*OW) column buffer.
 /// `col` must have C*k*k*OH*OW elements. Out-of-image taps read as zero.
+/// Reference/tooling wrapper over linalg's im2col_plane; the training hot
+/// path no longer calls it.
 void im2col(const Tensor& x, std::int64_t sample, const ConvGeometry& g,
             float* col);
-
-/// Raw-pointer core of im2col: expands one (C, H, W) plane at `x` into the
-/// column buffer. Used directly by the engine's compiled execution path,
-/// which stages activations in arena buffers rather than Tensors.
-void im2col_plane(const float* x, std::int64_t c_in, std::int64_t h,
-                  std::int64_t w, const ConvGeometry& g, float* col);
 
 /// Scatter-adds a (C*k*k, OH*OW) column gradient back into dx (N,C,H,W) at
 /// the given sample. Inverse (adjoint) of im2col.

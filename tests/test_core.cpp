@@ -142,5 +142,90 @@ TEST(Lab, LmpTicketTrainsHeadForTask) {
   EXPECT_NEAR(model_sparsity(ticket->prunable_parameters()), 0.4, 0.02);
 }
 
+TEST(CheckpointStoreTest, KeyIsCanonicalAndContentAddressed) {
+  CheckpointKey a;
+  a.add("arch", "r18").add("sparsity", 0.9).add("seed", std::int64_t{7});
+  CheckpointKey same;
+  same.add("arch", "r18").add("sparsity", 0.9).add("seed", std::int64_t{7});
+  EXPECT_EQ(a.str(), "arch=r18;sparsity=0.9;seed=7;");
+  EXPECT_EQ(a.hash(), same.hash());
+  EXPECT_EQ(a.filename(), same.filename());
+
+  CheckpointKey other;
+  other.add("arch", "r18").add("sparsity", 0.91).add("seed", std::int64_t{7});
+  EXPECT_NE(a.hash(), other.hash());
+  EXPECT_NE(a.filename(), other.filename());
+  // Filename: 16 hex digits, readable slug, .rtk suffix.
+  EXPECT_EQ(a.filename().find('/'), std::string::npos);
+  EXPECT_EQ(a.filename().substr(a.filename().size() - 4), ".rtk");
+  EXPECT_EQ(a.filename()[16], '_');
+}
+
+TEST(CheckpointStoreTest, RoundTripAndMiss) {
+  const std::string root = "/tmp/rticket_test_store_rt";
+  std::filesystem::remove_all(root);
+  CheckpointStore store(root);
+  CheckpointKey key;
+  key.add("kind", "unit").add("seed", std::int64_t{3});
+  EXPECT_FALSE(store.load(key).has_value());
+
+  StateDict state;
+  Rng rng(4);
+  state["w"] = Tensor::randn({3, 5}, rng);
+  store.store(key, state);
+  const auto hit = store.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("w").linf_distance(state.at("w")), 0.0f);
+
+  // Disabled store: loads miss, stores drop, no filesystem activity.
+  CheckpointStore disabled{std::string()};
+  EXPECT_FALSE(disabled.enabled());
+  disabled.store(key, state);
+  EXPECT_FALSE(disabled.load(key).has_value());
+  std::filesystem::remove_all(root);
+}
+
+TEST(CheckpointStoreTest, DatasetFingerprintSeparatesData) {
+  RobustTicketLab lab(test_options("k"));
+  const Dataset& src = lab.source().train;
+  const TaskData other = lab.downstream("dtd", 40, 20);
+  EXPECT_EQ(dataset_fingerprint(src), dataset_fingerprint(src));
+  EXPECT_NE(dataset_fingerprint(src), dataset_fingerprint(other.train));
+}
+
+TEST(Lab, ImpTicketIsServedFromTheStoreWithMasksIntact) {
+  auto opt = test_options("l");
+  std::filesystem::remove_all(*opt.cache_dir);
+  ImpConfig cfg;
+  cfg.target_sparsity = 0.5f;
+  cfg.rate_per_round = 0.3f;
+  cfg.epochs_per_round = 1;
+
+  StateDict first_state;
+  {
+    RobustTicketLab lab(opt);
+    auto first = lab.imp_ticket("r18", PretrainScheme::kNatural,
+                                lab.source().train, cfg);
+    first_state = first->state_dict();
+  }
+  // Second lab instance: the retrained ticket must come from disk with
+  // identical values and a reconstructed mask at the same sparsity.
+  RobustTicketLab lab2(opt);
+  auto second = lab2.imp_ticket("r18", PretrainScheme::kNatural,
+                                lab2.source().train, cfg);
+  EXPECT_NEAR(model_sparsity(second->prunable_parameters()), 0.5, 1e-3);
+  for (const auto& [name, tensor] : second->state_dict()) {
+    ASSERT_TRUE(first_state.count(name)) << name;
+    EXPECT_EQ(tensor.linf_distance(first_state.at(name)), 0.0f) << name;
+  }
+  for (const Parameter* p : second->prunable_parameters()) {
+    ASSERT_TRUE(p->has_mask());
+    for (std::int64_t j = 0; j < p->value.numel(); ++j) {
+      EXPECT_EQ(p->mask[j] == 0.0f, p->value[j] == 0.0f);
+    }
+  }
+  std::filesystem::remove_all(*opt.cache_dir);
+}
+
 }  // namespace
 }  // namespace rt

@@ -12,17 +12,18 @@
 namespace rt {
 namespace {
 
-/// A lab small enough for tests: 160 source images, 4 epochs, no disk cache
-/// (keeps the shared benchmark cache clean and the test hermetic). Shared
-/// across the tests in this file so each pretraining scheme is trained once;
-/// all accessors hand out fresh model copies, so sharing is safe.
+/// A lab small enough for tests: 160 source images, 4 epochs, using the
+/// shared content-addressed store (every option joins the checkpoint key,
+/// so the tiny checkpoints coexist with the benchmark ones and repeat runs
+/// skip pretraining). Shared across the tests in this file so each
+/// pretraining scheme is trained once; all accessors hand out fresh model
+/// copies, so sharing is safe.
 RobustTicketLab& tiny_lab() {
   static RobustTicketLab lab = [] {
     RobustTicketLab::Options opt;
     opt.source_train_size = 160;
     opt.source_test_size = 80;
     opt.pretrain_epochs = 4;
-    opt.cache_dir = std::string();  // disable disk caching
     return RobustTicketLab(opt);
   }();
   return lab;
