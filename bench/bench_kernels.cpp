@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/scheduler.hpp"
+
 #include "attack/attack.hpp"
 #include "attack/trades.hpp"
 #include "engine/engine.hpp"
@@ -81,6 +83,27 @@ void BM_GemmNT(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNT)->Args({256, 0})->Args({256, 70})->Args({512, 0});
 
+// Multi-thread GEMM scaling on a private work-stealing scheduler: Arg 0 is
+// the scheduler's lane count. Row-block leaves are stolen dynamically, so
+// items_per_second over the single-thread entry is the scheduler's parallel
+// efficiency at this size.
+void BM_GemmNNThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  constexpr std::int64_t n = 512;
+  rt::Rng rng(12);
+  const rt::Tensor a = rt::Tensor::randn({n, n}, rng);
+  const rt::Tensor b = rt::Tensor::randn({n, n}, rng);
+  rt::Tensor c({n, n});
+  rt::Scheduler sched(threads);
+  rt::SchedulerScope scope(sched);
+  for (auto _ : state) {
+    rt::gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 // The training-path convolution pair (forward + full backward) across the
 // four ResNet-18 residual-body shapes at 32x32 input resolution, measured at
 // the kernel layer. Arg 0 runs the im2col reference (materialized column
@@ -143,6 +166,80 @@ void BM_ConvTrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flops_per_iter);
 }
 BENCHMARK(BM_ConvTrain)->Arg(0)->Arg(1);
+
+// Nested-parallel conv training step: batch-outer tasks with the batch
+// deliberately smaller than the lane count, so the flat decomposition (Arg 1
+// == 0: batch-level parallel_for only, the old pool's composition limit)
+// strands lanes while the nested one (Arg 1 == 1: kernels additionally
+// split output-column tiles into stealable subtasks) backfills them. Arg 0
+// is the scheduler lane count; both modes produce bitwise-identical
+// results, so items_per_second isolates the composition win.
+void BM_ConvTrainMT(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  const bool nested = state.range(1) == 1;
+  struct Shape {
+    std::int64_t ch, h, w;
+  };
+  constexpr Shape kShapes[] = {
+      {64, 32, 32}, {128, 16, 16}, {256, 8, 8}, {512, 4, 4}};
+  constexpr std::int64_t kBatch = 2;  // < threads: the compose-or-idle case
+  const rt::ConvGeometry geom{3, 1, 1};
+
+  rt::Rng rng(13);
+  std::vector<rt::Tensor> xs, ws, gs, ys, dxs, dws;
+  std::int64_t flops_per_iter = 0;
+  for (const Shape& s : kShapes) {
+    const std::int64_t ckk = s.ch * 9;
+    xs.push_back(rt::Tensor::randn({kBatch, s.ch, s.h, s.w}, rng));
+    ws.push_back(rt::Tensor::randn({s.ch, ckk}, rng, 0.05f));
+    gs.push_back(rt::Tensor::randn({kBatch, s.ch, s.h, s.w}, rng));
+    ys.push_back(rt::Tensor({kBatch, s.ch, s.h, s.w}));
+    dxs.push_back(rt::Tensor({kBatch, s.ch, s.h, s.w}));
+    dws.push_back(rt::Tensor({kBatch, s.ch, ckk}));  // per-sample dw slots
+    flops_per_iter += 3 * kBatch * 2 * s.ch * ckk * s.h * s.w;
+  }
+  rt::Scheduler sched(threads);
+  rt::SchedulerScope scope(sched);
+  rt::ConvKernelOpts opts;
+  opts.algo = rt::ConvAlgo::kImplicit;
+  opts.parallel_tiles = nested;
+
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < xs.size(); ++l) {
+      const Shape& s = kShapes[l];
+      const std::int64_t plane = s.ch * s.h * s.w;
+      const std::int64_t ckk = s.ch * 9;
+      dws[l].fill_(0.0f);
+      dxs[l].fill_(0.0f);
+      float* xd = xs[l].data();
+      float* wd = ws[l].data();
+      float* gd = gs[l].data();
+      float* yd = ys[l].data();
+      float* dxd = dxs[l].data();
+      float* dwd = dws[l].data();
+      sched.parallel_for(
+          kBatch,
+          [&, xd, wd, gd, yd, dxd, dwd](std::int64_t b0, std::int64_t b1) {
+            for (std::int64_t i = b0; i < b1; ++i) {
+              rt::conv2d_forward_plane(xd + i * plane, s.ch, s.h, s.w, geom,
+                                       wd, s.ch, yd + i * plane, nullptr,
+                                       false, opts);
+              rt::conv2d_wgrad_plane(gd + i * plane, xd + i * plane, s.ch,
+                                     s.h, s.w, geom, s.ch,
+                                     dwd + i * s.ch * ckk, opts);
+              rt::conv2d_dgrad_plane(wd, s.ch, gd + i * plane, s.ch, s.h,
+                                     s.w, geom, dxd + i * plane, opts);
+            }
+          },
+          /*grain=*/1);
+      benchmark::DoNotOptimize(ys[l].data());
+      benchmark::DoNotOptimize(dws[l].data());
+      benchmark::DoNotOptimize(dxs[l].data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flops_per_iter);
+}
+BENCHMARK(BM_ConvTrainMT)->Args({4, 0})->Args({4, 1})->UseRealTime();
 
 void BM_ResNetForward(benchmark::State& state) {
   rt::Rng rng(2);
@@ -300,6 +397,59 @@ void BM_EngineSessionThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * threads * kCallsPerThread * 16);
 }
 BENCHMARK(BM_EngineSessionThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Shared-scheduler serving: 4 concurrent Sessions (one caller thread each)
+// over one compiled ticket and one work-stealing scheduler at the given
+// lane count. Arg 1 == 0 is the flat baseline — each predict() runs its
+// chunks serially on its calling thread, the only concurrency the old pool
+// offered the engine — while Arg 1 == 1 splits every call's max_batch
+// chunks into stealable tasks so the calls cooperatively fill the machine
+// even when callers are fewer or slower than lanes. Logits are bitwise
+// identical across modes.
+void BM_EngineThroughputMT(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) == 1;
+  constexpr int kSessions = 4;
+  constexpr int kCallsPerSession = 2;
+  constexpr std::int64_t kBatch = 32;
+
+  rt::Rng rng(14);
+  auto model = rt::make_micro_resnet18(10, rng);
+  rt::layerwise_magnitude_prune(*model, 0.9f, rt::Granularity::kElement);
+  model->set_training(false);
+  const rt::Tensor x =
+      rt::Tensor::uniform({kBatch, 3, 16, 16}, rng, 0.0f, 1.0f);
+
+  auto plan = std::make_shared<const rt::CompiledTicket>(
+      rt::Engine::compile(*model));
+  rt::SessionOptions options;
+  options.max_batch = 8;  // 4 chunk tasks per call
+  options.shared_scheduler = shared;
+  std::vector<std::unique_ptr<rt::Session>> sessions;
+  sessions.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(std::make_unique<rt::Session>(plan, options));
+  }
+  rt::Scheduler sched(threads);
+
+  for (auto _ : state) {
+    std::vector<std::thread> callers;
+    callers.reserve(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      callers.emplace_back([&, s] {
+        rt::SchedulerScope scope(sched);
+        for (int c = 0; c < kCallsPerSession; ++c) {
+          benchmark::DoNotOptimize(sessions[static_cast<std::size_t>(s)]
+                                       ->predict(x));
+        }
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kSessions * kCallsPerSession *
+                          kBatch);
+}
+BENCHMARK(BM_EngineThroughputMT)->Args({4, 0})->Args({4, 1})->UseRealTime();
 
 void BM_KlDivergence(benchmark::State& state) {
   rt::Rng rng(8);

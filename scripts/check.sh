@@ -4,26 +4,48 @@
 #
 #   scripts/check.sh               # gate only (human-readable smoke output)
 #   scripts/check.sh --bench-json  # additionally write BENCH_kernels.json —
-#                                  # GEMM + conv + engine throughput in
-#                                  # google-benchmark's JSON schema, so the
-#                                  # kernel perf trajectory is machine-
-#                                  # readable across PRs.
+#                                  # GEMM + conv + engine throughput (single-
+#                                  # and multi-thread) in google-benchmark's
+#                                  # JSON schema, so the kernel perf
+#                                  # trajectory is machine-readable across
+#                                  # PRs.
+#   scripts/check.sh --tsan        # additionally build build-tsan/ with
+#                                  # -DRT_SANITIZE=thread and run the
+#                                  # concurrency-heavy suites (scheduler,
+#                                  # engine, common, gemm) under
+#                                  # ThreadSanitizer.
+#
+# Thread counts are pinned via RT_THREADS for reproducibility; override by
+# exporting RT_THREADS before invoking.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_JSON=0
+TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-json) BENCH_JSON=1 ;;
-    *) echo "usage: $0 [--bench-json]" >&2; exit 2 ;;
+    --tsan) TSAN=1 ;;
+    *) echo "usage: $0 [--bench-json] [--tsan]" >&2; exit 2 ;;
   esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+export RT_THREADS="${RT_THREADS:-$JOBS}"
 
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+if [[ "${TSAN}" == 1 ]]; then
+  echo "== ThreadSanitizer pass (scheduler + engine suites) =="
+  cmake -B build-tsan -S . -DRT_SANITIZE=thread -DRT_BUILD_BENCHES=OFF \
+        -DRT_BUILD_EXAMPLES=OFF -DRT_MARCH_NATIVE=OFF
+  cmake --build build-tsan -j"${JOBS}" \
+        --target test_scheduler test_engine test_common test_gemm
+  ctest --test-dir build-tsan --output-on-failure -j1 \
+        -R 'test_scheduler|test_engine|test_common|test_gemm'
+fi
 
 KERNEL_FILTER='BM_Matmul|BM_Gemm|BM_ConvTrain|BM_EngineThroughput'
 if [[ -x build/bench_kernels ]]; then

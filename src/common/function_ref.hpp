@@ -1,0 +1,50 @@
+#pragma once
+// Non-owning, non-allocating callable reference — the task representation of
+// the scheduler layer.
+//
+// std::function type-erases by (potentially) heap-allocating a copy of the
+// closure; on the parallel_for hot path that is one allocation per call for a
+// closure that only needs to live until the call returns. FunctionRef erases
+// to two words (object pointer + invoke thunk) and never owns anything: the
+// referenced callable must outlive every invocation. All scheduler entry
+// points block until their tasks finish, so binding a temporary lambda at the
+// call site is safe — the lambda lives in the caller's frame for the whole
+// fork/join region.
+
+#include <type_traits>
+#include <utility>
+
+namespace rt {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design —
+                      // call sites pass lambdas where a FunctionRef is due.
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace rt

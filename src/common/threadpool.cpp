@@ -1,86 +1,16 @@
 #include "common/threadpool.hpp"
 
-#include <algorithm>
-
 namespace rt {
 
-namespace {
-// Set inside worker_loop so a nested parallel_for from a worker runs inline:
-// enqueueing from a worker and waiting on the shared pending counter would
-// deadlock once every worker blocks waiting for the others.
-thread_local const ThreadPool* tl_worker_pool = nullptr;
-}  // namespace
-
-ThreadPool::ThreadPool(int num_threads) {
-  const int extra = std::max(0, num_threads - 1);
-  workers_.reserve(static_cast<std::size_t>(extra));
-  for (int i = 0; i < extra; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  cv_task_.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-void ThreadPool::worker_loop() {
-  tl_worker_pool = this;
-  for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = queue_.back();
-      queue_.pop_back();
-    }
-    (*task.fn)(task.begin, task.end);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) cv_done_.notify_all();
-    }
-  }
-}
-
-void ThreadPool::parallel_for(
-    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  if (n <= 0) return;
-  const int threads = num_threads();
-  if (threads == 1 || n == 1 || tl_worker_pool == this) {
-    fn(0, n);
-    return;
-  }
-  const std::int64_t chunks = std::min<std::int64_t>(threads, n);
-  const std::int64_t chunk = (n + chunks - 1) / chunks;
-  // The caller runs the first chunk itself; workers take the rest.
-  std::int64_t first_end = std::min<std::int64_t>(chunk, n);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::int64_t begin = first_end; begin < n; begin += chunk) {
-      queue_.push_back(Task{&fn, begin, std::min<std::int64_t>(begin + chunk, n)});
-      ++pending_;
-    }
-  }
-  cv_task_.notify_all();
-  fn(0, first_end);
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
-}
-
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool(
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  static ThreadPool pool(&Scheduler::instance());
   return pool;
 }
 
 void parallel_for(std::int64_t n,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  ThreadPool::instance().parallel_for(n, fn);
+                  FunctionRef<void(std::int64_t, std::int64_t)> fn,
+                  std::int64_t grain) {
+  Scheduler::current().parallel_for(n, fn, grain);
 }
 
 }  // namespace rt

@@ -1,61 +1,66 @@
 #pragma once
-// Minimal persistent thread pool with a chunked parallel_for.
+// ThreadPool: the library's historical parallel_for entry point, now a thin
+// wrapper over the work-stealing scheduler (common/scheduler.hpp).
 //
-// The training stack parallelizes over the batch dimension in convolution and
-// pooling layers. With small tensors the per-task overhead matters, so the
-// pool hands each worker one contiguous index range rather than one index.
+// The original flat pool handed each worker one fixed chunk and ran nested
+// parallel_for calls inline-serial. The scheduler decomposes every loop into
+// stealable subtasks instead, so nested regions compose: a conv-over-batch
+// outer loop and a gemm-over-rows inner loop interleave across the same
+// workers. Existing callers keep working unchanged — parallel_for still
+// blocks until the whole range completes — but closures are now passed by
+// non-allocating FunctionRef rather than std::function, so a call costs no
+// heap allocation.
 
-#include <condition_variable>
 #include <cstdint>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+
+#include "common/function_ref.hpp"
+#include "common/scheduler.hpp"
 
 namespace rt {
 
 /// Fixed-size worker pool. Use ThreadPool::instance() for the process-wide
-/// pool; construct explicitly only in tests.
+/// pool (sized by RT_THREADS, else the hardware concurrency); construct
+/// explicitly only in tests and benches.
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  explicit ThreadPool(int num_threads)
+      : owned_(std::make_unique<Scheduler>(num_threads)),
+        scheduler_(owned_.get()) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Runs fn(begin, end) over a partition of [0, n). Blocks until all chunks
-  /// complete. Falls back to a direct call when n is small, the pool has a
-  /// single thread, or the caller is itself one of this pool's workers
-  /// (nested parallelism runs inline rather than deadlocking).
+  /// Runs fn(begin, end) over a deterministic partition of [0, n), blocking
+  /// until all subranges complete. `grain` caps the leaf range width
+  /// (<= 0 picks a default); nested calls from worker threads decompose
+  /// and interleave instead of running inline.
   void parallel_for(std::int64_t n,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+                    FunctionRef<void(std::int64_t, std::int64_t)> fn,
+                    std::int64_t grain = 0) {
+    scheduler_->parallel_for(n, fn, grain);
+  }
 
-  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+  int num_threads() const { return scheduler_->num_threads(); }
 
-  /// Process-wide pool sized to the hardware concurrency.
+  /// The underlying scheduler, for TaskGroup construction and scoping.
+  Scheduler& scheduler() { return *scheduler_; }
+
+  /// Process-wide pool over Scheduler::instance().
   static ThreadPool& instance();
 
  private:
-  struct Task {
-    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
-    std::int64_t begin = 0;
-    std::int64_t end = 0;
-  };
+  explicit ThreadPool(Scheduler* scheduler) : scheduler_(scheduler) {}
 
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::vector<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  int pending_ = 0;
-  bool stop_ = false;
+  std::unique_ptr<Scheduler> owned_;
+  Scheduler* scheduler_;
 };
 
-/// Convenience wrapper over ThreadPool::instance().parallel_for.
+/// Convenience wrapper over Scheduler::current().parallel_for — the current
+/// worker's scheduler inside a pool, an active SchedulerScope's, else the
+/// process-wide instance.
 void parallel_for(std::int64_t n,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+                  FunctionRef<void(std::int64_t, std::int64_t)> fn,
+                  std::int64_t grain = 0);
 
 }  // namespace rt

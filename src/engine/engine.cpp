@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/scheduler.hpp"
 #include "hw/quant.hpp"
 #include "models/blocks.hpp"
 #include "nn/activations.hpp"
@@ -187,9 +188,21 @@ PackedConv pack_conv(const Conv2d& conv, const BatchNorm2d* bn, bool relu,
   pack_weights(p, std::move(w), p.out_ch, ckk, p.out_h * p.out_w, options,
                plans, /*allow_compact=*/true);
   // Dense-style formats dispatch between the packed implicit-GEMM kernel and
-  // its zero-skipping tap path at run time; freeze the deciding statistic.
+  // its zero-skipping tap path at run time; freeze the deciding statistic,
+  // and when the packed path will run, pay the weight-panel pack here — once
+  // per compile instead of once per serve-time plane call.
   p.weight_zero_fraction = weight_zero_fraction(
       p.weight.data(), static_cast<std::int64_t>(p.weight.size()));
+  if (p.format != PackedFormat::kCsr && !p.weight.empty() &&
+      p.weight_zero_fraction < kConvSparseWeightFraction) {
+    const auto rows = static_cast<std::int64_t>(p.weight.size()) / ckk;
+    p.prepacked.pack(p.weight.data(), rows, ckk, /*forward=*/true,
+                     /*dgrad=*/false);
+    // The panels stay resident next to the raw weights for the plan's
+    // lifetime. They are host-side acceleration, not part of the shippable
+    // encoding, so they are reported separately from packed_bytes.
+    plans.back().prepacked_bytes = p.prepacked.bytes();
+  }
   if (p.format == PackedFormat::kCsr) {
     // Decode each nonzero's CSR column (= in_ch * k^2 + ki * k + kj, the
     // Conv2d weight layout) into a fully resolved implicit-conv tap: base
@@ -365,15 +378,24 @@ CompiledTicket Engine::compile(const ResNet& model,
 
 Session::Session(CompiledTicket plan, int max_batch)
     : Session(std::make_shared<const CompiledTicket>(std::move(plan)),
-              max_batch) {}
+              SessionOptions{.max_batch = max_batch}) {}
 
 Session::Session(std::shared_ptr<const CompiledTicket> plan, int max_batch)
-    : plan_(std::move(plan)), max_batch_(std::max(1, max_batch)) {
+    : Session(std::move(plan), SessionOptions{.max_batch = max_batch}) {}
+
+Session::Session(CompiledTicket plan, const SessionOptions& options)
+    : Session(std::make_shared<const CompiledTicket>(std::move(plan)),
+              options) {}
+
+Session::Session(std::shared_ptr<const CompiledTicket> plan,
+                 const SessionOptions& options)
+    : plan_(std::move(plan)), options_(options) {
+  options_.max_batch = std::max(1, options_.max_batch);
   if (plan_ == nullptr) {
     throw std::invalid_argument("Session: null plan");
   }
   // One workspace up front: a single-threaded caller never allocates again.
-  idle_.push_back(std::make_unique<Workspace>(*plan_, max_batch_));
+  idle_.push_back(std::make_unique<Workspace>(*plan_, options_.max_batch));
 }
 
 std::unique_ptr<Workspace> Session::acquire() {
@@ -387,7 +409,7 @@ std::unique_ptr<Workspace> Session::acquire() {
   }
   // Pool exhausted: a new concurrency high-water mark. Allocate outside the
   // lock; the workspace joins the pool on release.
-  return std::make_unique<Workspace>(*plan_, max_batch_);
+  return std::make_unique<Workspace>(*plan_, options_.max_batch);
 }
 
 void Session::release(std::unique_ptr<Workspace> ws) {
@@ -395,16 +417,59 @@ void Session::release(std::unique_ptr<Workspace> ws) {
   idle_.push_back(std::move(ws));
 }
 
+class Session::WorkspaceLease {
+ public:
+  explicit WorkspaceLease(Session& session)
+      : session_(session), ws_(session.acquire()) {}
+  ~WorkspaceLease() { session_.release(std::move(ws_)); }
+
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  Workspace& get() { return *ws_; }
+
+ private:
+  Session& session_;
+  std::unique_ptr<Workspace> ws_;
+};
+
+void Session::run_chunk(const Tensor& x, std::int64_t begin, std::int64_t end,
+                        Tensor& logits) {
+  const std::int64_t plane =
+      plan_->in_channels() * plan_->height() * plan_->width();
+  WorkspaceLease lease(*this);
+  plan_->run(x.data() + begin * plane, end - begin,
+             logits.data() + begin * plan_->num_classes(), lease.get());
+}
+
 Tensor Session::predict(const Tensor& x) {
-  std::unique_ptr<Workspace> ws = acquire();
-  try {
-    Tensor logits = plan_->predict(x, *ws);
-    release(std::move(ws));
-    return logits;
-  } catch (...) {
-    release(std::move(ws));
-    throw;
+  if (!options_.shared_scheduler) {
+    WorkspaceLease lease(*this);
+    return plan_->predict(x, lease.get());
   }
+  // Shared-scheduler serving: every max_batch chunk becomes one stealable
+  // task. Concurrent predict() calls from any number of threads feed the
+  // same scheduler, which interleaves their chunks across one set of
+  // workers — cooperative machine filling instead of per-call serialization.
+  // Chunk boundaries are fixed by max_batch and each chunk runs the serial
+  // executor on its own workspace, so the logits are bitwise identical to
+  // serial mode.
+  plan_->check_input(x);
+  const std::int64_t n = x.dim(0);
+  Tensor logits({n, plan_->num_classes()});
+  const std::int64_t chunk = options_.max_batch;
+  const std::int64_t chunks = (n + chunk - 1) / chunk;
+  Scheduler::current().parallel_for(
+      chunks,
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const std::int64_t begin = c * chunk;
+          run_chunk(x, begin, std::min<std::int64_t>(n, begin + chunk),
+                    logits);
+        }
+      },
+      /*grain=*/1);
+  return logits;
 }
 
 Tensor Session::predict_probabilities(const Tensor& x) {

@@ -39,17 +39,35 @@ class Engine {
                                 const CompileOptions& options = {});
 };
 
+struct SessionOptions {
+  /// Largest batch one Workspace is sized for; bigger inputs run in chunks.
+  int max_batch = 64;
+  /// Shared-scheduler serving: predict() splits its max_batch chunks into
+  /// tasks on the calling thread's scheduler (Scheduler::current()), each
+  /// task checking out its own Workspace. N concurrent predict() calls then
+  /// cooperatively fill the machine — the work-stealing scheduler
+  /// interleaves their chunk tasks across one set of workers — instead of
+  /// each call running its chunks serially on its own thread. Chunk
+  /// boundaries depend only on max_batch, and each chunk executes exactly
+  /// the serial code, so results stay bitwise identical to serial mode.
+  bool shared_scheduler = false;
+};
+
 /// Thread-safe inference front-end over a shared CompiledTicket. Any number
 /// of threads may call predict() concurrently; each call checks out a
 /// pre-allocated Workspace (growing the pool only the first time a new
 /// concurrency level is reached). Results are bitwise deterministic:
-/// execution within a call is serial, so thread scheduling cannot reorder
+/// execution within a chunk is serial and chunk boundaries are fixed by
+/// max_batch, so neither thread scheduling nor work stealing can reorder
 /// float accumulation.
 class Session {
  public:
   explicit Session(CompiledTicket plan, int max_batch = 64);
   explicit Session(std::shared_ptr<const CompiledTicket> plan,
                    int max_batch = 64);
+  Session(CompiledTicket plan, const SessionOptions& options);
+  Session(std::shared_ptr<const CompiledTicket> plan,
+          const SessionOptions& options);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -63,14 +81,21 @@ class Session {
   std::vector<int> classify(const Tensor& x);
 
   const CompiledTicket& plan() const { return *plan_; }
-  int max_batch() const { return max_batch_; }
+  int max_batch() const { return options_.max_batch; }
+  bool shared_scheduler() const { return options_.shared_scheduler; }
 
  private:
+  /// RAII workspace checkout: returns the workspace to the pool on every
+  /// exit path. Defined in engine.cpp.
+  class WorkspaceLease;
+
   std::unique_ptr<Workspace> acquire();
   void release(std::unique_ptr<Workspace> ws);
+  void run_chunk(const Tensor& x, std::int64_t begin, std::int64_t end,
+                 Tensor& logits);
 
   std::shared_ptr<const CompiledTicket> plan_;
-  int max_batch_;
+  SessionOptions options_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<Workspace>> idle_;
 };

@@ -123,8 +123,11 @@ void PackedConv::run(const float* in, float* out, std::int64_t n,
   // panels are gathered on the fly into the packed micro-kernel layout, so
   // the per-sample column buffer is never materialized. The compile-time
   // zero fraction steers the kernel onto its tap path for weights that are
-  // masked but not sparse enough for CSR.
-  const ConvKernelOpts kopts{ConvAlgo::kAuto, weight_zero_fraction};
+  // masked but not sparse enough for CSR; layers the packed path executes
+  // carry compile-time pre-packed weight panels.
+  ConvKernelOpts kopts;
+  kopts.weight_zero_fraction = weight_zero_fraction;
+  kopts.packed_weights = &prepacked;
   for (std::int64_t i = 0; i < n; ++i) {
     const float* xi = in + i * in_floats();
     float* yi = out + i * out_floats();
@@ -242,13 +245,17 @@ void CompiledTicket::run(const float* x, std::int64_t n, float* logits,
   head_.run(feat, logits, n);
 }
 
-Tensor CompiledTicket::predict(const Tensor& x, Workspace& ws) const {
+void CompiledTicket::check_input(const Tensor& x) const {
   if (x.ndim() != 4 || x.dim(1) != in_channels_ || x.dim(2) != height_ ||
       x.dim(3) != width_) {
     throw std::invalid_argument(
         "CompiledTicket::predict: input " + x.shape_str() +
         " does not match the compiled geometry");
   }
+}
+
+Tensor CompiledTicket::predict(const Tensor& x, Workspace& ws) const {
+  check_input(x);
   const std::int64_t n = x.dim(0);
   const std::int64_t plane = in_channels_ * height_ * width_;
   Tensor logits({n, num_classes_});
@@ -262,6 +269,12 @@ Tensor CompiledTicket::predict(const Tensor& x, Workspace& ws) const {
 std::int64_t CompiledTicket::packed_bytes() const {
   std::int64_t total = 0;
   for (const LayerPlan& l : layers_) total += l.packed_bytes;
+  return total;
+}
+
+std::int64_t CompiledTicket::prepacked_bytes() const {
+  std::int64_t total = 0;
+  for (const LayerPlan& l : layers_) total += l.prepacked_bytes;
   return total;
 }
 

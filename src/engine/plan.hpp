@@ -78,6 +78,10 @@ struct LayerPlan {
   std::int64_t nnz = 0;
   std::int64_t kept_rows = 0;
   std::int64_t packed_bytes = 0;     ///< executable weights + bias (+ scales)
+  /// Host-side micro-kernel panel cache (PackedConv::prepacked): resident
+  /// serving memory on top of packed_bytes, but not part of the shippable
+  /// encoding — an edge target ships packed_bytes and repacks on device.
+  std::int64_t prepacked_bytes = 0;
   std::int64_t dense_macs = 0;       ///< per sample, before sparsity
   std::int64_t effective_macs = 0;   ///< per sample, proportional to nnz
 };
@@ -121,6 +125,11 @@ struct PackedConv {
   /// kernel dispatch (packed implicit GEMM vs zero-skipping taps) never
   /// re-probes the weights at serve time.
   float weight_zero_fraction = 0.0f;
+  /// Micro-kernel weight panels, packed once at Engine::compile time for
+  /// layers the packed implicit-GEMM path will execute — serve-time calls
+  /// skip the per-call panel re-pack entirely. Empty for CSR and tap-path
+  /// layers, which never consume panels.
+  PackedWeights prepacked;
   std::vector<std::int32_t> kept;  ///< kChannelCompact: surviving channels
   CsrMatrix csr;                   ///< kCsr
   /// kCsr implicit-conv tap, one per nonzero: everything the inner loop
@@ -190,6 +199,11 @@ class CompiledTicket {
   /// larger than ws.max_batch() are processed in chunks.
   Tensor predict(const Tensor& x, Workspace& ws) const;
 
+  /// Throws unless x is an (n, in_ch, height, width) batch matching the
+  /// compiled geometry — the validation predict() applies, exposed for
+  /// callers that chunk a batch themselves (Session's scheduler mode).
+  void check_input(const Tensor& x) const;
+
   std::int64_t height() const { return height_; }
   std::int64_t width() const { return width_; }
   std::int64_t in_channels() const { return in_channels_; }
@@ -197,8 +211,10 @@ class CompiledTicket {
   int feature_dim() const { return feature_dim_; }
 
   const std::vector<LayerPlan>& layers() const { return layers_; }
-  /// Executable bytes of all packed weights and biases.
+  /// Executable (shippable) bytes of all packed weights and biases.
   std::int64_t packed_bytes() const;
+  /// Host-resident pre-packed panel bytes on top of packed_bytes().
+  std::int64_t prepacked_bytes() const;
   /// Per-sample multiply-accumulate counts summed over all layers.
   std::int64_t dense_macs() const;
   std::int64_t effective_macs() const;

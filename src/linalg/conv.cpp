@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/threadpool.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/microkernel.hpp"
 
@@ -16,13 +17,11 @@ namespace {
 // then reused — the full dcol buffer never exists.
 constexpr std::int64_t kMcScatter = 64;
 
-// Weight zero fraction past which the tap path (skips zero weights
-// wholesale) overtakes the packed implicit-GEMM path's higher dense
-// throughput. Same ~5x-dense-advantage crossover reasoning as the GEMM
-// dispatch in gemm.cpp; it also matches the serving engine's CSR cutoff
-// (density <= 0.2), so training and serving flip to sparse execution at the
-// same sparsity.
-constexpr float kSparseWeightFraction = 0.80f;
+// The tap-path crossover is kConvSparseWeightFraction (conv.hpp): past ~80%
+// zeros, skipping weights wholesale beats the packed path's ~5x dense
+// throughput advantage — the same reasoning as the GEMM dispatch in
+// gemm.cpp, and it matches the serving engine's CSR cutoff (density <= 0.2)
+// so training and serving flip to sparse execution at the same sparsity.
 
 enum class Path { kPacked, kTaps, kRef };
 
@@ -229,49 +228,86 @@ Path resolve_path(const ConvKernelOpts& opts, const float* weight,
   }
   float zf = opts.weight_zero_fraction;
   if (zf < 0.0f) zf = weight_zero_fraction(weight, count);
-  return zf >= kSparseWeightFraction ? Path::kTaps : Path::kPacked;
+  return zf >= kConvSparseWeightFraction ? Path::kTaps : Path::kPacked;
+}
+
+/// Runs `tiles(t0, t1)` over the `count` output-column tiles of a packed
+/// kernel: as stealable subtasks when the caller asked for tile parallelism
+/// (grain 1 — a tile is already kNc columns of work), serial otherwise.
+template <typename Tiles>
+void for_each_tile(std::int64_t count, bool parallel, const Tiles& tiles) {
+  if (parallel && count > 1) {
+    parallel_for(count, tiles, /*grain=*/1);
+  } else {
+    tiles(0, count);
+  }
 }
 
 // ---- forward ----------------------------------------------------------------
 
 void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
                     std::int64_t w, const ConvGeometry& g, const float* weight,
-                    std::int64_t out_ch, float* y) {
+                    std::int64_t out_ch, float* y, const ConvKernelOpts& opts) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
   const std::int64_t ckk = c_in * g.kernel * g.kernel;
-  const DecodeTable& dec = decode_table(c_in, g.kernel);
 
-  thread_local std::vector<float> wpack;
-  thread_local std::vector<float> bbuf;
-  wpack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * ckk));
-  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
-  // One full pass packs W into kMr row panels (cost 1/ohw of the MACs);
-  // panel ir starts at ir*ckk, its k-slice kc at + kc*kMr.
-  pack_a_rows(weight, ckk, 0, out_ch, 0, ckk, wpack.data());
+  // Weight panels: the batch-shared pre-pack when the caller supplied one
+  // (panel ir starts at ir*ckk, its k-slice kc at + kc*kMr), else a local
+  // pack (cost 1/ohw of the MACs). The local pack must be STACK-owned when
+  // tiles go parallel: a worker blocked in the region's wait helps execute
+  // other queued tasks, which can re-enter this function on the same thread
+  // — a thread_local buffer would be republished to still-running tiles of
+  // the first call. The serial path keeps the allocation-free thread_local.
+  const float* wp;
+  thread_local std::vector<float> wpack_tl;
+  std::vector<float> wpack_frame;
+  if (opts.packed_weights != nullptr && opts.packed_weights->has_forward() &&
+      opts.packed_weights->matches(out_ch, ckk)) {
+    wp = opts.packed_weights->forward_panels();
+  } else {
+    std::vector<float>& wpack = opts.parallel_tiles ? wpack_frame : wpack_tl;
+    wpack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * ckk));
+    pack_a_rows(weight, ckk, 0, out_ch, 0, ckk, wpack.data());
+    wp = wpack.data();
+  }
 
-  for (std::int64_t jc = 0; jc < ohw; jc += kNc) {
-    const std::int64_t nb = std::min(kNc, ohw - jc);
-    for (std::int64_t kc = 0; kc < ckk; kc += kKc) {
-      const std::int64_t kb = std::min(kKc, ckk - kc);
-      pack_col_panel(x, h, w, g, dec, kc, kb, jc, nb, ow, bbuf.data());
-      for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
-        const std::int64_t mr = std::min(kMr, out_ch - ir);
-        const float* ap = wpack.data() + ir * ckk + kc * kMr;
-        float* crow = y + ir * ohw + jc;
-        for (std::int64_t jr = 0; jr < nb; jr += kNr) {
-          const std::int64_t nr = std::min(kNr, nb - jr);
-          const float* bp = bbuf.data() + jr * kb;
-          if (mr == kMr && nr == kNr) {
-            micro_kernel_full(kb, ap, bp, crow + jr, ohw);
-          } else {
-            micro_kernel_edge(kb, ap, bp, crow + jr, ohw, mr, nr);
+  // Output-column tiles are independent (each writes its own y columns and
+  // accumulates its kc panels in the fixed serial order), so they can run
+  // as stealable subtasks when the batch alone cannot fill the machine.
+  const std::int64_t tiles = (ohw + kNc - 1) / kNc;
+  for_each_tile(tiles, opts.parallel_tiles,
+                [&](std::int64_t t0, std::int64_t t1) {
+    // Per-leaf lookups: the executing thread's own decode table and pack
+    // buffer, never the spawning thread's (whose thread_locals may be
+    // rebuilt under it while it helps with unrelated tasks).
+    const DecodeTable& dec = decode_table(c_in, g.kernel);
+    thread_local std::vector<float> bbuf;
+    bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t jc = t * kNc;
+      const std::int64_t nb = std::min(kNc, ohw - jc);
+      for (std::int64_t kc = 0; kc < ckk; kc += kKc) {
+        const std::int64_t kb = std::min(kKc, ckk - kc);
+        pack_col_panel(x, h, w, g, dec, kc, kb, jc, nb, ow, bbuf.data());
+        for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, out_ch - ir);
+          const float* ap = wp + ir * ckk + kc * kMr;
+          float* crow = y + ir * ohw + jc;
+          for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+            const std::int64_t nr = std::min(kNr, nb - jr);
+            const float* bp = bbuf.data() + jr * kb;
+            if (mr == kMr && nr == kNr) {
+              micro_kernel_full(kb, ap, bp, crow + jr, ohw);
+            } else {
+              micro_kernel_edge(kb, ap, bp, crow + jr, ohw, mr, nr);
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void forward_taps(const float* x, std::int64_t c_in, std::int64_t h,
@@ -328,21 +364,31 @@ void forward_ref(const float* x, std::int64_t c_in, std::int64_t h,
 
 void dgrad_packed(const float* weight, std::int64_t out_ch, const float* gout,
                   std::int64_t c_in, std::int64_t h, std::int64_t w,
-                  const ConvGeometry& g, float* dx) {
+                  const ConvGeometry& g, float* dx,
+                  const ConvKernelOpts& opts) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
   const std::int64_t ckk = c_in * g.kernel * g.kernel;
   const DecodeTable& dec = decode_table(c_in, g.kernel);
 
+  // A = W^T: the transpose is paid once, in packing — by the batch-shared
+  // pre-pack when available, else locally.
+  const float* wtp;
   thread_local std::vector<float> wtpack;
+  if (opts.packed_weights != nullptr && opts.packed_weights->has_dgrad() &&
+      opts.packed_weights->matches(out_ch, ckk)) {
+    wtp = opts.packed_weights->dgrad_panels();
+  } else {
+    wtpack.resize(static_cast<std::size_t>(round_up(ckk, kMr) * out_ch));
+    pack_a_rows_trans(weight, ckk, 0, ckk, 0, out_ch, wtpack.data());
+    wtp = wtpack.data();
+  }
+
   thread_local std::vector<float> bbuf;
   thread_local std::vector<float> ctile;
-  wtpack.resize(static_cast<std::size_t>(round_up(ckk, kMr) * out_ch));
   bbuf.resize(static_cast<std::size_t>(kKc * kNc));
   ctile.resize(static_cast<std::size_t>(kMcScatter * kNc));
-  // A = W^T: the transpose is paid once here, in packing.
-  pack_a_rows_trans(weight, ckk, 0, ckk, 0, out_ch, wtpack.data());
 
   for (std::int64_t jc = 0; jc < ohw; jc += kNc) {
     const std::int64_t nb = std::min(kNc, ohw - jc);
@@ -355,7 +401,7 @@ void dgrad_packed(const float* weight, std::int64_t out_ch, const float* gout,
         pack_b_cols(gout, ohw, kc, kb, jc, nb, bbuf.data());
         for (std::int64_t ir = 0; ir < mb; ir += kMr) {
           const std::int64_t mr = std::min(kMr, mb - ir);
-          const float* ap = wtpack.data() + (ic + ir) * out_ch + kc * kMr;
+          const float* ap = wtp + (ic + ir) * out_ch + kc * kMr;
           float* crow = ctile.data() + ir * nb;
           for (std::int64_t jr = 0; jr < nb; jr += kNr) {
             const std::int64_t nr = std::min(kNr, nb - jr);
@@ -426,40 +472,51 @@ void dgrad_ref(const float* weight, std::int64_t out_ch, const float* gout,
 
 void wgrad_packed(const float* gout, const float* x, std::int64_t c_in,
                   std::int64_t h, std::int64_t w, const ConvGeometry& g,
-                  std::int64_t out_ch, float* dw) {
+                  std::int64_t out_ch, float* dw, const ConvKernelOpts& opts) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
   const std::int64_t ckk = c_in * g.kernel * g.kernel;
-  const DecodeTable& dec = decode_table(c_in, g.kernel);
 
-  thread_local std::vector<float> apack;
-  thread_local std::vector<float> bbuf;
-  apack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * kKc));
-  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
-
-  for (std::int64_t pc = 0; pc < ohw; pc += kKc) {
-    const std::int64_t kb = std::min(kKc, ohw - pc);
-    pack_a_rows(gout, ohw, 0, out_ch, pc, kb, apack.data());
-    for (std::int64_t jc = 0; jc < ckk; jc += kNc) {
+  // dW-column tiles are independent: each accumulates its own dw columns
+  // over the pixel panels in the same ascending pc order as the serial
+  // loop, so per-element summation order — and hence the bits — do not
+  // change. The gout panel re-pack per (tile, pc) pair costs 1/kNc of the
+  // tile's MACs, which the extra parallelism amortizes.
+  const std::int64_t tiles = (ckk + kNc - 1) / kNc;
+  for_each_tile(tiles, opts.parallel_tiles,
+                [&](std::int64_t t0, std::int64_t t1) {
+    // Executing thread's own caches (see forward_packed on why the
+    // spawning thread's thread_locals must not be shared with leaves).
+    const DecodeTable& dec = decode_table(c_in, g.kernel);
+    thread_local std::vector<float> apack;
+    thread_local std::vector<float> bbuf;
+    apack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * kKc));
+    bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t jc = t * kNc;
       const std::int64_t nb = std::min(kNc, ckk - jc);
-      pack_colt_panel(x, h, w, g, dec, pc, kb, jc, nb, ow, bbuf.data());
-      for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
-        const std::int64_t mr = std::min(kMr, out_ch - ir);
-        const float* ap = apack.data() + ir * kb;
-        float* crow = dw + ir * ckk + jc;
-        for (std::int64_t jr = 0; jr < nb; jr += kNr) {
-          const std::int64_t nr = std::min(kNr, nb - jr);
-          const float* bp = bbuf.data() + jr * kb;
-          if (mr == kMr && nr == kNr) {
-            micro_kernel_full(kb, ap, bp, crow + jr, ckk);
-          } else {
-            micro_kernel_edge(kb, ap, bp, crow + jr, ckk, mr, nr);
+      for (std::int64_t pc = 0; pc < ohw; pc += kKc) {
+        const std::int64_t kb = std::min(kKc, ohw - pc);
+        pack_a_rows(gout, ohw, 0, out_ch, pc, kb, apack.data());
+        pack_colt_panel(x, h, w, g, dec, pc, kb, jc, nb, ow, bbuf.data());
+        for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
+          const std::int64_t mr = std::min(kMr, out_ch - ir);
+          const float* ap = apack.data() + ir * kb;
+          float* crow = dw + ir * ckk + jc;
+          for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+            const std::int64_t nr = std::min(kNr, nb - jr);
+            const float* bp = bbuf.data() + jr * kb;
+            if (mr == kMr && nr == kNr) {
+              micro_kernel_full(kb, ap, bp, crow + jr, ckk);
+            } else {
+              micro_kernel_edge(kb, ap, bp, crow + jr, ckk, mr, nr);
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void wgrad_ref(const float* gout, const float* x, std::int64_t c_in,
@@ -491,7 +548,8 @@ void conv2d_forward_plane(const float* x, std::int64_t c_in, std::int64_t h,
   std::memset(y, 0, static_cast<std::size_t>(out_ch * oh * ow) *
                         sizeof(float));
   switch (resolve_path(opts, weight, out_ch * ckk, /*taps_available=*/true)) {
-    case Path::kPacked: forward_packed(x, c_in, h, w, g, weight, out_ch, y);
+    case Path::kPacked:
+      forward_packed(x, c_in, h, w, g, weight, out_ch, y, opts);
       break;
     case Path::kTaps: forward_taps(x, c_in, h, w, g, weight, out_ch, y);
       break;
@@ -510,7 +568,7 @@ void conv2d_dgrad_plane(const float* weight, std::int64_t out_ch,
   const std::int64_t ckk = c_in * g.kernel * g.kernel;
   switch (resolve_path(opts, weight, out_ch * ckk, /*taps_available=*/true)) {
     case Path::kPacked:
-      dgrad_packed(weight, out_ch, gout, c_in, h, w, g, dx);
+      dgrad_packed(weight, out_ch, gout, c_in, h, w, g, dx, opts);
       break;
     case Path::kTaps: dgrad_taps(weight, out_ch, gout, c_in, h, w, g, dx);
       break;
@@ -529,8 +587,33 @@ void conv2d_wgrad_plane(const float* gout, const float* x, std::int64_t c_in,
   if (opts.algo == ConvAlgo::kIm2colReference) {
     wgrad_ref(gout, x, c_in, h, w, g, out_ch, dw);
   } else {
-    wgrad_packed(gout, x, c_in, h, w, g, out_ch, dw);
+    wgrad_packed(gout, x, c_in, h, w, g, out_ch, dw, opts);
   }
+}
+
+void PackedWeights::pack(const float* weight, std::int64_t out_ch,
+                         std::int64_t ckk, bool forward, bool dgrad) {
+  out_ch_ = out_ch;
+  ckk_ = ckk;
+  if (forward) {
+    fwd_.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * ckk));
+    pack_a_rows(weight, ckk, 0, out_ch, 0, ckk, fwd_.data());
+  } else {
+    fwd_.clear();
+  }
+  if (dgrad) {
+    dgrad_.resize(static_cast<std::size_t>(round_up(ckk, kMr) * out_ch));
+    pack_a_rows_trans(weight, ckk, 0, ckk, 0, out_ch, dgrad_.data());
+  } else {
+    dgrad_.clear();
+  }
+}
+
+void PackedWeights::clear() {
+  fwd_.clear();
+  dgrad_.clear();
+  out_ch_ = 0;
+  ckk_ = 0;
 }
 
 void im2col_plane(const float* xd, std::int64_t c_in, std::int64_t h,

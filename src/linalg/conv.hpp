@@ -23,11 +23,18 @@
 // training-path analogue of the engine's compiled implicit sparse conv —
 // skipping zero weights wholesale.
 //
-// All kernels are serial on purpose: batch-level parallelism (one sample per
-// ThreadPool chunk, one Session workspace per predict) composes better than
-// intra-plane threading at these extents.
+// The kernels are serial by default: batch-level parallelism (one sample per
+// scheduler task, one Session workspace per predict) composes better than
+// intra-plane threading at these extents. When the batch is too small to
+// fill the machine, ConvKernelOpts::parallel_tiles splits the forward and
+// weight-gradient kernels' output-column tile loops into stealable subtasks
+// on the work-stealing scheduler instead — tiles write disjoint outputs and
+// keep each element's accumulation order unchanged, so results stay bitwise
+// identical to the serial path. The input-gradient kernel stays serial per
+// plane: its tiles scatter-add into overlapping dx positions.
 
 #include <cstdint>
+#include <vector>
 
 namespace rt {
 
@@ -54,12 +61,66 @@ enum class ConvAlgo {
   kIm2colReference,
 };
 
+/// Weight zero fraction past which the zero-skipping tap path overtakes the
+/// packed implicit-GEMM path's higher dense throughput (~5x dense advantage,
+/// same reasoning as the GEMM dispatch crossover). Exported so batch loops
+/// and Engine::compile can predict the dispatch — e.g. to pre-pack weight
+/// panels only when the packed path will actually run.
+inline constexpr float kConvSparseWeightFraction = 0.80f;
+
+/// Weight panels in the packed micro-kernel layout, gathered once and reused
+/// across every plane call that shares the weight — per batch in Conv2d, per
+/// CompiledTicket in the engine (packed at Engine::compile time). Removes
+/// the per-sample panel re-pack (cost 1/OHW of the MACs, noticeable at tiny
+/// planes). The panels are exactly what the kernels would have packed
+/// locally, so results are bitwise unchanged.
+class PackedWeights {
+ public:
+  /// Packs W (out_ch x ckk): `forward` gathers the kMr row panels the
+  /// forward kernel consumes, `dgrad` the W^T panels of the input-gradient
+  /// kernel. Either may be skipped to save the memory.
+  void pack(const float* weight, std::int64_t out_ch, std::int64_t ckk,
+            bool forward, bool dgrad);
+  void clear();
+
+  bool matches(std::int64_t out_ch, std::int64_t ckk) const {
+    return out_ch == out_ch_ && ckk == ckk_;
+  }
+  bool has_forward() const { return !fwd_.empty(); }
+  bool has_dgrad() const { return !dgrad_.empty(); }
+  /// Resident bytes of the packed panels — the memory a plan that retains
+  /// this handle pays on top of the raw weights.
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>((fwd_.size() + dgrad_.size()) *
+                                     sizeof(float));
+  }
+  /// round_up(out_ch, kMr) row panels of width ckk.
+  const float* forward_panels() const { return fwd_.data(); }
+  /// round_up(ckk, kMr) row panels of width out_ch (the packed transpose).
+  const float* dgrad_panels() const { return dgrad_.data(); }
+
+ private:
+  std::vector<float> fwd_;
+  std::vector<float> dgrad_;
+  std::int64_t out_ch_ = 0;
+  std::int64_t ckk_ = 0;
+};
+
 struct ConvKernelOpts {
   ConvAlgo algo = ConvAlgo::kAuto;
   /// Fraction of zero entries in the weight matrix; negative = unknown, in
   /// which case kAuto counts it per call. Batch loops should count once
   /// (weights are shared across samples) and pass the value down.
   float weight_zero_fraction = -1.0f;
+  /// Pre-packed panels for this weight (see PackedWeights). Consulted only
+  /// when the packed implicit-GEMM path runs and the extents match; the
+  /// kernels fall back to local packing otherwise.
+  const PackedWeights* packed_weights = nullptr;
+  /// Split the forward/wgrad output-column tile loop into stealable
+  /// subtasks on the current scheduler. Off by default — batch-level
+  /// parallelism should stay the outer loop when the batch fills the
+  /// machine; flip it on when it does not (see Conv2d::forward).
+  bool parallel_tiles = false;
 };
 
 /// Forward: y (out_ch, OH, OW) = weight (out_ch, C*k*k) applied to x

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/scheduler.hpp"
 #include "common/threadpool.hpp"
 #include "linalg/microkernel.hpp"
 
@@ -203,7 +204,16 @@ void dispatch(std::int64_t m, std::int64_t n, std::int64_t k, float* c,
     return;
   }
   if (opts.parallel && m > 1 && m * n * k >= kParallelWork) {
-    parallel_for(m, core);
+    // Row-block tasks on the work-stealing scheduler: leaves are stealable,
+    // so a gemm nested under an outer batch loop lends its row blocks to
+    // idle workers instead of flattening to serial. The kMr floor keeps a
+    // leaf at no less than one micro-panel of rows — below that the packed
+    // path would re-pack B once per sliver of C and the repack traffic
+    // would swamp the extra parallelism.
+    const auto threads =
+        static_cast<std::int64_t>(Scheduler::current().num_threads());
+    const std::int64_t grain = std::max(kMr, m / (4 * threads));
+    parallel_for(m, core, grain);
   } else {
     core(0, m);
   }

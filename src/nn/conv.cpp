@@ -68,10 +68,22 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::int64_t out_plane = out_channels_ * oh * ow;
 
   // The weight is shared across the batch: count its zero fraction once so
-  // every sample's kernel call dispatches without re-probing it.
+  // every sample's kernel call dispatches without re-probing it, and when
+  // the packed path will run, pack the weight panels once instead of once
+  // per sample.
   ConvKernelOpts kopts;
   kopts.weight_zero_fraction =
       weight_zero_fraction(wd, weight_.value.numel());
+  if (kopts.weight_zero_fraction < kConvSparseWeightFraction) {
+    packed_weights_.pack(wd, out_channels_,
+                         in_channels_ * geom_.kernel * geom_.kernel,
+                         /*forward=*/true, /*dgrad=*/false);
+    kopts.packed_weights = &packed_weights_;
+  }
+  // Batch-level tasks fill the machine when n >= lanes; below that, let the
+  // kernels split their output tiles so the idle lanes steal intra-plane
+  // work (bitwise-identical either way).
+  kopts.parallel_tiles = n < Scheduler::current().num_threads();
 
   parallel_for(n, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
@@ -103,12 +115,22 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   ConvKernelOpts kopts;
   kopts.weight_zero_fraction =
       weight_zero_fraction(wd, weight_.value.numel());
+  if (kopts.weight_zero_fraction < kConvSparseWeightFraction) {
+    // dgrad consumes W^T panels; pre-pack them once for the whole batch.
+    packed_weights_.pack(wd, out_channels_, ckk, /*forward=*/false,
+                         /*dgrad=*/true);
+    kopts.packed_weights = &packed_weights_;
+  }
+  const std::int64_t threads = Scheduler::current().num_threads();
+  kopts.parallel_tiles = n < threads;
 
   // Weight-gradient accumulation: each slot owns a contiguous sample range
   // and a private partial, then the partials are combined with an
-  // atomic-free pairwise tree — no mutex serializes the workers.
-  const std::int64_t slots =
-      std::min<std::int64_t>(ThreadPool::instance().num_threads(), n);
+  // atomic-free pairwise tree — no mutex serializes the workers. The slot
+  // count is fixed by the scheduler width (not by which worker ran what),
+  // so the tree's summation order — and the resulting bits — are stable
+  // under arbitrary stealing.
+  const std::int64_t slots = std::min<std::int64_t>(threads, n);
   std::vector<std::vector<float>> dw_part(static_cast<std::size_t>(slots));
   std::vector<std::vector<float>> db_part(
       has_bias_ ? static_cast<std::size_t>(slots) : 0u);

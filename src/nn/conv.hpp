@@ -3,11 +3,16 @@
 // implicit-GEMM kernels in linalg/conv.hpp.
 //
 // Forward and backward parallelize over the batch dimension; each sample
-// runs the serial plane kernels, so all convolution arithmetic (including
-// the masked-weight tap fast path) lives in the linalg kernel layer. No
+// runs the plane kernels, so all convolution arithmetic (including the
+// masked-weight tap fast path) lives in the linalg kernel layer. No
 // per-sample im2col/col2im buffer is materialized on the training path —
 // the per-batch weight zero fraction is counted once and passed down so the
-// kernels pick the packed or tap path without re-probing per sample.
+// kernels pick the packed or tap path without re-probing per sample, and
+// when the packed path will run, the weight panels are pre-packed once per
+// batch (linalg::PackedWeights) instead of once per sample. When the batch
+// has fewer samples than the scheduler has lanes, the kernels additionally
+// split their output-column tiles into stealable subtasks, so batch-level
+// and tile-level parallelism compose instead of leaving lanes idle.
 
 #include <cstdint>
 #include <memory>
@@ -62,6 +67,11 @@ class Conv2d : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  /// Batch-shared weight panels, re-packed per forward/backward call (the
+  /// weights change every optimizer step) but reused across every sample in
+  /// the batch. Member rather than local so the buffers persist between
+  /// steps instead of reallocating.
+  PackedWeights packed_weights_;
 };
 
 }  // namespace rt

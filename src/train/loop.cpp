@@ -1,8 +1,11 @@
 #include "train/loop.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "attack/trades.hpp"
+#include "common/threadpool.hpp"
 #include "nn/loss.hpp"
 
 namespace rt {
@@ -105,11 +108,52 @@ std::int64_t count_correct(const std::vector<int>& pred,
 }  // namespace
 
 float evaluate_accuracy(Session& session, const Dataset& test) {
-  // Session::predict chunks by its max_batch internally; one call covers the
-  // whole dataset without gather copies.
-  const std::vector<int> pred = session.classify(test.images);
-  return static_cast<float>(count_correct(pred, test.labels)) /
-         static_cast<float>(test.size());
+  const auto n = static_cast<std::int64_t>(test.size());
+  if (n <= 0) return 0.0f;
+  // A shared-scheduler session already splits one whole-dataset predict into
+  // max_batch chunk tasks with zero copies — use it directly. Same for a
+  // single-lane scheduler, where sharding would pay gather copies for no
+  // parallelism.
+  if (session.shared_scheduler() ||
+      Scheduler::current().num_threads() == 1) {
+    const std::vector<int> pred = session.classify(test.images);
+    return static_cast<float>(count_correct(pred, test.labels)) /
+           static_cast<float>(test.size());
+  }
+  // Flat session on a multi-lane scheduler: shard the dataset into one task
+  // per max_batch chunk ourselves (Session::predict is thread-safe; each
+  // shard checks out its own workspace), gathering each shard into a
+  // sub-batch tensor. Shard boundaries are fixed by max_batch and each
+  // correct-count lands in its own slot before the serial sum, so the
+  // result is independent of scheduling.
+  const std::int64_t chunk = session.max_batch();
+  const std::int64_t shards = (n + chunk - 1) / chunk;
+  const std::int64_t plane = test.images.numel() / n;
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(shards), 0);
+  parallel_for(
+      shards,
+      [&](std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+          const std::int64_t begin = s * chunk;
+          const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
+          Tensor x({end - begin, test.images.dim(1), test.images.dim(2),
+                    test.images.dim(3)});
+          std::copy(test.images.data() + begin * plane,
+                    test.images.data() + end * plane, x.data());
+          const std::vector<int> pred = session.classify(x);
+          std::int64_t hits = 0;
+          for (std::size_t i = 0; i < pred.size(); ++i) {
+            if (pred[i] == test.labels[static_cast<std::size_t>(begin) + i]) {
+              ++hits;
+            }
+          }
+          correct[static_cast<std::size_t>(s)] = hits;
+        }
+      },
+      /*grain=*/1);
+  std::int64_t total = 0;
+  for (const std::int64_t c : correct) total += c;
+  return static_cast<float>(total) / static_cast<float>(test.size());
 }
 
 Tensor predict_probabilities(Session& session, const Dataset& data) {
@@ -121,7 +165,12 @@ Session make_eval_session(const ResNet& model, const Dataset& data,
   CompileOptions options;
   options.height = data.images.dim(2);
   options.width = data.images.dim(3);
-  return Session(Engine::compile(model, options), batch_size);
+  // Evaluation is read-only bulk work: let concurrent predict() calls and
+  // oversized batches chunk across the shared scheduler.
+  SessionOptions session_options;
+  session_options.max_batch = batch_size;
+  session_options.shared_scheduler = true;
+  return Session(Engine::compile(model, options), session_options);
 }
 
 float evaluate_accuracy(Module& model, const Dataset& test, int batch_size) {
