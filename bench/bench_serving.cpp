@@ -1,0 +1,134 @@
+// Serving front-end micro-benchmarks (google-benchmark): what the async
+// coalescing layer costs and buys on the paper's deployment artifact — a
+// 90%-sparse unstructured MicroResNet-18 ticket whose layers pack as CSR.
+//
+//   BM_ServerLatencyP50P99/shards   closed-loop single client, one 1-row
+//                                   request at a time: the per-request
+//                                   latency floor of the queue + coalescer +
+//                                   serving-lane dispatch + future path,
+//                                   reported as p50/p99 counters (us).
+//   BM_ServerThroughputClients/     C clients each submit a burst of 1-row
+//     clients/batched/shards        requests asynchronously and then drain
+//                                   their futures. batched=0 serves every
+//                                   request as its own micro-batch
+//                                   (max_batch=1, the per-request baseline);
+//                                   batched=1 lets the coalescer pack up to
+//                                   16 rows, amortizing workspace checkout,
+//                                   dispatch, and weight streaming across
+//                                   the batch. The rows_per_batch counter
+//                                   reports the achieved fill.
+//
+// scripts/check.sh --bench-json writes these to BENCH_serving.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "models/resnet.hpp"
+#include "prune/baselines.hpp"
+#include "serving/serving.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+/// The deployment artifact every serving bench runs: a 90%-per-layer-sparse
+/// r18 compiled at 16x16 (every conv packs as CSR).
+std::shared_ptr<const rt::CompiledTicket> sparse_r18_plan() {
+  rt::Rng rng(9);
+  auto model = rt::make_micro_resnet18(10, rng);
+  rt::layerwise_magnitude_prune(*model, 0.9f, rt::Granularity::kElement);
+  model->set_training(false);
+  return std::make_shared<const rt::CompiledTicket>(
+      rt::Engine::compile(*model));
+}
+
+void BM_ServerLatencyP50P99(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  auto plan = sparse_r18_plan();
+  rt::serving::ServerOptions opt;
+  opt.shards = shards;
+  opt.max_batch = 16;
+  opt.max_delay_ms = 0.05;
+  rt::serving::Server server(plan, opt);
+
+  rt::Rng rng(11);
+  const rt::Tensor x = rt::Tensor::uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 14);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(server.predict(x));
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto pct = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+  if (!latencies_us.empty()) {
+    state.counters["p50_us"] = pct(0.50);
+    state.counters["p99_us"] = pct(0.99);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerLatencyP50P99)->Arg(1)->Arg(2)->UseRealTime();
+
+void BM_ServerThroughputClients(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) == 1;
+  const int shards = static_cast<int>(state.range(2));
+  auto plan = sparse_r18_plan();
+  rt::serving::ServerOptions opt;
+  opt.shards = shards;
+  opt.max_batch = batched ? 16 : 1;
+  // max_batch=1 fills every batch instantly, so the delay only matters for
+  // the coalescing configuration.
+  opt.max_delay_ms = batched ? 0.1 : 0.0;
+  opt.queue_capacity_rows = 1 << 16;
+  rt::serving::Server server(plan, opt);
+
+  rt::Rng rng(12);
+  const rt::Tensor x = rt::Tensor::uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
+  constexpr int kRequestsPerClient = 64;
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        std::vector<std::future<rt::Tensor>> inflight;
+        inflight.reserve(kRequestsPerClient);
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          inflight.push_back(server.submit(rt::Tensor(x)));
+        }
+        for (auto& f : inflight) benchmark::DoNotOptimize(f.get());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  const rt::serving::ServerStats st = server.stats();
+  if (st.batches > 0) {
+    state.counters["rows_per_batch"] =
+        static_cast<double>(st.batched_rows) / static_cast<double>(st.batches);
+  }
+  state.SetItemsProcessed(state.iterations() * clients * kRequestsPerClient);
+}
+BENCHMARK(BM_ServerThroughputClients)
+    ->Args({1, 0, 1})  // single client, per-request baseline
+    ->Args({1, 1, 1})  // single client, micro-batching
+    ->Args({4, 1, 1})  // 4 clients sharing one shard
+    ->Args({4, 1, 2})  // 4 clients over a 2-shard fleet
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,12 +1,17 @@
-// Edge deployment: pick the best ticket under a hardware budget.
+// Edge deployment: pick the best ticket under a hardware budget, then serve
+// it through the async front-end.
 //
 // The paper motivates robust tickets with resource-constrained edge
 // transfer learning. This example sweeps CHANNEL-structured sparsity (the
 // pattern real accelerators exploit), measures parameter/FLOP savings with
 // the library's model statistics, and selects the sparsest robust ticket
-// that stays within a target accuracy drop — then compares against the
-// natural ticket at the same budget.
+// that stays within a target accuracy drop — then deploys the winner behind
+// serving::Server with a heterogeneous two-shard fleet (full-precision and
+// int8 variants of the same ticket), the way an edge gateway would mix a
+// fast low-power replica with a full-precision one.
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "core/robust_tickets.hpp"
 
@@ -26,6 +31,7 @@ int main() {
 
   double best_rob = 0.0;
   float best_sparsity = 0.0f;
+  std::unique_ptr<rt::ResNet> best_ticket;
   for (float sparsity : {0.0f, 0.2f, 0.4f, 0.6f, 0.8f}) {
     rt::Rng rng(11);
     auto natural = lab.omp_ticket("r18", rt::PretrainScheme::kNatural,
@@ -46,9 +52,10 @@ int main() {
                 2.0 * static_cast<double>(plan.effective_macs()) / 1e6,
                 static_cast<double>(plan.packed_bytes()) / 1024.0,
                 100.0f * nat, 100.0f * rob);
-    if (rob > best_rob * 0.995) {  // prefer sparser models at ~equal accuracy
+    if (rob >= best_rob * 0.995) {  // prefer sparser models at ~equal accuracy
       best_rob = rob;
       best_sparsity = sparsity;
+      best_ticket = std::move(robust);
     }
   }
 
@@ -59,6 +66,44 @@ int main() {
   std::printf(
       "Channel masks remove whole output channels; Engine::compile packs the\n"
       "surviving rows contiguously (chan-compact), so the saved FLOPs become\n"
-      "real serving speedups without sparse-kernel support.\n");
+      "real serving speedups without sparse-kernel support.\n\n");
+
+  // Deployment: one ticket, two compiled variants, one async front-end.
+  // Shard 0 serves the full-precision plan, shard 1 the int8 plan; the
+  // coalescer round-robins micro-batches across them, so half the traffic
+  // runs on the cheap encoding — the mixed-precision fleet an edge gateway
+  // actually runs.
+  rt::CompileOptions fp32_opt;
+  fp32_opt.height = task.test.images.dim(2);
+  fp32_opt.width = task.test.images.dim(3);
+  rt::CompileOptions int8_opt = fp32_opt;
+  int8_opt.int8_weights = true;
+  auto fp32_plan = std::make_shared<const rt::CompiledTicket>(
+      rt::Engine::compile(*best_ticket, fp32_opt));
+  auto int8_plan = std::make_shared<const rt::CompiledTicket>(
+      rt::Engine::compile(*best_ticket, int8_opt));
+
+  rt::serving::ServerOptions serve_opt;
+  serve_opt.max_batch = 32;
+  serve_opt.max_delay_ms = 0.0;
+  serve_opt.queue_capacity_rows =
+      4 * static_cast<std::int64_t>(task.test.size());
+  rt::serving::Server server({fp32_plan, int8_plan}, serve_opt);
+
+  const float served_acc = rt::evaluate_accuracy(server, task.test);
+  const rt::serving::ServerStats st = server.stats();
+  std::printf("Mixed fp32+int8 fleet behind serving::Server:\n");
+  std::printf("  served accuracy       %.2f%%\n", 100.0f * served_acc);
+  std::printf("  shard 0 (fp32) KiB    %.1f\n",
+              static_cast<double>(server.shard_plan(0).packed_bytes()) /
+                  1024.0);
+  std::printf("  shard 1 (int8) KiB    %.1f\n",
+              static_cast<double>(server.shard_plan(1).packed_bytes()) /
+                  1024.0);
+  std::printf("  micro-batches         %llu (avg %.1f rows each)\n",
+              static_cast<unsigned long long>(st.batches),
+              st.batches > 0 ? static_cast<double>(st.batched_rows) /
+                                   static_cast<double>(st.batches)
+                             : 0.0);
   return 0;
 }

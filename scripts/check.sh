@@ -38,34 +38,41 @@ cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 if [[ "${TSAN}" == 1 ]]; then
-  echo "== ThreadSanitizer pass (scheduler + engine suites) =="
+  echo "== ThreadSanitizer pass (scheduler + engine + serving suites) =="
   cmake -B build-tsan -S . -DRT_SANITIZE=thread -DRT_BUILD_BENCHES=OFF \
         -DRT_BUILD_EXAMPLES=OFF -DRT_MARCH_NATIVE=OFF
   cmake --build build-tsan -j"${JOBS}" \
-        --target test_scheduler test_engine test_common test_gemm
+        --target test_scheduler test_engine test_serving test_common test_gemm
   ctest --test-dir build-tsan --output-on-failure -j1 \
-        -R 'test_scheduler|test_engine|test_common|test_gemm'
+        -R 'test_scheduler|test_engine|test_serving|test_common|test_gemm'
 fi
 
-KERNEL_FILTER='BM_Matmul|BM_Gemm|BM_ConvTrain|BM_EngineThroughput'
-if [[ -x build/bench_kernels ]]; then
-  echo "== bench_kernels smoke (GEMM + conv + engine throughput) =="
-  # --benchmark_out writes the JSON in addition to the console report, so
-  # one run serves both the human gate and the machine-readable snapshot.
-  EXTRA_ARGS=()
-  if [[ "${BENCH_JSON}" == 1 ]]; then
-    EXTRA_ARGS+=(--benchmark_out=BENCH_kernels.json
-                 --benchmark_out_format=json)
+# run_bench_smoke <binary> <filter> <json_out> <description>
+# --benchmark_out writes the JSON in addition to the console report, so one
+# run serves both the human gate and the machine-readable snapshot.
+run_bench_smoke() {
+  local binary="$1" filter="$2" json_out="$3" description="$4"
+  if [[ ! -x "build/${binary}" ]]; then
+    echo "${binary} not built (google-benchmark missing); skipping smoke run"
+    return
   fi
-  ./build/bench_kernels \
-    --benchmark_filter="${KERNEL_FILTER}" \
+  echo "== ${binary} smoke (${description}) =="
+  local extra_args=()
+  if [[ "${BENCH_JSON}" == 1 ]]; then
+    extra_args+=(--benchmark_out="${json_out}" --benchmark_out_format=json)
+  fi
+  "./build/${binary}" \
+    --benchmark_filter="${filter}" \
     --benchmark_min_time=0.05 \
-    "${EXTRA_ARGS[@]}"
+    "${extra_args[@]}"
   if [[ "${BENCH_JSON}" == 1 ]]; then
-    echo "wrote BENCH_kernels.json"
+    echo "wrote ${json_out}"
   fi
-else
-  echo "bench_kernels not built (google-benchmark missing); skipping smoke run"
-fi
+}
+
+run_bench_smoke bench_kernels 'BM_Matmul|BM_Gemm|BM_ConvTrain|BM_EngineThroughput' \
+  BENCH_kernels.json "GEMM + conv + engine throughput"
+run_bench_smoke bench_serving 'BM_Server' \
+  BENCH_serving.json "async micro-batching front-end"
 
 echo "check.sh: all gates passed"

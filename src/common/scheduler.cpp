@@ -201,6 +201,18 @@ Scheduler& Scheduler::current() {
 
 void Scheduler::submit(const detail::Task& task) {
   task.group->pending.fetch_add(1, std::memory_order_relaxed);
+  if (task.priority == TaskPriority::kServing) {
+    // Serving lane: never enters a work-stealing deque, so it cannot sit
+    // behind a worker's depth-first bulk backlog. The count bump must be
+    // visible before the wakeup so a parker's re-check finds the task.
+    {
+      std::lock_guard<std::mutex> lock(urgent_mutex_);
+      urgent_.push_back(task);
+    }
+    urgent_count_.fetch_add(1, std::memory_order_seq_cst);
+    wake_one();
+    return;
+  }
   bool queued;
   if (detail::tl_worker_scheduler == this) {
     queued = workers_[static_cast<std::size_t>(detail::tl_worker_index)]
@@ -246,6 +258,30 @@ void Scheduler::execute(const detail::Task& task) {
   detail::finish_task(*group);
 }
 
+bool Scheduler::pop_urgent(detail::Task& out) {
+  // Lock-free fast path: bulk-only workloads pay one atomic load here.
+  if (urgent_count_.load(std::memory_order_seq_cst) == 0) return false;
+  std::lock_guard<std::mutex> lock(urgent_mutex_);
+  if (urgent_.empty()) return false;
+  out = urgent_.front();
+  urgent_.pop_front();
+  urgent_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Scheduler::help_urgent() {
+  detail::Task task;
+  if (!pop_urgent(task)) return false;
+  if (detail::tl_worker_scheduler == this) {
+    execute(task);
+  } else {
+    // Nested fork/join regions inside the task must land on this scheduler.
+    SchedulerScope scope(*this);
+    execute(task);
+  }
+  return true;
+}
+
 bool Scheduler::pop_injected(detail::Task& out) {
   std::lock_guard<std::mutex> lock(inject_mutex_);
   if (injected_.empty()) return false;
@@ -271,6 +307,9 @@ bool Scheduler::steal_from_others(int self, detail::Task& out) {
 }
 
 bool Scheduler::try_acquire(int self, detail::Task& out) {
+  // Serving tasks overtake every bulk source — including the caller's own
+  // deque, whose entries are merely queued (not in-progress) bulk leaves.
+  if (pop_urgent(out)) return true;
   if (self >= 0 &&
       workers_[static_cast<std::size_t>(self)]->deque.pop(out)) {
     return true;
@@ -417,7 +456,7 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::submit(detail::Task::Invoke invoke, void* ctx) {
-  sched_.submit(detail::Task{invoke, ctx, 0, 0, &state_});
+  sched_.submit(detail::Task{invoke, ctx, 0, 0, &state_, priority_});
 }
 
 void TaskGroup::wait() { sched_.wait_group(state_); }

@@ -55,13 +55,24 @@ namespace rt {
 
 class Scheduler;
 
+/// Two scheduling lanes. kBulk is the default: parallel_for leaves and
+/// ordinary TaskGroup spawns — throughput work (retraining, eval batteries,
+/// kernel row blocks). kServing marks latency-sensitive tasks (the serving
+/// front-end's micro-batches): they are queued separately and every
+/// acquisition point — worker loop, steal path, helping waiter — drains that
+/// queue before touching any bulk work, so a serving task overtakes every
+/// queued bulk leaf. Priority is non-preemptive: a bulk task already
+/// executing runs to completion; overtaking happens at dequeue points.
+enum class TaskPriority { kBulk, kServing };
+
 namespace detail {
 
 struct TaskGroupState;
 
 /// One schedulable unit: a bare thunk plus the context it runs over. For
 /// parallel_for subtasks [begin, end) is the remaining index range; spawned
-/// closures ignore it.
+/// closures ignore it. `priority` only routes the task at submit time
+/// (serving tasks never enter the work-stealing deques).
 struct Task {
   using Invoke = void (*)(void* ctx, std::int64_t begin, std::int64_t end);
   Invoke invoke = nullptr;
@@ -69,6 +80,7 @@ struct Task {
   std::int64_t begin = 0;
   std::int64_t end = 0;
   TaskGroupState* group = nullptr;
+  TaskPriority priority = TaskPriority::kBulk;
 };
 
 /// Completion state shared by all tasks of one fork/join region. Lives in the
@@ -111,6 +123,12 @@ class Scheduler {
                     FunctionRef<void(std::int64_t, std::int64_t)> fn,
                     std::int64_t grain = 0);
 
+  /// Executes one queued serving-priority task if any, returning whether it
+  /// did. Lets a latency-critical producer (the serving coalescer) guarantee
+  /// the urgent lane drains without adopting an arbitrarily long bulk task
+  /// the way a full wait_group() help could.
+  bool help_urgent();
+
   /// Process-wide scheduler: RT_THREADS lanes when set, else the hardware
   /// concurrency.
   static Scheduler& instance();
@@ -129,7 +147,9 @@ class Scheduler {
 
   /// Adds the task to its group and queues it: worker threads push onto
   /// their own deque (lock-free), external threads onto the injection
-  /// queue. A full deque degrades to executing the task inline.
+  /// queue. A full deque degrades to executing the task inline. Serving-
+  /// priority tasks always go to the dedicated urgent queue, which every
+  /// acquisition point drains first.
   void submit(const detail::Task& task);
   /// Runs one task, routing any exception into its group.
   void execute(const detail::Task& task);
@@ -143,6 +163,7 @@ class Scheduler {
   bool try_acquire(int self, detail::Task& out);
   bool steal_from_others(int self, detail::Task& out);
   bool pop_injected(detail::Task& out);
+  bool pop_urgent(detail::Task& out);
   void wake_one();
   void worker_main(int index);
 
@@ -152,6 +173,15 @@ class Scheduler {
 
   std::mutex inject_mutex_;
   std::deque<detail::Task> injected_;
+
+  // Serving lane: a mutexed FIFO checked before any bulk source. The atomic
+  // count keeps the empty case lock-free — bulk throughput pays one
+  // uncontended seq_cst load per acquisition when no serving traffic exists
+  // (seq_cst so a parker's post-registration re-check cannot miss a count
+  // bumped before the wakeup signal).
+  std::mutex urgent_mutex_;
+  std::deque<detail::Task> urgent_;
+  std::atomic<std::int64_t> urgent_count_{0};
 
   // Parked-worker wakeup: push bumps signals_ and pokes the condvar only
   // when someone is parked; parkers re-check the deques after registering,
@@ -176,8 +206,12 @@ class Scheduler {
 /// same machinery with a deterministic decomposition.
 class TaskGroup {
  public:
-  explicit TaskGroup(Scheduler& scheduler = Scheduler::current())
-      : sched_(scheduler) {}
+  explicit TaskGroup(Scheduler& scheduler = Scheduler::current(),
+                     TaskPriority priority = TaskPriority::kBulk)
+      : sched_(scheduler), priority_(priority) {}
+  /// Priority-only construction against the calling thread's scheduler.
+  explicit TaskGroup(TaskPriority priority)
+      : TaskGroup(Scheduler::current(), priority) {}
   /// Waits for stragglers (swallowing their exceptions); call wait() on the
   /// success path so failures propagate.
   ~TaskGroup();
@@ -205,6 +239,7 @@ class TaskGroup {
   void submit(detail::Task::Invoke invoke, void* ctx);
 
   Scheduler& sched_;
+  TaskPriority priority_ = TaskPriority::kBulk;
   detail::TaskGroupState state_;
 };
 

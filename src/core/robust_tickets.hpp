@@ -45,6 +45,7 @@
 #include "prune/mask.hpp"             // masks & granularities
 #include "prune/nm_sparsity.hpp"      // N:M (2:4) structured sparsity
 #include "prune/omp.hpp"              // one-shot magnitude pruning
+#include "serving/serving.hpp"        // async micro-batching serving front-end
 #include "train/loop.hpp"             // training / evaluation loops
 #include "transfer/det_transfer.hpp"  // detection transfer (Fig. 7a)
 #include "transfer/evaluate.hpp"      // Fig. 8 metric battery

@@ -390,7 +390,11 @@ Session::Session(CompiledTicket plan, const SessionOptions& options)
 Session::Session(std::shared_ptr<const CompiledTicket> plan,
                  const SessionOptions& options)
     : plan_(std::move(plan)), options_(options) {
-  options_.max_batch = std::max(1, options_.max_batch);
+  if (options_.max_batch <= 0) {
+    throw std::invalid_argument(
+        "SessionOptions: max_batch must be > 0, got " +
+        std::to_string(options_.max_batch));
+  }
   if (plan_ == nullptr) {
     throw std::invalid_argument("Session: null plan");
   }
@@ -433,13 +437,17 @@ class Session::WorkspaceLease {
   std::unique_ptr<Workspace> ws_;
 };
 
+void Session::run_rows(const float* x, std::int64_t n, float* logits) {
+  WorkspaceLease lease(*this);
+  plan_->run(x, n, logits, lease.get());
+}
+
 void Session::run_chunk(const Tensor& x, std::int64_t begin, std::int64_t end,
                         Tensor& logits) {
   const std::int64_t plane =
       plan_->in_channels() * plan_->height() * plan_->width();
-  WorkspaceLease lease(*this);
-  plan_->run(x.data() + begin * plane, end - begin,
-             logits.data() + begin * plan_->num_classes(), lease.get());
+  run_rows(x.data() + begin * plane, end - begin,
+           logits.data() + begin * plan_->num_classes());
 }
 
 Tensor Session::predict(const Tensor& x) {

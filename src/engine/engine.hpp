@@ -41,6 +41,8 @@ class Engine {
 
 struct SessionOptions {
   /// Largest batch one Workspace is sized for; bigger inputs run in chunks.
+  /// Must be positive — Session's constructor throws std::invalid_argument
+  /// otherwise.
   int max_batch = 64;
   /// Shared-scheduler serving: predict() splits its max_batch chunks into
   /// tasks on the calling thread's scheduler (Scheduler::current()), each
@@ -75,6 +77,16 @@ class Session {
   /// (n, num_classes) logits for an (n, C, H, W) batch matching the compiled
   /// geometry. Batches larger than max_batch are processed in chunks.
   Tensor predict(const Tensor& x);
+  /// Chunk-submission entry point: runs n (<= max_batch()) rows of flat
+  /// (in_ch * height * width) sample planes from `x` through a pooled
+  /// workspace, writing n * num_classes floats to `logits`. This is exactly
+  /// the unit predict() dispatches internally — external batchers
+  /// (serving::Server's coalescer) submit these instead of re-implementing
+  /// the chunk loop. No geometry validation happens at this level — callers
+  /// pack rows they already validated with plan().check_input() — but an
+  /// oversized n still fails loudly: CompiledTicket::run rejects any chunk
+  /// larger than the workspace it is handed.
+  void run_rows(const float* x, std::int64_t n, float* logits);
   /// Row-softmax probabilities, same contract as predict().
   Tensor predict_probabilities(const Tensor& x);
   /// Argmax class per sample.

@@ -1,0 +1,381 @@
+#include "serving/serving.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace rt {
+namespace serving {
+
+namespace detail {
+
+/// One admitted request, heap-owned until its last completion token drops.
+/// Completion tokens: the coalescer holds one "still packing" token from
+/// admission until the request's last row has been placed in a micro-batch,
+/// and every dispatched span holds one until its batch finishes. The holder
+/// that drops the count to zero fulfils the promise — so a request split
+/// across micro-batches resolves exactly once, after all of its rows.
+struct Request {
+  Tensor input;   ///< (rows, C, H, W), moved from submit()
+  Tensor output;  ///< (rows, num_classes), scattered into by batch tasks
+  std::promise<Tensor> promise;
+  std::int64_t rows = 0;
+  std::chrono::steady_clock::time_point enqueued;
+  std::atomic<std::int64_t> tokens{1};  ///< packing token + one per span
+  std::mutex error_mutex;
+  std::exception_ptr error;  ///< first failure; read by the last token holder
+};
+
+/// One dispatched micro-batch: packed input rows, their logits, and the
+/// scatter map back to the owning requests. Heap-allocated by the coalescer,
+/// spawned on the scheduler's serving lane, self-deleting.
+struct BatchTask {
+  struct Span {
+    Request* request;
+    std::int64_t request_row0;  ///< first row inside the request
+    std::int64_t batch_row0;    ///< first row inside the packed batch
+    std::int64_t rows;
+  };
+
+  Server* server = nullptr;
+  Session* shard = nullptr;
+  Tensor input;   ///< (b, C, H, W) cross-request packed rows
+  Tensor logits;  ///< (b, num_classes)
+  std::vector<Span> spans;
+
+  static void fail(Request* request) {
+    std::lock_guard<std::mutex> lock(request->error_mutex);
+    if (request->error == nullptr) {
+      request->error = std::current_exception();
+    }
+  }
+
+  void operator()() {
+    std::unique_ptr<BatchTask> self(this);  // freed on every exit path
+    bool ok = true;
+    try {
+      // The same chunk unit a synchronous Session::predict() dispatches, so
+      // coalescing cannot perturb any sample's float accumulation.
+      shard->run_rows(input.data(), input.dim(0), logits.data());
+    } catch (...) {
+      ok = false;
+      for (const Span& s : spans) fail(s.request);
+    }
+    // Admission capacity is held until here — through queueing, packing,
+    // and execution — so a producer that never drains its futures hits
+    // ServerOverloaded instead of growing an unbounded backlog of
+    // dispatched batches. Released before any future resolves, so a client
+    // reading stats after get() sees the rows gone.
+    server->queued_rows_.fetch_sub(input.dim(0), std::memory_order_relaxed);
+    const std::int64_t classes = logits.dim(1);
+    for (const Span& s : spans) {
+      if (ok) {
+        // Disjoint row ranges: spans of one request living in different
+        // batches scatter without synchronization.
+        std::copy(logits.data() + s.batch_row0 * classes,
+                  logits.data() + (s.batch_row0 + s.rows) * classes,
+                  s.request->output.data() + s.request_row0 * classes);
+      }
+      Server::finish_span(s.request, *server);
+    }
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+void validate_options(const ServerOptions& options) {
+  if (options.max_batch < 1) {
+    throw std::invalid_argument("ServerOptions: max_batch must be > 0, got " +
+                                std::to_string(options.max_batch));
+  }
+  if (!(options.max_delay_ms >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "ServerOptions: max_delay_ms must be >= 0, got " +
+        std::to_string(options.max_delay_ms));
+  }
+  if (options.queue_capacity_rows < 1) {
+    throw std::invalid_argument(
+        "ServerOptions: queue_capacity_rows must be >= 1, got " +
+        std::to_string(options.queue_capacity_rows));
+  }
+}
+
+std::vector<std::shared_ptr<const CompiledTicket>> replicate(
+    std::shared_ptr<const CompiledTicket> plan, int shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("ServerOptions: shards must be >= 1, got " +
+                                std::to_string(shards));
+  }
+  return std::vector<std::shared_ptr<const CompiledTicket>>(
+      static_cast<std::size_t>(shards), std::move(plan));
+}
+
+}  // namespace
+
+Server::Server(CompiledTicket plan, const ServerOptions& options)
+    : Server(std::make_shared<const CompiledTicket>(std::move(plan)),
+             options) {}
+
+Server::Server(std::shared_ptr<const CompiledTicket> plan,
+               const ServerOptions& options)
+    : Server(replicate(std::move(plan), options.shards), options) {}
+
+Server::Server(std::vector<std::shared_ptr<const CompiledTicket>> shard_plans,
+               const ServerOptions& options)
+    : options_(options),
+      plans_(std::move(shard_plans)),
+      sched_(Scheduler::current()),
+      inflight_(sched_, TaskPriority::kServing) {
+  validate_options(options_);
+  if (plans_.empty()) {
+    throw std::invalid_argument("serving::Server: no shard plans");
+  }
+  for (const auto& plan : plans_) {
+    if (plan == nullptr) {
+      throw std::invalid_argument("serving::Server: null shard plan");
+    }
+    // Heterogeneous encodings (dense / CSR / int8) are welcome, but every
+    // shard must accept the same rows and emit the same logit shape.
+    const CompiledTicket& ref = *plans_.front();
+    if (plan->in_channels() != ref.in_channels() ||
+        plan->height() != ref.height() || plan->width() != ref.width() ||
+        plan->num_classes() != ref.num_classes()) {
+      throw std::invalid_argument(
+          "serving::Server: shard plans disagree on input geometry or "
+          "class count");
+    }
+  }
+  options_.shards = static_cast<int>(plans_.size());
+  sessions_.reserve(plans_.size());
+  for (const auto& plan : plans_) {
+    sessions_.push_back(std::make_unique<Session>(
+        plan, SessionOptions{.max_batch = options_.max_batch}));
+  }
+  coalescer_ = std::thread([this] { coalescer_main(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (coalescer_.joinable()) coalescer_.join();
+  // Drain barrier: every dispatched micro-batch has fulfilled its futures
+  // before the sessions and plans go away.
+  inflight_.wait();
+}
+
+const CompiledTicket& Server::shard_plan(int shard) const {
+  if (shard < 0 || shard >= shards()) {
+    throw std::invalid_argument("serving::Server: shard index out of range");
+  }
+  return *plans_[static_cast<std::size_t>(shard)];
+}
+
+std::future<Tensor> Server::submit(Tensor rows) {
+  submitted_requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    plans_.front()->check_input(rows);
+    // check_input validates geometry, not row count. A zero-row request
+    // would never trip either dispatch condition and hang its future (and
+    // the drain), so it must bounce here. Unreachable through Tensor's
+    // own positive-extent invariant, but cheap insurance.
+    if (rows.ndim() < 1 || rows.dim(0) <= 0) {
+      throw std::invalid_argument("serving::Server: empty request");
+    }
+  } catch (...) {
+    failed_requests_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Tensor> failed;
+    failed.set_exception(std::current_exception());
+    return failed.get_future();
+  }
+  const std::int64_t n = rows.dim(0);
+  submitted_rows_.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+
+  // Strict admission bound: claim the rows first, undo on overflow.
+  const std::int64_t admitted =
+      queued_rows_.fetch_add(n, std::memory_order_acq_rel) + n;
+  if (admitted > options_.queue_capacity_rows) {
+    queued_rows_.fetch_sub(n, std::memory_order_relaxed);
+    rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Tensor> rejected;
+    rejected.set_exception(std::make_exception_ptr(ServerOverloaded(
+        "serving::Server: queue at capacity (" +
+        std::to_string(options_.queue_capacity_rows) + " rows)")));
+    return rejected.get_future();
+  }
+
+  auto* request = new detail::Request;
+  request->input = std::move(rows);
+  request->rows = n;
+  request->output = Tensor({n, plans_.front()->num_classes()});
+  request->enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> result = request->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      queued_rows_.fetch_sub(n, std::memory_order_relaxed);
+      rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+      request->promise.set_exception(std::make_exception_ptr(
+          ServerOverloaded("serving::Server: shutting down")));
+      delete request;
+      return result;
+    }
+    queue_.push_back(request);
+  }
+  queue_cv_.notify_one();
+  return result;
+}
+
+Tensor Server::predict(Tensor rows) { return submit(std::move(rows)).get(); }
+
+void Server::finish_span(detail::Request* request, Server& server) {
+  // acq_rel: a failing span's error write happens-before the last token
+  // holder reads it, and every scatter copy happens-before set_value.
+  if (request->tokens.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (request->error != nullptr) {
+    server.failed_requests_.fetch_add(1, std::memory_order_relaxed);
+    request->promise.set_exception(request->error);
+  } else {
+    server.completed_requests_.fetch_add(1, std::memory_order_relaxed);
+    request->promise.set_value(std::move(request->output));
+  }
+  delete request;
+}
+
+void Server::spawn_batch(std::deque<detail::Request*>& pending,
+                         std::int64_t& front_cursor,
+                         std::int64_t& pending_rows, std::int64_t take) {
+  const CompiledTicket& plan = *plans_.front();
+  const std::int64_t plane = plan.in_channels() * plan.height() * plan.width();
+  const std::int64_t classes = plan.num_classes();
+
+  auto task = std::make_unique<detail::BatchTask>();
+  task->server = this;
+  const std::uint64_t seq = batches_.fetch_add(1, std::memory_order_relaxed);
+  task->shard =
+      sessions_[static_cast<std::size_t>(
+                    seq % static_cast<std::uint64_t>(sessions_.size()))]
+          .get();
+  task->input = Tensor({take, plan.in_channels(), plan.height(), plan.width()});
+  task->logits = Tensor({take, classes});
+  task->spans.reserve(4);
+
+  std::int64_t filled = 0;
+  while (filled < take) {
+    detail::Request* request = pending.front();
+    const std::int64_t n =
+        std::min(take - filled, request->rows - front_cursor);
+    std::copy(request->input.data() + front_cursor * plane,
+              request->input.data() + (front_cursor + n) * plane,
+              task->input.data() + filled * plane);
+    task->spans.push_back({request, front_cursor, filled, n});
+    request->tokens.fetch_add(1, std::memory_order_relaxed);
+    front_cursor += n;
+    filled += n;
+    if (front_cursor == request->rows) {
+      // Fully packed: drop the coalescer's token. The span counts added
+      // above keep the request alive until its batches finish.
+      pending.pop_front();
+      front_cursor = 0;
+      finish_span(request, *this);
+    }
+  }
+  pending_rows -= take;
+  batched_rows_.fetch_add(static_cast<std::uint64_t>(take),
+                          std::memory_order_relaxed);
+  inflight_.spawn(*task.release());  // self-deletes after execution
+}
+
+void Server::coalescer_main() {
+  std::deque<detail::Request*> pending;
+  std::int64_t front_cursor = 0;  ///< rows of pending.front() already packed
+  std::int64_t pending_rows = 0;
+  const auto delay =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+  const auto max_batch = static_cast<std::int64_t>(options_.max_batch);
+
+  for (;;) {
+    bool stop_now = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (pending.empty()) {
+        queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      } else if (queue_.empty() && !stopping_ && delay.count() > 0) {
+        // Partial batch waiting: sleep until its deadline or new arrivals.
+        queue_cv_.wait_until(lock, pending.front()->enqueued + delay,
+                             [&] { return stopping_ || !queue_.empty(); });
+      }
+      while (!queue_.empty()) {
+        pending.push_back(queue_.front());
+        queue_.pop_front();
+        pending_rows += pending.back()->rows;
+      }
+      stop_now = stopping_;
+    }
+
+    // Full micro-batches dispatch immediately; a partial one only when its
+    // deadline expired (max_delay 0 means "whatever has arrived"), or to
+    // flush on shutdown.
+    while (pending_rows >= max_batch) {
+      spawn_batch(pending, front_cursor, pending_rows, max_batch);
+    }
+    if (pending_rows > 0) {
+      const bool expired =
+          delay.count() == 0 ||
+          std::chrono::steady_clock::now() >= pending.front()->enqueued + delay;
+      if (stop_now || expired) {
+        spawn_batch(pending, front_cursor, pending_rows, pending_rows);
+      }
+    }
+
+    // Help phase: the coalescer is the guaranteed executor — a single-lane
+    // scheduler, or a fleet whose workers all sit blocked in future.get(),
+    // still serves — but packing outranks helping. It executes serving
+    // tasks (urgent lane only, so it can never adopt a long bulk leaf) just
+    // while there is nothing to pack and no coalescing deadline due; the
+    // moment requests arrive it returns to packing and leaves the remaining
+    // batches to the workers, so a streaming multicore fleet pipelines
+    // instead of serializing its batches on this thread.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_ || !queue_.empty()) break;
+      }
+      if (!pending.empty() &&
+          std::chrono::steady_clock::now() >=
+              pending.front()->enqueued + delay) {
+        break;  // a partial batch is due: flush it before helping more
+      }
+      if (!sched_.help_urgent()) break;
+    }
+
+    if (stop_now && pending.empty()) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.empty()) return;  // nothing raced in before stopping_ rose
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted_requests = submitted_requests_.load(std::memory_order_relaxed);
+  s.submitted_rows = submitted_rows_.load(std::memory_order_relaxed);
+  s.completed_requests = completed_requests_.load(std::memory_order_relaxed);
+  s.failed_requests = failed_requests_.load(std::memory_order_relaxed);
+  s.rejected_requests = rejected_requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  s.queued_rows = queued_rows_.load(std::memory_order_relaxed);
+  s.capacity_rows = options_.queue_capacity_rows;
+  return s;
+}
+
+}  // namespace serving
+}  // namespace rt

@@ -1,0 +1,182 @@
+#pragma once
+// rt::serving — the async, micro-batching, sharded serving front-end over
+// engine Sessions.
+//
+// engine::Session answers one synchronous predict() per calling thread; a
+// multi-tenant deployment instead has many clients issuing small requests
+// that should share hardware. serving::Server redesigns that boundary:
+//
+//   serving::ServerOptions opt;
+//   opt.shards = 2;                  // Session replicas (tickets may differ)
+//   opt.max_batch = 32;              // micro-batch row target
+//   opt.max_delay_ms = 0.2;          // coalescing deadline
+//   serving::Server server(Engine::compile(*ticket), opt);
+//   std::future<Tensor> logits = server.submit(rows);   // any thread
+//   Tensor now = server.predict(rows);                  // blocking wrapper
+//
+// Request rows from all client threads land in a lock-light MPSC queue (the
+// producer critical section links one pointer); a coalescer thread packs them
+// into cross-request micro-batches — dispatching when `max_batch` rows have
+// accumulated or the oldest pending request has waited `max_delay_ms`,
+// whichever comes first — and round-robins the batches across the shard
+// Sessions as serving-priority scheduler tasks (TaskPriority::kServing), so
+// they overtake queued bulk work such as retraining parallel_for leaves.
+// Each batch runs Session::run_rows — exactly the chunk unit a synchronous
+// predict() dispatches — and its logits are scattered back to the
+// per-request futures.
+//
+// Determinism contract: a sample's logits depend only on its own input row
+// (per-plane conv loops, per-element head GEMM accumulation, elementwise
+// epilogues), and every micro-batch executes the same serial chunk executor
+// a direct Session::predict() call uses. Batch composition therefore cannot
+// perturb float accumulation: with identical shard plans, responses are
+// BITWISE identical to per-request Session::predict(), no matter how
+// requests were coalesced, split, or routed.
+//
+// Admission control: at most `queue_capacity_rows` rows may be in flight
+// (admitted and not yet served — capacity is held from submit() until the
+// row's micro-batch finishes executing). submit() past that bound fails the
+// returned future with ServerOverloaded immediately (no silent queue or
+// batch-backlog growth) and counts the rejection in ServerStats — the
+// backpressure signal a load balancer reads.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/scheduler.hpp"
+#include "engine/engine.hpp"
+
+namespace rt {
+namespace serving {
+
+namespace detail {
+struct Request;
+struct BatchTask;
+}  // namespace detail
+
+struct ServerOptions {
+  /// Session replicas micro-batches are round-robined across. Shards may
+  /// serve different compiled variants of one model (dense / CSR / int8) —
+  /// every shard plan must share input geometry and class count.
+  int shards = 1;
+  /// Micro-batch row target; also each shard Session's max_batch.
+  int max_batch = 64;
+  /// Coalescing deadline: a partial batch is dispatched once the oldest
+  /// pending request has waited this long. 0 dispatches whatever has
+  /// arrived as soon as the coalescer sees it (no artificial latency).
+  double max_delay_ms = 0.1;
+  /// Admission bound on in-flight rows: admitted and not yet served
+  /// (queued, being packed, or executing on a shard). Held until a row's
+  /// micro-batch finishes, so a producer that submits faster than the
+  /// fleet serves is backpressured instead of growing an unbounded batch
+  /// backlog.
+  std::int64_t queue_capacity_rows = 4096;
+};
+
+/// Monotonic counters plus the live backpressure signal. Aggregate ratios:
+/// mean micro-batch fill is batched_rows / batches, and the coalescing gain
+/// over per-request dispatch is (submitted_requests - rejected_requests -
+/// failed_requests) / batches — rejected and invalid requests never reach a
+/// batch, so they must leave the numerator.
+struct ServerStats {
+  std::uint64_t submitted_requests = 0;
+  std::uint64_t submitted_rows = 0;
+  std::uint64_t completed_requests = 0;
+  std::uint64_t failed_requests = 0;    ///< invalid input or shard failure
+  std::uint64_t rejected_requests = 0;  ///< admission control (overload)
+  std::uint64_t batches = 0;            ///< micro-batches dispatched
+  std::uint64_t batched_rows = 0;       ///< rows across all micro-batches
+  std::int64_t queued_rows = 0;         ///< in flight: admitted, not served
+  std::int64_t capacity_rows = 0;       ///< the admission bound
+};
+
+/// submit() failed admission: the queue is at capacity (or the server is
+/// shutting down). Carried by the returned future.
+class ServerOverloaded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Async, micro-batching, sharded serving front-end. Thread-safe: any number
+/// of threads may submit() concurrently. Destruction drains — every admitted
+/// request's future is fulfilled before the destructor returns.
+class Server {
+ public:
+  /// Single plan replicated across `options.shards` Sessions.
+  explicit Server(CompiledTicket plan, const ServerOptions& options = {});
+  explicit Server(std::shared_ptr<const CompiledTicket> plan,
+                  const ServerOptions& options = {});
+  /// Heterogeneous fleet: one Session per plan (options.shards is ignored —
+  /// the shard count is shard_plans.size()). All plans must share input
+  /// geometry and class count.
+  Server(std::vector<std::shared_ptr<const CompiledTicket>> shard_plans,
+         const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues an (n, C, H, W) batch of rows for coalesced execution. The
+  /// future yields the (n, num_classes) logits, or throws: ServerOverloaded
+  /// on admission failure, std::invalid_argument on geometry mismatch, or
+  /// whatever a shard threw executing the batch.
+  std::future<Tensor> submit(Tensor rows);
+  /// Blocking convenience wrapper: submit + get. Takes the batch by value so
+  /// rvalue callers hand their buffer over without a copy.
+  Tensor predict(Tensor rows);
+
+  ServerStats stats() const;
+  const ServerOptions& options() const { return options_; }
+  int shards() const { return static_cast<int>(sessions_.size()); }
+  const CompiledTicket& shard_plan(int shard) const;
+
+ private:
+  friend struct detail::BatchTask;
+
+  void coalescer_main();
+  /// Packs `take` rows off the pending spans into one micro-batch and spawns
+  /// it on the round-robin shard at serving priority.
+  void spawn_batch(std::deque<detail::Request*>& pending,
+                   std::int64_t& front_cursor, std::int64_t& pending_rows,
+                   std::int64_t take);
+  /// Drops one completion token; the last token fulfils the future.
+  static void finish_span(detail::Request* request, Server& server);
+
+  ServerOptions options_;
+  std::vector<std::shared_ptr<const CompiledTicket>> plans_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  // MPSC handoff to the coalescer. Producers hold the mutex only to link a
+  // request pointer and read the stop flag.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<detail::Request*> queue_;
+  bool stopping_ = false;
+
+  // Admission control + stats (all independently atomic; stats() snapshots).
+  std::atomic<std::int64_t> queued_rows_{0};
+  std::atomic<std::uint64_t> submitted_requests_{0};
+  std::atomic<std::uint64_t> submitted_rows_{0};
+  std::atomic<std::uint64_t> completed_requests_{0};
+  std::atomic<std::uint64_t> failed_requests_{0};
+  std::atomic<std::uint64_t> rejected_requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_rows_{0};
+
+  /// In-flight micro-batch group. Spawns carry serving priority; the
+  /// destructor's wait() is the drain barrier.
+  Scheduler& sched_;
+  TaskGroup inflight_;
+  std::thread coalescer_;
+};
+
+}  // namespace serving
+}  // namespace rt

@@ -62,6 +62,21 @@ Tensor Tensor::from_data(std::vector<std::int64_t> shape,
   return t;
 }
 
+Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t n) const {
+  if (shape_.empty() || begin < 0 || n <= 0 || begin + n > shape_[0]) {
+    throw std::out_of_range("Tensor::slice_rows: rows [" +
+                            std::to_string(begin) + ", " +
+                            std::to_string(begin + n) + ") out of " +
+                            shape_str());
+  }
+  std::vector<std::int64_t> shape = shape_;
+  shape[0] = n;
+  const std::int64_t plane = numel() / shape_[0];
+  Tensor out(std::move(shape));
+  std::copy(data() + begin * plane, data() + (begin + n) * plane, out.data());
+  return out;
+}
+
 std::int64_t Tensor::dim(std::size_t i) const {
   if (i >= shape_.size()) throw std::out_of_range("Tensor::dim");
   return shape_[i];

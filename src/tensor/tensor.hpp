@@ -51,6 +51,11 @@ class Tensor {
     return data_[static_cast<std::size_t>(i)];
   }
 
+  /// Rows [begin, begin + n) of the leading dimension as their own tensor
+  /// (deep copy, trailing layout preserved). The batching idiom: slicing a
+  /// (N, C, H, W) dataset into per-request sub-batches.
+  Tensor slice_rows(std::int64_t begin, std::int64_t n) const;
+
   /// 2-D indexed access (row, col). Tensor must be 2-D.
   float& at(std::int64_t r, std::int64_t c);
   float at(std::int64_t r, std::int64_t c) const;

@@ -1,7 +1,9 @@
 #include "train/loop.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "attack/trades.hpp"
@@ -128,7 +130,6 @@ float evaluate_accuracy(Session& session, const Dataset& test) {
   // result is independent of scheduling.
   const std::int64_t chunk = session.max_batch();
   const std::int64_t shards = (n + chunk - 1) / chunk;
-  const std::int64_t plane = test.images.numel() / n;
   std::vector<std::int64_t> correct(static_cast<std::size_t>(shards), 0);
   parallel_for(
       shards,
@@ -136,10 +137,7 @@ float evaluate_accuracy(Session& session, const Dataset& test) {
         for (std::int64_t s = s0; s < s1; ++s) {
           const std::int64_t begin = s * chunk;
           const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
-          Tensor x({end - begin, test.images.dim(1), test.images.dim(2),
-                    test.images.dim(3)});
-          std::copy(test.images.data() + begin * plane,
-                    test.images.data() + end * plane, x.data());
+          const Tensor x = test.images.slice_rows(begin, end - begin);
           const std::vector<int> pred = session.classify(x);
           std::int64_t hits = 0;
           for (std::size_t i = 0; i < pred.size(); ++i) {
@@ -160,6 +158,63 @@ Tensor predict_probabilities(Session& session, const Dataset& data) {
   return session.predict_probabilities(data.images);
 }
 
+namespace {
+
+/// Serves a whole (N, C, H, W) image batch through the front-end. Fitting
+/// requests go out as one submission — the coalescer splits it into
+/// max_batch-row micro-batches (the same chunk boundaries the Session
+/// overload uses) round-robined across the shards; larger datasets are
+/// served in blocking waves sized to half the admission bound. For bulk
+/// evaluation ServerOverloaded is backpressure, not failure: a wave that
+/// bounces (the server is shared with live traffic, or the dataset exceeds
+/// the bound) is retried until the fleet has headroom, preserving the
+/// Session overloads' any-size contract.
+Tensor predict_dataset(serving::Server& server, const Tensor& images) {
+  const std::int64_t n = images.dim(0);
+  const std::int64_t wave =
+      std::max<std::int64_t>(1, server.options().queue_capacity_rows / 2);
+  const std::int64_t classes = server.shard_plan(0).num_classes();
+  Tensor logits({n, classes});
+  for (std::int64_t begin = 0; begin < n; begin += wave) {
+    const std::int64_t rows = std::min(wave, n - begin);
+    for (;;) {
+      try {
+        // Sliced (or copied, for the whole-set case) per attempt: predict()
+        // consumes its argument even when the future carries the rejection.
+        const Tensor part =
+            server.predict(rows == n ? Tensor(images)
+                                     : images.slice_rows(begin, rows));
+        std::copy(part.data(), part.data() + part.numel(),
+                  logits.data() + begin * classes);
+        break;
+      } catch (const serving::ServerOverloaded&) {
+        // Poll for headroom before re-gathering: slicing the wave again is
+        // a full copy, not worth paying while the fleet is saturated.
+        while (server.stats().queued_rows + rows >
+               server.options().queue_capacity_rows) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    }
+  }
+  return logits;
+}
+
+}  // namespace
+
+float evaluate_accuracy(serving::Server& server, const Dataset& test) {
+  const auto n = static_cast<std::int64_t>(test.size());
+  if (n <= 0) return 0.0f;
+  const Tensor logits = predict_dataset(server, test.images);
+  const std::vector<int> pred = argmax_rows(logits);
+  return static_cast<float>(count_correct(pred, test.labels)) /
+         static_cast<float>(test.size());
+}
+
+Tensor predict_probabilities(serving::Server& server, const Dataset& data) {
+  return softmax(predict_dataset(server, data.images));
+}
+
 Session make_eval_session(const ResNet& model, const Dataset& data,
                           int batch_size) {
   CompileOptions options;
@@ -171,6 +226,22 @@ Session make_eval_session(const ResNet& model, const Dataset& data,
   session_options.max_batch = batch_size;
   session_options.shared_scheduler = true;
   return Session(Engine::compile(model, options), session_options);
+}
+
+serving::Server make_eval_server(const ResNet& model, const Dataset& data,
+                                 int batch_size, int shards) {
+  CompileOptions options;
+  options.height = data.images.dim(2);
+  options.width = data.images.dim(3);
+  serving::ServerOptions server_options;
+  server_options.shards = shards;
+  server_options.max_batch = batch_size;
+  // Bulk evaluation: dispatch whatever has arrived, and admit requests as
+  // large as several passes over the dataset.
+  server_options.max_delay_ms = 0.0;
+  server_options.queue_capacity_rows = std::max<std::int64_t>(
+      4096, 4 * static_cast<std::int64_t>(data.size()));
+  return serving::Server(Engine::compile(model, options), server_options);
 }
 
 float evaluate_accuracy(Module& model, const Dataset& test, int batch_size) {

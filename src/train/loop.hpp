@@ -11,6 +11,7 @@
 #include "data/dataset.hpp"
 #include "engine/engine.hpp"
 #include "nn/optim.hpp"
+#include "serving/serving.hpp"
 
 namespace rt {
 
@@ -62,12 +63,21 @@ float evaluate_accuracy(Module& model, const Dataset& test,
 /// read-only evaluation (no Module state is touched).
 float evaluate_accuracy(Session& session, const Dataset& test);
 
+/// Top-1 accuracy through the async serving front-end: the dataset is
+/// submitted as one request, the coalescer splits it into max_batch
+/// micro-batches round-robined across the shards. Chunk boundaries match the
+/// Session overload's, so the result is bitwise the same accuracy.
+float evaluate_accuracy(serving::Server& server, const Dataset& test);
+
 /// Softmax probabilities for the whole dataset (eval mode), shape (N, C).
 Tensor predict_probabilities(Module& model, const Dataset& data,
                              int batch_size = 64);
 
 /// Softmax probabilities through a compiled engine Session.
 Tensor predict_probabilities(Session& session, const Dataset& data);
+
+/// Softmax probabilities through the async serving front-end.
+Tensor predict_probabilities(serving::Server& server, const Dataset& data);
 
 /// Accuracy under PGD attack (Adv-Acc). Inherently eager: the attack needs
 /// input gradients, which only the Module backward path provides.
@@ -79,5 +89,12 @@ float evaluate_adversarial_accuracy(Module& model, const Dataset& test,
 /// geometry and wraps it in a Session sized to batch_size.
 Session make_eval_session(const ResNet& model, const Dataset& data,
                           int batch_size = 64);
+
+/// Compiles a classifier at the dataset's geometry and stands up a
+/// serving::Server over it: batch_size-row micro-batches, `shards` Session
+/// replicas, no coalescing delay (bulk evaluation wants no artificial
+/// latency), and an admission bound wide enough for whole-dataset requests.
+serving::Server make_eval_server(const ResNet& model, const Dataset& data,
+                                 int batch_size = 64, int shards = 1);
 
 }  // namespace rt

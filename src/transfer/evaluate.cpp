@@ -6,9 +6,13 @@ EvalReport evaluate_full(ResNet& model, const Dataset& test,
                          const Dataset& ood, const EvalConfig& config) {
   EvalReport report;
   // The battery is read-only except for the PGD attack, so the ticket is
-  // compiled once and every gradient-free metric runs on the engine.
-  Session session = make_eval_session(model, test, config.batch_size);
-  report.accuracy = evaluate_accuracy(session, test);
+  // compiled once and every gradient-free metric is served by the async
+  // front-end: the battery's datasets stream through one coalescer and its
+  // micro-batches ride the scheduler's serving lane, overtaking any bulk
+  // retraining running alongside. Chunk boundaries match the old Session
+  // path, so every metric is bitwise unchanged.
+  serving::Server server = make_eval_server(model, test, config.batch_size);
+  report.accuracy = evaluate_accuracy(server, test);
 
   Rng rng(config.seed);
   report.adv_accuracy = evaluate_adversarial_accuracy(
@@ -17,13 +21,13 @@ EvalReport evaluate_full(ResNet& model, const Dataset& test,
   const Dataset corrupted = corrupt_dataset(test, config.corrupt_sigma,
                                             config.corrupt_blur,
                                             config.seed ^ 0xC0FFEEULL);
-  report.corrupt_accuracy = evaluate_accuracy(session, corrupted);
+  report.corrupt_accuracy = evaluate_accuracy(server, corrupted);
 
-  const Tensor probs = predict_probabilities(session, test);
+  const Tensor probs = predict_probabilities(server, test);
   report.ece = expected_calibration_error(probs, test.labels, config.ece_bins);
   report.nll = negative_log_likelihood(probs, test.labels);
 
-  const Tensor ood_probs = predict_probabilities(session, ood);
+  const Tensor ood_probs = predict_probabilities(server, ood);
   report.ood_auc = roc_auc(max_softmax_scores(probs),
                            max_softmax_scores(ood_probs));
   return report;

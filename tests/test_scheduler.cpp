@@ -128,6 +128,32 @@ TEST(TaskGroup, SpawnedClosuresAllRunAndWaitBlocks) {
   EXPECT_EQ(ran.load(), 65);
 }
 
+TEST(TaskGroup, ServingPriorityOvertakesQueuedBulk) {
+  // A 1-lane scheduler has no workers: queued tasks execute only when a
+  // waiter helps, which makes the drain order observable and single-
+  // threaded. Bulk spawns from this (external) thread land in the injection
+  // queue, serving spawns in the urgent queue; the first wait() must drain
+  // the urgent queue before any bulk task even though the bulk tasks were
+  // submitted first.
+  Scheduler sched(1);
+  std::vector<int> order;
+  TaskGroup bulk(sched);
+  TaskGroup serving(sched, TaskPriority::kServing);
+  auto bulk_task = [&] { order.push_back(0); };
+  auto serving_task = [&] { order.push_back(1); };
+  bulk.spawn(bulk_task);
+  bulk.spawn(bulk_task);
+  serving.spawn(serving_task);
+  serving.spawn(serving_task);
+  bulk.wait();  // helps: executes everything queued, urgent lane first
+  serving.wait();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(order[3], 0);
+}
+
 TEST(TaskGroup, PropagatesFirstExceptionAndCancelsRest) {
   Scheduler sched(4);
   TaskGroup group(sched);

@@ -1,0 +1,314 @@
+// serving::Server — coalescing, sharding, admission and determinism tests.
+//
+// The serving front-end's core contract: however requests are coalesced into
+// cross-request micro-batches, split across batches, or routed to shards,
+// every response is BITWISE identical to a direct per-request
+// Session::predict() on the same plan. The suite also pins admission-control
+// backpressure, future exception propagation, heterogeneous-shard routing,
+// option validation, and a multi-client stress case (wired into the
+// scripts/check.sh --tsan pass).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "engine/engine.hpp"
+#include "prune/omp.hpp"
+#include "serving/serving.hpp"
+#include "train/loop.hpp"
+
+namespace rt {
+namespace {
+
+std::unique_ptr<ResNet> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  cfg.name = "ts";
+  return std::make_unique<ResNet>(cfg, rng);
+}
+
+/// Briefly trained + 90%-pruned model, so BN folding and the CSR executor
+/// are both non-trivial.
+std::unique_ptr<ResNet> served_model(std::uint64_t seed) {
+  auto model = tiny_model(seed);
+  const Dataset train = generate_dataset(source_task_spec(), 48, seed ^ 0x11);
+  TrainLoopConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  Rng rng(seed ^ 0x5EEDULL);
+  train_classifier(*model, train, cfg, rng);
+  OmpConfig prune_cfg;
+  prune_cfg.sparsity = 0.9f;
+  omp_prune(*model, prune_cfg);
+  model->set_training(false);
+  return model;
+}
+
+void expect_bitwise(const Tensor& got, const Tensor& want) {
+  ASSERT_TRUE(got.same_shape(want));
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "flat index " << i;
+  }
+}
+
+TEST(ServingOptions, ValidatedAtConstruction) {
+  auto model = tiny_model(7);
+  auto plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+
+  serving::ServerOptions bad_shards;
+  bad_shards.shards = 0;
+  EXPECT_THROW(serving::Server(plan, bad_shards), std::invalid_argument);
+
+  serving::ServerOptions bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_THROW(serving::Server(plan, bad_batch), std::invalid_argument);
+
+  serving::ServerOptions bad_delay;
+  bad_delay.max_delay_ms = -0.5;
+  EXPECT_THROW(serving::Server(plan, bad_delay), std::invalid_argument);
+
+  serving::ServerOptions bad_capacity;
+  bad_capacity.queue_capacity_rows = 0;
+  EXPECT_THROW(serving::Server(plan, bad_capacity), std::invalid_argument);
+
+  // Heterogeneous fleets must agree on geometry and class count.
+  CompileOptions wide;
+  wide.height = 32;
+  wide.width = 32;
+  auto wide_plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model, wide));
+  EXPECT_THROW(serving::Server({plan, wide_plan}, serving::ServerOptions{}),
+               std::invalid_argument);
+
+  // The Session layer rejects nonpositive batches the same way now.
+  EXPECT_THROW(Session(plan, SessionOptions{.max_batch = 0}),
+               std::invalid_argument);
+}
+
+TEST(ServingParity, CoalescedMatchesSerialBitwise) {
+  auto model = served_model(101);
+  auto plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+  Session reference(plan, /*max_batch=*/8);
+  const Dataset probe = generate_dataset(source_task_spec(), 24, 103);
+
+  serving::ServerOptions opt;
+  opt.shards = 2;  // identical plans: routing cannot change bits
+  opt.max_batch = 8;
+  // Hold partial batches open far longer than the burst takes to submit, so
+  // the coalescing assertion below cannot flake on a scheduling stall (the
+  // sizes sum to exactly 3 full batches, so nothing ever waits out this
+  // deadline — the test still completes in milliseconds).
+  opt.max_delay_ms = 500.0;
+  serving::Server server(plan, opt);
+
+  // Burst of odd-sized requests submitted together: the coalescer packs
+  // rows from different requests into shared micro-batches and splits
+  // across batch boundaries.
+  const std::vector<std::int64_t> sizes{1, 3, 2, 5, 4, 1, 6, 2};
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  std::int64_t begin = 0;
+  for (const std::int64_t n : sizes) {
+    inputs.push_back(probe.images.slice_rows(begin, n));
+    begin += n;
+    futures.push_back(server.submit(Tensor(inputs.back())));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Tensor got = futures[i].get();
+    expect_bitwise(got, reference.predict(inputs[i]));
+  }
+
+  const serving::ServerStats st = server.stats();
+  EXPECT_EQ(st.completed_requests, sizes.size());
+  EXPECT_EQ(st.batched_rows, 24u);
+  // Coalescing happened: fewer micro-batches than requests.
+  EXPECT_LT(st.batches, sizes.size());
+  EXPECT_EQ(st.queued_rows, 0);
+}
+
+TEST(ServingParity, RequestLargerThanBatchIsSplitBitwise) {
+  auto model = served_model(111);
+  auto plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+  Session reference(plan, /*max_batch=*/64);
+  const Dataset probe = generate_dataset(source_task_spec(), 23, 113);
+
+  serving::ServerOptions opt;
+  opt.max_batch = 5;  // 23 rows -> 5 micro-batches
+  opt.max_delay_ms = 0.0;
+  serving::Server server(plan, opt);
+
+  const Tensor got = server.predict(probe.images);
+  expect_bitwise(got, reference.predict(probe.images));
+  EXPECT_GE(server.stats().batches, 5u);
+}
+
+TEST(ServingParity, HeterogeneousShardsRouteRoundRobin) {
+  auto model = served_model(121);
+  CompileOptions dense_opt;
+  dense_opt.force_format = PackedFormat::kDense;
+  CompileOptions csr_opt;
+  csr_opt.force_format = PackedFormat::kCsr;
+  auto dense_plan = std::make_shared<const CompiledTicket>(
+      Engine::compile(*model, dense_opt));
+  auto csr_plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model, csr_opt));
+  auto auto_plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+
+  serving::ServerOptions opt;
+  opt.max_batch = 8;
+  opt.max_delay_ms = 0.0;  // each request dispatches as exactly one batch
+  serving::Server server({dense_plan, csr_plan, auto_plan}, opt);
+  EXPECT_EQ(server.shards(), 3);
+
+  Session dense_ref(dense_plan, 8);
+  Session csr_ref(csr_plan, 8);
+  Session auto_ref(auto_plan, 8);
+  Session* refs[3] = {&dense_ref, &csr_ref, &auto_ref};
+
+  // A single sequential client: request i lands on shard i % 3, so each
+  // response must be bitwise the assigned format's output — which differ
+  // from each other in float rounding, proving routing really alternates.
+  const Dataset probe = generate_dataset(source_task_spec(), 18, 123);
+  for (int i = 0; i < 6; ++i) {
+    const Tensor x = probe.images.slice_rows(i * 3, 3);
+    const Tensor got = server.predict(x);
+    expect_bitwise(got, refs[i % 3]->predict(x));
+  }
+  EXPECT_EQ(server.stats().batches, 6u);
+}
+
+TEST(ServingAdmission, SaturatedQueueRejectsWithBackpressure) {
+  auto model = served_model(131);
+  auto plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+
+  serving::ServerOptions opt;
+  opt.max_batch = 64;               // never fills from 1-row requests
+  opt.max_delay_ms = 1000.0;        // no deadline flush during the test
+  opt.queue_capacity_rows = 16;
+  const Dataset probe = generate_dataset(source_task_spec(), 1, 133);
+
+  std::vector<std::future<Tensor>> futures;
+  {
+    serving::Server server(plan, opt);
+    for (int i = 0; i < 30; ++i) {
+      futures.push_back(server.submit(Tensor(probe.images)));
+    }
+    // All 30 submitted before any batch could dispatch: exactly the
+    // capacity was admitted, the rest bounced.
+    const serving::ServerStats st = server.stats();
+    EXPECT_EQ(st.submitted_requests, 30u);
+    EXPECT_EQ(st.rejected_requests, 14u);
+    EXPECT_EQ(st.queued_rows, 16);
+    EXPECT_EQ(st.capacity_rows, 16);
+  }  // destruction flushes the admitted requests immediately
+
+  int completed = 0, rejected = 0;
+  for (std::future<Tensor>& f : futures) {
+    try {
+      f.get();
+      ++completed;
+    } catch (const serving::ServerOverloaded&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed, 16);
+  EXPECT_EQ(rejected, 14);
+}
+
+TEST(ServingErrors, FutureCarriesInvalidInput) {
+  auto model = tiny_model(141);
+  serving::Server server(Engine::compile(*model), serving::ServerOptions{});
+
+  Rng rng(142);
+  const Tensor wrong_extent = Tensor::uniform({2, 3, 8, 8}, rng, 0.0f, 1.0f);
+  EXPECT_THROW(server.submit(wrong_extent).get(), std::invalid_argument);
+
+  const Tensor wrong_rank = Tensor::uniform({2, 3}, rng, 0.0f, 1.0f);
+  EXPECT_THROW(server.predict(wrong_rank), std::invalid_argument);
+
+  const serving::ServerStats st = server.stats();
+  EXPECT_EQ(st.failed_requests, 2u);
+  EXPECT_EQ(st.completed_requests, 0u);
+}
+
+TEST(ServingStress, ManyClientsStayBitwiseDeterministic) {
+  auto model = served_model(151);
+  auto plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+  Session reference(plan, /*max_batch=*/16);
+  const Dataset probe = generate_dataset(source_task_spec(), 16, 153);
+  const Tensor expected = reference.predict(probe.images);
+
+  serving::ServerOptions opt;
+  opt.shards = 2;
+  opt.max_batch = 8;
+  opt.max_delay_ms = 0.2;
+  serving::Server server(plan, opt);
+
+  constexpr int kClients = 4;
+  constexpr int kRepeats = 3;
+  std::vector<Tensor> results(kClients * kRepeats);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRepeats; ++r) {
+        results[static_cast<std::size_t>(c * kRepeats + r)] =
+            server.predict(probe.images);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (const Tensor& got : results) expect_bitwise(got, expected);
+  const serving::ServerStats st = server.stats();
+  EXPECT_EQ(st.completed_requests,
+            static_cast<std::uint64_t>(kClients * kRepeats));
+  EXPECT_EQ(st.rejected_requests, 0u);
+  EXPECT_EQ(st.queued_rows, 0);
+}
+
+TEST(ServingEval, ServerHelpersMatchSessionHelpers) {
+  auto model = served_model(161);
+  const Dataset probe = generate_dataset(source_task_spec(), 40, 163);
+
+  Session session = make_eval_session(*model, probe, 16);
+  serving::Server server = make_eval_server(*model, probe, 16, /*shards=*/2);
+
+  const float session_acc = evaluate_accuracy(session, probe);
+  const float server_acc = evaluate_accuracy(server, probe);
+  EXPECT_FLOAT_EQ(session_acc, server_acc);
+
+  const Tensor session_probs = predict_probabilities(session, probe);
+  const Tensor server_probs = predict_probabilities(server, probe);
+  expect_bitwise(server_probs, session_probs);
+
+  // Datasets larger than the admission bound are served in blocking waves:
+  // the helpers must keep the Session overloads' any-size contract instead
+  // of surfacing ServerOverloaded.
+  CompileOptions copt;
+  copt.height = probe.images.dim(2);
+  copt.width = probe.images.dim(3);
+  serving::ServerOptions tight;
+  tight.max_batch = 16;
+  tight.max_delay_ms = 0.0;
+  tight.queue_capacity_rows = 8;  // 4-row waves: 10 for the 40-row probe
+  serving::Server tight_server(Engine::compile(*model, copt), tight);
+  EXPECT_FLOAT_EQ(evaluate_accuracy(tight_server, probe), session_acc);
+  expect_bitwise(predict_probabilities(tight_server, probe), session_probs);
+}
+
+}  // namespace
+}  // namespace rt
