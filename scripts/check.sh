@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # One-command PR gate: tier-1 verify (configure + build + full ctest) plus a
 # bench_kernels smoke run so kernel-throughput regressions surface early.
+# The main build promotes warnings to errors (-DRT_WERROR=ON); local builds
+# outside the gate keep them as warnings.
 #
 #   scripts/check.sh               # gate only (human-readable smoke output)
 #   scripts/check.sh --bench-json  # additionally write BENCH_kernels.json —
@@ -9,11 +11,20 @@
 #                                  # JSON schema, so the kernel perf
 #                                  # trajectory is machine-readable across
 #                                  # PRs.
+#   scripts/check.sh --lint        # additionally run tools/rtlint over src/
+#                                  # and an -DRT_AUDIT=ON build of the audit +
+#                                  # concurrency suites (allocation counting,
+#                                  # lock-order assertions).
 #   scripts/check.sh --tsan        # additionally build build-tsan/ with
 #                                  # -DRT_SANITIZE=thread and run the
 #                                  # concurrency-heavy suites (scheduler,
-#                                  # engine, common, gemm) under
+#                                  # engine, serving, common, gemm) under
 #                                  # ThreadSanitizer.
+#   scripts/check.sh --asan        # same suites under AddressSanitizer
+#                                  # (-DRT_SANITIZE=address).
+#   scripts/check.sh --ubsan       # same suites under UBSan with
+#                                  # -fno-sanitize-recover=all, so any UB
+#                                  # report fails the gate.
 #
 # Thread counts are pinned via RT_THREADS for reproducibility; override by
 # exporting RT_THREADS before invoking.
@@ -21,30 +32,72 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_JSON=0
+LINT=0
 TSAN=0
+ASAN=0
+UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-json) BENCH_JSON=1 ;;
+    --lint) LINT=1 ;;
     --tsan) TSAN=1 ;;
-    *) echo "usage: $0 [--bench-json] [--tsan]" >&2; exit 2 ;;
+    --asan) ASAN=1 ;;
+    --ubsan) UBSAN=1 ;;
+    *) echo "usage: $0 [--bench-json] [--lint] [--tsan] [--asan] [--ubsan]" >&2
+       exit 2 ;;
   esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 export RT_THREADS="${RT_THREADS:-$JOBS}"
 
-cmake -B build -S .
+cmake -B build -S . -DRT_WERROR=ON
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
-if [[ "${TSAN}" == 1 ]]; then
-  echo "== ThreadSanitizer pass (scheduler + engine + serving suites) =="
-  cmake -B build-tsan -S . -DRT_SANITIZE=thread -DRT_BUILD_BENCHES=OFF \
+# The concurrency-heavy suites every sanitizer pass exercises. One list so
+# the echo, the build targets, and the ctest filter cannot drift apart.
+SAN_SUITES=(test_scheduler test_engine test_serving test_common test_gemm)
+SAN_FILTER="$(IFS='|'; echo "${SAN_SUITES[*]}")"
+
+# run_sanitizer_pass <name> <build_dir> <rt_sanitize_value>
+run_sanitizer_pass() {
+  local name="$1" dir="$2" value="$3"
+  echo "== ${name} pass (${SAN_SUITES[*]}) =="
+  cmake -B "${dir}" -S . -DRT_SANITIZE="${value}" -DRT_BUILD_BENCHES=OFF \
         -DRT_BUILD_EXAMPLES=OFF -DRT_MARCH_NATIVE=OFF
-  cmake --build build-tsan -j"${JOBS}" \
-        --target test_scheduler test_engine test_serving test_common test_gemm
-  ctest --test-dir build-tsan --output-on-failure -j1 \
-        -R 'test_scheduler|test_engine|test_serving|test_common|test_gemm'
+  cmake --build "${dir}" -j"${JOBS}" --target "${SAN_SUITES[@]}"
+  ctest --test-dir "${dir}" --output-on-failure -j1 -R "${SAN_FILTER}"
+}
+
+if [[ "${LINT}" == 1 ]]; then
+  echo "== rtlint pass (tools/rtlint over src/) =="
+  ./build/rtlint --root . src
+  echo "== RT_AUDIT pass (alloc counting + lock-order assertions) =="
+  cmake -B build-audit -S . -DRT_AUDIT=ON -DRT_BUILD_BENCHES=OFF \
+        -DRT_BUILD_EXAMPLES=OFF
+  cmake --build build-audit -j"${JOBS}" \
+        --target test_audit test_scheduler test_serving
+  ctest --test-dir build-audit --output-on-failure -j1 \
+        -R 'test_audit|test_scheduler|test_serving'
+fi
+
+if [[ "${TSAN}" == 1 ]]; then
+  # TSan only observes races that actually interleave, so the pass is
+  # meaningless at RT_THREADS=1 (this dev container is single-CPU; see
+  # ROADMAP.md "ops notes"). Force at least two workers: on one CPU the
+  # threads still time-slice across every synchronization point, which is
+  # exactly the traffic TSan instruments.
+  RT_THREADS="$(( RT_THREADS > 2 ? RT_THREADS : 2 ))" \
+    run_sanitizer_pass ThreadSanitizer build-tsan thread
+fi
+
+if [[ "${ASAN}" == 1 ]]; then
+  run_sanitizer_pass AddressSanitizer build-asan address
+fi
+
+if [[ "${UBSAN}" == 1 ]]; then
+  run_sanitizer_pass UndefinedBehaviorSanitizer build-ubsan undefined
 fi
 
 # run_bench_smoke <binary> <filter> <json_out> <description>

@@ -1,0 +1,138 @@
+// RT_AUDIT runtime hooks: counting global allocator + lock-order assertions.
+// This entire translation unit is empty unless the build sets RT_AUDIT (see
+// common/audit.hpp for the contract and CMakeLists.txt for the option).
+#include "common/audit.hpp"
+
+#if RT_AUDIT
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace rt {
+namespace audit {
+
+namespace {
+
+// Thread-local so concurrent tests do not see each other's allocations and
+// the counters need no synchronization. `depth` gates counting: with no
+// guard live, the replaced operator new is one thread_local load slower than
+// the default — cheap enough to leave on for every RT_AUDIT test run.
+thread_local std::int64_t tl_guard_depth = 0;
+thread_local std::int64_t tl_alloc_count = 0;
+
+// Lock-rank stack. Depth 8 is far beyond any sane nesting; overflow aborts
+// loudly rather than silently dropping audits.
+constexpr int kMaxHeldLocks = 8;
+thread_local int tl_held_ranks[kMaxHeldLocks];
+thread_local int tl_held_count = 0;
+
+[[noreturn]] void audit_abort(const char* what, long a, long b) {
+  // fprintf, not iostreams: this can fire inside operator new.
+  std::fprintf(stderr, "RT_AUDIT violation: %s (%ld, %ld)\n", what, a, b);
+  std::abort();
+}
+
+void* counted_alloc(std::size_t size) {
+  if (tl_guard_depth > 0) ++tl_alloc_count;
+  // Never return nullptr for the throwing forms; malloc(0) may.
+  void* p = std::malloc(size > 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  if (tl_guard_depth > 0) ++tl_alloc_count;
+  const std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded > 0 ? rounded : a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+AllocGuard::AllocGuard(const char* region)
+    : region_(region), start_(tl_alloc_count) {
+  ++tl_guard_depth;
+}
+
+AllocGuard::~AllocGuard() { --tl_guard_depth; }
+
+std::int64_t AllocGuard::allocations() const {
+  return tl_alloc_count - start_;
+}
+
+LockOrderGuard::LockOrderGuard(LockRank rank) : rank_(rank) {
+  const int r = static_cast<int>(rank);
+  if (tl_held_count >= kMaxHeldLocks) {
+    audit_abort("lock rank stack overflow", r, tl_held_count);
+  }
+  if (tl_held_count > 0 && tl_held_ranks[tl_held_count - 1] >= r) {
+    audit_abort("lock acquired out of rank order (held, acquiring)",
+                tl_held_ranks[tl_held_count - 1], r);
+  }
+  tl_held_ranks[tl_held_count++] = r;
+}
+
+LockOrderGuard::~LockOrderGuard() {
+  if (tl_held_count <= 0 ||
+      tl_held_ranks[tl_held_count - 1] != static_cast<int>(rank_)) {
+    audit_abort("lock rank released out of order", static_cast<int>(rank_),
+                tl_held_count);
+  }
+  --tl_held_count;
+}
+
+}  // namespace audit
+}  // namespace rt
+
+// ---- replaced global allocator ----------------------------------------------
+// All eight replaceable forms forward to the two counted allocators so no
+// allocation path escapes the tally. Deletes must pair with malloc/
+// aligned_alloc above.
+
+void* operator new(std::size_t size) { return rt::audit::counted_alloc(size); }
+void* operator new[](std::size_t size) {
+  return rt::audit::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return rt::audit::counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return rt::audit::counted_alloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return rt::audit::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return rt::audit::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // RT_AUDIT

@@ -1,0 +1,122 @@
+#pragma once
+// RT_HOT annotation + RT_AUDIT debug hooks: the two halves of the repo's
+// machine-checked hot-path contract.
+//
+// RT_HOT marks a function as steady-state allocation-free: after per-thread
+// warm-up (thread_local buffer growth, workspace-pool high-water marks), a
+// call performs no heap allocation. The marker expands to nothing — it
+// exists for tooling:
+//   - statically, tools/rtlint rule R2 bans allocation constructs (new,
+//     malloc, vector growth, std::function) inside RT_HOT bodies;
+//   - dynamically, RT_AUDIT builds count allocations under audit::AllocGuard
+//     and tests assert the steady-state count is zero (tests/test_audit.cpp).
+//
+// RT_AUDIT (CMake -DRT_AUDIT=ON, wired into `scripts/check.sh --lint`) turns
+// on two families of runtime hooks; with it OFF (the default) everything in
+// this header compiles to nothing and release builds pay zero cost:
+//   - a counting allocator guard: global operator new/delete are replaced
+//     with counting wrappers (common/audit.cpp) that tally allocations made
+//     while any AllocGuard is live on the calling thread;
+//   - lock-order assertions: every mutex acquisition in the scheduler and
+//     serving layers carries an RT_AUDIT_LOCK(rank) marker; acquiring a rank
+//     at or below one already held by the thread aborts with both sites'
+//     ranks. All current locks are leaf-level (no nesting is permitted at
+//     all), so any new nesting must raise the outer lock's rank explicitly —
+//     a forcing function for documenting lock hierarchies before they grow.
+
+#include <cstdint>
+
+/// Marks a function whose steady state must be allocation-free. Tooling
+/// marker only — expands to nothing (rtlint R2 + RT_AUDIT tests enforce it).
+#define RT_HOT
+
+namespace rt {
+namespace audit {
+
+/// Lock ranks, outermost-lowest. A thread may only acquire strictly
+/// increasing ranks. Every rank is currently leaf-level by design: no rt
+/// mutex is ever acquired while another is held. Adding a legitimate nesting
+/// later means giving the outer mutex a lower rank here and documenting why.
+enum class LockRank : int {
+  kServingQueue = 10,   ///< serving::Server queue_mutex_
+  kServingError = 20,   ///< serving::detail::Request error_mutex
+  kSchedInject = 30,    ///< Scheduler inject_mutex_
+  kSchedUrgent = 40,    ///< Scheduler urgent_mutex_
+  kSchedPark = 50,      ///< Scheduler park_mutex_
+  kSchedGroup = 60,     ///< TaskGroupState mutex
+};
+
+#if RT_AUDIT
+
+/// True in RT_AUDIT builds; tests skip their assertions otherwise.
+constexpr bool enabled() { return true; }
+
+/// Counts heap allocations (operator new / new[]) made by the calling thread
+/// while alive. Guards nest; each sees allocations made since its own
+/// construction. Used by tests to assert RT_HOT steady states allocate zero.
+class AllocGuard {
+ public:
+  explicit AllocGuard(const char* region);
+  ~AllocGuard();
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Allocations on this thread since construction.
+  std::int64_t allocations() const;
+  const char* region() const { return region_; }
+
+ private:
+  const char* region_;
+  std::int64_t start_;
+};
+
+/// Asserts the thread's lock acquisition order: constructing a guard with a
+/// rank at or below the innermost live rank aborts. Place one immediately
+/// after the lock_guard/unique_lock it audits (see RT_AUDIT_LOCK).
+class LockOrderGuard {
+ public:
+  explicit LockOrderGuard(LockRank rank);
+  ~LockOrderGuard();
+
+  LockOrderGuard(const LockOrderGuard&) = delete;
+  LockOrderGuard& operator=(const LockOrderGuard&) = delete;
+
+ private:
+  LockRank rank_;
+};
+
+#define RT_AUDIT_CONCAT2(a, b) a##b
+#define RT_AUDIT_CONCAT(a, b) RT_AUDIT_CONCAT2(a, b)
+/// Audits the enclosing critical section's rank; a no-op unless RT_AUDIT.
+#define RT_AUDIT_LOCK(rank)                        \
+  ::rt::audit::LockOrderGuard RT_AUDIT_CONCAT(     \
+      rt_audit_lock_rank_, __LINE__)(rank)
+
+#else  // !RT_AUDIT — every hook compiles away
+
+constexpr bool enabled() { return false; }
+
+class AllocGuard {
+ public:
+  explicit AllocGuard(const char* region) : region_(region) {}
+  std::int64_t allocations() const { return 0; }
+  const char* region() const { return region_; }
+
+ private:
+  const char* region_;
+};
+
+class LockOrderGuard {
+ public:
+  explicit LockOrderGuard(LockRank) {}
+};
+
+#define RT_AUDIT_LOCK(rank) \
+  do {                      \
+  } while (false)
+
+#endif  // RT_AUDIT
+
+}  // namespace audit
+}  // namespace rt

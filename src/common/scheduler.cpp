@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/audit.hpp"
+
 namespace rt {
 
 namespace detail {
@@ -33,7 +35,7 @@ class WorkDeque {
  public:
   static constexpr std::int64_t kCapacity = 4096;  // power of two
 
-  bool push(const Task& t) {  // owner only
+  RT_HOT bool push(const Task& t) {  // owner only
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t top = top_.load(std::memory_order_acquire);
     if (b - top >= kCapacity) return false;
@@ -42,7 +44,7 @@ class WorkDeque {
     return true;
   }
 
-  bool pop(Task& out) {  // owner only
+  RT_HOT bool pop(Task& out) {  // owner only
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_seq_cst);
     std::int64_t top = top_.load(std::memory_order_seq_cst);
@@ -61,7 +63,7 @@ class WorkDeque {
     return true;
   }
 
-  bool steal(Task& out) {  // any thread
+  RT_HOT bool steal(Task& out) {  // any thread
     std::int64_t top = top_.load(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (top >= b) return false;
@@ -128,6 +130,7 @@ thread_local unsigned tl_steal_seed = 0;
 
 void record_failure(TaskGroupState& group) {
   std::lock_guard<std::mutex> lock(group.mutex);
+  RT_AUDIT_LOCK(audit::LockRank::kSchedGroup);
   if (!group.failed.load(std::memory_order_relaxed)) {
     group.exception = std::current_exception();
     group.failed.store(true, std::memory_order_release);
@@ -142,6 +145,7 @@ void finish_task(TaskGroupState& group) {
   // (it lives on the waiting frame's stack). A decrement outside the lock
   // would let the waiter free the group between our decrement and notify.
   std::lock_guard<std::mutex> lock(group.mutex);
+  RT_AUDIT_LOCK(audit::LockRank::kSchedGroup);
   if (group.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     group.done_cv.notify_all();
   }
@@ -171,6 +175,7 @@ Scheduler::~Scheduler() {
   signals_.fetch_add(1, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(park_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kSchedPark);
   }
   park_cv_.notify_all();
   for (auto& w : workers_) {
@@ -207,6 +212,7 @@ void Scheduler::submit(const detail::Task& task) {
     // visible before the wakeup so a parker's re-check finds the task.
     {
       std::lock_guard<std::mutex> lock(urgent_mutex_);
+      RT_AUDIT_LOCK(audit::LockRank::kSchedUrgent);
       urgent_.push_back(task);
     }
     urgent_count_.fetch_add(1, std::memory_order_seq_cst);
@@ -219,6 +225,7 @@ void Scheduler::submit(const detail::Task& task) {
                  ->deque.push(task);
   } else {
     std::lock_guard<std::mutex> lock(inject_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kSchedInject);
     injected_.push_back(task);
     queued = true;
   }
@@ -239,7 +246,10 @@ void Scheduler::wake_one() {
     // us after that block — the notify cannot slip into the gap and be
     // lost. Uncontended this is one lock/unlock, and only when someone is
     // parked (the no-parked fast path stays lock-free).
-    { std::lock_guard<std::mutex> lock(park_mutex_); }
+    {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      RT_AUDIT_LOCK(audit::LockRank::kSchedPark);
+    }
     park_cv_.notify_one();
   }
 }
@@ -258,10 +268,11 @@ void Scheduler::execute(const detail::Task& task) {
   detail::finish_task(*group);
 }
 
-bool Scheduler::pop_urgent(detail::Task& out) {
+RT_HOT bool Scheduler::pop_urgent(detail::Task& out) {
   // Lock-free fast path: bulk-only workloads pay one atomic load here.
   if (urgent_count_.load(std::memory_order_seq_cst) == 0) return false;
   std::lock_guard<std::mutex> lock(urgent_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kSchedUrgent);
   if (urgent_.empty()) return false;
   out = urgent_.front();
   urgent_.pop_front();
@@ -284,13 +295,14 @@ bool Scheduler::help_urgent() {
 
 bool Scheduler::pop_injected(detail::Task& out) {
   std::lock_guard<std::mutex> lock(inject_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kSchedInject);
   if (injected_.empty()) return false;
   out = injected_.front();
   injected_.pop_front();
   return true;
 }
 
-bool Scheduler::steal_from_others(int self, detail::Task& out) {
+RT_HOT bool Scheduler::steal_from_others(int self, detail::Task& out) {
   const int lanes = static_cast<int>(workers_.size());
   if (lanes == 0) return false;
   const int start = self >= 0
@@ -306,7 +318,7 @@ bool Scheduler::steal_from_others(int self, detail::Task& out) {
   return false;
 }
 
-bool Scheduler::try_acquire(int self, detail::Task& out) {
+RT_HOT bool Scheduler::try_acquire(int self, detail::Task& out) {
   // Serving tasks overtake every bulk source — including the caller's own
   // deque, whose entries are merely queued (not in-progress) bulk leaves.
   if (pop_urgent(out)) return true;
@@ -340,6 +352,7 @@ void Scheduler::worker_main(int index) {
     }
     {
       std::unique_lock<std::mutex> lock(park_mutex_);
+      RT_AUDIT_LOCK(audit::LockRank::kSchedPark);
       park_cv_.wait(lock, [&] {
         return stop_.load(std::memory_order_acquire) ||
                signals_.load(std::memory_order_seq_cst) != sig;
@@ -366,6 +379,7 @@ void Scheduler::wait_group(detail::TaskGroupState& group) {
       continue;
     }
     std::unique_lock<std::mutex> lock(group.mutex);
+    RT_AUDIT_LOCK(audit::LockRank::kSchedGroup);
     group.done_cv.wait_for(lock, detail::kWaitSlice, [&] {
       return group.pending.load(std::memory_order_acquire) == 0;
     });
@@ -375,11 +389,15 @@ void Scheduler::wait_group(detail::TaskGroupState& group) {
   // acquiring it here means every finisher is fully done with the state.
   // (pending never rises again once zero — only running group tasks and the
   // waiter itself submit.)
-  { std::lock_guard<std::mutex> lock(group.mutex); }
+  {
+    std::lock_guard<std::mutex> lock(group.mutex);
+    RT_AUDIT_LOCK(audit::LockRank::kSchedGroup);
+  }
   if (group.failed.load(std::memory_order_acquire)) {
     std::exception_ptr failure;
     {
       std::lock_guard<std::mutex> lock(group.mutex);
+      RT_AUDIT_LOCK(audit::LockRank::kSchedGroup);
       failure = group.exception;
       group.exception = nullptr;
       group.failed.store(false, std::memory_order_release);  // reusable

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/audit.hpp"
 #include "common/scheduler.hpp"
 #include "hw/quant.hpp"
 #include "models/blocks.hpp"
@@ -437,7 +438,9 @@ class Session::WorkspaceLease {
   std::unique_ptr<Workspace> ws_;
 };
 
-void Session::run_rows(const float* x, std::int64_t n, float* logits) {
+RT_HOT void Session::run_rows(const float* x, std::int64_t n, float* logits) {
+  // Steady-state allocation-free: the lease recycles pooled workspaces and
+  // only Session::acquire allocates, on a concurrency high-water mark.
   WorkspaceLease lease(*this);
   plan_->run(x, n, logits, lease.get());
 }

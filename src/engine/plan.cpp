@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/audit.hpp"
 #include "linalg/conv.hpp"
 #include "linalg/gemm.hpp"
 
@@ -62,8 +63,8 @@ Workspace::Workspace(const CompiledTicket& plan, int max_batch)
 
 // ---- PackedConv -------------------------------------------------------------
 
-void PackedConv::run(const float* in, float* out, std::int64_t n,
-                     Workspace& ws) const {
+RT_HOT void PackedConv::run(const float* in, float* out, std::int64_t n,
+                            Workspace& ws) const {
   const std::int64_t ohw = out_h * out_w;
   const std::int64_t stride_w = geom.stride * in_w;
   if (format == PackedFormat::kCsr) {
@@ -174,7 +175,8 @@ void PackedConv::run(const float* in, float* out, std::int64_t n,
 
 // ---- PackedLinear -----------------------------------------------------------
 
-void PackedLinear::run(const float* in, float* out, std::int64_t n) const {
+RT_HOT void PackedLinear::run(const float* in, float* out,
+                              std::int64_t n) const {
   if (format == PackedFormat::kCsr) {
     spmm_csr_rhs_t(csr, n, in, out);
   } else {
@@ -192,8 +194,8 @@ void PackedLinear::run(const float* in, float* out, std::int64_t n) const {
 
 // ---- CompiledTicket ---------------------------------------------------------
 
-void CompiledTicket::run(const float* x, std::int64_t n, float* logits,
-                         Workspace& ws) const {
+RT_HOT void CompiledTicket::run(const float* x, std::int64_t n, float* logits,
+                                Workspace& ws) const {
   if (n <= 0) return;
   if (n > ws.max_batch()) {
     throw std::invalid_argument("CompiledTicket::run: batch > workspace");

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "common/threadpool.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/microkernel.hpp"
@@ -245,9 +246,10 @@ void for_each_tile(std::int64_t count, bool parallel, const Tiles& tiles) {
 
 // ---- forward ----------------------------------------------------------------
 
-void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
-                    std::int64_t w, const ConvGeometry& g, const float* weight,
-                    std::int64_t out_ch, float* y, const ConvKernelOpts& opts) {
+RT_HOT void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
+                           std::int64_t w, const ConvGeometry& g,
+                           const float* weight, std::int64_t out_ch, float* y,
+                           const ConvKernelOpts& opts) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
@@ -268,7 +270,11 @@ void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
     wp = opts.packed_weights->forward_panels();
   } else {
     std::vector<float>& wpack = opts.parallel_tiles ? wpack_frame : wpack_tl;
-    wpack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * ckk));
+    // Dynamic: panel size follows the layer shape. Serving never takes this
+    // branch (tickets carry pre-packed panels); training pays it per call on
+    // the parallel path only.
+    wpack.resize(  // rtlint: allow(R2) shape-dependent weight panel
+        static_cast<std::size_t>(round_up(out_ch, kMr) * ckk));
     pack_a_rows(weight, ckk, 0, out_ch, 0, ckk, wpack.data());
     wp = wpack.data();
   }
@@ -283,21 +289,20 @@ void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
     // buffer, never the spawning thread's (whose thread_locals may be
     // rebuilt under it while it helps with unrelated tasks).
     const DecodeTable& dec = decode_table(c_in, g.kernel);
-    thread_local std::vector<float> bbuf;
-    bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+    thread_local float bbuf[kKc * kNc];
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t jc = t * kNc;
       const std::int64_t nb = std::min(kNc, ohw - jc);
       for (std::int64_t kc = 0; kc < ckk; kc += kKc) {
         const std::int64_t kb = std::min(kKc, ckk - kc);
-        pack_col_panel(x, h, w, g, dec, kc, kb, jc, nb, ow, bbuf.data());
+        pack_col_panel(x, h, w, g, dec, kc, kb, jc, nb, ow, bbuf);
         for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
           const std::int64_t mr = std::min(kMr, out_ch - ir);
           const float* ap = wp + ir * ckk + kc * kMr;
           float* crow = y + ir * ohw + jc;
           for (std::int64_t jr = 0; jr < nb; jr += kNr) {
             const std::int64_t nr = std::min(kNr, nb - jr);
-            const float* bp = bbuf.data() + jr * kb;
+            const float* bp = bbuf + jr * kb;
             if (mr == kMr && nr == kNr) {
               micro_kernel_full(kb, ap, bp, crow + jr, ohw);
             } else {
@@ -310,9 +315,9 @@ void forward_packed(const float* x, std::int64_t c_in, std::int64_t h,
   });
 }
 
-void forward_taps(const float* x, std::int64_t c_in, std::int64_t h,
-                  std::int64_t w, const ConvGeometry& g, const float* weight,
-                  std::int64_t out_ch, float* y) {
+RT_HOT void forward_taps(const float* x, std::int64_t c_in, std::int64_t h,
+                         std::int64_t w, const ConvGeometry& g,
+                         const float* weight, std::int64_t out_ch, float* y) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
@@ -362,10 +367,10 @@ void forward_ref(const float* x, std::int64_t c_in, std::int64_t h,
 
 // ---- input gradient ---------------------------------------------------------
 
-void dgrad_packed(const float* weight, std::int64_t out_ch, const float* gout,
-                  std::int64_t c_in, std::int64_t h, std::int64_t w,
-                  const ConvGeometry& g, float* dx,
-                  const ConvKernelOpts& opts) {
+RT_HOT void dgrad_packed(const float* weight, std::int64_t out_ch,
+                         const float* gout, std::int64_t c_in, std::int64_t h,
+                         std::int64_t w, const ConvGeometry& g, float* dx,
+                         const ConvKernelOpts& opts) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
@@ -380,32 +385,31 @@ void dgrad_packed(const float* weight, std::int64_t out_ch, const float* gout,
       opts.packed_weights->matches(out_ch, ckk)) {
     wtp = opts.packed_weights->dgrad_panels();
   } else {
-    wtpack.resize(static_cast<std::size_t>(round_up(ckk, kMr) * out_ch));
+    // Dynamic: W^T panel size follows the layer shape (see forward_packed).
+    wtpack.resize(  // rtlint: allow(R2) shape-dependent weight panel
+        static_cast<std::size_t>(round_up(ckk, kMr) * out_ch));
     pack_a_rows_trans(weight, ckk, 0, ckk, 0, out_ch, wtpack.data());
     wtp = wtpack.data();
   }
 
-  thread_local std::vector<float> bbuf;
-  thread_local std::vector<float> ctile;
-  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
-  ctile.resize(static_cast<std::size_t>(kMcScatter * kNc));
+  thread_local float bbuf[kKc * kNc];
+  thread_local float ctile[kMcScatter * kNc];
 
   for (std::int64_t jc = 0; jc < ohw; jc += kNc) {
     const std::int64_t nb = std::min(kNc, ohw - jc);
     for (std::int64_t ic = 0; ic < ckk; ic += kMcScatter) {
       const std::int64_t mb = std::min(kMcScatter, ckk - ic);
-      std::memset(ctile.data(), 0,
-                  static_cast<std::size_t>(mb * nb) * sizeof(float));
+      std::memset(ctile, 0, static_cast<std::size_t>(mb * nb) * sizeof(float));
       for (std::int64_t kc = 0; kc < out_ch; kc += kKc) {
         const std::int64_t kb = std::min(kKc, out_ch - kc);
-        pack_b_cols(gout, ohw, kc, kb, jc, nb, bbuf.data());
+        pack_b_cols(gout, ohw, kc, kb, jc, nb, bbuf);
         for (std::int64_t ir = 0; ir < mb; ir += kMr) {
           const std::int64_t mr = std::min(kMr, mb - ir);
           const float* ap = wtp + (ic + ir) * out_ch + kc * kMr;
-          float* crow = ctile.data() + ir * nb;
+          float* crow = ctile + ir * nb;
           for (std::int64_t jr = 0; jr < nb; jr += kNr) {
             const std::int64_t nr = std::min(kNr, nb - jr);
-            const float* bp = bbuf.data() + jr * kb;
+            const float* bp = bbuf + jr * kb;
             if (mr == kMr && nr == kNr) {
               micro_kernel_full(kb, ap, bp, crow + jr, nb);
             } else {
@@ -414,7 +418,7 @@ void dgrad_packed(const float* weight, std::int64_t out_ch, const float* gout,
           }
         }
       }
-      scatter_col_tile(ctile.data(), ic, mb, jc, nb, dec, g, h, w, ow, dx);
+      scatter_col_tile(ctile, ic, mb, jc, nb, dec, g, h, w, ow, dx);
     }
   }
 }
@@ -470,9 +474,10 @@ void dgrad_ref(const float* weight, std::int64_t out_ch, const float* gout,
 
 // ---- weight gradient --------------------------------------------------------
 
-void wgrad_packed(const float* gout, const float* x, std::int64_t c_in,
-                  std::int64_t h, std::int64_t w, const ConvGeometry& g,
-                  std::int64_t out_ch, float* dw, const ConvKernelOpts& opts) {
+RT_HOT void wgrad_packed(const float* gout, const float* x, std::int64_t c_in,
+                         std::int64_t h, std::int64_t w, const ConvGeometry& g,
+                         std::int64_t out_ch, float* dw,
+                         const ConvKernelOpts& opts) {
   const std::int64_t oh = g.out_extent(h);
   const std::int64_t ow = g.out_extent(w);
   const std::int64_t ohw = oh * ow;
@@ -490,23 +495,25 @@ void wgrad_packed(const float* gout, const float* x, std::int64_t c_in,
     // spawning thread's thread_locals must not be shared with leaves).
     const DecodeTable& dec = decode_table(c_in, g.kernel);
     thread_local std::vector<float> apack;
-    thread_local std::vector<float> bbuf;
-    apack.resize(static_cast<std::size_t>(round_up(out_ch, kMr) * kKc));
-    bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+    thread_local float bbuf[kKc * kNc];
+    // Dynamic: gout panel height follows out_ch. Steady-state free per
+    // thread once grown to the model's widest layer.
+    apack.resize(  // rtlint: allow(R2) shape-dependent gout panel
+        static_cast<std::size_t>(round_up(out_ch, kMr) * kKc));
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t jc = t * kNc;
       const std::int64_t nb = std::min(kNc, ckk - jc);
       for (std::int64_t pc = 0; pc < ohw; pc += kKc) {
         const std::int64_t kb = std::min(kKc, ohw - pc);
         pack_a_rows(gout, ohw, 0, out_ch, pc, kb, apack.data());
-        pack_colt_panel(x, h, w, g, dec, pc, kb, jc, nb, ow, bbuf.data());
+        pack_colt_panel(x, h, w, g, dec, pc, kb, jc, nb, ow, bbuf);
         for (std::int64_t ir = 0; ir < out_ch; ir += kMr) {
           const std::int64_t mr = std::min(kMr, out_ch - ir);
           const float* ap = apack.data() + ir * kb;
           float* crow = dw + ir * ckk + jc;
           for (std::int64_t jr = 0; jr < nb; jr += kNr) {
             const std::int64_t nr = std::min(kNr, nb - jr);
-            const float* bp = bbuf.data() + jr * kb;
+            const float* bp = bbuf + jr * kb;
             if (mr == kMr && nr == kNr) {
               micro_kernel_full(kb, ap, bp, crow + jr, ckk);
             } else {

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "common/scheduler.hpp"
 #include "common/threadpool.hpp"
 #include "linalg/microkernel.hpp"
@@ -139,6 +140,15 @@ void dot_core(std::int64_t n, std::int64_t k, const float* a, const float* b,
   }
 }
 
+// Pack-buffer scratch for the packed cores. The tile shapes are compile-time
+// constants, so plain arrays (not vectors) make every packed_core
+// instantiation allocation-free — one 160 KiB TLS block shared by all four
+// transpose variants instead of four template-local growable buffers.
+struct PackBuffers {
+  float a[kMc * kKc];
+  float b[kKc * kNc];
+};
+
 // Packed register-tiled core: all four transpose variants flow through the
 // same kMr x kNr micro-kernel (linalg/microkernel.hpp); the variants differ
 // only in which packing routine gathers the panels. B panels are packed per
@@ -146,14 +156,13 @@ void dot_core(std::int64_t n, std::int64_t k, const float* a, const float* b,
 // 1/kNc resp. 1/kMc of the FLOP count, paid once so the inner loop streams
 // contiguous zero-padded panels with no edge branches.
 template <bool kTransA, bool kTransB>
-void packed_core(std::int64_t m, std::int64_t n, std::int64_t k,
-                 const float* a, const float* b, float* c, bool accumulate,
-                 std::int64_t i0, std::int64_t i1) {
+RT_HOT void packed_core(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const float* a, const float* b, float* c,
+                        bool accumulate, std::int64_t i0, std::int64_t i1) {
   if (!accumulate) zero_rows(c, n, i0, i1);
-  thread_local std::vector<float> abuf;
-  thread_local std::vector<float> bbuf;
-  abuf.resize(static_cast<std::size_t>(kMc * kKc));
-  bbuf.resize(static_cast<std::size_t>(kKc * kNc));
+  thread_local PackBuffers bufs;
+  float* const abuf = bufs.a;
+  float* const bbuf = bufs.b;
   const std::int64_t lda = kTransA ? m : k;
   const std::int64_t ldb = kTransB ? k : n;
   for (std::int64_t jc = 0; jc < n; jc += kNc) {
@@ -161,19 +170,18 @@ void packed_core(std::int64_t m, std::int64_t n, std::int64_t k,
     for (std::int64_t kc = 0; kc < k; kc += kKc) {
       const std::int64_t kb = std::min(kKc, k - kc);
       if (kTransB) {
-        pack_b_cols_trans(b, ldb, kc, kb, jc, nb, bbuf.data());
+        pack_b_cols_trans(b, ldb, kc, kb, jc, nb, bbuf);
       } else {
-        pack_b_cols(b, ldb, kc, kb, jc, nb, bbuf.data());
+        pack_b_cols(b, ldb, kc, kb, jc, nb, bbuf);
       }
       for (std::int64_t ic = i0; ic < i1; ic += kMc) {
         const std::int64_t mb = std::min(kMc, i1 - ic);
         if (kTransA) {
-          pack_a_rows_trans(a, lda, ic, mb, kc, kb, abuf.data());
+          pack_a_rows_trans(a, lda, ic, mb, kc, kb, abuf);
         } else {
-          pack_a_rows(a, lda, ic, mb, kc, kb, abuf.data());
+          pack_a_rows(a, lda, ic, mb, kc, kb, abuf);
         }
-        packed_block_multiply(mb, nb, kb, abuf.data(), bbuf.data(),
-                              c + ic * n + jc, n);
+        packed_block_multiply(mb, nb, kb, abuf, bbuf, c + ic * n + jc, n);
       }
     }
   }

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/audit.hpp"
+
 namespace rt {
 namespace serving {
 
@@ -46,12 +48,13 @@ struct BatchTask {
 
   static void fail(Request* request) {
     std::lock_guard<std::mutex> lock(request->error_mutex);
+    RT_AUDIT_LOCK(audit::LockRank::kServingError);
     if (request->error == nullptr) {
       request->error = std::current_exception();
     }
   }
 
-  void operator()() {
+  RT_HOT void operator()() {
     std::unique_ptr<BatchTask> self(this);  // freed on every exit path
     bool ok = true;
     try {
@@ -160,6 +163,7 @@ Server::Server(std::vector<std::shared_ptr<const CompiledTicket>> shard_plans,
 Server::~Server() {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -218,6 +222,7 @@ std::future<Tensor> Server::submit(Tensor rows) {
   std::future<Tensor> result = request->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
     if (stopping_) {
       queued_rows_.fetch_sub(n, std::memory_order_relaxed);
       rejected_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -305,6 +310,7 @@ void Server::coalescer_main() {
     bool stop_now = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
+      RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
       if (pending.empty()) {
         queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       } else if (queue_.empty() && !stopping_ && delay.count() > 0) {
@@ -346,6 +352,7 @@ void Server::coalescer_main() {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
+        RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
         if (stopping_ || !queue_.empty()) break;
       }
       if (!pending.empty() &&
@@ -358,6 +365,7 @@ void Server::coalescer_main() {
 
     if (stop_now && pending.empty()) {
       std::lock_guard<std::mutex> lock(queue_mutex_);
+      RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
       if (queue_.empty()) return;  // nothing raced in before stopping_ rose
     }
   }

@@ -1,0 +1,17 @@
+// rtlint fixture: R1 — blocking synchronization in a kernel hot path.
+// Linted by tests/test_rtlint.cpp with FileKind{.kernel_hot_path = true};
+// never compiled (the tests/ glob is non-recursive).
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex g_mutex;  // line 10: R1 (std::mutex)
+
+void kernel_body() {
+  std::lock_guard<std::mutex> lock(g_mutex);        // line 13: R1 (lock_guard)
+  std::this_thread::sleep_for(std::chrono::seconds(1));  // line 14: R1 (sleep)
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// rtlint fixture: R2 — heap allocation inside an RT_HOT function.
+// Only the annotated function is checked; cold_path below must stay clean.
+#include <functional>
+#include <vector>
+
+#define RT_HOT
+
+namespace fixture {
+
+RT_HOT int hot_path(std::vector<int>& values) {
+  values.push_back(1);            // line 11: R2 (vector growth)
+  auto* scratch = new int[16];    // line 12: R2 (operator new)
+  std::function<int()> fn = [] { return 2; };  // line 13: R2 (std::function)
+  const int result = scratch[0] + fn();
+  delete[] scratch;
+  return result;
+}
+
+int cold_path(std::vector<int>& values) {
+  values.push_back(3);  // unannotated: no finding
+  return static_cast<int>(values.size());
+}
+
+}  // namespace fixture

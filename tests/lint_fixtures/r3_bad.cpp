@@ -1,0 +1,21 @@
+// rtlint fixture: R3 — atomic operations without an explicit memory order.
+// Linted with FileKind{.ordered_atomics = true}.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::int64_t> g_counter{0};
+
+std::int64_t ordered() {
+  g_counter.store(1, std::memory_order_release);          // ok
+  return g_counter.load(std::memory_order_acquire);       // ok
+}
+
+std::int64_t unordered() {
+  g_counter.store(2);       // line 16: R3 (store defaults to seq_cst)
+  g_counter.fetch_add(1);   // line 17: R3 (fetch_add without order)
+  return g_counter.load();  // line 18: R3 (load without order)
+}
+
+}  // namespace fixture

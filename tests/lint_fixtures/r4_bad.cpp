@@ -1,0 +1,19 @@
+// rtlint fixture: R4 — nondeterminism sources outside common/rng.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> g_table;  // line 10: R4 (unordered)
+
+int roll() {
+  std::random_device entropy;        // line 13: R4 (random_device)
+  const auto seed = time(nullptr);   // line 14: R4 (time)
+  return rand() + static_cast<int>(seed) +  // line 15: R4 (rand)
+         static_cast<int>(entropy());
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// rtlint fixture: R5 — header hygiene. This header deliberately lacks
+// #pragma once as its first directive, imports a namespace, and reaches
+// uphill with a parent-relative include.
+#include "../r5_helper.hpp"  // line 4: R5 (uphill include)
+
+using namespace std;  // line 6: R5 (using namespace in a header)
+
+namespace fixture {
+
+inline int five() { return 5; }
+
+}  // namespace fixture

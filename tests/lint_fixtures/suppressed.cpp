@@ -1,0 +1,18 @@
+// rtlint fixture: suppression forms. Every violation here carries an
+// allow comment, so the file must lint clean — except the final line, whose
+// allow names the WRONG rule and must still be flagged.
+#include <vector>
+
+#define RT_HOT
+
+namespace fixture {
+
+RT_HOT void warmed_up(std::vector<float>& buffer) {
+  buffer.resize(128);  // rtlint: allow(R2) grows once per thread
+  // rtlint: allow-next-line(R2)
+  buffer.push_back(1.0f);
+  buffer.reserve(256);  // rtlint: allow(R1,R2) multi-rule form
+  buffer.emplace_back(2.0f);  // rtlint: allow(R1) line 15: R2 still fires
+}
+
+}  // namespace fixture

@@ -1,0 +1,119 @@
+// tests/test_audit.cpp — RT_AUDIT runtime hooks (common/audit.hpp).
+//
+// These tests have teeth only in -DRT_AUDIT=ON builds (check.sh --lint runs
+// them there); in normal builds every test skips. They pin the dynamic half
+// of the RT_HOT contract: after per-thread warm-up, the annotated hot paths
+// perform zero heap allocations — measured by the counting global allocator,
+// not inferred from code reading. LockOrderGuard's rank discipline is
+// exercised on its legal orderings (violations abort by design, which a unit
+// test cannot observe without death-test machinery).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/audit.hpp"
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "linalg/gemm.hpp"
+#include "models/resnet.hpp"
+
+namespace rt {
+namespace {
+
+#define RT_AUDIT_TEST_GUARD()                                       \
+  do {                                                              \
+    if (!audit::enabled()) {                                        \
+      GTEST_SKIP() << "RT_AUDIT off: alloc counting is a no-op";    \
+    }                                                               \
+  } while (false)
+
+TEST(AllocGuard, CountsHeapAllocations) {
+  RT_AUDIT_TEST_GUARD();
+  audit::AllocGuard guard("test");
+  EXPECT_EQ(guard.allocations(), 0);
+  auto* p = new int(7);
+  EXPECT_EQ(guard.allocations(), 1);
+  std::vector<double> v(1024);
+  EXPECT_EQ(guard.allocations(), 2);
+  delete p;  // deallocation is not an allocation
+  EXPECT_EQ(guard.allocations(), 2);
+}
+
+TEST(AllocGuard, NestedGuardsCountIndependently) {
+  RT_AUDIT_TEST_GUARD();
+  audit::AllocGuard outer("outer");
+  auto before = std::make_unique<int>(1);
+  {
+    audit::AllocGuard inner("inner");
+    EXPECT_EQ(inner.allocations(), 0);
+    auto scoped = std::make_unique<int>(2);
+    EXPECT_EQ(inner.allocations(), 1);
+  }
+  EXPECT_GE(outer.allocations(), 2);  // sees both its own and inner's
+}
+
+TEST(LockOrderGuard, AscendingRanksAreLegal) {
+  // Compiles and runs in all builds (the no-op version must also accept
+  // this); under RT_AUDIT a violation would abort the process.
+  audit::LockOrderGuard serving(audit::LockRank::kServingQueue);
+  {
+    audit::LockOrderGuard sched(audit::LockRank::kSchedInject);
+    audit::LockOrderGuard group(audit::LockRank::kSchedGroup);
+  }
+  // Re-acquiring a higher rank after the nested scope unwound is legal.
+  audit::LockOrderGuard park(audit::LockRank::kSchedPark);
+}
+
+TEST(RtHot, PackedGemmIsAllocationFree) {
+  RT_AUDIT_TEST_GUARD();
+  const std::int64_t m = 64, n = 96, k = 80;
+  Rng rng(101);
+  const Tensor a = Tensor::uniform({m, k}, rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform({k, n}, rng, -1.0f, 1.0f);
+  Tensor c({m, n});
+  const GemmOpts opts{.accumulate = false, .parallel = false};
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), opts);  // warm-up
+  audit::AllocGuard guard("gemm_nn packed");
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), opts);
+  EXPECT_EQ(guard.allocations(), 0)
+      << "packed_core must run out of its fixed thread_local pack buffers";
+}
+
+TEST(RtHot, SessionRunRowsIsAllocationFreeAfterWarmup) {
+  RT_AUDIT_TEST_GUARD();
+  Rng rng(202);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  cfg.name = "audit";
+  ResNet model(cfg, rng);
+  model.set_training(false);
+
+  CompileOptions options;
+  options.height = 8;
+  options.width = 8;
+  Session session(Engine::compile(model, options), /*max_batch=*/4);
+
+  const Tensor x = Tensor::uniform({4, 3, 8, 8}, rng, 0.0f, 1.0f);
+  Tensor logits({4, 10});
+  // Warm-up: grows the thread's DecodeTable to this geometry and touches
+  // the pooled workspace; the steady state must then be allocation-free.
+  session.run_rows(x.data(), 4, logits.data());
+  audit::AllocGuard guard("Session::run_rows");
+  session.run_rows(x.data(), 4, logits.data());
+  EXPECT_EQ(guard.allocations(), 0)
+      << "run_rows steady state must recycle the workspace pool and the "
+         "kernels' thread_local scratch";
+  // The output still has to be real: the audit build must not have traded
+  // correctness for allocation-freedom.
+  float linf = 0.0f;
+  Tensor again({4, 10});
+  session.run_rows(x.data(), 4, again.data());
+  linf = logits.linf_distance(again);
+  EXPECT_EQ(linf, 0.0f) << "repeat runs must be bitwise deterministic";
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,136 @@
+// tests/test_rtlint.cpp — pins rtlint's rule behavior against the known-bad
+// snippets in tests/lint_fixtures/ (RT_LINT_FIXTURE_DIR, injected by CMake).
+// Each fixture documents its expected findings inline; these tests assert
+// the exact (rule, line) set so a lexer regression that silently stops
+// flagging — or starts over-flagging — fails loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtlint.hpp"
+
+namespace {
+
+using rtlint::FileKind;
+using rtlint::Finding;
+using rtlint::Rule;
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const FileKind& kind) {
+  const std::string path = std::string(RT_LINT_FIXTURE_DIR) + "/" + name;
+  return rtlint::lint_file(path, kind);
+}
+
+/// (rule, line) pairs, sorted, for exact-set comparison.
+std::vector<std::pair<Rule, int>> keys(const std::vector<Finding>& findings) {
+  std::vector<std::pair<Rule, int>> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RtLint, R1FlagsBlockingSyncInKernelHotPaths) {
+  const auto findings =
+      lint_fixture("r1_bad.cpp", FileKind{.kernel_hot_path = true});
+  // Line 13 names two banned constructs (lock_guard and its mutex argument),
+  // so it is reported twice — every offending token gets its own finding.
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR1, 10}, {Rule::kR1, 13}, {Rule::kR1, 13}, {Rule::kR1, 14}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
+TEST(RtLint, R1IgnoredOutsideKernelHotPaths) {
+  EXPECT_TRUE(lint_fixture("r1_bad.cpp", FileKind{}).empty());
+}
+
+TEST(RtLint, R2FlagsAllocationOnlyInsideRtHotBodies) {
+  const auto findings = lint_fixture("r2_bad.cpp", FileKind{});
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR2, 11}, {Rule::kR2, 12}, {Rule::kR2, 13}};
+  EXPECT_EQ(keys(findings), expected);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("hot_path"), std::string::npos)
+        << "finding should name the RT_HOT function: " << f.message;
+  }
+}
+
+TEST(RtLint, R3FlagsOrderlessAtomicsWhereOrdersAreRequired) {
+  const auto findings =
+      lint_fixture("r3_bad.cpp", FileKind{.ordered_atomics = true});
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR3, 16}, {Rule::kR3, 17}, {Rule::kR3, 18}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
+TEST(RtLint, R3IgnoredOutsideOrderedAtomicsScope) {
+  EXPECT_TRUE(lint_fixture("r3_bad.cpp", FileKind{}).empty());
+}
+
+TEST(RtLint, R4FlagsNondeterminismSources) {
+  const auto findings = lint_fixture("r4_bad.cpp", FileKind{});
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR4, 10}, {Rule::kR4, 13}, {Rule::kR4, 14}, {Rule::kR4, 15}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
+TEST(RtLint, R4ExemptInRngSources) {
+  EXPECT_TRUE(
+      lint_fixture("r4_bad.cpp", FileKind{.rng_exempt = true}).empty());
+}
+
+TEST(RtLint, R5FlagsHeaderHygiene) {
+  const auto findings = lint_fixture("r5_bad.hpp", FileKind{.header = true});
+  // Line 4 carries two violations: the first directive is not #pragma once,
+  // and the include itself reaches uphill.
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR5, 4}, {Rule::kR5, 4}, {Rule::kR5, 6}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
+TEST(RtLint, SuppressionCommentsSilenceNamedRulesOnly) {
+  const auto findings = lint_fixture("suppressed.cpp", FileKind{});
+  // Every violation is suppressed except the last, whose allow() names the
+  // wrong rule (R1), so its R2 finding must survive.
+  const std::vector<std::pair<Rule, int>> expected = {{Rule::kR2, 15}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
+TEST(RtLint, ClassifyMatchesRepoLayout) {
+  const FileKind gemm = rtlint::classify("src/linalg/gemm.cpp");
+  EXPECT_TRUE(gemm.kernel_hot_path);
+  EXPECT_FALSE(gemm.header);
+  EXPECT_FALSE(gemm.ordered_atomics);
+
+  const FileKind plan = rtlint::classify("src/engine/plan.cpp");
+  EXPECT_TRUE(plan.kernel_hot_path);
+
+  const FileKind engine = rtlint::classify("src/engine/engine.cpp");
+  EXPECT_FALSE(engine.kernel_hot_path);
+
+  const FileKind sched = rtlint::classify("src/common/scheduler.cpp");
+  EXPECT_TRUE(sched.ordered_atomics);
+  EXPECT_FALSE(sched.kernel_hot_path);
+
+  const FileKind serving = rtlint::classify("src/serving/serving.hpp");
+  EXPECT_TRUE(serving.ordered_atomics);
+  EXPECT_TRUE(serving.header);
+
+  const FileKind rng = rtlint::classify("src/common/rng.cpp");
+  EXPECT_TRUE(rng.rng_exempt);
+}
+
+TEST(RtLint, FormatFindingIsFileLineRuleMessage) {
+  const Finding f{Rule::kR3, "src/serving/serving.cpp", 42, "msg"};
+  EXPECT_EQ(rtlint::format_finding(f), "src/serving/serving.cpp:42: [R3] msg");
+}
+
+TEST(RtLint, LintFileThrowsOnMissingFile) {
+  EXPECT_THROW(rtlint::lint_file("/nonexistent/rtlint-fixture.cpp", FileKind{}),
+               std::runtime_error);
+}
+
+}  // namespace

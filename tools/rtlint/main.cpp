@@ -1,0 +1,120 @@
+// rtlint CLI — lints the given files/directories and exits nonzero when any
+// finding survives suppression. Wired as a ctest suite over src/ and as the
+// scripts/check.sh --lint gate.
+//
+//   rtlint [--root DIR] [--explain] [--quiet] <file-or-dir>...
+//
+// --root DIR   repo root used to derive each file's repo-relative path (rule
+//              applicability is path-based; defaults to the current dir).
+// --explain    print the rule catalogue and exit.
+// --quiet      print only the finding count summary.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rtlint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+/// Path relative to root with forward slashes (classification key).
+std::string relative_key(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty() || rel.native().rfind("..", 0) == 0) rel = file;
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool quiet = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--explain") {
+      for (rtlint::Rule r :
+           {rtlint::Rule::kR1, rtlint::Rule::kR2, rtlint::Rule::kR3,
+            rtlint::Rule::kR4, rtlint::Rule::kR5}) {
+        std::cout << rtlint::rule_name(r) << "  " << rtlint::rule_summary(r)
+                  << "\n";
+      }
+      std::cout << "suppress with `// rtlint: allow(Rn)` on the flagged line "
+                   "or `// rtlint: allow-next-line(Rn)` above it\n";
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rtlint: unknown flag " << arg << "\n"
+                << "usage: rtlint [--root DIR] [--explain] [--quiet] "
+                   "<file-or-dir>...\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: rtlint [--root DIR] [--explain] [--quiet] "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(input)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "rtlint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const fs::path& file : files) {
+    const std::string key = relative_key(file, root);
+    const rtlint::FileKind kind = rtlint::classify(key);
+    std::vector<rtlint::Finding> file_findings;
+    try {
+      file_findings = rtlint::lint_file(file.string(), kind);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    // Report repo-relative paths so output is stable across checkouts.
+    for (rtlint::Finding f : file_findings) {
+      f.file = key;
+      if (!quiet) std::cout << rtlint::format_finding(f) << "\n";
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::cout << "rtlint: " << findings << " finding"
+              << (findings == 1 ? "" : "s") << " across " << files.size()
+              << " files\n";
+    return 1;
+  }
+  if (!quiet) {
+    std::cout << "rtlint: clean (" << files.size() << " files)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,625 @@
+#include "rtlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtlint {
+
+namespace {
+
+// ---- token stream -----------------------------------------------------------
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords
+  kPunct,       ///< one operator/punctuator character sequence
+  kNumber,
+  kDirective,  ///< one whole preprocessor line, text without the newline
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based
+};
+
+/// Lexed file: tokens with comments stripped but suppression directives and
+/// raw comment lines retained on the side.
+struct Lexed {
+  std::vector<Token> tokens;
+  /// line -> rules suppressed on that line (from `rtlint: allow(...)` on the
+  /// line and `rtlint: allow-next-line(...)` on the previous one).
+  std::map<int, std::set<Rule>> suppressed;
+  int first_code_line = 0;        ///< first non-comment, non-blank line
+  std::string first_directive;    ///< text of the first preprocessor line
+  int first_directive_line = 0;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses "R1,R2" (case-insensitive, spaces allowed) into rules.
+std::set<Rule> parse_rule_list(const std::string& text) {
+  std::set<Rule> rules;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if ((text[i] == 'R' || text[i] == 'r') && i + 1 < text.size() &&
+        std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+      switch (text[i + 1]) {
+        case '1': rules.insert(Rule::kR1); break;
+        case '2': rules.insert(Rule::kR2); break;
+        case '3': rules.insert(Rule::kR3); break;
+        case '4': rules.insert(Rule::kR4); break;
+        case '5': rules.insert(Rule::kR5); break;
+        default: break;
+      }
+      ++i;
+    }
+  }
+  return rules;
+}
+
+/// Records any `rtlint: allow(...)` / `rtlint: allow-next-line(...)`
+/// directive found in one comment's text.
+void scan_comment(const std::string& comment, int line, Lexed& out) {
+  const std::string kTag = "rtlint:";
+  std::size_t at = comment.find(kTag);
+  if (at == std::string::npos) return;
+  std::size_t pos = at + kTag.size();
+  while (pos < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[pos]))) {
+    ++pos;
+  }
+  const bool next_line = comment.compare(pos, 15, "allow-next-line") == 0;
+  const bool same_line = !next_line && comment.compare(pos, 5, "allow") == 0;
+  if (!next_line && !same_line) return;
+  const std::size_t open = comment.find('(', pos);
+  if (open == std::string::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  const std::set<Rule> rules =
+      parse_rule_list(comment.substr(open + 1, close - open - 1));
+  const int target = next_line ? line + 1 : line;
+  out.suppressed[target].insert(rules.begin(), rules.end());
+}
+
+/// Token-level scan of one translation unit. Handles //- and /* */-comments,
+/// string/char literals (including basic raw strings), and preprocessor
+/// lines (captured whole, with continuations). Good enough for the rules'
+/// syntactic matching; no macro expansion is performed.
+Lexed lex(const std::string& src) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto note_code_line = [&] {
+    if (out.first_code_line == 0) out.first_code_line = line;
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: capture the whole (continued) line.
+    if (c == '#') {
+      const int dline = line;
+      std::string text;
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          text += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        text += src[i++];
+      }
+      note_code_line();
+      if (out.first_directive.empty()) {
+        out.first_directive = text;
+        out.first_directive_line = dline;
+      }
+      out.tokens.push_back({TokKind::kDirective, text, dline});
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int cline = line;
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_comment(src.substr(i, end - i), cline, out);
+      i = end;
+      continue;
+    }
+    // Block comment (may span lines; a directive inside applies per line).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      std::string text;
+      int cline = line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          scan_comment(text, cline, out);
+          text.clear();
+          ++line;
+          cline = line;
+        } else {
+          text += src[j];
+        }
+        ++j;
+      }
+      scan_comment(text, cline, out);
+      i = j + 2 > n ? n : j + 2;
+      continue;
+    }
+    note_code_line();
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t p = i; p < std::min(n, end + closer.size()); ++p) {
+        if (src[p] == '\n') ++line;
+      }
+      i = std::min(n, end + closer.size());
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      i = j + 1 > n ? n : j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({TokKind::kIdentifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: group "::" so qualified-name matching is one token pair.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---- rule helpers -----------------------------------------------------------
+
+struct Ctx {
+  const Lexed& lx;
+  const std::string& path;
+  std::vector<Finding>* findings;
+
+  bool suppressed(Rule rule, int line) const {
+    auto it = lx.suppressed.find(line);
+    return it != lx.suppressed.end() && it->second.count(rule) > 0;
+  }
+  void report(Rule rule, int line, std::string message) const {
+    if (suppressed(rule, line)) return;
+    findings->push_back({rule, path, line, std::move(message)});
+  }
+};
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+/// True when tokens[i] is qualified as std::X (i points at X).
+bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+         toks[i - 1].text == "::" && is_ident(toks[i - 2], "std");
+}
+
+/// Skips a balanced (), {}, or <>-free region starting at an opener; returns
+/// the index one past the matching closer (or toks.size()).
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          char open_ch, char close_ch) {
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text.size() == 1 && toks[i].text[0] == open_ch) ++depth;
+    if (toks[i].text.size() == 1 && toks[i].text[0] == close_ch) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return i;
+}
+
+// ---- R1: blocking synchronization in kernel hot paths -----------------------
+
+const std::set<std::string>& r1_banned_std() {
+  static const std::set<std::string> kBanned{
+      "mutex", "recursive_mutex", "timed_mutex", "shared_mutex",
+      "condition_variable", "condition_variable_any", "lock_guard",
+      "unique_lock", "scoped_lock", "shared_lock", "future", "promise",
+      "thread", "jthread", "binary_semaphore", "counting_semaphore",
+      "latch", "barrier"};
+  return kBanned;
+}
+
+void run_r1(const Ctx& ctx) {
+  const auto& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    if (std_qualified(toks, i) && r1_banned_std().count(toks[i].text) > 0) {
+      ctx.report(Rule::kR1, toks[i].line,
+                 "blocking synchronization (std::" + toks[i].text +
+                     ") in a kernel hot path; kernels must stay lock-free — "
+                     "push coordination up to the scheduler layer");
+    } else if (toks[i].text == "sleep_for" || toks[i].text == "sleep_until") {
+      ctx.report(Rule::kR1, toks[i].line,
+                 "blocking wait (" + toks[i].text + ") in a kernel hot path");
+    }
+  }
+}
+
+// ---- R2: heap allocation inside RT_HOT functions ----------------------------
+
+/// Allocation constructs banned inside RT_HOT bodies. Method-name matches
+/// (push_back etc.) are syntactic: any receiver counts, because the rule's
+/// point is that growth-capable containers do not belong on a hot path.
+const std::map<std::string, const char*>& r2_banned() {
+  static const std::map<std::string, const char*> kBanned{
+      {"new", "operator new"},
+      {"malloc", "malloc"},
+      {"calloc", "calloc"},
+      {"realloc", "realloc"},
+      {"aligned_alloc", "aligned_alloc"},
+      {"strdup", "strdup"},
+      {"push_back", "std::vector growth (push_back)"},
+      {"emplace_back", "std::vector growth (emplace_back)"},
+      {"resize", "container resize"},
+      {"reserve", "container reserve"},
+      {"make_unique", "make_unique"},
+      {"make_shared", "make_shared"},
+  };
+  return kBanned;
+}
+
+/// Finds the body of the function an RT_HOT annotation precedes: the first
+/// `{` at paren depth zero after the parameter list, skipping a constructor
+/// initializer list (whose member initializers may themselves use parens or
+/// braces). Returns {body_open_index, function_name} or {npos, ""} when the
+/// annotation precedes a declaration only.
+std::pair<std::size_t, std::string> find_hot_body(
+    const std::vector<Token>& toks, std::size_t hot) {
+  std::string name;
+  std::size_t i = hot + 1;
+  int paren = 0;
+  bool saw_params = false;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdentifier && paren == 0 && !saw_params) {
+      name = t.text;  // last identifier before the parameter list
+    }
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == ";" && paren == 0) return {std::string::npos, ""};
+    if (t.text == "(") ++paren;
+    if (t.text == ")") {
+      if (--paren == 0) saw_params = true;
+    }
+    if (t.text == "=" && paren == 0 && saw_params) {
+      return {std::string::npos, ""};  // = default / = delete / = 0
+    }
+    if (t.text == ":" && paren == 0 && saw_params) {
+      // Constructor initializer list: initializers are name(…) or name{…}
+      // separated by commas; the body brace follows the last one.
+      std::size_t j = i + 1;
+      while (j < toks.size()) {
+        // Skip the initializer's qualified name / template arguments.
+        while (j < toks.size() && (toks[j].kind == TokKind::kIdentifier ||
+                                   toks[j].text == "::" ||
+                                   toks[j].text == "<" ||
+                                   toks[j].text == ">" ||
+                                   toks[j].text == ",")) {
+          // A comma inside template args vs between initializers is
+          // ambiguous token-wise; initializer commas are followed by an
+          // identifier then ( or {, which this loop also consumes.
+          ++j;
+        }
+        if (j >= toks.size()) return {std::string::npos, ""};
+        if (toks[j].text == "(") {
+          j = skip_balanced(toks, j, '(', ')');
+        } else if (toks[j].text == "{") {
+          // Either a brace-initializer or the body. Body iff the previous
+          // token closed an initializer (')' or '}') — a brace directly
+          // after an identifier is that member's initializer.
+          if (toks[j - 1].text == ")" || toks[j - 1].text == "}") {
+            return {j, name};
+          }
+          j = skip_balanced(toks, j, '{', '}');
+        } else {
+          return {std::string::npos, ""};
+        }
+        if (j < toks.size() && toks[j].text == "{") return {j, name};
+      }
+      return {std::string::npos, ""};
+    }
+    if (t.text == "{" && paren == 0 && saw_params) return {i, name};
+  }
+  return {std::string::npos, ""};
+}
+
+void run_r2(const Ctx& ctx) {
+  const auto& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "RT_HOT")) continue;
+    const auto [body, name] = find_hot_body(toks, i);
+    if (body == std::string::npos) continue;
+    const std::size_t end = skip_balanced(toks, body, '{', '}');
+    for (std::size_t j = body + 1; j + 1 < end; ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokKind::kIdentifier) continue;
+      const auto hit = r2_banned().find(t.text);
+      if (hit != r2_banned().end()) {
+        // `new` is a keyword; everything else must look like a call.
+        if (t.text != "new" && !(j + 1 < end && toks[j + 1].text == "(") &&
+            !(j + 1 < end && toks[j + 1].text == "<")) {
+          continue;
+        }
+        ctx.report(Rule::kR2, t.line,
+                   std::string("heap allocation (") + hit->second +
+                       ") inside RT_HOT function '" + name +
+                       "'; hot paths must run allocation-free after warm-up");
+      } else if (t.text == "function" && std_qualified(toks, j)) {
+        ctx.report(Rule::kR2, t.line,
+                   "std::function inside RT_HOT function '" + name +
+                       "' (type-erased callables allocate); use "
+                       "FunctionRef or a template parameter");
+      }
+    }
+    i = end;
+  }
+}
+
+// ---- R3: explicit memory orders ---------------------------------------------
+
+/// Atomic member operations that take a memory_order. `wait`/`notify_*`/
+/// `clear` are deliberately absent: they collide with condition-variable and
+/// container members in exactly the files this rule watches, and
+/// std::atomic::wait is not used in this codebase.
+const std::set<std::string>& r3_atomic_ops() {
+  static const std::set<std::string> kOps{
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_strong", "compare_exchange_weak",
+      "test_and_set"};
+  return kOps;
+}
+
+void run_r3(const Ctx& ctx) {
+  const auto& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier || r3_atomic_ops().count(t.text) == 0) {
+      continue;
+    }
+    // Must be a member call: preceded by '.' or '->' and followed by '('.
+    const bool member =
+        i >= 1 && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "." ||
+         (toks[i - 1].text == ">" && i >= 2 && toks[i - 2].text == "-"));
+    if (!member || toks[i + 1].text != "(") continue;
+    const std::size_t close = skip_balanced(toks, i + 1, '(', ')');
+    bool has_order = false;
+    for (std::size_t j = i + 2; j + 1 < close; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          toks[j].text.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        break;
+      }
+    }
+    if (has_order) continue;
+    ctx.report(Rule::kR3, t.line,
+               "atomic ." + t.text +
+                   "() without an explicit std::memory_order; seq_cst-by-"
+                   "default drift hides the synchronization design — name "
+                   "the order (and justify it in a comment)");
+  }
+}
+
+// ---- R4: nondeterminism sources ---------------------------------------------
+
+void run_r4(const Ctx& ctx) {
+  const auto& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool call = i + 1 < toks.size() && toks[i + 1].text == "(";
+    if ((t.text == "rand" || t.text == "srand" || t.text == "rand_r" ||
+         t.text == "drand48" || t.text == "time" || t.text == "clock") &&
+        call) {
+      // Member calls like timer.time() are fine; only free/std calls count.
+      const bool member = i >= 1 && (toks[i - 1].text == "." ||
+                                     (toks[i - 1].text == ">" && i >= 2 &&
+                                      toks[i - 2].text == "-"));
+      if (member) continue;
+      ctx.report(Rule::kR4, t.line,
+                 "nondeterminism source (" + t.text +
+                     "()) outside common/rng; seed every stream through "
+                     "rt::Rng so runs replay bit-for-bit");
+      continue;
+    }
+    if (t.text == "random_device") {
+      ctx.report(Rule::kR4, t.line,
+                 "std::random_device outside common/rng; hardware entropy "
+                 "breaks replayability — derive seeds from rt::Rng");
+      continue;
+    }
+    if (t.text == "system_clock") {
+      ctx.report(Rule::kR4, t.line,
+                 "std::chrono::system_clock outside common/rng; wall-clock "
+                 "values feeding results are nondeterministic (steady_clock "
+                 "is fine for latencies/deadlines)");
+      continue;
+    }
+    if (t.text == "unordered_map" || t.text == "unordered_set" ||
+        t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+      ctx.report(Rule::kR4, t.line,
+                 "std::" + t.text +
+                     " — iteration order is unspecified and has fed "
+                     "nondeterministic results before; use a sorted "
+                     "container, or suppress with a comment proving "
+                     "iteration order never escapes");
+    }
+  }
+}
+
+// ---- R5: header hygiene -----------------------------------------------------
+
+void run_r5(const Ctx& ctx, const FileKind& kind) {
+  const auto& toks = ctx.lx.tokens;
+  if (kind.header) {
+    const std::string& first = ctx.lx.first_directive;
+    const bool pragma_once =
+        first.rfind("#pragma", 0) == 0 &&
+        first.find("once") != std::string::npos;
+    if (!pragma_once || ctx.lx.first_directive_line != ctx.lx.first_code_line) {
+      ctx.report(Rule::kR5, std::max(1, ctx.lx.first_code_line),
+                 "header must open with #pragma once before any other code");
+    }
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+        ctx.report(Rule::kR5, toks[i].line,
+                   "`using namespace` in a header leaks into every includer");
+      }
+    }
+  }
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kDirective &&
+        t.text.find("include") != std::string::npos &&
+        t.text.find("\"../") != std::string::npos) {
+      ctx.report(Rule::kR5, t.line,
+                 "uphill relative #include \"../…\"; include repo-rooted "
+                 "paths (the build adds src/ to the include path)");
+    }
+  }
+}
+
+}  // namespace
+
+// ---- public API -------------------------------------------------------------
+
+const char* rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kR1: return "R1";
+    case Rule::kR2: return "R2";
+    case Rule::kR3: return "R3";
+    case Rule::kR4: return "R4";
+    case Rule::kR5: return "R5";
+  }
+  return "R?";
+}
+
+const char* rule_summary(Rule rule) {
+  switch (rule) {
+    case Rule::kR1:
+      return "no blocking synchronization in kernel hot paths "
+             "(src/linalg/, src/engine/plan.cpp)";
+    case Rule::kR2:
+      return "no heap allocation constructs inside RT_HOT functions";
+    case Rule::kR3:
+      return "every atomic op in scheduler/serving names an explicit "
+             "std::memory_order";
+    case Rule::kR4:
+      return "no nondeterminism sources outside src/common/rng.*";
+    case Rule::kR5:
+      return "header hygiene: #pragma once first, no `using namespace`, "
+             "no uphill includes";
+  }
+  return "";
+}
+
+FileKind classify(const std::string& path) {
+  FileKind kind;
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  auto starts_with = [&](const char* prefix) {
+    return path.rfind(prefix, 0) == 0;
+  };
+  kind.header = ends_with(".hpp") || ends_with(".h");
+  kind.kernel_hot_path =
+      starts_with("src/linalg/") || path == "src/engine/plan.cpp";
+  kind.ordered_atomics =
+      starts_with("src/common/scheduler.") || starts_with("src/serving/");
+  kind.rng_exempt = starts_with("src/common/rng.");
+  return kind;
+}
+
+std::vector<Finding> lint_source(const std::string& display_path,
+                                 const std::string& content,
+                                 const FileKind& kind) {
+  const Lexed lx = lex(content);
+  std::vector<Finding> findings;
+  Ctx ctx{lx, display_path, &findings};
+  if (kind.kernel_hot_path) run_r1(ctx);
+  run_r2(ctx);  // RT_HOT bodies are checked wherever they appear
+  if (kind.ordered_atomics) run_r3(ctx);
+  if (!kind.rng_exempt) run_r4(ctx);
+  run_r5(ctx, kind);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path, const FileKind& kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("rtlint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), kind);
+}
+
+std::string format_finding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << rule_name(finding.rule)
+      << "] " << finding.message;
+  return out.str();
+}
+
+}  // namespace rtlint

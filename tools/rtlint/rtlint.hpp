@@ -1,0 +1,86 @@
+#pragma once
+// rtlint — the repo-native static-analysis pass behind `scripts/check.sh
+// --lint` and the `rtlint` ctest suite.
+//
+// The library's production-scale claims rest on invariants that no compiler
+// checks: kernel hot paths must never block, RT_HOT functions must never
+// allocate, every atomic in the scheduler/serving layer must name its memory
+// order, and nothing outside common/rng may introduce nondeterminism. Those
+// invariants used to be enforced by reviewer vigilance; rtlint encodes them
+// as named, individually-suppressible rules and fails the gate instead.
+//
+// Scope: a token-level scanner (comments, strings, and preprocessor
+// directives are understood; no libclang, no full parse) with lightweight
+// scope tracking — enough to follow an `RT_HOT` annotation to its function
+// body across a constructor-initializer list and nested braces. Rules are
+// deliberately syntactic approximations: they catch the constructs named in
+// the rule, not every semantic equivalent, and a documented suppression
+// comment is the escape hatch when a flagged construct is intentional:
+//
+//   thread_local std::vector<float> wpack;   // warm-up only
+//   wpack.resize(bytes);  // rtlint: allow(R2) grows once per thread
+//
+// `// rtlint: allow(R2)` suppresses on its own line;
+// `// rtlint: allow-next-line(R2,R3)` suppresses on the following line.
+//
+// Rule catalogue (see DESIGN.md "Correctness tooling" for the rationale):
+//   R1  no blocking synchronization in kernel hot paths (src/linalg/,
+//       src/engine/plan.cpp): std::mutex, condition_variable, lock/unique/
+//       scoped/shared locks, future/promise, thread spawns, sleeps.
+//   R2  no heap allocation constructs inside functions annotated RT_HOT:
+//       new, malloc-family, std::vector growth (push_back/emplace_back/
+//       resize/reserve), make_unique/make_shared, std::function.
+//   R3  every std::atomic load/store/RMW in src/common/scheduler.* and
+//       src/serving/ must name an explicit std::memory_order.
+//   R4  no nondeterminism sources outside src/common/rng.*: rand/srand,
+//       std::random_device, time(), system_clock, unordered containers
+//       (iteration order feeds results).
+//   R5  header hygiene: headers start with #pragma once, never contain
+//       `using namespace`, and no file reaches uphill with #include "../".
+
+#include <string>
+#include <vector>
+
+namespace rtlint {
+
+enum class Rule { kR1, kR2, kR3, kR4, kR5 };
+
+/// Short stable name ("R1") used in reports and suppression comments.
+const char* rule_name(Rule rule);
+/// One-line description for --explain output.
+const char* rule_summary(Rule rule);
+
+/// Which rule sets apply to one file. The CLI derives this from the repo-
+/// relative path via classify(); tests construct it directly so fixtures can
+/// exercise any rule regardless of where they live.
+struct FileKind {
+  bool header = false;            ///< R5 applies (plus R5c include check)
+  bool kernel_hot_path = false;   ///< R1 applies
+  bool ordered_atomics = false;   ///< R3 applies
+  bool rng_exempt = false;        ///< R4 skipped (src/common/rng.*)
+};
+
+/// Path-based classification, matching the repo layout. `path` must be
+/// repo-relative with forward slashes (e.g. "src/linalg/gemm.cpp").
+FileKind classify(const std::string& path);
+
+struct Finding {
+  Rule rule = Rule::kR1;
+  std::string file;     ///< as passed to lint_source
+  int line = 0;         ///< 1-based
+  std::string message;  ///< human-readable, names the offending construct
+};
+
+/// Lints one in-memory translation unit. `display_path` is used only for
+/// reporting. Findings are ordered by line.
+std::vector<Finding> lint_source(const std::string& display_path,
+                                 const std::string& content,
+                                 const FileKind& kind);
+
+/// Reads and lints a file on disk; throws std::runtime_error if unreadable.
+std::vector<Finding> lint_file(const std::string& path, const FileKind& kind);
+
+/// Formats a finding as "file:line: [Rn] message".
+std::string format_finding(const Finding& finding);
+
+}  // namespace rtlint
