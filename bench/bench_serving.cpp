@@ -6,7 +6,19 @@
 //                                   request at a time: the per-request
 //                                   latency floor of the queue + coalescer +
 //                                   serving-lane dispatch + future path,
-//                                   reported as p50/p99 counters (us).
+//                                   reported as p50/p99 counters (us) read
+//                                   from the server's own latency histogram
+//                                   (ServerStats::latency) — the same
+//                                   numbers an operator scrapes in
+//                                   production, with no client-side timing.
+//   BM_RegistryHotSwap              the rollout cost: a closed-loop client
+//                                   against a registry-served model, first
+//                                   at steady state, then while the
+//                                   registry alternates zero-downtime
+//                                   deploys between two published versions.
+//                                   p99_steady_us vs p99_swap_us bounds the
+//                                   latency tax a hot swap imposes on
+//                                   in-flight traffic.
 //   BM_ServerThroughputClients/     C clients each submit a burst of 1-row
 //     clients/batched/shards        requests asynchronously and then drain
 //                                   their futures. batched=0 serves every
@@ -31,20 +43,38 @@
 #include "engine/engine.hpp"
 #include "models/resnet.hpp"
 #include "prune/baselines.hpp"
+#include "registry/registry.hpp"
 #include "serving/serving.hpp"
 #include "tensor/tensor.hpp"
 
 namespace {
 
 /// The deployment artifact every serving bench runs: a 90%-per-layer-sparse
-/// r18 compiled at 16x16 (every conv packs as CSR).
-std::shared_ptr<const rt::CompiledTicket> sparse_r18_plan() {
-  rt::Rng rng(9);
+/// r18 whose convs pack as CSR (compiled at the default 16x16 geometry).
+std::unique_ptr<rt::ResNet> sparse_r18_model(std::uint64_t seed) {
+  rt::Rng rng(seed);
   auto model = rt::make_micro_resnet18(10, rng);
   rt::layerwise_magnitude_prune(*model, 0.9f, rt::Granularity::kElement);
   model->set_training(false);
+  return model;
+}
+
+std::shared_ptr<const rt::CompiledTicket> sparse_r18_plan() {
   return std::make_shared<const rt::CompiledTicket>(
-      rt::Engine::compile(*model));
+      rt::Engine::compile(*sparse_r18_model(9)));
+}
+
+/// Histogram delta between two stats() snapshots of one server: the latency
+/// distribution of exactly the requests completed in between.
+rt::serving::LatencySnapshot snapshot_delta(
+    const rt::serving::LatencySnapshot& after,
+    const rt::serving::LatencySnapshot& before) {
+  rt::serving::LatencySnapshot delta;
+  delta.count = after.count - before.count;
+  for (std::size_t i = 0; i < delta.buckets.size(); ++i) {
+    delta.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  return delta;
 }
 
 void BM_ServerLatencyP50P99(benchmark::State& state) {
@@ -58,24 +88,15 @@ void BM_ServerLatencyP50P99(benchmark::State& state) {
 
   rt::Rng rng(11);
   const rt::Tensor x = rt::Tensor::uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
-  std::vector<double> latencies_us;
-  latencies_us.reserve(1 << 14);
   for (auto _ : state) {
-    const auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(server.predict(x));
-    const auto t1 = std::chrono::steady_clock::now();
-    latencies_us.push_back(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
   }
-  std::sort(latencies_us.begin(), latencies_us.end());
-  const auto pct = [&](double p) {
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(latencies_us.size() - 1));
-    return latencies_us[idx];
-  };
-  if (!latencies_us.empty()) {
-    state.counters["p50_us"] = pct(0.50);
-    state.counters["p99_us"] = pct(0.99);
+  // Quantiles come from the server's own log-scale histogram — no
+  // client-side sample vector, and exactly what stats() exports.
+  const rt::serving::LatencySnapshot lat = server.stats().latency;
+  if (lat.count > 0) {
+    state.counters["p50_us"] = lat.quantile_us(0.50);
+    state.counters["p99_us"] = lat.quantile_us(0.99);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -128,6 +149,58 @@ BENCHMARK(BM_ServerThroughputClients)
     ->Args({4, 1, 1})  // 4 clients sharing one shard
     ->Args({4, 1, 2})  // 4 clients over a 2-shard fleet
     ->UseRealTime();
+
+void BM_RegistryHotSwap(benchmark::State& state) {
+  rt::registry::RegistryOptions ropt;
+  ropt.cache_root = "";  // hermetic: the bench never touches the disk cache
+  rt::registry::Registry reg(ropt);
+  auto v1 = sparse_r18_model(9);
+  auto v2 = sparse_r18_model(10);
+  reg.publish("r18", *v1);
+  reg.publish("r18", *v2);
+
+  rt::serving::ServerOptions opt;
+  opt.max_batch = 16;
+  opt.max_delay_ms = 0.05;
+  rt::serving::Server& server = reg.serve("r18@1", opt);
+  // Warm both compiled plans so the swap loop measures the swap itself, not
+  // a first-demand ticket compilation.
+  const auto plan1 = reg.compiled("r18@1");
+  const auto plan2 = reg.compiled("r18@2");
+
+  rt::Rng rng(13);
+  const rt::Tensor x = rt::Tensor::uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
+
+  // Steady-state baseline (untimed): the same closed loop with no deploys.
+  constexpr int kSteadyRequests = 128;
+  for (int i = 0; i < kSteadyRequests; ++i) {
+    benchmark::DoNotOptimize(server.predict(x));
+  }
+  const rt::serving::LatencySnapshot steady = server.stats().latency;
+  const double p99_steady_us = steady.quantile_us(0.99);
+
+  // Timed phase: the registry alternates zero-downtime deploys under the
+  // same closed-loop client; the histogram delta isolates this phase.
+  std::int64_t swaps = 0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    if (i % 16 == 0) {
+      reg.deploy(swaps % 2 == 0 ? "r18@2" : "r18@1");
+      ++swaps;
+    }
+    ++i;
+    benchmark::DoNotOptimize(server.predict(x));
+  }
+  const rt::serving::LatencySnapshot swap_phase =
+      snapshot_delta(server.stats().latency, steady);
+  if (swap_phase.count > 0) {
+    state.counters["p99_steady_us"] = p99_steady_us;
+    state.counters["p99_swap_us"] = swap_phase.quantile_us(0.99);
+  }
+  state.counters["swaps"] = static_cast<double>(swaps);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryHotSwap)->UseRealTime();
 
 }  // namespace
 

@@ -57,7 +57,8 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 # The concurrency-heavy suites every sanitizer pass exercises. One list so
 # the echo, the build targets, and the ctest filter cannot drift apart.
-SAN_SUITES=(test_scheduler test_engine test_serving test_common test_gemm)
+SAN_SUITES=(test_scheduler test_engine test_serving test_registry test_common
+            test_gemm)
 SAN_FILTER="$(IFS='|'; echo "${SAN_SUITES[*]}")"
 
 # run_sanitizer_pass <name> <build_dir> <rt_sanitize_value>
@@ -71,8 +72,8 @@ run_sanitizer_pass() {
 }
 
 if [[ "${LINT}" == 1 ]]; then
-  echo "== rtlint pass (tools/rtlint over src/) =="
-  ./build/rtlint --root . src
+  echo "== rtlint pass (tools/rtlint over src/ and tools/) =="
+  ./build/rtlint --root . src tools
   echo "== RT_AUDIT pass (alloc counting + lock-order assertions) =="
   cmake -B build-audit -S . -DRT_AUDIT=ON -DRT_BUILD_BENCHES=OFF \
         -DRT_BUILD_EXAMPLES=OFF
@@ -114,10 +115,21 @@ run_bench_smoke() {
   if [[ "${BENCH_JSON}" == 1 ]]; then
     extra_args+=(--benchmark_out="${json_out}" --benchmark_out_format=json)
   fi
+  # Explicit exit propagation, independent of errexit. `set -e` does cover
+  # this call today (verified: a failing fake bench binary exits the gate),
+  # but bash suppresses errexit throughout a function body the moment any
+  # caller up the chain runs it in a condition context (`if check.sh`,
+  # `check.sh || notify`) — this guard keeps a failed or crashed bench
+  # binary fatal under every invocation style.
+  local status=0
   "./build/${binary}" \
     --benchmark_filter="${filter}" \
     --benchmark_min_time=0.05 \
-    "${extra_args[@]}"
+    "${extra_args[@]}" || status=$?
+  if (( status != 0 )); then
+    echo "${binary} failed (exit ${status}); failing the gate" >&2
+    exit "${status}"
+  fi
   if [[ "${BENCH_JSON}" == 1 ]]; then
     echo "wrote ${json_out}"
   fi
@@ -125,7 +137,7 @@ run_bench_smoke() {
 
 run_bench_smoke bench_kernels 'BM_Matmul|BM_Gemm|BM_ConvTrain|BM_EngineThroughput' \
   BENCH_kernels.json "GEMM + conv + engine throughput"
-run_bench_smoke bench_serving 'BM_Server' \
-  BENCH_serving.json "async micro-batching front-end"
+run_bench_smoke bench_serving 'BM_Server|BM_Registry' \
+  BENCH_serving.json "async micro-batching front-end + registry hot swap"
 
 echo "check.sh: all gates passed"

@@ -17,12 +17,14 @@
 //   - a counting allocator guard: global operator new/delete are replaced
 //     with counting wrappers (common/audit.cpp) that tally allocations made
 //     while any AllocGuard is live on the calling thread;
-//   - lock-order assertions: every mutex acquisition in the scheduler and
-//     serving layers carries an RT_AUDIT_LOCK(rank) marker; acquiring a rank
-//     at or below one already held by the thread aborts with both sites'
-//     ranks. All current locks are leaf-level (no nesting is permitted at
-//     all), so any new nesting must raise the outer lock's rank explicitly —
-//     a forcing function for documenting lock hierarchies before they grow.
+//   - lock-order assertions: every mutex acquisition in the scheduler,
+//     serving, and registry layers carries an RT_AUDIT_LOCK(rank) marker;
+//     acquiring a rank at or below one already held by the thread aborts
+//     with both sites' ranks. The only sanctioned nesting is the registry
+//     control plane calling into serving's route table (catalog -> route);
+//     every other lock is leaf-level, so any new nesting must raise the
+//     outer lock's rank explicitly — a forcing function for documenting
+//     lock hierarchies before they grow.
 
 #include <cstdint>
 
@@ -34,10 +36,15 @@ namespace rt {
 namespace audit {
 
 /// Lock ranks, outermost-lowest. A thread may only acquire strictly
-/// increasing ranks. Every rank is currently leaf-level by design: no rt
-/// mutex is ever acquired while another is held. Adding a legitimate nesting
-/// later means giving the outer mutex a lower rank here and documenting why.
+/// increasing ranks. The one legitimate nesting today: the registry holds
+/// its catalog mutex while swapping a Server's route table (catalog ->
+/// route), which is why the registry ranks sit below every serving rank.
+/// All other ranks are leaf-level; adding new nesting means giving the
+/// outer mutex a lower rank here and documenting why.
 enum class LockRank : int {
+  kRegistryCatalog = 2, ///< registry::Registry catalog_mutex_
+  kRegistryCompile = 4, ///< registry::Registry compile_mutex_
+  kServingRoute = 6,    ///< serving::Server route_mutex_
   kServingQueue = 10,   ///< serving::Server queue_mutex_
   kServingError = 20,   ///< serving::detail::Request error_mutex
   kSchedInject = 30,    ///< Scheduler inject_mutex_

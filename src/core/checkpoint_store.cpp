@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <set>
 
 namespace rt {
 
@@ -66,6 +69,22 @@ std::string CheckpointKey::filename() const {
   return std::string(hex) + "_" + slug + ".rtk";
 }
 
+std::uint64_t state_dict_fingerprint(const StateDict& state) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& [name, tensor] : state) {
+    h = fnv1a(name.data(), name.size(), h);
+    const std::size_t ndim = tensor.ndim();
+    h = fnv1a(&ndim, sizeof(ndim), h);
+    for (std::size_t d = 0; d < ndim; ++d) {
+      const std::int64_t extent = tensor.dim(d);
+      h = fnv1a(&extent, sizeof(extent), h);
+    }
+    h = fnv1a(tensor.data(),
+              static_cast<std::size_t>(tensor.numel()) * sizeof(float), h);
+  }
+  return h;
+}
+
 std::uint64_t dataset_fingerprint(const Dataset& data) {
   std::uint64_t h = kFnvOffset;
   h = fnv1a(data.images.data(),
@@ -118,6 +137,63 @@ void CheckpointStore::store(const CheckpointKey& key,
     // Cache write failure is non-fatal; the next run retrains.
     std::filesystem::remove(tmp, ec);
   }
+}
+
+namespace {
+
+// Process-wide single-flight table for load_or_store: the set of checkpoint
+// paths some thread is currently producing. Static (not per-store) because
+// two CheckpointStore instances with the same root address the same files.
+std::mutex& flight_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::condition_variable& flight_cv() {
+  static std::condition_variable cv;
+  return cv;
+}
+std::set<std::string>& flights() {
+  static std::set<std::string> s;
+  return s;
+}
+
+}  // namespace
+
+StateDict CheckpointStore::load_or_store(
+    const CheckpointKey& key, FunctionRef<StateDict()> produce) const {
+  if (!enabled()) return produce();
+  const std::string path = path_for(key);
+  for (;;) {
+    if (std::optional<StateDict> hit = load(key)) return std::move(*hit);
+    {
+      std::unique_lock<std::mutex> lock(flight_mutex());
+      if (flights().count(path) != 0) {
+        // Another thread is producing this key: wait it out, then retry the
+        // load (which sees its published bytes, or re-enters on the rare
+        // store failure).
+        flight_cv().wait(lock, [&] { return flights().count(path) == 0; });
+        continue;
+      }
+      flights().insert(path);
+    }
+    break;  // this thread owns the flight
+  }
+  struct FlightGuard {
+    const std::string& path;
+    ~FlightGuard() {
+      {
+        std::lock_guard<std::mutex> lock(flight_mutex());
+        flights().erase(path);
+      }
+      flight_cv().notify_all();
+    }
+  } guard{path};
+  // Double-check under flight ownership: a waiter whose producer published
+  // between our miss and our insert must not recompute.
+  if (std::optional<StateDict> hit = load(key)) return std::move(*hit);
+  StateDict produced = produce();
+  store(key, produced);  // best-effort; waiters recompute on write failure
+  return produced;
 }
 
 }  // namespace rt

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "common/function_ref.hpp"
 #include "data/dataset.hpp"
 #include "tensor/serialize.hpp"
 
@@ -58,6 +59,11 @@ class CheckpointKey {
 /// checkpoints whose training touched that data (IMP/LMP retraining).
 std::uint64_t dataset_fingerprint(const Dataset& data);
 
+/// FNV-1a fingerprint of a StateDict's entry names, shapes, and float
+/// payloads — the content address the model registry keys snapshots by.
+/// Deterministic: StateDict is an ordered map, so iteration order is fixed.
+std::uint64_t state_dict_fingerprint(const StateDict& state);
+
 /// The store itself: load/store StateDicts by key. All operations are
 /// best-effort — a cache miss or unwritable root degrades to retraining,
 /// never to an error.
@@ -77,6 +83,17 @@ class CheckpointStore {
   std::optional<StateDict> load(const CheckpointKey& key) const;
   /// Creates the root directory on demand; write failures are swallowed.
   void store(const CheckpointKey& key, const StateDict& state) const;
+
+  /// Single-flight load-or-compute: returns the cached StateDict for `key`,
+  /// or invokes `produce` exactly once per process to fill the miss (and
+  /// publishes the result, best-effort). Concurrent callers on the same key
+  /// block until the in-flight producer finishes, then load its published
+  /// bytes — the producer runs once even when N threads race a cold key.
+  /// Cross-process races stay safe through store()'s atomic tmp+rename
+  /// publication (either writer's complete bytes win). With the store
+  /// disabled every caller just runs `produce` itself.
+  StateDict load_or_store(const CheckpointKey& key,
+                          FunctionRef<StateDict()> produce) const;
 
  private:
   std::string root_;

@@ -93,6 +93,14 @@ class Session {
   std::vector<int> classify(const Tensor& x);
 
   const CompiledTicket& plan() const { return *plan_; }
+  /// The shared plan handle. Fleets (serving epochs, the registry's compile
+  /// cache) share one CompiledTicket across many Sessions through this
+  /// pointer, so a plan's packed weights live exactly as long as the last
+  /// Session or cache handle referencing them — the refcount the hot-swap
+  /// drain protocol retires old plans by.
+  const std::shared_ptr<const CompiledTicket>& plan_handle() const {
+    return plan_;
+  }
   int max_batch() const { return options_.max_batch; }
   bool shared_scheduler() const { return options_.shared_scheduler; }
 

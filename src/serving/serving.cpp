@@ -1,16 +1,64 @@
 #include "serving/serving.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
+#include <map>
 #include <string>
 #include <utility>
 
 #include "common/audit.hpp"
+#include "common/rng.hpp"
 
 namespace rt {
 namespace serving {
 
 namespace detail {
+
+/// Lifetime-long stats cell for one version label. Requests bump it from
+/// many threads, so every counter is an independent relaxed atomic;
+/// snapshots read whatever is there (exact once the server quiesces).
+struct VersionCell {
+  explicit VersionCell(std::string v) : version(std::move(v)) {}
+
+  const std::string version;
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> rows{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_rows{0};
+  std::atomic<std::uint64_t> latency_count{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency{};
+
+  void record_latency(std::uint64_t ns) {
+    latency[static_cast<std::size_t>(latency_bucket(ns))].fetch_add(
+        1, std::memory_order_relaxed);
+    latency_count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void merge_latency_into(LatencySnapshot& out) const {
+    out.count += latency_count.load(std::memory_order_relaxed);
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          latency[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+/// One installed fleet. Refcounted via shared_ptr: the route table holds one
+/// reference while the epoch is live, and every bound request, coalescer
+/// lane, and dispatched batch task holds one while it is in flight — so a
+/// swapped-out epoch (its Sessions, and its CompiledTicket if nothing else
+/// shares it) is destroyed exactly when its last in-flight work retires.
+struct Epoch {
+  std::string version;
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::shared_ptr<VersionCell> cell;
+  std::atomic<std::uint64_t> rr{0};  ///< round-robin shard cursor
+};
 
 /// One admitted request, heap-owned until its last completion token drops.
 /// Completion tokens: the coalescer holds one "still packing" token from
@@ -22,11 +70,22 @@ struct Request {
   Tensor input;   ///< (rows, C, H, W), moved from submit()
   Tensor output;  ///< (rows, num_classes), scattered into by batch tasks
   std::promise<Tensor> promise;
+  std::shared_ptr<Epoch> epoch;  ///< the fleet this request is bound to
   std::int64_t rows = 0;
   std::chrono::steady_clock::time_point enqueued;
   std::atomic<std::int64_t> tokens{1};  ///< packing token + one per span
   std::mutex error_mutex;
   std::exception_ptr error;  ///< first failure; read by the last token holder
+};
+
+/// The coalescer's per-epoch pending list. A micro-batch executes on one
+/// Session, so rows are packed per epoch: each live epoch with pending
+/// requests gets a lane, and full/expired batches dispatch per lane.
+struct Lane {
+  std::shared_ptr<Epoch> epoch;
+  std::deque<Request*> q;
+  std::int64_t cursor = 0;  ///< rows of q.front() already packed
+  std::int64_t rows = 0;
 };
 
 /// One dispatched micro-batch: packed input rows, their logits, and the
@@ -42,8 +101,9 @@ struct BatchTask {
 
   Server* server = nullptr;
   Session* shard = nullptr;
-  Tensor input;   ///< (b, C, H, W) cross-request packed rows
-  Tensor logits;  ///< (b, num_classes)
+  std::shared_ptr<Epoch> epoch;  ///< keeps `shard` alive across a hot swap
+  Tensor input;                  ///< (b, C, H, W) cross-request packed rows
+  Tensor logits;                 ///< (b, num_classes)
   std::vector<Span> spans;
 
   static void fail(Request* request) {
@@ -82,10 +142,66 @@ struct BatchTask {
       }
       Server::finish_span(s.request, *server);
     }
+    // `epoch` drops with `self` here — after the queued_rows_ release and
+    // every finish_span — so Server::drain() returning means swapped-out
+    // epochs have lost all batch-task references.
   }
 };
 
 }  // namespace detail
+
+int latency_bucket(std::uint64_t ns) noexcept {
+  if (ns < 4) return static_cast<int>(ns);
+  const int e = 63 - std::countl_zero(ns);       // floor(log2), >= 2
+  const int sub = static_cast<int>((ns >> (e - 2)) & 3u);
+  return ((e - 1) << 2) | sub;  // e=2 starts at bucket 4; max 251
+}
+
+double latency_bucket_upper_us(int bucket) noexcept {
+  if (bucket < 0) return 0.0;
+  if (bucket < 4) return static_cast<double>(bucket) * 1e-3;
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  const int e = (bucket >> 2) + 1;
+  const int sub = bucket & 3;
+  // Top of sub-bucket `sub` of octave [2^e, 2^(e+1)): 2^e + (sub+1)*2^(e-2),
+  // exclusive, so the inclusive bound is one nanosecond below.
+  const double ns =
+      std::ldexp(1.0, e) + (sub + 1) * std::ldexp(1.0, e - 2) - 1.0;
+  return ns * 1e-3;
+}
+
+double LatencySnapshot::quantile_us(double p) const {
+  if (count == 0) return 0.0;
+  if (!(p >= 0.0)) p = 0.0;  // also catches NaN
+  if (p > 1.0) p = 1.0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count)));
+  if (target < 1) target = 1;
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    cumulative += buckets[static_cast<std::size_t>(b)];
+    if (cumulative >= target) return latency_bucket_upper_us(b);
+  }
+  return latency_bucket_upper_us(kLatencyBuckets - 1);
+}
+
+void LatencySnapshot::merge(const LatencySnapshot& other) {
+  count += other.count;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+bool routes_to_candidate(std::uint64_t seq, std::uint64_t seed,
+                         double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  // One PCG32 stream per request: the decision depends only on (seed, seq),
+  // never on thread interleaving, so the candidate-owned subset is exactly
+  // reproducible client-side.
+  Rng rng(seed, seq);
+  return static_cast<double>(rng.uniform()) < fraction;
+}
 
 namespace {
 
@@ -103,6 +219,10 @@ void validate_options(const ServerOptions& options) {
     throw std::invalid_argument(
         "ServerOptions: queue_capacity_rows must be >= 1, got " +
         std::to_string(options.queue_capacity_rows));
+  }
+  if (options.version.empty()) {
+    throw std::invalid_argument(
+        "ServerOptions: version label must be non-empty");
   }
 }
 
@@ -129,33 +249,30 @@ Server::Server(std::shared_ptr<const CompiledTicket> plan,
 Server::Server(std::vector<std::shared_ptr<const CompiledTicket>> shard_plans,
                const ServerOptions& options)
     : options_(options),
-      plans_(std::move(shard_plans)),
       sched_(Scheduler::current()),
       inflight_(sched_, TaskPriority::kServing) {
   validate_options(options_);
-  if (plans_.empty()) {
+  if (shard_plans.empty()) {
     throw std::invalid_argument("serving::Server: no shard plans");
   }
-  for (const auto& plan : plans_) {
-    if (plan == nullptr) {
-      throw std::invalid_argument("serving::Server: null shard plan");
-    }
-    // Heterogeneous encodings (dense / CSR / int8) are welcome, but every
-    // shard must accept the same rows and emit the same logit shape.
-    const CompiledTicket& ref = *plans_.front();
-    if (plan->in_channels() != ref.in_channels() ||
-        plan->height() != ref.height() || plan->width() != ref.width() ||
-        plan->num_classes() != ref.num_classes()) {
-      throw std::invalid_argument(
-          "serving::Server: shard plans disagree on input geometry or "
-          "class count");
-    }
+  if (shard_plans.front() == nullptr) {
+    throw std::invalid_argument("serving::Server: null shard plan");
   }
-  options_.shards = static_cast<int>(plans_.size());
-  sessions_.reserve(plans_.size());
-  for (const auto& plan : plans_) {
-    sessions_.push_back(std::make_unique<Session>(
-        plan, SessionOptions{.max_batch = options_.max_batch}));
+  // The birth fleet freezes the request geometry every later fleet must
+  // match; build_epoch validates the remaining plans against it.
+  const CompiledTicket& ref = *shard_plans.front();
+  in_channels_ = ref.in_channels();
+  height_ = ref.height();
+  width_ = ref.width();
+  num_classes_ = ref.num_classes();
+  options_.shards = static_cast<int>(shard_plans.size());
+
+  auto epoch = build_epoch({options_.version, std::move(shard_plans)});
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+    epoch->cell = cell_for_locked(epoch->version);
+    primary_ = std::move(epoch);
   }
   coalescer_ = std::thread([this] { coalescer_main(); });
 }
@@ -169,26 +286,165 @@ Server::~Server() {
   queue_cv_.notify_all();
   if (coalescer_.joinable()) coalescer_.join();
   // Drain barrier: every dispatched micro-batch has fulfilled its futures
-  // before the sessions and plans go away.
+  // before the epochs (sessions and plans) go away.
   inflight_.wait();
 }
 
+std::shared_ptr<detail::Epoch> Server::build_epoch(FleetSpec fleet) const {
+  if (fleet.version.empty()) {
+    throw std::invalid_argument(
+        "serving::Server: fleet version label must be non-empty");
+  }
+  if (fleet.shard_plans.empty()) {
+    throw std::invalid_argument("serving::Server: no shard plans");
+  }
+  for (const auto& plan : fleet.shard_plans) {
+    if (plan == nullptr) {
+      throw std::invalid_argument("serving::Server: null shard plan");
+    }
+    // Heterogeneous encodings (dense / CSR / int8) are welcome, but every
+    // fleet ever installed must accept the rows the server was born
+    // validating and emit the same logit shape.
+    if (plan->in_channels() != in_channels_ || plan->height() != height_ ||
+        plan->width() != width_ || plan->num_classes() != num_classes_) {
+      throw std::invalid_argument(
+          "serving::Server: fleet '" + fleet.version +
+          "' disagrees with the server's input geometry or class count");
+    }
+  }
+  auto epoch = std::make_shared<detail::Epoch>();
+  epoch->version = std::move(fleet.version);
+  epoch->sessions.reserve(fleet.shard_plans.size());
+  for (auto& plan : fleet.shard_plans) {
+    epoch->sessions.push_back(std::make_unique<Session>(
+        std::move(plan), SessionOptions{.max_batch = options_.max_batch}));
+  }
+  return epoch;
+}
+
+std::shared_ptr<detail::VersionCell> Server::cell_for_locked(
+    const std::string& version) {
+  for (const auto& cell : cells_) {
+    if (cell->version == version) return cell;
+  }
+  cells_.push_back(std::make_shared<detail::VersionCell>(version));
+  return cells_.back();
+}
+
+void Server::swap_fleet(FleetSpec fleet) {
+  // Sessions are built (workspaces allocated) before the route lock is
+  // taken, so the swap itself is a pointer exchange.
+  auto epoch = build_epoch(std::move(fleet));
+  std::shared_ptr<detail::Epoch> retired;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+    epoch->cell = cell_for_locked(epoch->version);
+    retired = std::move(primary_);
+    primary_ = std::move(epoch);
+  }
+  // `retired` drops its route-table reference here; requests, lanes, and
+  // batch tasks still bound to it keep it alive until they drain.
+}
+
+void Server::set_candidate(FleetSpec fleet, double fraction,
+                           std::uint64_t seed) {
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "serving::Server: A/B fraction must be in [0, 1], got " +
+        std::to_string(fraction));
+  }
+  auto epoch = build_epoch(std::move(fleet));
+  std::shared_ptr<detail::Epoch> replaced;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+    epoch->cell = cell_for_locked(epoch->version);
+    replaced = std::move(candidate_);
+    candidate_ = std::move(epoch);
+    ab_fraction_ = fraction;
+    ab_seed_ = seed;
+  }
+}
+
+void Server::clear_candidate() {
+  std::shared_ptr<detail::Epoch> replaced;
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+  replaced = std::move(candidate_);
+  candidate_.reset();
+  ab_fraction_ = 0.0;
+}
+
+std::string Server::promote_candidate() {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+  if (candidate_ == nullptr) {
+    throw std::logic_error("serving::Server: no candidate to promote");
+  }
+  // The candidate keeps its warm Sessions and stats cell; the old primary
+  // drains like any swapped-out epoch.
+  primary_ = std::move(candidate_);
+  candidate_.reset();
+  ab_fraction_ = 0.0;
+  return primary_->version;
+}
+
+std::string Server::primary_version() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+  return primary_->version;
+}
+
+std::string Server::candidate_version() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+  return candidate_ == nullptr ? std::string() : candidate_->version;
+}
+
+int Server::shards() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+  return static_cast<int>(primary_->sessions.size());
+}
+
 const CompiledTicket& Server::shard_plan(int shard) const {
-  if (shard < 0 || shard >= shards()) {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+  if (shard < 0 ||
+      shard >= static_cast<int>(primary_->sessions.size())) {
     throw std::invalid_argument("serving::Server: shard index out of range");
   }
-  return *plans_[static_cast<std::size_t>(shard)];
+  return *primary_->sessions[static_cast<std::size_t>(shard)]->plan_handle();
+}
+
+void Server::drain() {
+  // queued_rows_ covers admitted rows through queueing, packing, and
+  // execution; it reaching zero means every batch has run. The TaskGroup
+  // wait then barriers the tail of each batch task (scatter + epoch-ref
+  // drop), after which swapped-out epochs hold no in-flight references.
+  while (queued_rows_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  inflight_.wait();
 }
 
 std::future<Tensor> Server::submit(Tensor rows) {
   submitted_requests_.fetch_add(1, std::memory_order_relaxed);
   try {
-    plans_.front()->check_input(rows);
-    // check_input validates geometry, not row count. A zero-row request
-    // would never trip either dispatch condition and hang its future (and
-    // the drain), so it must bounce here. Unreachable through Tensor's
-    // own positive-extent invariant, but cheap insurance.
-    if (rows.ndim() < 1 || rows.dim(0) <= 0) {
+    // Validation runs against the frozen geometry, not any particular
+    // plan, so it needs no route-table access and cannot race a swap.
+    if (rows.ndim() != 4 || rows.dim(1) != in_channels_ ||
+        rows.dim(2) != height_ || rows.dim(3) != width_) {
+      throw std::invalid_argument(
+          "serving::Server: request geometry does not match the served "
+          "fleet");
+    }
+    // A zero-row request would never trip either dispatch condition and
+    // would hang its future (and the drain), so it must bounce here.
+    // Unreachable through Tensor's own positive-extent invariant, but
+    // cheap insurance.
+    if (rows.dim(0) <= 0) {
       throw std::invalid_argument("serving::Server: empty request");
     }
   } catch (...) {
@@ -201,12 +457,29 @@ std::future<Tensor> Server::submit(Tensor rows) {
   submitted_rows_.fetch_add(static_cast<std::uint64_t>(n),
                             std::memory_order_relaxed);
 
+  // Route: bind the request to an epoch. Sequence numbers are assigned
+  // under the route lock in submit order; the A/B decision is a pure
+  // function of (seq, seed, fraction), so the candidate-owned subset is
+  // deterministic given the seed.
+  std::shared_ptr<detail::Epoch> epoch;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+    const std::uint64_t seq = route_seq_++;
+    const bool to_candidate =
+        candidate_ != nullptr &&
+        routes_to_candidate(seq, ab_seed_, ab_fraction_);
+    epoch = to_candidate ? candidate_ : primary_;
+  }
+  detail::VersionCell& cell = *epoch->cell;
+
   // Strict admission bound: claim the rows first, undo on overflow.
   const std::int64_t admitted =
       queued_rows_.fetch_add(n, std::memory_order_acq_rel) + n;
   if (admitted > options_.queue_capacity_rows) {
     queued_rows_.fetch_sub(n, std::memory_order_relaxed);
     rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+    cell.rejected.fetch_add(1, std::memory_order_relaxed);
     std::promise<Tensor> rejected;
     rejected.set_exception(std::make_exception_ptr(ServerOverloaded(
         "serving::Server: queue at capacity (" +
@@ -217,7 +490,8 @@ std::future<Tensor> Server::submit(Tensor rows) {
   auto* request = new detail::Request;
   request->input = std::move(rows);
   request->rows = n;
-  request->output = Tensor({n, plans_.front()->num_classes()});
+  request->output = Tensor({n, num_classes_});
+  request->epoch = std::move(epoch);
   request->enqueued = std::chrono::steady_clock::now();
   std::future<Tensor> result = request->promise.get_future();
   {
@@ -226,12 +500,19 @@ std::future<Tensor> Server::submit(Tensor rows) {
     if (stopping_) {
       queued_rows_.fetch_sub(n, std::memory_order_relaxed);
       rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+      cell.rejected.fetch_add(1, std::memory_order_relaxed);
       request->promise.set_exception(std::make_exception_ptr(
           ServerOverloaded("serving::Server: shutting down")));
       delete request;
       return result;
     }
     queue_.push_back(request);
+    // Counted inside the lock so per-version completed/failed can never
+    // transiently exceed requests: completion requires the coalescer to
+    // pop, which orders after this critical section.
+    cell.requests.fetch_add(1, std::memory_order_relaxed);
+    cell.rows.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
   return result;
@@ -243,102 +524,143 @@ void Server::finish_span(detail::Request* request, Server& server) {
   // acq_rel: a failing span's error write happens-before the last token
   // holder reads it, and every scatter copy happens-before set_value.
   if (request->tokens.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  detail::VersionCell& cell = *request->epoch->cell;
   if (request->error != nullptr) {
     server.failed_requests_.fetch_add(1, std::memory_order_relaxed);
+    cell.failed.fetch_add(1, std::memory_order_relaxed);
     request->promise.set_exception(request->error);
   } else {
+    // Stats land before set_value, so a client reading stats after get()
+    // sees its own request counted and timed.
+    const auto elapsed = std::chrono::steady_clock::now() - request->enqueued;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    cell.record_latency(ns > 0 ? static_cast<std::uint64_t>(ns) : 0u);
     server.completed_requests_.fetch_add(1, std::memory_order_relaxed);
+    cell.completed.fetch_add(1, std::memory_order_relaxed);
     request->promise.set_value(std::move(request->output));
   }
-  delete request;
+  delete request;  // drops the request's epoch reference
 }
 
-void Server::spawn_batch(std::deque<detail::Request*>& pending,
-                         std::int64_t& front_cursor,
-                         std::int64_t& pending_rows, std::int64_t take) {
-  const CompiledTicket& plan = *plans_.front();
-  const std::int64_t plane = plan.in_channels() * plan.height() * plan.width();
-  const std::int64_t classes = plan.num_classes();
+void Server::spawn_batch(detail::Lane& lane, std::int64_t take) {
+  const std::int64_t plane = in_channels_ * height_ * width_;
+  detail::Epoch& epoch = *lane.epoch;
 
   auto task = std::make_unique<detail::BatchTask>();
   task->server = this;
-  const std::uint64_t seq = batches_.fetch_add(1, std::memory_order_relaxed);
+  task->epoch = lane.epoch;
+  const std::uint64_t rr = epoch.rr.fetch_add(1, std::memory_order_relaxed);
   task->shard =
-      sessions_[static_cast<std::size_t>(
-                    seq % static_cast<std::uint64_t>(sessions_.size()))]
+      epoch.sessions[static_cast<std::size_t>(
+                         rr % static_cast<std::uint64_t>(
+                                  epoch.sessions.size()))]
           .get();
-  task->input = Tensor({take, plan.in_channels(), plan.height(), plan.width()});
-  task->logits = Tensor({take, classes});
+  task->input = Tensor({take, in_channels_, height_, width_});
+  task->logits = Tensor({take, num_classes_});
   task->spans.reserve(4);
 
   std::int64_t filled = 0;
   while (filled < take) {
-    detail::Request* request = pending.front();
-    const std::int64_t n =
-        std::min(take - filled, request->rows - front_cursor);
-    std::copy(request->input.data() + front_cursor * plane,
-              request->input.data() + (front_cursor + n) * plane,
+    detail::Request* request = lane.q.front();
+    const std::int64_t n = std::min(take - filled, request->rows - lane.cursor);
+    std::copy(request->input.data() + lane.cursor * plane,
+              request->input.data() + (lane.cursor + n) * plane,
               task->input.data() + filled * plane);
-    task->spans.push_back({request, front_cursor, filled, n});
+    task->spans.push_back({request, lane.cursor, filled, n});
     request->tokens.fetch_add(1, std::memory_order_relaxed);
-    front_cursor += n;
+    lane.cursor += n;
     filled += n;
-    if (front_cursor == request->rows) {
+    if (lane.cursor == request->rows) {
       // Fully packed: drop the coalescer's token. The span counts added
       // above keep the request alive until its batches finish.
-      pending.pop_front();
-      front_cursor = 0;
+      lane.q.pop_front();
+      lane.cursor = 0;
       finish_span(request, *this);
     }
   }
-  pending_rows -= take;
+  lane.rows -= take;
+  batches_.fetch_add(1, std::memory_order_relaxed);
   batched_rows_.fetch_add(static_cast<std::uint64_t>(take),
                           std::memory_order_relaxed);
+  epoch.cell->batches.fetch_add(1, std::memory_order_relaxed);
+  epoch.cell->batched_rows.fetch_add(static_cast<std::uint64_t>(take),
+                                     std::memory_order_relaxed);
   inflight_.spawn(*task.release());  // self-deletes after execution
 }
 
 void Server::coalescer_main() {
-  std::deque<detail::Request*> pending;
-  std::int64_t front_cursor = 0;  ///< rows of pending.front() already packed
-  std::int64_t pending_rows = 0;
+  // Pending requests, grouped into per-epoch lanes. std::map (ordered, by
+  // epoch address) rather than unordered: iteration order only affects
+  // dispatch interleaving across epochs, never any request's result, and
+  // the live-epoch count is tiny (primary + candidate + whatever drains).
+  std::map<detail::Epoch*, detail::Lane> lanes;
+  std::int64_t total_rows = 0;
   const auto delay =
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::milli>(options_.max_delay_ms));
   const auto max_batch = static_cast<std::int64_t>(options_.max_batch);
+
+  // The earliest coalescing deadline across lanes (fronts are each lane's
+  // oldest request). Only meaningful while total_rows > 0.
+  const auto oldest_deadline = [&lanes, delay] {
+    auto best = std::chrono::steady_clock::time_point::max();
+    for (const auto& entry : lanes) {
+      const detail::Lane& lane = entry.second;
+      if (!lane.q.empty()) {
+        best = std::min(best, lane.q.front()->enqueued + delay);
+      }
+    }
+    return best;
+  };
 
   for (;;) {
     bool stop_now = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
-      if (pending.empty()) {
+      if (total_rows == 0) {
         queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       } else if (queue_.empty() && !stopping_ && delay.count() > 0) {
-        // Partial batch waiting: sleep until its deadline or new arrivals.
-        queue_cv_.wait_until(lock, pending.front()->enqueued + delay,
+        // Partial batches waiting: sleep until the earliest deadline or new
+        // arrivals.
+        queue_cv_.wait_until(lock, oldest_deadline(),
                              [&] { return stopping_ || !queue_.empty(); });
       }
       while (!queue_.empty()) {
-        pending.push_back(queue_.front());
+        detail::Request* request = queue_.front();
         queue_.pop_front();
-        pending_rows += pending.back()->rows;
+        detail::Lane& lane = lanes[request->epoch.get()];
+        if (lane.epoch == nullptr) lane.epoch = request->epoch;
+        lane.q.push_back(request);
+        lane.rows += request->rows;
+        total_rows += request->rows;
       }
       stop_now = stopping_;
     }
 
-    // Full micro-batches dispatch immediately; a partial one only when its
-    // deadline expired (max_delay 0 means "whatever has arrived"), or to
-    // flush on shutdown.
-    while (pending_rows >= max_batch) {
-      spawn_batch(pending, front_cursor, pending_rows, max_batch);
-    }
-    if (pending_rows > 0) {
-      const bool expired =
-          delay.count() == 0 ||
-          std::chrono::steady_clock::now() >= pending.front()->enqueued + delay;
-      if (stop_now || expired) {
-        spawn_batch(pending, front_cursor, pending_rows, pending_rows);
+    // Full micro-batches dispatch immediately; a partial lane only when its
+    // own oldest request's deadline expired (max_delay 0 means "whatever
+    // has arrived"), or to flush on shutdown. Lanes are independent: an
+    // epoch mid-drain cannot delay the epoch taking new traffic.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = lanes.begin(); it != lanes.end();) {
+      detail::Lane& lane = it->second;
+      while (lane.rows >= max_batch) {
+        spawn_batch(lane, max_batch);
+        total_rows -= max_batch;
       }
+      if (lane.rows > 0) {
+        const bool expired =
+            delay.count() == 0 || now >= lane.q.front()->enqueued + delay;
+        if (stop_now || expired) {
+          total_rows -= lane.rows;
+          spawn_batch(lane, lane.rows);
+        }
+      }
+      // An empty lane drops its epoch reference immediately — a swapped-out
+      // epoch must not stay alive pinned by the coalescer.
+      it = lane.q.empty() ? lanes.erase(it) : ++it;
     }
 
     // Help phase: the coalescer is the guaranteed executor — a single-lane
@@ -355,15 +677,14 @@ void Server::coalescer_main() {
         RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
         if (stopping_ || !queue_.empty()) break;
       }
-      if (!pending.empty() &&
-          std::chrono::steady_clock::now() >=
-              pending.front()->enqueued + delay) {
+      if (total_rows > 0 &&
+          std::chrono::steady_clock::now() >= oldest_deadline()) {
         break;  // a partial batch is due: flush it before helping more
       }
       if (!sched_.help_urgent()) break;
     }
 
-    if (stop_now && pending.empty()) {
+    if (stop_now && total_rows == 0) {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
       if (queue_.empty()) return;  // nothing raced in before stopping_ rose
@@ -382,7 +703,41 @@ ServerStats Server::stats() const {
   s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
   s.queued_rows = queued_rows_.load(std::memory_order_relaxed);
   s.capacity_rows = options_.queue_capacity_rows;
+  std::vector<std::shared_ptr<detail::VersionCell>> cells;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+    cells = cells_;
+  }
+  for (const auto& cell : cells) {
+    cell->merge_latency_into(s.latency);
+  }
   return s;
+}
+
+std::vector<VersionStats> Server::version_stats() const {
+  std::vector<std::shared_ptr<detail::VersionCell>> cells;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    RT_AUDIT_LOCK(audit::LockRank::kServingRoute);
+    cells = cells_;
+  }
+  std::vector<VersionStats> out;
+  out.reserve(cells.size());
+  for (const auto& cell : cells) {
+    VersionStats v;
+    v.version = cell->version;
+    v.requests = cell->requests.load(std::memory_order_relaxed);
+    v.rows = cell->rows.load(std::memory_order_relaxed);
+    v.completed_requests = cell->completed.load(std::memory_order_relaxed);
+    v.failed_requests = cell->failed.load(std::memory_order_relaxed);
+    v.rejected_requests = cell->rejected.load(std::memory_order_relaxed);
+    v.batches = cell->batches.load(std::memory_order_relaxed);
+    v.batched_rows = cell->batched_rows.load(std::memory_order_relaxed);
+    cell->merge_latency_into(v.latency);
+    out.push_back(std::move(v));
+  }
+  return out;
 }
 
 }  // namespace serving

@@ -25,13 +25,30 @@
 // predict() dispatches — and its logits are scattered back to the
 // per-request futures.
 //
+// Epochs, hot swap, and A/B routing: a Server is no longer bound to one
+// fixed Session fleet. Each installed fleet is an *epoch* — a refcounted
+// bundle of {version label, shard Sessions, per-version stats cell}. Every
+// request binds to exactly one epoch at submit() time, and micro-batches are
+// packed per epoch (a batch runs on one Session, so rows from different
+// epochs never share a batch). swap_fleet() atomically replaces the primary
+// epoch: new submissions route to the new fleet while requests already bound
+// to the old epoch drain on it — zero failed futures, zero dropped rows —
+// and the old epoch (Sessions, and the CompiledTicket if nothing else holds
+// it) is destroyed by whoever drops its last reference, typically the final
+// batch task of the drain. set_candidate() installs a second epoch that
+// receives a configured traffic fraction, decided per request by the pure
+// function routes_to_candidate(seq, seed, fraction) over the deterministic
+// Rng, so any client can recompute exactly which requests the candidate
+// owned; per-version stats (rows, rejects, latency histogram) make the
+// transfer/evaluate battery an online judge for promote_candidate().
+//
 // Determinism contract: a sample's logits depend only on its own input row
 // (per-plane conv loops, per-element head GEMM accumulation, elementwise
 // epilogues), and every micro-batch executes the same serial chunk executor
 // a direct Session::predict() call uses. Batch composition therefore cannot
-// perturb float accumulation: with identical shard plans, responses are
-// BITWISE identical to per-request Session::predict(), no matter how
-// requests were coalesced, split, or routed.
+// perturb float accumulation: responses are BITWISE identical to a
+// per-request Session::predict() on the plan of the epoch that served them,
+// no matter how requests were coalesced, split, or routed.
 //
 // Admission control: at most `queue_capacity_rows` rows may be in flight
 // (admitted and not yet served — capacity is held from submit() until the
@@ -40,6 +57,7 @@
 // batch-backlog growth) and counts the rejection in ServerStats — the
 // backpressure signal a load balancer reads.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +66,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -60,7 +79,36 @@ namespace serving {
 namespace detail {
 struct Request;
 struct BatchTask;
+struct Epoch;
+struct Lane;
+struct VersionCell;
 }  // namespace detail
+
+/// Latency histogram geometry: quarter-octave log-scale buckets over
+/// nanoseconds. Buckets 0..3 are exact (0..3 ns); from 4 ns up, each octave
+/// [2^e, 2^(e+1)) splits into 4 equal sub-buckets, so relative resolution is
+/// a constant ~19% all the way to the top of the 64-bit range. 252 buckets
+/// cover every representable latency; recording is two relaxed fetch_adds
+/// and integer bit math — no floating point, no locks, no libm.
+inline constexpr int kLatencyBuckets = 252;
+
+/// Bucket index for a latency of `ns` nanoseconds.
+int latency_bucket(std::uint64_t ns) noexcept;
+/// Inclusive upper bound of `bucket`, in microseconds — the value quantiles
+/// report (a conservative over-estimate by at most one sub-bucket width).
+double latency_bucket_upper_us(int bucket) noexcept;
+
+/// A point-in-time copy of one latency histogram. Quantiles come from the
+/// server itself — no client-side timing or per-request sample vectors.
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  std::array<std::uint64_t, kLatencyBuckets> buckets{};
+
+  /// The upper bound (microseconds) of the bucket containing the p-quantile
+  /// observation (p in [0, 1]; e.g. 0.5 → p50, 0.99 → p99). 0 when empty.
+  double quantile_us(double p) const;
+  void merge(const LatencySnapshot& other);
+};
 
 struct ServerOptions {
   /// Session replicas micro-batches are round-robined across. Shards may
@@ -79,6 +127,9 @@ struct ServerOptions {
   /// fleet serves is backpressured instead of growing an unbounded batch
   /// backlog.
   std::int64_t queue_capacity_rows = 4096;
+  /// Version label of the fleet the server is born with (per-version stats
+  /// are reported under it). Must be non-empty.
+  std::string version = "v0";
 };
 
 /// Monotonic counters plus the live backpressure signal. Aggregate ratios:
@@ -96,7 +147,39 @@ struct ServerStats {
   std::uint64_t batched_rows = 0;       ///< rows across all micro-batches
   std::int64_t queued_rows = 0;         ///< in flight: admitted, not served
   std::int64_t capacity_rows = 0;       ///< the admission bound
+  /// submit()→completion latency of every successfully completed request,
+  /// merged across all versions ever served. p50/p99 via quantile_us.
+  LatencySnapshot latency;
 };
+
+/// Per-version slice of ServerStats. Cells are keyed by version label and
+/// live for the server's lifetime, so counters survive a version being
+/// swapped out and keep accumulating if it is swapped back in.
+struct VersionStats {
+  std::string version;
+  std::uint64_t requests = 0;  ///< admitted and enqueued
+  std::uint64_t rows = 0;      ///< rows across admitted requests
+  std::uint64_t completed_requests = 0;
+  std::uint64_t failed_requests = 0;
+  std::uint64_t rejected_requests = 0;  ///< admission failures after routing
+  std::uint64_t batches = 0;
+  std::uint64_t batched_rows = 0;
+  LatencySnapshot latency;  ///< completed requests only
+};
+
+/// One deployable fleet: a version label plus the shard plans backing it.
+/// Plans must all match the geometry the Server was constructed with.
+struct FleetSpec {
+  std::string version;
+  std::vector<std::shared_ptr<const CompiledTicket>> shard_plans;
+};
+
+/// The A/B routing decision as a pure function: does request number `seq`
+/// (assigned in submit order) go to the candidate fleet? Deterministic in
+/// (seq, seed, fraction) via one Rng stream per request, so a client holding
+/// the seed can recompute the exact candidate-owned subset.
+bool routes_to_candidate(std::uint64_t seq, std::uint64_t seed,
+                         double fraction);
 
 /// submit() failed admission: the queue is at capacity (or the server is
 /// shutting down). Carried by the returned future.
@@ -106,8 +189,10 @@ class ServerOverloaded : public std::runtime_error {
 };
 
 /// Async, micro-batching, sharded serving front-end. Thread-safe: any number
-/// of threads may submit() concurrently. Destruction drains — every admitted
-/// request's future is fulfilled before the destructor returns.
+/// of threads may submit() concurrently, and the fleet-control calls
+/// (swap_fleet / set_candidate / promote_candidate) are safe against
+/// concurrent submits. Destruction drains — every admitted request's future
+/// is fulfilled before the destructor returns.
 class Server {
  public:
   /// Single plan replicated across `options.shards` Sessions.
@@ -133,26 +218,84 @@ class Server {
   /// rvalue callers hand their buffer over without a copy.
   Tensor predict(Tensor rows);
 
+  /// Atomically replaces the primary fleet. Submissions that arrive after
+  /// the swap route to the new epoch; requests already bound to the old one
+  /// drain on it (their futures complete normally, bitwise-true to the old
+  /// plan). The old epoch's Sessions — and its CompiledTicket, if nothing
+  /// else references it — are destroyed when the last in-flight holder
+  /// (lane, request, or batch task) drops its reference. Throws
+  /// std::invalid_argument if the fleet's geometry does not match the
+  /// server's, its version label is empty, or it has no plans.
+  void swap_fleet(FleetSpec fleet);
+  /// Installs a candidate fleet receiving `fraction` of traffic, decided
+  /// per request by routes_to_candidate(seq, seed, fraction). Replaces any
+  /// existing candidate (which then drains like a swapped-out primary).
+  void set_candidate(FleetSpec fleet, double fraction, std::uint64_t seed);
+  /// Removes the candidate (it drains); all new traffic goes to primary.
+  void clear_candidate();
+  /// The candidate becomes the primary (keeping its warm Sessions and its
+  /// stats cell); the old primary drains. Returns the promoted version
+  /// label. Throws std::logic_error if no candidate is installed.
+  std::string promote_candidate();
+
   ServerStats stats() const;
+  /// One entry per version label ever served, in install order.
+  std::vector<VersionStats> version_stats() const;
+  std::string primary_version() const;
+  /// Empty string when no candidate is installed.
+  std::string candidate_version() const;
+
+  /// Blocks until every admitted row has been served and every batch task
+  /// has fully retired — the point at which swapped-out epochs have lost all
+  /// in-flight references. Callers must quiesce their own submitters first;
+  /// rows submitted while draining may extend the wait.
+  void drain();
+
   const ServerOptions& options() const { return options_; }
-  int shards() const { return static_cast<int>(sessions_.size()); }
+  /// Shard count of the current primary fleet.
+  int shards() const;
+  /// A primary shard's plan. The reference is valid until that fleet is
+  /// swapped out and drained.
   const CompiledTicket& shard_plan(int shard) const;
 
  private:
   friend struct detail::BatchTask;
 
+  /// Validates a FleetSpec against the frozen geometry and builds its epoch
+  /// (Sessions included) outside any lock. The caller attaches the stats
+  /// cell and installs it under route_mutex_.
+  std::shared_ptr<detail::Epoch> build_epoch(FleetSpec fleet) const;
+  /// The stats cell for `version`, created on first use. route_mutex_ held.
+  std::shared_ptr<detail::VersionCell> cell_for_locked(
+      const std::string& version);
   void coalescer_main();
-  /// Packs `take` rows off the pending spans into one micro-batch and spawns
-  /// it on the round-robin shard at serving priority.
-  void spawn_batch(std::deque<detail::Request*>& pending,
-                   std::int64_t& front_cursor, std::int64_t& pending_rows,
-                   std::int64_t take);
+  /// Packs `take` rows off one epoch lane into a micro-batch and spawns it
+  /// on that epoch's round-robin shard at serving priority.
+  void spawn_batch(detail::Lane& lane, std::int64_t take);
   /// Drops one completion token; the last token fulfils the future.
   static void finish_span(detail::Request* request, Server& server);
 
   ServerOptions options_;
-  std::vector<std::shared_ptr<const CompiledTicket>> plans_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+
+  // Frozen request geometry, set by the fleet the server is born with.
+  // Every later fleet must match it, which lets submit() validate without
+  // touching any plan.
+  std::int64_t in_channels_ = 0;
+  std::int64_t height_ = 0;
+  std::int64_t width_ = 0;
+  std::int64_t num_classes_ = 0;
+
+  // Route table: which epoch a new submission binds to. The mutex guards
+  // the epoch pointers, the A/B config, the request sequence counter, and
+  // the stats-cell list; it is held only for pointer copies and counter
+  // bumps — never across packing, execution, or compilation.
+  mutable std::mutex route_mutex_;
+  std::shared_ptr<detail::Epoch> primary_;
+  std::shared_ptr<detail::Epoch> candidate_;
+  double ab_fraction_ = 0.0;
+  std::uint64_t ab_seed_ = 0;
+  std::uint64_t route_seq_ = 0;
+  std::vector<std::shared_ptr<detail::VersionCell>> cells_;
 
   // MPSC handoff to the coalescer. Producers hold the mutex only to link a
   // request pointer and read the stop flag.

@@ -1,0 +1,24 @@
+// rtlint fixture: a registry-style hot-swap path whose epoch refcounts drop
+// std::memory_order — linted with classify("src/registry/...") so the suite
+// pins that the registry tree really carries FileKind{.ordered_atomics}.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Epoch {
+  std::atomic<std::int64_t> refs{0};
+  std::atomic<bool> retired{false};
+};
+
+void swap_epoch(Epoch& old_epoch, Epoch& new_epoch) {
+  new_epoch.refs.fetch_add(1, std::memory_order_acq_rel);  // ok
+  old_epoch.refs.fetch_sub(1);    // line 16: R3 (drain decrement, no order)
+  old_epoch.retired.store(true);  // line 17: R3 (store defaults to seq_cst)
+}
+
+bool drained(const Epoch& epoch) {
+  return epoch.refs.load() == 0;  // line 21: R3 (load without order)
+}
+
+}  // namespace fixture

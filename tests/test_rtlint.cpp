@@ -99,6 +99,18 @@ TEST(RtLint, SuppressionCommentsSilenceNamedRulesOnly) {
   EXPECT_EQ(keys(findings), expected);
 }
 
+TEST(RtLint, RegistrySwapFixturePinsR3InRegistryScope) {
+  // The FileKind comes from classify() on a registry path, not a literal
+  // FileKind{...}: if src/registry/ ever falls out of the ordered-atomics
+  // scope, the expected findings vanish and this test fails.
+  const FileKind kind = rtlint::classify("src/registry/registry.cpp");
+  EXPECT_TRUE(kind.ordered_atomics);
+  const auto findings = lint_fixture("registry_swap_bad.cpp", kind);
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR3, 16}, {Rule::kR3, 17}, {Rule::kR3, 21}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
 TEST(RtLint, ClassifyMatchesRepoLayout) {
   const FileKind gemm = rtlint::classify("src/linalg/gemm.cpp");
   EXPECT_TRUE(gemm.kernel_hot_path);
@@ -118,6 +130,18 @@ TEST(RtLint, ClassifyMatchesRepoLayout) {
   const FileKind serving = rtlint::classify("src/serving/serving.hpp");
   EXPECT_TRUE(serving.ordered_atomics);
   EXPECT_TRUE(serving.header);
+
+  const FileKind registry = rtlint::classify("src/registry/registry.hpp");
+  EXPECT_TRUE(registry.ordered_atomics);
+  EXPECT_TRUE(registry.header);
+  EXPECT_FALSE(registry.kernel_hot_path);
+
+  // tools/ is linted (check.sh passes it alongside src/) with no special
+  // scopes: R2/R4/R5 apply, R1/R3 do not.
+  const FileKind tool = rtlint::classify("tools/rtlint/rtlint.cpp");
+  EXPECT_FALSE(tool.kernel_hot_path);
+  EXPECT_FALSE(tool.ordered_atomics);
+  EXPECT_FALSE(tool.rng_exempt);
 
   const FileKind rng = rtlint::classify("src/common/rng.cpp");
   EXPECT_TRUE(rng.rng_exempt);

@@ -280,6 +280,145 @@ TEST(ServingStress, ManyClientsStayBitwiseDeterministic) {
   EXPECT_EQ(st.queued_rows, 0);
 }
 
+TEST(ServingLatency, BucketGeometryIsMonotoneAndCovering) {
+  // Monotone: a larger latency never lands in a smaller bucket, and the
+  // reported upper bound really bounds every nanosecond value the bucket
+  // receives (the quantile over-estimate is at most one sub-bucket width).
+  int prev = -1;
+  for (const std::uint64_t ns :
+       {0ull, 1ull, 3ull, 4ull, 5ull, 7ull, 8ull, 100ull, 1000ull, 4095ull,
+        4096ull, 1ull << 20, 1ull << 40, ~0ull}) {
+    const int bucket = serving::latency_bucket(ns);
+    ASSERT_GE(bucket, prev) << "ns=" << ns;
+    ASSERT_LT(bucket, serving::kLatencyBuckets);
+    ASSERT_GE(serving::latency_bucket_upper_us(bucket) * 1000.0,
+              static_cast<double>(ns) * (1.0 - 1e-9))
+        << "ns=" << ns << " bucket=" << bucket;
+    prev = bucket;
+  }
+  // Exact low buckets, first split octave, and the relative-resolution bound:
+  // each bucket spans at most ~+25% of its lower edge.
+  EXPECT_EQ(serving::latency_bucket(3), 3);
+  EXPECT_EQ(serving::latency_bucket(4), 4);
+  EXPECT_NE(serving::latency_bucket(4), serving::latency_bucket(5));
+  // Octave [8, 16) is the first whose 4-way split makes neighbors share.
+  EXPECT_EQ(serving::latency_bucket(8), serving::latency_bucket(9));
+  EXPECT_NE(serving::latency_bucket(9), serving::latency_bucket(10));
+}
+
+TEST(ServingLatency, SnapshotQuantilesOrderAndMerge) {
+  serving::LatencySnapshot snap;
+  EXPECT_EQ(snap.quantile_us(0.5), 0.0);  // empty: no observations
+  // 90 fast observations and 10 slow ones: p50 sits in the fast bucket,
+  // p99 in the slow one, and quantiles are monotone in p.
+  snap.buckets[static_cast<std::size_t>(serving::latency_bucket(1000))] = 90;
+  snap.buckets[static_cast<std::size_t>(serving::latency_bucket(1u << 20))] =
+      10;
+  snap.count = 100;
+  const double p50 = snap.quantile_us(0.5);
+  const double p99 = snap.quantile_us(0.99);
+  EXPECT_EQ(p50, serving::latency_bucket_upper_us(serving::latency_bucket(1000)));
+  EXPECT_EQ(p99,
+            serving::latency_bucket_upper_us(serving::latency_bucket(1u << 20)));
+  EXPECT_LE(p50, p99);
+
+  serving::LatencySnapshot other = snap;
+  other.merge(snap);
+  EXPECT_EQ(other.count, 200u);
+  EXPECT_EQ(other.quantile_us(0.5), p50);
+}
+
+TEST(ServingLatency, ServerRecordsOneObservationPerCompletedRequest) {
+  auto model = tiny_model(171);
+  serving::ServerOptions opt;
+  opt.max_delay_ms = 0.0;
+  serving::Server server(Engine::compile(*model), opt);
+  const Dataset probe = generate_dataset(source_task_spec(), 2, 173);
+  for (int i = 0; i < 5; ++i) server.predict(probe.images);
+
+  const serving::ServerStats st = server.stats();
+  EXPECT_EQ(st.latency.count, st.completed_requests);
+  EXPECT_GT(st.latency.quantile_us(0.5), 0.0);
+  EXPECT_GE(st.latency.quantile_us(0.99), st.latency.quantile_us(0.5));
+
+  // The per-version slice carries the same histogram: one version, so the
+  // aggregate and the slice agree exactly.
+  const std::vector<serving::VersionStats> per_version = server.version_stats();
+  ASSERT_EQ(per_version.size(), 1u);
+  EXPECT_EQ(per_version[0].version, "v0");
+  EXPECT_EQ(per_version[0].latency.count, st.latency.count);
+}
+
+TEST(ServingRouting, CandidateDecisionIsPureAndProportional) {
+  // Pure: same (seq, seed, fraction) -> same answer, always.
+  for (const std::uint64_t seq : {0ull, 1ull, 17ull, 1000ull}) {
+    EXPECT_EQ(serving::routes_to_candidate(seq, 42, 0.25),
+              serving::routes_to_candidate(seq, 42, 0.25));
+  }
+  // Degenerate fractions are exact, not probabilistic.
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_FALSE(serving::routes_to_candidate(seq, 7, 0.0));
+    EXPECT_TRUE(serving::routes_to_candidate(seq, 7, 1.0));
+  }
+  // Roughly proportional over a modest window, and seed-sensitive.
+  int hits42 = 0, hits43 = 0;
+  bool differs = false;
+  for (std::uint64_t seq = 0; seq < 400; ++seq) {
+    const bool a = serving::routes_to_candidate(seq, 42, 0.25);
+    const bool b = serving::routes_to_candidate(seq, 43, 0.25);
+    hits42 += a ? 1 : 0;
+    hits43 += b ? 1 : 0;
+    differs = differs || (a != b);
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_GT(hits42, 400 / 8);
+  EXPECT_LT(hits42, 400 / 2);
+  EXPECT_GT(hits43, 400 / 8);
+  EXPECT_LT(hits43, 400 / 2);
+}
+
+TEST(ServingFleet, SwapAndCandidateValidateAgainstFrozenGeometry) {
+  auto model = tiny_model(181);
+  auto plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model));
+
+  serving::ServerOptions bad_version;
+  bad_version.version = "";
+  EXPECT_THROW(serving::Server(plan, bad_version), std::invalid_argument);
+
+  serving::Server server(plan, serving::ServerOptions{});
+  EXPECT_EQ(server.primary_version(), "v0");
+  EXPECT_EQ(server.candidate_version(), "");
+  EXPECT_THROW(server.promote_candidate(), std::logic_error);
+
+  // Empty fleet, empty label, geometry mismatch: all rejected up front.
+  EXPECT_THROW(server.swap_fleet({"v1", {}}), std::invalid_argument);
+  EXPECT_THROW(server.swap_fleet({"", {plan}}), std::invalid_argument);
+  CompileOptions wide;
+  wide.height = 32;
+  wide.width = 32;
+  auto wide_plan =
+      std::make_shared<const CompiledTicket>(Engine::compile(*model, wide));
+  EXPECT_THROW(server.swap_fleet({"v1", {wide_plan}}), std::invalid_argument);
+  EXPECT_THROW(server.set_candidate({"v1", {plan}}, /*fraction=*/1.5, 1),
+               std::invalid_argument);
+
+  // A valid swap + candidate + promotion sequence, no traffic involved.
+  server.swap_fleet({"v1", {plan}});
+  EXPECT_EQ(server.primary_version(), "v1");
+  server.set_candidate({"v2", {plan, plan}}, 0.5, 9);
+  EXPECT_EQ(server.candidate_version(), "v2");
+  EXPECT_EQ(server.promote_candidate(), "v2");
+  EXPECT_EQ(server.primary_version(), "v2");
+  EXPECT_EQ(server.candidate_version(), "");
+  EXPECT_EQ(server.shards(), 2);  // the candidate fleet kept its shard count
+
+  server.clear_candidate();  // no candidate: a no-op, not an error
+  const Dataset probe = generate_dataset(source_task_spec(), 2, 183);
+  Session reference(plan, 2);
+  expect_bitwise(server.predict(probe.images), reference.predict(probe.images));
+}
+
 TEST(ServingEval, ServerHelpersMatchSessionHelpers) {
   auto model = served_model(161);
   const Dataset probe = generate_dataset(source_task_spec(), 40, 163);

@@ -559,8 +559,8 @@ const char* rule_summary(Rule rule) {
     case Rule::kR2:
       return "no heap allocation constructs inside RT_HOT functions";
     case Rule::kR3:
-      return "every atomic op in scheduler/serving names an explicit "
-             "std::memory_order";
+      return "every atomic op in scheduler/serving/registry names an "
+             "explicit std::memory_order";
     case Rule::kR4:
       return "no nondeterminism sources outside src/common/rng.*";
     case Rule::kR5:
@@ -583,8 +583,9 @@ FileKind classify(const std::string& path) {
   kind.header = ends_with(".hpp") || ends_with(".h");
   kind.kernel_hot_path =
       starts_with("src/linalg/") || path == "src/engine/plan.cpp";
-  kind.ordered_atomics =
-      starts_with("src/common/scheduler.") || starts_with("src/serving/");
+  kind.ordered_atomics = starts_with("src/common/scheduler.") ||
+                         starts_with("src/serving/") ||
+                         starts_with("src/registry/");
   kind.rng_exempt = starts_with("src/common/rng.");
   return kind;
 }

@@ -30,8 +30,9 @@
 //   R2  no heap allocation constructs inside functions annotated RT_HOT:
 //       new, malloc-family, std::vector growth (push_back/emplace_back/
 //       resize/reserve), make_unique/make_shared, std::function.
-//   R3  every std::atomic load/store/RMW in src/common/scheduler.* and
-//       src/serving/ must name an explicit std::memory_order.
+//   R3  every std::atomic load/store/RMW in src/common/scheduler.*,
+//       src/serving/, and src/registry/ must name an explicit
+//       std::memory_order.
 //   R4  no nondeterminism sources outside src/common/rng.*: rand/srand,
 //       std::random_device, time(), system_clock, unordered containers
 //       (iteration order feeds results).
