@@ -15,6 +15,7 @@
 #include "hw/shrink.hpp"
 #include "linalg/conv.hpp"
 #include "linalg/gemm.hpp"
+#include "linalg/gemm_s8.hpp"
 #include "models/resnet.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
@@ -82,6 +83,42 @@ void BM_GemmNT(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmNT)->Args({256, 0})->Args({256, 70})->Args({512, 0});
+
+// True int8 GEMM: packed s8 weights x u8 offset activations with int32
+// accumulation and the fused requant+bias epilogue, i.e. exactly what a
+// native int8 conv layer executes per tile. Items == integer MACs * 2 so
+// items_per_second is directly comparable against BM_GemmNN at the same
+// size; the ratio is the kernel-level int8 speedup (VNNI when the build
+// targets it, the portable integer core otherwise).
+void BM_GemmS8(benchmark::State& state) {
+  const auto n = state.range(0);
+  const float sparsity = static_cast<float>(state.range(1)) / 100.0f;
+  rt::Rng rng(4);
+  std::vector<std::int8_t> qa(static_cast<std::size_t>(n * n));
+  for (auto& v : qa) {
+    v = rng.uniform() < sparsity
+            ? std::int8_t{0}
+            : static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  rt::PackedS8 packed;
+  packed.pack(qa.data(), n, n);
+  std::vector<std::uint8_t> bq(static_cast<std::size_t>(n * n));
+  for (auto& v : bq) {
+    v = static_cast<std::uint8_t>(128 + rng.uniform_int(-127, 127));
+  }
+  std::vector<float> scales(static_cast<std::size_t>(n), 1.0f / 127.0f);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n * n));
+  rt::S8Epilogue ep;
+  ep.scales = scales.data();
+  ep.act_scale = 1.0f / 127.0f;
+  for (auto _ : state) {
+    rt::gemm_s8_nn(n, n, n, packed, bq.data(), acc.data(), c.data(), ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmS8)->Args({256, 0})->Args({256, 90})->Args({512, 0});
 
 // Multi-thread GEMM scaling on a private work-stealing scheduler: Arg 0 is
 // the scheduler's lane count. Row-block leaves are stolen dynamically, so
@@ -344,31 +381,45 @@ void BM_ShrunkVsMaskedForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ShrunkVsMaskedForward)->Arg(0)->Arg(1);
 
-// Serving-path throughput: eager Module::forward vs the compiled engine on
-// a 90%-sparse unstructured r18 ticket (per-layer uniform, so every conv
-// packs as CSR). The engine's win comes from conv+BN+ReLU folding, zero
-// allocation/caching, and the implicit sparse conv running O(nnz) work with
-// batch-amortized tap setup. Arg 0 = eager, 1 = engine.
+// Serving-path throughput on a micro-r18 ticket. Arg 0 is the execution
+// mode: 0 = eager Module::forward, 1 = compiled engine (fp32 kernels),
+// 2 = compiled engine with native int8 execution (s8 weights, u8 offset
+// activations, int32 accumulation, fused requant). Arg 1 is the element
+// sparsity percentage (90 -> every conv packs as CSR taps; 0 -> dense
+// implicit-GEMM panels, the shape where int8 shows its kernel speedup).
+// items_per_second of {2, s} over {1, s} is the end-to-end int8 win.
 void BM_EngineThroughput(benchmark::State& state) {
+  const auto mode = state.range(0);
+  const float sparsity = static_cast<float>(state.range(1)) / 100.0f;
   rt::Rng rng(9);
   auto model = rt::make_micro_resnet18(10, rng);
-  rt::layerwise_magnitude_prune(*model, 0.9f, rt::Granularity::kElement);
+  if (sparsity > 0.0f) {
+    rt::layerwise_magnitude_prune(*model, sparsity, rt::Granularity::kElement);
+  }
   model->set_training(false);
   const rt::Tensor x = rt::Tensor::uniform({16, 3, 16, 16}, rng, 0.0f, 1.0f);
 
-  if (state.range(0) == 0) {
+  if (mode == 0) {
     for (auto _ : state) {
       benchmark::DoNotOptimize(model->forward(x));
     }
   } else {
-    rt::Session session(rt::Engine::compile(*model), /*max_batch=*/16);
+    rt::CompileOptions options;
+    options.int8_weights = mode == 2;
+    rt::Session session(rt::Engine::compile(*model, options),
+                        /*max_batch=*/16);
     for (auto _ : state) {
       benchmark::DoNotOptimize(session.predict(x));
     }
   }
   state.SetItemsProcessed(state.iterations() * 16);
 }
-BENCHMARK(BM_EngineThroughput)->Arg(0)->Arg(1);
+BENCHMARK(BM_EngineThroughput)
+    ->Args({0, 90})
+    ->Args({1, 90})
+    ->Args({2, 90})
+    ->Args({1, 0})
+    ->Args({2, 0});
 
 // Session scaling: Arg concurrent threads hammering one shared Session.
 // Near-linear items/sec scaling (up to the core count) is the target; on a

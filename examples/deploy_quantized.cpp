@@ -6,9 +6,32 @@
 // This is the pipeline the paper's introduction motivates (pretrained
 // feature extractors on resource-constrained edge devices), assembled
 // entirely from public API calls.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "core/robust_tickets.hpp"
+
+namespace {
+
+/// Best-of-reps single-thread serving rate of one compiled plan, measured
+/// through the same predict path the engine serves with.
+double items_per_second(const rt::CompiledTicket& plan, const rt::Tensor& x,
+                        int reps) {
+  rt::Workspace ws(plan, x.dim(0));
+  (void)plan.predict(x, ws);  // warm-up: workspace + thread_local staging
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)plan.predict(x, ws);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::max(best, static_cast<double>(x.dim(0)) / dt.count());
+  }
+  return best;
+}
+
+}  // namespace
 
 int main() {
   rt::RobustTicketLab::Options opt;
@@ -43,26 +66,43 @@ int main() {
                 100.0f * acc_shrunk);
   }
 
-  // 4. Quantize to int8 at compile time (per-channel symmetric, via
-  //    hw/quant) and serve the quantized plan.
+  // 4. Quantize to int8 at compile time (per-channel symmetric) and serve
+  //    the quantized plan. int8_native defaults on: the conv/GEMM kernels
+  //    execute on int8 values with int32 accumulation and fused requantize
+  //    epilogues — real quantized execution, not fake-quant floats.
   rt::CompileOptions qopt;
   qopt.int8_weights = true;
   rt::Session int8_session(rt::Engine::compile(*model, qopt));
   const float acc_int8 = rt::evaluate_accuracy(int8_session, task.test);
   const std::int64_t int8_bytes = int8_session.plan().packed_bytes();
-  std::printf("[3] int8 engine: acc %.2f%%, %.1f KiB packed "
+  std::printf("[3] int8-native engine: acc %.2f%%, %.1f KiB packed "
               "(eff. %.3f MFLOP / image)\n",
               100.0f * acc_int8,
               static_cast<double>(int8_bytes) / 1024.0,
               2.0 * static_cast<double>(int8_session.plan().effective_macs()) /
                   1e6);
 
-  // 5. Price the result on an MCU-class device.
-  const rt::CostEstimate cost =
-      rt::estimate_cost(*model, rt::kImageSize, rt::kImageSize,
-                        rt::edge_mcu_profile(), rt::Granularity::kChannel);
-  std::printf("[4] edge-mcu estimate: %.2f ms / image, %.1f uJ / image, "
-              "%.2fx speedup over dense\n",
+  // 5. MEASURE the quantization speedup: wall-clock the fp32 plan against
+  //    the int8-native plan on the same batch through the same predict path.
+  {
+    const rt::CompiledTicket fp32_plan = rt::Engine::compile(*model);
+    const double fp32_ips =
+        items_per_second(fp32_plan, task.test.images, /*reps=*/5);
+    const double int8_ips =
+        items_per_second(int8_session.plan(), task.test.images, /*reps=*/5);
+    std::printf("[4] measured single-thread: fp32 %.0f items/s, int8 %.0f "
+                "items/s -> %.2fx speedup\n",
+                fp32_ips, int8_ips, int8_ips / fp32_ips);
+  }
+
+  // 6. Price the result on an MCU-class device (modeled, not measured:
+  //    estimate_quantized_cost applies the profile's calibrated int8
+  //    throughput on top of the realizable channel-sparsity savings).
+  const rt::CostEstimate cost = rt::estimate_quantized_cost(
+      *model, rt::kImageSize, rt::kImageSize, rt::edge_mcu_profile(),
+      rt::Granularity::kChannel);
+  std::printf("[5] edge-mcu estimate: %.2f ms / image, %.1f uJ / image, "
+              "%.2fx speedup over dense fp16\n",
               1e3 * cost.latency_seconds, 1e6 * cost.energy_joules,
               cost.realized_speedup);
 

@@ -18,8 +18,8 @@
 #   scripts/check.sh --tsan        # additionally build build-tsan/ with
 #                                  # -DRT_SANITIZE=thread and run the
 #                                  # concurrency-heavy suites (scheduler,
-#                                  # engine, serving, common, gemm) under
-#                                  # ThreadSanitizer.
+#                                  # engine, serving, common, gemm, quant
+#                                  # kernels) under ThreadSanitizer.
 #   scripts/check.sh --asan        # same suites under AddressSanitizer
 #                                  # (-DRT_SANITIZE=address).
 #   scripts/check.sh --ubsan       # same suites under UBSan with
@@ -55,10 +55,12 @@ cmake -B build -S . -DRT_WERROR=ON
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
-# The concurrency-heavy suites every sanitizer pass exercises. One list so
-# the echo, the build targets, and the ctest filter cannot drift apart.
+# The concurrency-heavy suites every sanitizer pass exercises, plus the
+# quantized kernel suite (int8 packing/requant arithmetic is where UB —
+# narrowing, shifts, aliasing — would live). One list so the echo, the build
+# targets, and the ctest filter cannot drift apart.
 SAN_SUITES=(test_scheduler test_engine test_serving test_registry test_common
-            test_gemm)
+            test_gemm test_quant_kernels)
 SAN_FILTER="$(IFS='|'; echo "${SAN_SUITES[*]}")"
 
 # run_sanitizer_pass <name> <build_dir> <rt_sanitize_value>

@@ -8,6 +8,7 @@
 #include "common/audit.hpp"
 #include "common/scheduler.hpp"
 #include "hw/quant.hpp"
+#include "linalg/microkernel_s8.hpp"
 #include "models/blocks.hpp"
 #include "nn/activations.hpp"
 #include "nn/loss.hpp"
@@ -142,6 +143,63 @@ void pack_weights(Packed& p, std::vector<float> w, std::int64_t rows,
     p.qscales = std::move(scales);
     plan.packed_bytes +=
         static_cast<std::int64_t>(p.qscales.size()) * 4;  // fp32 scales
+
+    // True int8 execution: pack the sidecar into the quantized kernel
+    // layer's executable operands. Native execution needs the full 8-bit
+    // encoding (the kernels' offset arithmetic assumes q in [-127, 127]);
+    // narrower bit-width sweeps keep the simulated float path.
+    if (options.int8_native && options.int8_bits == 8) {
+      if constexpr (requires { p.taps; }) {
+        // Convs execute natively in every format: dense and channel-compact
+        // through the quantized implicit-GEMM (quad panels + offset
+        // corrections + per-packed-row scales), CSR through the integer tap
+        // path, which consumes qvalues/qscales directly.
+        p.int8_exec = true;
+        if (format != PackedFormat::kCsr) {
+          const std::int64_t exec_rows =
+              cols > 0 ? static_cast<std::int64_t>(p.qvalues.size()) / cols
+                       : 0;
+          p.qpacked.pack(p.qvalues.data(), exec_rows, cols);
+          p.qexec_scales.resize(static_cast<std::size_t>(exec_rows));
+          for (std::int64_t r = 0; r < exec_rows; ++r) {
+            const std::int64_t src = format == PackedFormat::kChannelCompact
+                                         ? kept[static_cast<std::size_t>(r)]
+                                         : r;
+            p.qexec_scales[static_cast<std::size_t>(r)] =
+                p.qscales[static_cast<std::size_t>(src)];
+          }
+          // Panels are host-side acceleration like the fp32 prepack (which
+          // native layers skip), reported on the same line.
+          plan.prepacked_bytes = p.qpacked.bytes();
+          if (p.in_w <= 4 || p.geom.stride > 1) {
+            // Very narrow planes gather faster through a precomputed
+            // source-index table: their image rows are too short to amortize
+            // even the padded-plane gather's per-row memcpy. Strided planes
+            // take it too — their gather has no contiguous runs to memcpy.
+            // Everything else uses the padded-plane staging inside the
+            // kernel (see kPadPlaneCapS8 in linalg/conv.cpp).
+            p.qgather = build_s8_gather_index(p.in_ch, p.in_h, p.in_w, p.geom);
+            plan.prepacked_bytes +=
+                static_cast<std::int64_t>(p.qgather.size()) * 4;
+          }
+        }
+      } else if (format == PackedFormat::kDense) {
+        // The head executes natively only when dense; a CSR head keeps the
+        // simulated float path (tiny layer, spmm already skips zeros).
+        p.int8_exec = true;
+        const std::int64_t rows8 = round_up4(cols) *
+                                   ((rows + kNrS8 - 1) / kNrS8 * kNrS8);
+        p.qslivers.assign(static_cast<std::size_t>(rows8), 0);
+        pack_b_quads_s8_nt(p.qvalues.data(), rows, cols, p.qslivers.data());
+        p.qcorr.resize(static_cast<std::size_t>(rows));
+        for (std::int64_t r = 0; r < rows; ++r) {
+          p.qcorr[static_cast<std::size_t>(r)] =
+              quad_row_offset_sum(p.qvalues.data() + r * cols, cols);
+        }
+        plan.prepacked_bytes =
+            static_cast<std::int64_t>(p.qslivers.size()) + rows * 4;
+      }
+    }
   }
   plan.packed_bytes += rows * 4;  // folded fp32 bias
   plans.push_back(std::move(plan));
@@ -194,7 +252,7 @@ PackedConv pack_conv(const Conv2d& conv, const BatchNorm2d* bn, bool relu,
   // per compile instead of once per serve-time plane call.
   p.weight_zero_fraction = weight_zero_fraction(
       p.weight.data(), static_cast<std::int64_t>(p.weight.size()));
-  if (p.format != PackedFormat::kCsr && !p.weight.empty() &&
+  if (p.format != PackedFormat::kCsr && !p.int8_exec && !p.weight.empty() &&
       p.weight_zero_fraction < kConvSparseWeightFraction) {
     const auto rows = static_cast<std::int64_t>(p.weight.size()) / ckk;
     p.prepacked.pack(p.weight.data(), rows, ckk, /*forward=*/true,
@@ -237,6 +295,16 @@ PackedConv pack_conv(const Conv2d& conv, const BatchNorm2d* bn, bool relu,
       p.taps.push_back(tap);
     }
   }
+  if (p.int8_exec) {
+    // Native layers execute the integer encoding; the dequantized floats
+    // are dead weight once the zero fraction and taps are resolved — drop
+    // them, so int8 plans are genuinely smaller resident, not just on wire.
+    if (p.format == PackedFormat::kCsr) {
+      std::vector<float>().swap(p.csr.values);
+    } else {
+      std::vector<float>().swap(p.weight);
+    }
+  }
   return p;
 }
 
@@ -256,6 +324,9 @@ PackedLinear pack_linear(const Linear& lin, const CompileOptions& options,
   }
   pack_weights(p, std::move(w), p.out_features, p.in_features, 1, options,
                plans, /*allow_compact=*/false);
+  if (p.int8_exec) {
+    std::vector<float>().swap(p.weight);  // the slivers are the executable
+  }
   return p;
 }
 
@@ -264,11 +335,12 @@ PackedLinear pack_linear(const Linear& lin, const CompileOptions& options,
 /// extent is planned anymore — only activation planes and the
 /// channel-compact epilogue buffer.
 struct ScratchExtents {
-  std::int64_t plane = 0, tmp = 0;
+  std::int64_t plane = 0, tmp = 0, ohw = 0;
 
   void cover(const PackedConv& c) {
     plane = std::max({plane, c.in_floats(), c.out_floats()});
     tmp = std::max(tmp, c.out_floats());
+    ohw = std::max(ohw, c.out_h * c.out_w);
   }
 };
 
@@ -372,6 +444,9 @@ CompiledTicket Engine::compile(const ResNet& model,
                            static_cast<std::int64_t>(t.feature_dim_));
   t.max_plane_floats_ = extents.plane;
   t.tmp_floats_ = extents.tmp;
+  t.max_ohw_ = extents.ohw;
+  t.int8_native_ = options.int8_weights && options.int8_native &&
+                   options.int8_bits == 8;
   return t;
 }
 

@@ -11,9 +11,15 @@
 //     stored contiguously — the right shape for row/channel-pruned tickets),
 //     or CSR (linalg/sparse.hpp) for unstructured high sparsity, so masked-
 //     ticket inference costs O(nonzeros) instead of O(numel);
-//   - optional int8 weight quantization via hw/quant (symmetric per-channel);
-//     the plan carries the int8 values + scales it would ship and executes
-//     the dequantized floats, matching the library's simulated-PTQ contract;
+//   - optional int8 weight quantization via hw/quant (symmetric per-channel):
+//     the plan carries the int8 values + scales it ships, and by default
+//     EXECUTES them natively — weights packed into the int8 kernel layer's
+//     quad panels (linalg/gemm_s8, linalg/microkernel_s8), activations
+//     quantized per batch from the amax the preceding epilogue tracked,
+//     int32 accumulation with fused requant/bias/ReLU epilogues. Setting
+//     CompileOptions::int8_native = false keeps the legacy simulated-PTQ
+//     float execution (the accuracy reference the parity tests compare
+//     against);
 //   - frozen input geometry, so every activation extent is known at compile
 //     time and a Workspace can pre-allocate all scratch in one arena.
 //
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/gemm_s8.hpp"
 #include "linalg/sparse.hpp"
 #include "nn/conv.hpp"
 #include "tensor/tensor.hpp"
@@ -56,10 +63,15 @@ struct CompileOptions {
   float compact_max_row_fraction = 0.95f;
 
   /// Quantize folded weights to int8 (symmetric per output channel) before
-  /// packing. Execution uses the dequantized values (simulated PTQ, as in
-  /// hw/quant); the plan's byte accounting prices the int8 encoding.
+  /// packing; the plan's byte accounting prices the int8 encoding.
   bool int8_weights = false;
   int int8_bits = 8;
+  /// Execute int8 plans natively on the quantized kernel layer (int32
+  /// accumulation, dynamic per-batch activation scales) instead of the
+  /// legacy simulated-PTQ float path. Native execution requires the full
+  /// 8-bit encoding; narrower int8_bits settings (the bit-width sweeps in
+  /// analysis tooling) fall back to simulation automatically.
+  bool int8_native = true;
 };
 
 /// Chooses the packed encoding for a folded (rows, cols) weight matrix with
@@ -102,8 +114,20 @@ class Workspace {
   float* tmp() { return tmp_; }
   int max_batch() const { return max_batch_; }
 
+  /// int8-native plans only (empty otherwise): the quantized-activation
+  /// staging buffer — each layer quantizes its float input batch here in the
+  /// flavor its kernel consumes (offset-u8 for the implicit-GEMM and head
+  /// paths, signed s8 for the CSR tap path).
+  std::uint8_t* qin() { return qin_.data(); }
+  /// int8-native plans only: the int32 accumulation plane the fused requant
+  /// epilogues drain (sized for the largest conv plane, the CSR batch
+  /// accumulator, and the head's logits block).
+  std::int32_t* acc() { return acc_.data(); }
+
  private:
   std::vector<float> arena_;
+  std::vector<std::uint8_t> qin_;
+  std::vector<std::int32_t> acc_;
   float* act_[3] = {nullptr, nullptr, nullptr};
   float* tmp_ = nullptr;
   int max_batch_ = 0;
@@ -154,13 +178,38 @@ struct PackedConv {
   std::vector<std::int8_t> qvalues;
   std::vector<float> qscales;
 
+  // True int8 execution (CompileOptions::int8_native): the sidecar packed
+  // into executable operands at compile time. Dense/channel-compact layers
+  // carry quad panels + offset corrections (qpacked) and the per-packed-row
+  // scale vector the requant epilogue indexes; the CSR tap path executes
+  // qvalues + qscales directly over signed-s8 activations. Native layers
+  // drop the dequantized float weights — the integers ARE the executable.
+  bool int8_exec = false;
+  PackedS8 qpacked;
+  std::vector<float> qexec_scales;
+  /// Precomputed im2col source-index table (build_s8_gather_index) for
+  /// narrow-plane layers, where it beats the run-decomposed gather; empty
+  /// otherwise.
+  std::vector<std::int32_t> qgather;
+
   std::int64_t in_floats() const { return in_ch * in_h * in_w; }
   std::int64_t out_floats() const { return out_ch * out_h * out_w; }
 
   /// Runs the folded conv over a batch: in/out are full-batch activation
   /// buffers laid out (n, ch, h, w). Serial by design — Session concurrency
   /// comes from independent predict() calls, not intra-op threading.
-  void run(const float* in, float* out, std::int64_t n, Workspace& ws) const;
+  /// int8-native layers additionally take the batch amax of `in` (their
+  /// dynamic activation scale) and, when `out_amax` is non-null, report the
+  /// batch amax of `out` for the next layer's scale.
+  void run(const float* in, float* out, std::int64_t n, Workspace& ws,
+           float in_amax = 0.0f, float* out_amax = nullptr) const;
+
+ private:
+  /// The int8-native executor behind run(): quantizes the input batch into
+  /// the workspace staging buffer and dispatches to the quantized
+  /// implicit-GEMM or the integer tap path.
+  void run_s8(const float* in, float* out, std::int64_t n, Workspace& ws,
+              float in_amax, float* out_amax) const;
 };
 
 /// The classifier head with packed weights (dense or CSR).
@@ -175,7 +224,16 @@ struct PackedLinear {
   std::vector<std::int8_t> qvalues;
   std::vector<float> qscales;
 
-  void run(const float* in, float* out, std::int64_t n) const;
+  // True int8 execution (dense heads only; a CSR head under a native plan
+  // keeps the simulated float path — the layer is tiny and spmm already
+  // skips zeros): full-depth quad slivers of the (out, in) weights plus the
+  // per-output-feature offset correction.
+  bool int8_exec = false;
+  std::vector<std::int8_t> qslivers;
+  std::vector<std::int32_t> qcorr;
+
+  void run(const float* in, float* out, std::int64_t n, Workspace& ws,
+           float in_amax = 0.0f) const;
 };
 
 /// One residual block: convs fused with their BNs; the shortcut add and
@@ -223,6 +281,11 @@ class CompiledTicket {
   std::int64_t max_plane_floats() const { return max_plane_floats_; }
   /// Largest per-sample conv output scratch (channel-compact epilogue).
   std::int64_t tmp_floats() const { return tmp_floats_; }
+  /// Largest conv output spatial plane (Workspace int8 accumulator sizing).
+  std::int64_t max_ohw() const { return max_ohw_; }
+  /// True when this plan executes the int8 kernel layer natively (the
+  /// Workspace then carves the quantized-activation and int32 arenas).
+  bool int8_native() const { return int8_native_; }
 
  private:
   friend class Engine;
@@ -234,7 +297,8 @@ class CompiledTicket {
   std::int64_t height_ = 0, width_ = 0, in_channels_ = 0;
   std::int64_t feat_h_ = 0, feat_w_ = 0;  ///< spatial extent entering GAP
   int num_classes_ = 0, feature_dim_ = 0;
-  std::int64_t max_plane_floats_ = 0, tmp_floats_ = 0;
+  std::int64_t max_plane_floats_ = 0, tmp_floats_ = 0, max_ohw_ = 0;
+  bool int8_native_ = false;
   std::vector<LayerPlan> layers_;
 };
 

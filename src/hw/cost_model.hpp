@@ -39,6 +39,10 @@ struct HardwareProfile {
   double joules_per_byte = 1e-11;
   SparseEfficiency efficiency;
   StorageFormat weight_format = StorageFormat::kDenseFp16;
+  /// Measured int8:fp32 MAC-throughput ratio of the device's NATIVE
+  /// quantized kernels (1.0 = no int8 execution units, quantization only
+  /// saves bytes). estimate_quantized_cost divides compute time by this.
+  double int8_compute_speedup = 1.0;
 };
 
 /// A microcontroller-class core: no sparse execution support at all; only
@@ -74,5 +78,17 @@ CostEstimate estimate_cost(ResNet& model, std::int64_t height,
 CostEstimate estimate_nm_cost(ResNet& model, std::int64_t height,
                               std::int64_t width, const HardwareProfile& hw,
                               int m);
+
+/// As estimate_cost but prices NATIVE int8 execution (the engine's
+/// int8_native path, not simulated fake-quant): compute time is divided by
+/// the profile's measured int8_compute_speedup, and weights ship quantized —
+/// dense formats as int8, sparse sidecars saving one byte per kept value
+/// (fp16 value -> s8 value, index metadata unchanged). realized_speedup is
+/// still measured against the dense fp32/fp16 baseline, so it now includes
+/// the int8 execution gain on top of the realizable sparsity gain.
+CostEstimate estimate_quantized_cost(ResNet& model, std::int64_t height,
+                                     std::int64_t width,
+                                     const HardwareProfile& hw,
+                                     Granularity granularity);
 
 }  // namespace rt

@@ -1,13 +1,17 @@
 #pragma once
-// Post-training int8 weight quantization (simulated).
+// Post-training int8 weight quantization (reference fake-quant).
 //
 // The final stage of the edge-deployment story (and the bridge to the
 // paper's Double-Win Quant citation [7]): tickets are stored as int8 on
-// flash. Quantization is simulated with fake-quant (quantize -> dequantize,
-// float compute), the standard way to measure PTQ accuracy without an int8
-// kernel library; storage savings are priced by src/hw/storage. Masked
-// weights stay exactly zero through quantization (0 maps to the zero-point
-// of a symmetric scheme), so ticket sparsity survives deployment.
+// flash. This module is the fake-quant REFERENCE (quantize -> dequantize,
+// float compute), the standard way to isolate PTQ weight error; the engine
+// executes the same per-channel symmetric scheme natively on int8 kernels
+// (linalg/gemm_s8, CompileOptions::int8_native) and is accuracy-guarded
+// against this reference in tests/test_quant_kernels.cpp. Storage savings
+// are priced by src/hw/storage, execution savings by hw/cost_model's
+// estimate_quantized_cost. Masked weights stay exactly zero through
+// quantization (0 maps to the zero-point of a symmetric scheme), so ticket
+// sparsity survives deployment.
 
 #include <vector>
 

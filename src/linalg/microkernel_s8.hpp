@@ -1,0 +1,292 @@
+#pragma once
+// The int8 register-tiled micro-kernel and quad-panel packing primitives
+// behind the quantized GEMM/conv layer (linalg/gemm_s8.hpp, linalg/conv.cpp).
+// Mirrors the fp32 kernel's BLIS-style structure (linalg/microkernel.hpp) at
+// int8 operand width: one 8 x 16 int32 accumulator block stays in registers
+// while packed A panels and B slivers stream through it.
+//
+// Layout contract (the "quad" is the unit: 4 consecutive k bytes):
+//   - A is packed into row panels of kMrS8 rows, quad-major: within one
+//     panel, quad q holds rows' bytes a(row0 + i, 4q + t) at
+//     ap[q * kMrS8 * 4 + i * 4 + t]. Rows past the matrix edge and k bytes
+//     past the matrix depth pack as zeros, so the kernel needs no m/k tail.
+//   - B is packed into column slivers of kNrS8 lanes, quad-major: sliver
+//     quad q holds bp[q * kNrS8 * 4 + j * 4 + t] = b(k0 + 4q + t, col0 + j).
+//     Out-of-range bytes take the caller's pad value (128 for offset-u8
+//     activations = real zero; the paired A bytes are zero, so any pad is
+//     arithmetically inert).
+//   - The kernel computes acc(i, j) = sum_q sum_t a_quad(i, q, t) *
+//     b_quad(j, q, t) with exact int32 arithmetic: results are bitwise
+//     identical across the VNNI and generic paths, which is what lets
+//     sanitizer builds (no -march=native) verify the serving path's bits.
+//
+// Operand signedness: the AVX512-VNNI vpdpbusd instruction multiplies
+// UNSIGNED bytes by SIGNED bytes. Weights stay signed s8; activations are
+// quantized to u8 with a +128 offset (stored = q + 128, q in [-127, 127]).
+// The offset contributes 128 * sum_k(w_q) per output channel — a constant
+// per row, precomputed at pack time and subtracted in the requant epilogue —
+// so the corrected accumulator equals the exact signed product.
+//
+// Two call shapes share the arithmetic:
+//   - micro_s8_block: conv/gemm shape — broadcast side is the SIGNED weight
+//     panel, vector side the unsigned activation sliver.
+//   - micro_u8x_block: the head's nt shape — broadcast side is the UNSIGNED
+//     activation rows (read row-major, no packing needed: quads are
+//     contiguous), vector side the signed weight sliver.
+
+#include <cstdint>
+#include <cstring>
+
+#include "linalg/microkernel.hpp"
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+#define RT_MICROKERNEL_S8_VNNI 1
+#include <immintrin.h>
+#endif
+
+namespace rt {
+
+// Micro-tile extents for the int8 kernel: 8 rows x 16 int32 lanes (one
+// 512-bit accumulator per row), k consumed 4 bytes (one quad) per step.
+inline constexpr std::int64_t kMrS8 = 8;
+inline constexpr std::int64_t kNrS8 = 16;
+// Cache blocking: a kKcS8 x kNcS8 u8 B panel is 64 KiB — L2-resident like
+// the fp32 kernel's panel, at 4x the k depth per byte.
+inline constexpr std::int64_t kKcS8 = 256;
+inline constexpr std::int64_t kNcS8 = 256;
+// Full-depth staging cap for the conv forward fast path: when
+// round_up4(c_in * k * k) fits, the whole k extent stages as one B tile
+// (<= 256 KiB, still L2-resident) and each 8 x 16 output block accumulates
+// entirely in registers — no int32 accumulator plane traffic.
+inline constexpr std::int64_t kKcFullS8 = 1024;
+
+/// Rounds a k extent up to whole quads.
+inline constexpr std::int64_t round_up4(std::int64_t v) {
+  return (v + 3) & ~std::int64_t{3};
+}
+
+namespace detail {
+
+#ifdef RT_MICROKERNEL_S8_VNNI
+
+/// Conv/gemm shape: acc(i, j) = sum over kq quads of
+/// s8 A quad (row i) dot u8 B quad (lane j). `acc` (kMrS8 x kNrS8,
+/// row-major) is overwritten. vpdpbusd takes the unsigned operand first:
+/// the B sliver is the vector, each A quad broadcasts as one 32-bit lane.
+inline void micro_s8_block(std::int64_t kq, const std::int8_t* __restrict ap,
+                           const std::uint8_t* __restrict bp,
+                           std::int32_t* __restrict acc) {
+  __m512i c0 = _mm512_setzero_si512(), c1 = c0, c2 = c0, c3 = c0, c4 = c0,
+          c5 = c0, c6 = c0, c7 = c0;
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const __m512i bv = _mm512_loadu_si512(bp + q * kNrS8 * 4);
+    const std::int8_t* a = ap + q * kMrS8 * 4;
+    std::int32_t aq[kMrS8];
+    std::memcpy(aq, a, sizeof(aq));
+    c0 = _mm512_dpbusd_epi32(c0, bv, _mm512_set1_epi32(aq[0]));
+    c1 = _mm512_dpbusd_epi32(c1, bv, _mm512_set1_epi32(aq[1]));
+    c2 = _mm512_dpbusd_epi32(c2, bv, _mm512_set1_epi32(aq[2]));
+    c3 = _mm512_dpbusd_epi32(c3, bv, _mm512_set1_epi32(aq[3]));
+    c4 = _mm512_dpbusd_epi32(c4, bv, _mm512_set1_epi32(aq[4]));
+    c5 = _mm512_dpbusd_epi32(c5, bv, _mm512_set1_epi32(aq[5]));
+    c6 = _mm512_dpbusd_epi32(c6, bv, _mm512_set1_epi32(aq[6]));
+    c7 = _mm512_dpbusd_epi32(c7, bv, _mm512_set1_epi32(aq[7]));
+  }
+  const __m512i rows[kMrS8] = {c0, c1, c2, c3, c4, c5, c6, c7};
+  for (int i = 0; i < kMrS8; ++i) {
+    _mm512_storeu_si512(acc + i * kNrS8, rows[i]);
+  }
+}
+
+/// Head (nt) shape: the broadcast side is unsigned activation rows read
+/// row-major (stride ldx; a quad is 4 contiguous bytes, so no A packing),
+/// the vector side a signed weight sliver. Rows past mr clamp to the last
+/// valid row — their lanes compute garbage the caller discards, without
+/// reading out of bounds.
+inline void micro_u8x_block(std::int64_t kq, const std::uint8_t* __restrict x,
+                            std::int64_t ldx, std::int64_t mr,
+                            const std::int8_t* __restrict bp,
+                            std::int32_t* __restrict acc) {
+  const std::uint8_t* rows[kMrS8];
+  for (std::int64_t i = 0; i < kMrS8; ++i) {
+    rows[i] = x + (i < mr ? i : mr - 1) * ldx;
+  }
+  __m512i c0 = _mm512_setzero_si512(), c1 = c0, c2 = c0, c3 = c0, c4 = c0,
+          c5 = c0, c6 = c0, c7 = c0;
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const __m512i wv = _mm512_loadu_si512(bp + q * kNrS8 * 4);
+    std::int32_t xq[kMrS8];
+    for (int i = 0; i < kMrS8; ++i) {
+      std::memcpy(&xq[i], rows[i] + q * 4, 4);
+    }
+    c0 = _mm512_dpbusd_epi32(c0, _mm512_set1_epi32(xq[0]), wv);
+    c1 = _mm512_dpbusd_epi32(c1, _mm512_set1_epi32(xq[1]), wv);
+    c2 = _mm512_dpbusd_epi32(c2, _mm512_set1_epi32(xq[2]), wv);
+    c3 = _mm512_dpbusd_epi32(c3, _mm512_set1_epi32(xq[3]), wv);
+    c4 = _mm512_dpbusd_epi32(c4, _mm512_set1_epi32(xq[4]), wv);
+    c5 = _mm512_dpbusd_epi32(c5, _mm512_set1_epi32(xq[5]), wv);
+    c6 = _mm512_dpbusd_epi32(c6, _mm512_set1_epi32(xq[6]), wv);
+    c7 = _mm512_dpbusd_epi32(c7, _mm512_set1_epi32(xq[7]), wv);
+  }
+  const __m512i out[kMrS8] = {c0, c1, c2, c3, c4, c5, c6, c7};
+  for (int i = 0; i < kMrS8; ++i) {
+    _mm512_storeu_si512(acc + i * kNrS8, out[i]);
+  }
+}
+
+#else  // generic fallback: identical integer semantics, portable ISA
+
+inline void micro_s8_block(std::int64_t kq, const std::int8_t* __restrict ap,
+                           const std::uint8_t* __restrict bp,
+                           std::int32_t* __restrict acc) {
+  std::memset(acc, 0, static_cast<std::size_t>(kMrS8 * kNrS8) *
+                          sizeof(std::int32_t));
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::int8_t* a = ap + q * kMrS8 * 4;
+    const std::uint8_t* b = bp + q * kNrS8 * 4;
+    for (int i = 0; i < kMrS8; ++i) {
+      std::int32_t* arow = acc + i * kNrS8;
+      for (int t = 0; t < 4; ++t) {
+        const std::int32_t av = a[i * 4 + t];
+        for (int j = 0; j < kNrS8; ++j) {
+          arow[j] += av * static_cast<std::int32_t>(b[j * 4 + t]);
+        }
+      }
+    }
+  }
+}
+
+inline void micro_u8x_block(std::int64_t kq, const std::uint8_t* __restrict x,
+                            std::int64_t ldx, std::int64_t mr,
+                            const std::int8_t* __restrict bp,
+                            std::int32_t* __restrict acc) {
+  std::memset(acc, 0, static_cast<std::size_t>(kMrS8 * kNrS8) *
+                          sizeof(std::int32_t));
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::int8_t* b = bp + q * kNrS8 * 4;
+    for (std::int64_t i = 0; i < kMrS8; ++i) {
+      const std::uint8_t* xrow = x + (i < mr ? i : mr - 1) * ldx + q * 4;
+      std::int32_t* arow = acc + i * kNrS8;
+      for (int t = 0; t < 4; ++t) {
+        const std::int32_t xv = xrow[t];
+        for (int j = 0; j < kNrS8; ++j) {
+          arow[j] += xv * static_cast<std::int32_t>(b[j * 4 + t]);
+        }
+      }
+    }
+  }
+}
+
+#endif  // RT_MICROKERNEL_S8_VNNI
+
+}  // namespace detail
+
+/// Adds the leading mr x nr sub-block of a computed kMrS8 x kNrS8
+/// accumulator tile into C (int32, leading dimension ldc). The packed
+/// operands are zero-padded to full extents, so only the writeback clips.
+inline void acc_block_add(const std::int32_t* __restrict acc,
+                          std::int32_t* __restrict c, std::int64_t ldc,
+                          std::int64_t mr, std::int64_t nr) {
+  if (mr == kMrS8 && nr == kNrS8) {
+    for (std::int64_t i = 0; i < kMrS8; ++i) {
+      std::int32_t* crow = c + i * ldc;
+      const std::int32_t* arow = acc + i * kNrS8;
+      for (std::int64_t j = 0; j < kNrS8; ++j) crow[j] += arow[j];
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    std::int32_t* crow = c + i * ldc;
+    const std::int32_t* arow = acc + i * kNrS8;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+  }
+}
+
+/// Packs a row-major s8 matrix (rows x cols) into consecutive kMrS8 row
+/// panels at `ap` (size round_up(rows, kMrS8) * round_up4(cols) bytes).
+/// Edge rows and the k tail pack as zeros.
+inline void pack_a_quads_s8(const std::int8_t* a, std::int64_t rows,
+                            std::int64_t cols, std::int8_t* ap) {
+  const std::int64_t cols4 = round_up4(cols);
+  for (std::int64_t ir = 0; ir < rows; ir += kMrS8) {
+    const std::int64_t m_eff = std::min(kMrS8, rows - ir);
+    std::int8_t* panel = ap + ir * cols4;
+    for (std::int64_t q = 0; q < cols4 / 4; ++q) {
+      std::int8_t* dst = panel + q * kMrS8 * 4;
+      for (std::int64_t i = 0; i < kMrS8; ++i) {
+        for (std::int64_t t = 0; t < 4; ++t) {
+          const std::int64_t k = 4 * q + t;
+          dst[i * 4 + t] = (i < m_eff && k < cols)
+                               ? a[(ir + i) * cols + k]
+                               : std::int8_t{0};
+        }
+      }
+    }
+  }
+}
+
+/// Packs columns [j0, j0+nb) x k rows [k0, k0+kb) of a row-major s8 matrix
+/// B^T-style source (nrows x cols, one source ROW per output lane — the nt
+/// weight layout) into kNrS8 quad slivers at `bp` (full depth cols4 per
+/// sliver). Edge lanes and the k tail pack as zeros.
+inline void pack_b_quads_s8_nt(const std::int8_t* b, std::int64_t nrows,
+                               std::int64_t cols, std::int8_t* bp) {
+  const std::int64_t cols4 = round_up4(cols);
+  for (std::int64_t jr = 0; jr < nrows; jr += kNrS8) {
+    const std::int64_t n_eff = std::min(kNrS8, nrows - jr);
+    std::int8_t* sliver = bp + jr * cols4;
+    for (std::int64_t q = 0; q < cols4 / 4; ++q) {
+      std::int8_t* dst = sliver + q * kNrS8 * 4;
+      for (std::int64_t j = 0; j < kNrS8; ++j) {
+        for (std::int64_t t = 0; t < 4; ++t) {
+          const std::int64_t k = 4 * q + t;
+          dst[j * 4 + t] = (j < n_eff && k < cols)
+                               ? b[(jr + j) * cols + k]
+                               : std::int8_t{0};
+        }
+      }
+    }
+  }
+}
+
+/// Packs rows [k0, k0+kb) x cols [j0, j0+nb) of a row-major u8 matrix
+/// (ldb == stored column count) into kNrS8 quad slivers at `bp`. One sliver
+/// occupies round_up4(kb) * kNrS8 bytes; out-of-range bytes take `pad`
+/// (128 == the offset-u8 encoding of zero).
+inline void pack_b_quads_u8(const std::uint8_t* b, std::int64_t ldb,
+                            std::int64_t k0, std::int64_t kb, std::int64_t j0,
+                            std::int64_t nb, std::uint8_t* bp,
+                            std::uint8_t pad = 128) {
+  const std::int64_t kb4 = round_up4(kb);
+  for (std::int64_t jr = 0; jr < nb; jr += kNrS8) {
+    const std::int64_t n_eff = std::min(kNrS8, nb - jr);
+    std::uint8_t* sliver = bp + jr * kb4;
+    for (std::int64_t q = 0; q < kb4 / 4; ++q) {
+      std::uint8_t* dst = sliver + q * kNrS8 * 4;
+      for (std::int64_t t = 0; t < 4; ++t) {
+        const std::int64_t p = 4 * q + t;
+        if (p >= kb) {
+          for (std::int64_t j = 0; j < kNrS8; ++j) dst[j * 4 + t] = pad;
+          continue;
+        }
+        const std::uint8_t* brow = b + (k0 + p) * ldb + j0 + jr;
+        std::int64_t j = 0;
+        for (; j < n_eff; ++j) dst[j * 4 + t] = brow[j];
+        for (; j < kNrS8; ++j) dst[j * 4 + t] = pad;
+      }
+    }
+  }
+}
+
+/// The per-row offset correction the requant epilogue subtracts: activations
+/// are stored as q + 128, so the raw accumulator carries an extra
+/// 128 * sum_k(w_q) per output row. Computed over the SAME padded extent the
+/// panels cover (pad weights are zero, so padding never shifts the sum).
+inline std::int32_t quad_row_offset_sum(const std::int8_t* row,
+                                        std::int64_t cols) {
+  std::int32_t s = 0;
+  for (std::int64_t k = 0; k < cols; ++k) s += row[k];
+  return 128 * s;
+}
+
+}  // namespace rt

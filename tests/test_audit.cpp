@@ -115,5 +115,40 @@ TEST(RtHot, SessionRunRowsIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(linf, 0.0f) << "repeat runs must be bitwise deterministic";
 }
 
+TEST(RtHot, Int8RunRowsIsAllocationFreeAfterWarmup) {
+  RT_AUDIT_TEST_GUARD();
+  Rng rng(303);
+  ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {6, 12};
+  cfg.num_classes = 10;
+  cfg.name = "audit8";
+  ResNet model(cfg, rng);
+  model.set_training(false);
+
+  CompileOptions options;
+  options.height = 8;
+  options.width = 8;
+  options.int8_weights = true;  // int8-native execution (the default path)
+  const CompiledTicket plan = Engine::compile(model, options);
+  ASSERT_TRUE(plan.int8_native());
+  Session session(plan, /*max_batch=*/4);
+
+  const Tensor x = Tensor::uniform({4, 3, 8, 8}, rng, 0.0f, 1.0f);
+  Tensor logits({4, 10});
+  // Warm-up: DecodeTable growth plus first touch of the quantized scratch
+  // (qin/acc arena slabs, the kernels' thread_local staging buffers).
+  session.run_rows(x.data(), 4, logits.data());
+  audit::AllocGuard guard("Session::run_rows int8");
+  session.run_rows(x.data(), 4, logits.data());
+  EXPECT_EQ(guard.allocations(), 0)
+      << "int8 run_rows steady state must run out of the arena workspace "
+         "and fixed thread_local staging (no per-call gather/acc buffers)";
+  Tensor again({4, 10});
+  session.run_rows(x.data(), 4, again.data());
+  EXPECT_EQ(logits.linf_distance(again), 0.0f)
+      << "int8 repeat runs must be bitwise deterministic";
+}
+
 }  // namespace
 }  // namespace rt

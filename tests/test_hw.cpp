@@ -211,6 +211,42 @@ TEST(CostModelTest, NmCostBeatsDenseOnNpu) {
   EXPECT_GT(sparse.realized_speedup, 1.0);
 }
 
+TEST(CostModelTest, QuantizedCostReflectsNativeInt8Execution) {
+  // estimate_quantized_cost prices the engine's int8_native path: when
+  // compute-bound, latency drops by exactly the profile's measured
+  // int8_compute_speedup; weight bytes shrink versus the fp16 shipping
+  // format either way.
+  auto model = tiny_basic(15);
+  HardwareProfile hw = sparse_cpu_profile();
+  ASSERT_GT(hw.int8_compute_speedup, 1.0);
+  const CostEstimate fp = estimate_cost(*model, kImageSize, kImageSize, hw,
+                                        Granularity::kElement);
+  const CostEstimate q8 = estimate_quantized_cost(
+      *model, kImageSize, kImageSize, hw, Granularity::kElement);
+  EXPECT_EQ(q8.effective_macs, fp.effective_macs);  // same MACs, faster units
+  EXPECT_LT(q8.weight_bytes, fp.weight_bytes);
+  EXPECT_LT(q8.latency_seconds, fp.latency_seconds);
+  if (static_cast<double>(fp.effective_macs) / hw.macs_per_second >
+      static_cast<double>(fp.weight_bytes) / hw.bytes_per_second) {
+    EXPECT_NEAR(q8.latency_seconds * hw.int8_compute_speedup,
+                fp.latency_seconds, 1e-9);
+  }
+
+  // A sparse ticket keeps its index metadata: the int8 sidecar saves one
+  // byte per kept value, so bytes still shrink but by less than 2x of the
+  // fp16 CSR payload.
+  auto sparse = tiny_basic(15);
+  OmpConfig cfg;
+  cfg.sparsity = 0.9f;
+  omp_prune(*sparse, cfg);
+  const CostEstimate sfp = estimate_cost(*sparse, kImageSize, kImageSize, hw,
+                                         Granularity::kElement);
+  const CostEstimate sq8 = estimate_quantized_cost(
+      *sparse, kImageSize, kImageSize, hw, Granularity::kElement);
+  EXPECT_LT(sq8.weight_bytes, sfp.weight_bytes);
+  EXPECT_GT(sq8.realized_speedup, sfp.realized_speedup);
+}
+
 TEST(CostModelTest, RooflineTakesTheMax) {
   auto model = tiny_basic(14);
   HardwareProfile hw = mobile_npu_profile();
