@@ -45,6 +45,7 @@ enum class LockRank : int {
   kRegistryCatalog = 2, ///< registry::Registry catalog_mutex_
   kRegistryCompile = 4, ///< registry::Registry compile_mutex_
   kServingRoute = 6,    ///< serving::Server route_mutex_
+  kServingCache = 8,    ///< serving::PredictionCache shard mutexes (leaf)
   kServingQueue = 10,   ///< serving::Server queue_mutex_
   kServingError = 20,   ///< serving::detail::Request error_mutex
   kSchedInject = 30,    ///< Scheduler inject_mutex_

@@ -67,4 +67,61 @@ class Rng {
 /// Returns a permutation of [0, n).
 std::vector<int> random_permutation(int n, Rng& rng);
 
+/// Fully constexpr PCG32 (XSH-RR output over the 6364136223846793005 LCG),
+/// for deterministic *data generation* — synthetic traffic traces, fuzz
+/// inputs, compile-time tables — where the sequence must be pinned by value
+/// in a test and reproduced bit-identically on every host and toolchain.
+///
+/// Rng above is the runtime generator (normal transform, shuffle, split);
+/// Pcg32 is the minimal integer core with every member constexpr, so traces
+/// can be built in constant expressions:
+///
+///   constexpr std::uint32_t third = [] {
+///     Pcg32 g(42, 7);
+///     g.next_u32(); g.next_u32();
+///     return g.next_u32();
+///   }();
+///
+/// Seeding follows the canonical pcg32_srandom: state = 0, advance once,
+/// add the seed, advance again — so (seed, stream) pairs here match the
+/// reference PCG implementation, not Rng's historical seeding.
+class Pcg32 {
+ public:
+  constexpr explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  constexpr std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (rejection sampling;
+  /// bound must be > 0).
+  constexpr std::uint32_t next_below(std::uint32_t bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 32 bits of entropy — enough resolution
+  /// for trace-distribution inversion while staying exactly reproducible.
+  constexpr double uniform_double() {
+    return static_cast<double>(next_u32()) * 0x1p-32;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
 }  // namespace rt

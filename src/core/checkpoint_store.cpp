@@ -94,6 +94,10 @@ std::uint64_t dataset_fingerprint(const Dataset& data) {
   return h;
 }
 
+std::uint64_t row_fingerprint(const float* row, std::size_t floats) {
+  return fnv1a(row, floats * sizeof(float), kFnvOffset);
+}
+
 CheckpointStore::CheckpointStore(std::string root) : root_(std::move(root)) {}
 
 std::string CheckpointStore::default_root() {

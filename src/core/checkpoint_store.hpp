@@ -59,6 +59,13 @@ class CheckpointKey {
 /// checkpoints whose training touched that data (IMP/LMP retraining).
 std::uint64_t dataset_fingerprint(const Dataset& data);
 
+/// FNV-1a fingerprint of one flat input row (`floats` float values) — the
+/// same byte-level hash dataset_fingerprint uses, exposed per row so the
+/// serving-side prediction cache can content-address individual inputs.
+/// Bitwise: two rows collide only if their float payloads hash-collide
+/// (64-bit FNV-1a), never because of rounding.
+std::uint64_t row_fingerprint(const float* row, std::size_t floats);
+
 /// FNV-1a fingerprint of a StateDict's entry names, shapes, and float
 /// payloads — the content address the model registry keys snapshots by.
 /// Deterministic: StateDict is an ordered map, so iteration order is fixed.

@@ -26,7 +26,90 @@ std::string version_label(const std::string& name, int version) {
   return name + "@" + std::to_string(version);
 }
 
+/// FNV-1a over a plan cache key string — the 64-bit handle the eviction
+/// policy tracks (the full string stays stored next to the plan, so an
+/// astronomically-unlikely hash alias degrades to a miss, never a mix-up).
+std::uint64_t plan_key_hash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+PlanCache::PlanCache(std::int64_t capacity, serving::CachePolicy policy)
+    : capacity_(capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument(
+        "registry::PlanCache: capacity must be >= 0, got " +
+        std::to_string(capacity));
+  }
+  if (capacity > 0) {
+    policy_ = serving::make_eviction_policy(policy, capacity);
+  }
+}
+
+PlanCache::~PlanCache() = default;
+
+std::shared_ptr<const CompiledTicket> PlanCache::find(const std::string& key) {
+  if (policy_ != nullptr) {
+    const std::uint64_t hash = plan_key_hash(key);
+    const auto it = retained_.find(hash);
+    if (it != retained_.end() && it->second.key == key) {
+      policy_->on_hit(hash);
+      ++hits_;
+      return it->second.plan;
+    }
+  }
+  const auto weak = weak_.find(key);
+  if (weak != weak_.end()) {
+    if (std::shared_ptr<const CompiledTicket> live = weak->second.lock()) {
+      ++hits_;
+      return live;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void PlanCache::insert(const std::string& key,
+                       const std::shared_ptr<const CompiledTicket>& plan) {
+  // Weak layer: prune expired entries while inserting, so it stays
+  // proportional to the set of live plans.
+  for (auto dead = weak_.begin(); dead != weak_.end();) {
+    dead = dead->second.expired() ? weak_.erase(dead) : std::next(dead);
+  }
+  weak_[key] = plan;
+  if (policy_ == nullptr) return;
+  const std::uint64_t hash = plan_key_hash(key);
+  const auto it = retained_.find(hash);
+  if (it != retained_.end()) {
+    if (it->second.key != key) return;  // hash alias: keep the incumbent
+    it->second.plan = plan;  // re-built same key (was evicted then re-found)
+    policy_->on_hit(hash);
+    return;
+  }
+  retained_[hash] = Retained{key, plan};
+  std::vector<std::uint64_t> evicted;
+  policy_->on_insert(hash, evicted);
+  for (const std::uint64_t victim : evicted) {
+    retained_.erase(victim);
+    ++evictions_;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.retained = static_cast<std::int64_t>(retained_.size());
+  out.capacity = capacity_;
+  return out;
+}
 
 ModelRef parse_model_ref(const std::string& ref) {
   ModelRef out;
@@ -76,7 +159,9 @@ std::string compile_options_fingerprint(const CompileOptions& options) {
 }
 
 Registry::Registry(RegistryOptions options)
-    : options_(std::move(options)), store_(options_.cache_root) {}
+    : options_(std::move(options)),
+      store_(options_.cache_root),
+      plans_(options_.plan_cache_capacity, options_.plan_cache_policy) {}
 
 Registry::~Registry() = default;
 
@@ -227,11 +312,8 @@ std::shared_ptr<const CompiledTicket> Registry::compile_slot(
   // shared plan is what everyone receives.
   std::lock_guard<std::mutex> lock(compile_mutex_);
   RT_AUDIT_LOCK(audit::LockRank::kRegistryCompile);
-  auto it = compiled_.find(cache_key);
-  if (it != compiled_.end()) {
-    if (std::shared_ptr<const CompiledTicket> live = it->second.lock()) {
-      return live;
-    }
+  if (std::shared_ptr<const CompiledTicket> hit = plans_.find(cache_key)) {
+    return hit;
   }
   // Rebuild an inference model from the snapshot. The Rng seed is
   // irrelevant: load_state overwrites every parameter it initialized, and
@@ -242,13 +324,14 @@ std::shared_ptr<const CompiledTicket> Registry::compile_slot(
   model.set_training(false);
   auto plan =
       std::make_shared<const CompiledTicket>(Engine::compile(model, options));
-  // Prune expired weak entries while inserting — the cache stays
-  // proportional to the set of *live* plans.
-  for (auto dead = compiled_.begin(); dead != compiled_.end();) {
-    dead = dead->second.expired() ? compiled_.erase(dead) : std::next(dead);
-  }
-  compiled_[cache_key] = plan;
+  plans_.insert(cache_key, plan);
   return plan;
+}
+
+PlanCache::Stats Registry::plan_cache_stats() {
+  std::lock_guard<std::mutex> lock(compile_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kRegistryCompile);
+  return plans_.stats();
 }
 
 serving::Server& Registry::serve(const std::string& ref,

@@ -27,10 +27,14 @@
 // memoized under (checkpoint key × CompileOptions fingerprint × kernel-
 // numerics version), so two servers deploying "cifar@2" with equal options
 // share one plan, and a kernel-source change (kKernelSourceHash) silently
-// invalidates everything. The cache holds weak references — a plan's packed
-// bytes are freed as soon as the last Session fleet or caller drops it,
-// which is exactly the hot-swap drain-retirement contract serving::Server
-// implements.
+// invalidates everything. The memoization is a two-layer PlanCache: a weak
+// sharing layer (concurrent demands for a live plan converge on one copy)
+// plus a bounded strong retention layer driven by the same EvictionPolicy
+// implementations the serving prediction cache uses — up to
+// plan_cache_capacity recently-used tickets survive every external
+// reference dropping, so rolling back to a recent version skips
+// recompilation entirely. plan_cache_capacity = 0 restores the pure weak
+// behavior: a swapped-out fleet's plan is truly freed at drain.
 //
 // Thread-safety: all methods may be called concurrently. The catalog mutex
 // orders control-plane mutations (publish / deploy / promote); the compile
@@ -80,6 +84,64 @@ struct RegistryOptions {
   /// CheckpointStore root backing published snapshots. "" disables disk;
   /// the registry then works purely from its in-memory copies.
   std::string cache_root = CheckpointStore::default_root();
+  /// Compiled tickets the PlanCache retains after every external reference
+  /// drops (so re-deploying a recently-served version skips compilation).
+  /// 0 = pure weak memoization: plans are freed the moment the last fleet
+  /// or caller lets go.
+  std::int64_t plan_cache_capacity = 8;
+  /// Eviction policy ranking the retained tickets. Plan reuse is dominated
+  /// by recency (rollback to the previous version), so plain LRU is the
+  /// default.
+  serving::CachePolicy plan_cache_policy = serving::CachePolicy::kLru;
+};
+
+/// Two-layer compiled-ticket cache: a weak map that makes concurrent
+/// demands for a live plan share one copy (and costs nothing once the plan
+/// dies), plus a bounded strong layer — driven by a serving::EvictionPolicy
+/// — that pins the `capacity` most valuable tickets so they survive
+/// swap-out drains. NOT internally synchronized: the Registry serializes
+/// all access under its compile mutex.
+class PlanCache {
+ public:
+  /// capacity 0 disables retention (the weak layer still shares);
+  /// otherwise the policy ranks which tickets stay pinned.
+  PlanCache(std::int64_t capacity, serving::CachePolicy policy);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached plan for `key`, or nullptr. A retention hit refreshes the
+  /// policy; a weak-layer hit (someone still holds the plan) counts too.
+  std::shared_ptr<const CompiledTicket> find(const std::string& key);
+  /// Records a freshly built plan under `key`: always into the weak layer,
+  /// and into the retention layer when enabled (possibly evicting the
+  /// policy's victims).
+  void insert(const std::string& key,
+              const std::shared_ptr<const CompiledTicket>& plan);
+
+  struct Stats {
+    std::uint64_t hits = 0;       ///< find() calls that avoided a rebuild
+    std::uint64_t misses = 0;     ///< find() calls that fell through
+    std::uint64_t evictions = 0;  ///< tickets un-pinned by policy pressure
+    std::int64_t retained = 0;    ///< tickets currently pinned
+    std::int64_t capacity = 0;    ///< the retention bound (0 = off)
+  };
+  Stats stats() const;
+
+ private:
+  struct Retained {
+    std::string key;  ///< full key, so a 64-bit hash alias cannot mix plans
+    std::shared_ptr<const CompiledTicket> plan;
+  };
+
+  std::int64_t capacity_ = 0;
+  std::unique_ptr<serving::EvictionPolicy> policy_;  ///< null when off
+  std::map<std::uint64_t, Retained> retained_;
+  std::map<std::string, std::weak_ptr<const CompiledTicket>> weak_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Thread-safe catalog of named, versioned model entries that lazily
@@ -116,12 +178,15 @@ class Registry {
   /// std::logic_error for "@stable" with no stable set.
   int resolve(const std::string& ref) const;
 
-  /// The compiled plan for a reference — built on first use, then shared:
-  /// cached under (checkpoint key × options fingerprint × kernel-numerics
-  /// version) for as long as anyone holds it (weak cache entries; dropped
-  /// plans are freed and rebuilt on next demand).
+  /// The compiled plan for a reference — built on first use, then shared
+  /// through the PlanCache: keyed by (checkpoint key × options fingerprint
+  /// × kernel-numerics version), alive while anyone holds it, and with
+  /// plan_cache_capacity > 0 retained beyond that by eviction-policy rank.
   std::shared_ptr<const CompiledTicket> compiled(
       const std::string& ref, const CompileOptions& options = {});
+
+  /// Point-in-time PlanCache counters (hits are avoided recompilations).
+  PlanCache::Stats plan_cache_stats();
 
   /// The model's serving endpoint, created on first call with the resolved
   /// version as its fleet (server_options.shards replicas of one compiled
@@ -192,10 +257,9 @@ class Registry {
   std::map<std::string, Entry> catalog_;
 
   std::mutex compile_mutex_;  ///< LockRank::kRegistryCompile
-  /// Weak cache: entries do not pin plans, so a swapped-out fleet's
-  /// CompiledTicket is truly destroyed at drain. Expired entries are pruned
-  /// on insert.
-  std::map<std::string, std::weak_ptr<const CompiledTicket>> compiled_;
+  /// Weak sharing + bounded strong retention (see PlanCache). Guarded by
+  /// compile_mutex_.
+  PlanCache plans_;
 };
 
 }  // namespace registry

@@ -10,6 +10,7 @@
 
 #include "common/audit.hpp"
 #include "common/rng.hpp"
+#include "core/checkpoint_store.hpp"
 
 namespace rt {
 namespace serving {
@@ -58,6 +59,10 @@ struct Epoch {
   std::vector<std::unique_ptr<Session>> sessions;
   std::shared_ptr<VersionCell> cell;
   std::atomic<std::uint64_t> rr{0};  ///< round-robin shard cursor
+  /// Unique per epoch *instance* (not per version label): cache keys mix it
+  /// in, so a hot swap — even back to a previously-served version — can
+  /// never serve logits a different fleet generation computed.
+  std::uint64_t cache_tag = 0;
 };
 
 /// One admitted request, heap-owned until its last completion token drops.
@@ -76,6 +81,13 @@ struct Request {
   std::atomic<std::int64_t> tokens{1};  ///< packing token + one per span
   std::mutex error_mutex;
   std::exception_ptr error;  ///< first failure; read by the last token holder
+
+  // Cache bookkeeping; both empty when the cache is off. With the cache on,
+  // `input` holds only the rows that missed: fill_keys[i] is the key miss
+  // row i's logits are stored under on completion, and row_map[i] is the
+  // output row it scatters to (empty row_map = identity, every row missed).
+  std::vector<std::uint64_t> fill_keys;
+  std::vector<std::int64_t> row_map;
 };
 
 /// The coalescer's per-epoch pending list. A micro-batch executes on one
@@ -134,11 +146,30 @@ struct BatchTask {
     const std::int64_t classes = logits.dim(1);
     for (const Span& s : spans) {
       if (ok) {
-        // Disjoint row ranges: spans of one request living in different
-        // batches scatter without synchronization.
-        std::copy(logits.data() + s.batch_row0 * classes,
-                  logits.data() + (s.batch_row0 + s.rows) * classes,
-                  s.request->output.data() + s.request_row0 * classes);
+        Request* request = s.request;
+        if (request->fill_keys.empty()) {
+          // Disjoint row ranges: spans of one request living in different
+          // batches scatter without synchronization.
+          std::copy(logits.data() + s.batch_row0 * classes,
+                    logits.data() + (s.batch_row0 + s.rows) * classes,
+                    request->output.data() + s.request_row0 * classes);
+        } else {
+          // Cached path: place each miss row through the scatter map and
+          // feed its logits to the cache under the key captured at submit
+          // (the epoch tag of the fleet that just computed them — a row
+          // served mid-swap fills its own generation's entry, never the
+          // successor's).
+          for (std::int64_t i = 0; i < s.rows; ++i) {
+            const auto miss = static_cast<std::size_t>(s.request_row0 + i);
+            const float* src = logits.data() + (s.batch_row0 + i) * classes;
+            const std::int64_t out_row = request->row_map.empty()
+                                             ? s.request_row0 + i
+                                             : request->row_map[miss];
+            std::copy(src, src + classes,
+                      request->output.data() + out_row * classes);
+            server->cache_->insert(request->fill_keys[miss], src);
+          }
+        }
       }
       Server::finish_span(s.request, *server);
     }
@@ -224,6 +255,13 @@ void validate_options(const ServerOptions& options) {
     throw std::invalid_argument(
         "ServerOptions: version label must be non-empty");
   }
+  if (options.cache.capacity_rows < 0) {
+    throw std::invalid_argument(
+        "ServerOptions: cache.capacity_rows must be >= 0, got " +
+        std::to_string(options.cache.capacity_rows));
+  }
+  // With the cache enabled, PredictionCache's constructor validates the
+  // remaining cache fields (shards, lru_k).
 }
 
 std::vector<std::shared_ptr<const CompiledTicket>> replicate(
@@ -266,6 +304,9 @@ Server::Server(std::vector<std::shared_ptr<const CompiledTicket>> shard_plans,
   width_ = ref.width();
   num_classes_ = ref.num_classes();
   options_.shards = static_cast<int>(shard_plans.size());
+  if (options_.cache.capacity_rows > 0) {
+    cache_ = std::make_unique<PredictionCache>(options_.cache, num_classes_);
+  }
 
   auto epoch = build_epoch({options_.version, std::move(shard_plans)});
   {
@@ -314,6 +355,8 @@ std::shared_ptr<detail::Epoch> Server::build_epoch(FleetSpec fleet) const {
   }
   auto epoch = std::make_shared<detail::Epoch>();
   epoch->version = std::move(fleet.version);
+  epoch->cache_tag =
+      epoch_tag_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   epoch->sessions.reserve(fleet.shard_plans.size());
   for (auto& plan : fleet.shard_plans) {
     epoch->sessions.push_back(std::make_unique<Session>(
@@ -473,11 +516,67 @@ std::future<Tensor> Server::submit(Tensor rows) {
   }
   detail::VersionCell& cell = *epoch->cell;
 
-  // Strict admission bound: claim the rows first, undo on overflow.
+  // Cache probe: hit rows are answered straight from the epoch-tagged cache
+  // — bitwise what this epoch's Session would compute — and only miss rows
+  // (compacted into a fresh tensor) continue into admission and coalescing.
+  const auto t0 = std::chrono::steady_clock::now();
+  Tensor output;
+  std::vector<std::uint64_t> fill_keys;
+  std::vector<std::int64_t> row_map;
+  std::int64_t miss_rows = n;
+  if (cache_ != nullptr) {
+    const std::int64_t plane = in_channels_ * height_ * width_;
+    output = Tensor({n, num_classes_});
+    fill_keys.reserve(static_cast<std::size_t>(n));
+    row_map.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint64_t key =
+          cache_key(row_fingerprint(rows.data() + i * plane,
+                                    static_cast<std::size_t>(plane)),
+                    epoch->cache_tag);
+      if (cache_->lookup(key, output.data() + i * num_classes_)) continue;
+      row_map.push_back(i);
+      fill_keys.push_back(key);
+    }
+    miss_rows = static_cast<std::int64_t>(row_map.size());
+    if (miss_rows == 0) {
+      // Every row hit: resolve immediately. The request still counts as
+      // admitted + completed for this version, and its (microsecond-scale)
+      // latency lands in the histogram like any other.
+      cell.requests.fetch_add(1, std::memory_order_relaxed);
+      cell.rows.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count();
+      cell.record_latency(ns > 0 ? static_cast<std::uint64_t>(ns) : 0u);
+      completed_requests_.fetch_add(1, std::memory_order_relaxed);
+      cell.completed.fetch_add(1, std::memory_order_relaxed);
+      std::promise<Tensor> ready;
+      ready.set_value(std::move(output));
+      return ready.get_future();
+    }
+    if (miss_rows < n) {
+      // Compact the misses so micro-batches carry no already-answered rows.
+      Tensor compact({miss_rows, in_channels_, height_, width_});
+      for (std::int64_t j = 0; j < miss_rows; ++j) {
+        const std::int64_t src = row_map[static_cast<std::size_t>(j)];
+        std::copy(rows.data() + src * plane, rows.data() + (src + 1) * plane,
+                  compact.data() + j * plane);
+      }
+      rows = std::move(compact);
+    } else {
+      row_map.clear();  // every row missed: the scatter map is the identity
+    }
+  }
+
+  // Strict admission bound: claim the (miss) rows first, undo on overflow.
   const std::int64_t admitted =
-      queued_rows_.fetch_add(n, std::memory_order_acq_rel) + n;
+      queued_rows_.fetch_add(miss_rows, std::memory_order_acq_rel) +
+      miss_rows;
   if (admitted > options_.queue_capacity_rows) {
-    queued_rows_.fetch_sub(n, std::memory_order_relaxed);
+    queued_rows_.fetch_sub(miss_rows, std::memory_order_relaxed);
     rejected_requests_.fetch_add(1, std::memory_order_relaxed);
     cell.rejected.fetch_add(1, std::memory_order_relaxed);
     std::promise<Tensor> rejected;
@@ -489,16 +588,19 @@ std::future<Tensor> Server::submit(Tensor rows) {
 
   auto* request = new detail::Request;
   request->input = std::move(rows);
-  request->rows = n;
-  request->output = Tensor({n, num_classes_});
+  request->rows = miss_rows;
+  request->output =
+      cache_ != nullptr ? std::move(output) : Tensor({n, num_classes_});
+  request->fill_keys = std::move(fill_keys);
+  request->row_map = std::move(row_map);
   request->epoch = std::move(epoch);
-  request->enqueued = std::chrono::steady_clock::now();
+  request->enqueued = t0;
   std::future<Tensor> result = request->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     RT_AUDIT_LOCK(audit::LockRank::kServingQueue);
     if (stopping_) {
-      queued_rows_.fetch_sub(n, std::memory_order_relaxed);
+      queued_rows_.fetch_sub(miss_rows, std::memory_order_relaxed);
       rejected_requests_.fetch_add(1, std::memory_order_relaxed);
       cell.rejected.fetch_add(1, std::memory_order_relaxed);
       request->promise.set_exception(std::make_exception_ptr(
@@ -703,6 +805,11 @@ ServerStats Server::stats() const {
   s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
   s.queued_rows = queued_rows_.load(std::memory_order_relaxed);
   s.capacity_rows = options_.queue_capacity_rows;
+  if (cache_ != nullptr) {
+    const CacheStats c = cache_->stats();
+    s.cache_hit_rows = c.hit_rows;
+    s.cache_miss_rows = c.miss_rows;
+  }
   std::vector<std::shared_ptr<detail::VersionCell>> cells;
   {
     std::lock_guard<std::mutex> lock(route_mutex_);
@@ -713,6 +820,10 @@ ServerStats Server::stats() const {
     cell->merge_latency_into(s.latency);
   }
   return s;
+}
+
+CacheStats Server::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : CacheStats{};
 }
 
 std::vector<VersionStats> Server::version_stats() const {

@@ -50,6 +50,15 @@
 // per-request Session::predict() on the plan of the epoch that served them,
 // no matter how requests were coalesced, split, or routed.
 //
+// Prediction cache: with ServerOptions::cache.capacity_rows > 0, submit()
+// first probes a sharded content-addressed cache (serving/cache.hpp) keyed
+// by row fingerprint + epoch tag. Hit rows are answered immediately from
+// cached logits — bitwise what that epoch's Session would have produced —
+// and only miss rows continue into the coalescer (compacted, so batches
+// carry no redundant rows); their logits populate the cache on completion.
+// Epoch tags are unique per installed fleet generation, so a hot swap can
+// never serve a predecessor's logits.
+//
 // Admission control: at most `queue_capacity_rows` rows may be in flight
 // (admitted and not yet served — capacity is held from submit() until the
 // row's micro-batch finishes executing). submit() past that bound fails the
@@ -72,6 +81,7 @@
 
 #include "common/scheduler.hpp"
 #include "engine/engine.hpp"
+#include "serving/cache.hpp"
 
 namespace rt {
 namespace serving {
@@ -130,6 +140,10 @@ struct ServerOptions {
   /// Version label of the fleet the server is born with (per-version stats
   /// are reported under it). Must be non-empty.
   std::string version = "v0";
+  /// Prediction cache (serving/cache.hpp). Off by default; with
+  /// capacity_rows > 0, re-seen rows are answered from cached logits
+  /// without touching admission or the coalescer.
+  CacheOptions cache;
 };
 
 /// Monotonic counters plus the live backpressure signal. Aggregate ratios:
@@ -147,6 +161,8 @@ struct ServerStats {
   std::uint64_t batched_rows = 0;       ///< rows across all micro-batches
   std::int64_t queued_rows = 0;         ///< in flight: admitted, not served
   std::int64_t capacity_rows = 0;       ///< the admission bound
+  std::uint64_t cache_hit_rows = 0;     ///< rows answered from the cache
+  std::uint64_t cache_miss_rows = 0;    ///< rows that fell through to a batch
   /// submit()→completion latency of every successfully completed request,
   /// merged across all versions ever served. p50/p99 via quantile_us.
   LatencySnapshot latency;
@@ -239,6 +255,9 @@ class Server {
   std::string promote_candidate();
 
   ServerStats stats() const;
+  /// Point-in-time prediction-cache counters; all zeros when the cache is
+  /// off (options.cache.capacity_rows == 0).
+  CacheStats cache_stats() const;
   /// One entry per version label ever served, in install order.
   std::vector<VersionStats> version_stats() const;
   std::string primary_version() const;
@@ -296,6 +315,14 @@ class Server {
   std::uint64_t ab_seed_ = 0;
   std::uint64_t route_seq_ = 0;
   std::vector<std::shared_ptr<detail::VersionCell>> cells_;
+
+  // Prediction cache (null when options_.cache.capacity_rows == 0) and the
+  // epoch-tag source: every epoch build_epoch() produces takes a fresh tag,
+  // so cached logits are keyed to the exact fleet generation that computed
+  // them (mutable: build_epoch is const and the counter is independently
+  // atomic).
+  std::unique_ptr<PredictionCache> cache_;
+  mutable std::atomic<std::uint64_t> epoch_tag_seq_{0};
 
   // MPSC handoff to the coalescer. Producers hold the mutex only to link a
   // request pointer and read the stop flag.

@@ -1,0 +1,25 @@
+// rtlint fixture: a prediction-cache shard whose counters drop
+// std::memory_order — linted with classify("src/serving/cache.cpp") so the
+// suite pins that the serving cache tree carries FileKind{.ordered_atomics}.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct CacheShard {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::int64_t> size{0};
+};
+
+void record_hit(CacheShard& shard) {
+  shard.hits.fetch_add(1, std::memory_order_relaxed);  // ok
+  shard.size.fetch_add(1);  // line 17: R3 (eviction accounting, no order)
+}
+
+std::uint64_t reset_misses(CacheShard& shard) {
+  shard.misses.store(0);     // line 21: R3 (store defaults to seq_cst)
+  return shard.hits.load();  // line 22: R3 (load without order)
+}
+
+}  // namespace fixture

@@ -112,7 +112,12 @@ TEST(RegistryCatalog, RejectsBadReferencesAndStates) {
 }
 
 TEST(RegistryCompileCache, SharesPlansAndDropsThemWhenUnreferenced) {
-  registry::Registry reg(memory_only());
+  // plan_cache_capacity = 0 selects pure weak memoization — this test pins
+  // that contract (sharing while referenced, freed when dropped); bounded
+  // retention has its own tests below.
+  registry::RegistryOptions opt = memory_only();
+  opt.plan_cache_capacity = 0;
+  registry::Registry reg(opt);
   auto model = tiny_model(31);
   reg.publish("m", *model);
 
@@ -140,6 +145,58 @@ TEST(RegistryCompileCache, SharesPlansAndDropsThemWhenUnreferenced) {
   ASSERT_NE(rebuilt, nullptr);
 }
 
+TEST(RegistryCompileCache, BoundedRetentionSurvivesRefDropAndEvictsLru) {
+  // plan_cache_capacity = 2 (LRU): the registry pins the two most recently
+  // demanded tickets, so a swap-out/swap-in cycle — every strong reference
+  // dropped in between — re-serves the SAME plan instance instead of
+  // recompiling. The third version evicts the least-recently-used line.
+  registry::RegistryOptions opt = memory_only();
+  opt.plan_cache_capacity = 2;
+  opt.plan_cache_policy = serving::CachePolicy::kLru;
+  registry::Registry reg(opt);
+  auto m1 = tiny_model(81);
+  auto m2 = tiny_model(82);
+  auto m3 = tiny_model(83);
+  reg.publish("m", *m1);
+  reg.publish("m", *m2);
+  reg.publish("m", *m3);
+
+  std::shared_ptr<const CompiledTicket> p1 = reg.compiled("m@1");
+  std::shared_ptr<const CompiledTicket> p2 = reg.compiled("m@2");
+  const CompiledTicket* raw1 = p1.get();
+  std::weak_ptr<const CompiledTicket> watch1 = p1;
+  p1.reset();
+  p2.reset();
+
+  // Retention holds both plans alive with zero outside references...
+  EXPECT_FALSE(watch1.expired());
+  // ...so re-demanding v1 is pointer-identical: the hot-swap-back path
+  // skips recompilation entirely.
+  std::shared_ptr<const CompiledTicket> again = reg.compiled("m@1");
+  EXPECT_EQ(again.get(), raw1);
+  again.reset();
+
+  registry::PlanCache::Stats st = reg.plan_cache_stats();
+  EXPECT_EQ(st.capacity, 2);
+  EXPECT_EQ(st.retained, 2);
+  EXPECT_EQ(st.hits, 1u);  // the m@1 re-demand; the first two were misses
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.evictions, 0u);
+
+  // Re-demand v2 (refreshes it to MRU, making v1 the LRU line), then demand
+  // a third distinct line: capacity 2 forces the v1 ticket out, and with no
+  // strong holders left it is freed outright.
+  std::weak_ptr<const CompiledTicket> watch2 = reg.compiled("m@2");
+  EXPECT_FALSE(watch2.expired());  // retention hit: still pinned
+  std::weak_ptr<const CompiledTicket> watch3 = reg.compiled("m@3");
+  st = reg.plan_cache_stats();
+  EXPECT_EQ(st.retained, 2);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_TRUE(watch1.expired()) << "v1 should be the evicted LRU line";
+  EXPECT_FALSE(watch2.expired());
+  EXPECT_FALSE(watch3.expired());
+}
+
 TEST(RegistryServe, ServerMatchesDirectSessionBitwise) {
   registry::Registry reg(memory_only());
   auto model = tiny_model(41);
@@ -164,7 +221,12 @@ TEST(RegistryServe, ServerMatchesDirectSessionBitwise) {
 // versions' Session outputs, and the swapped-out plan's memory is released
 // once the drain completes.
 TEST(RegistryHotSwap, ClientsSurviveSwapsBitwiseAndOldPlanIsFreed) {
-  registry::Registry reg(memory_only());
+  // Pure weak memoization (no retention): the "old plan is freed at drain"
+  // half of the contract below only holds when nothing pins swapped-out
+  // tickets.
+  registry::RegistryOptions opt0 = memory_only();
+  opt0.plan_cache_capacity = 0;
+  registry::Registry reg(opt0);
   auto m1 = tiny_model(51);
   auto m2 = tiny_model(52);
   reg.publish("m", *m1);

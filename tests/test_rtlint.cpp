@@ -111,6 +111,18 @@ TEST(RtLint, RegistrySwapFixturePinsR3InRegistryScope) {
   EXPECT_EQ(keys(findings), expected);
 }
 
+TEST(RtLint, ServingCacheFixturePinsR3InCacheScope) {
+  // classify() on the real prediction-cache path: if src/serving/cache.*
+  // ever falls out of the ordered-atomics scope, the expected findings
+  // vanish and this test fails.
+  const FileKind kind = rtlint::classify("src/serving/cache.cpp");
+  EXPECT_TRUE(kind.ordered_atomics);
+  const auto findings = lint_fixture("cache_bad.cpp", kind);
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR3, 17}, {Rule::kR3, 21}, {Rule::kR3, 22}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
 TEST(RtLint, ClassifyMatchesRepoLayout) {
   const FileKind gemm = rtlint::classify("src/linalg/gemm.cpp");
   EXPECT_TRUE(gemm.kernel_hot_path);
@@ -130,6 +142,17 @@ TEST(RtLint, ClassifyMatchesRepoLayout) {
   const FileKind serving = rtlint::classify("src/serving/serving.hpp");
   EXPECT_TRUE(serving.ordered_atomics);
   EXPECT_TRUE(serving.header);
+
+  // The prediction cache rides the src/serving/ prefix: R3 applies to both
+  // halves, R4 (no unordered containers) applies as everywhere, and the
+  // implementation is not a kernel hot path.
+  const FileKind cache_hpp = rtlint::classify("src/serving/cache.hpp");
+  EXPECT_TRUE(cache_hpp.ordered_atomics);
+  EXPECT_TRUE(cache_hpp.header);
+  const FileKind cache_cpp = rtlint::classify("src/serving/cache.cpp");
+  EXPECT_TRUE(cache_cpp.ordered_atomics);
+  EXPECT_FALSE(cache_cpp.kernel_hot_path);
+  EXPECT_FALSE(cache_cpp.rng_exempt);
 
   const FileKind registry = rtlint::classify("src/registry/registry.hpp");
   EXPECT_TRUE(registry.ordered_atomics);
