@@ -1,0 +1,160 @@
+// Socket serving end to end: publish a ticket into rt::registry, stand up
+// the rt::net TCP front-end on loopback, and drive it with rt::net::Client —
+// blocking round trips, pipelined bursts, a hot swap under a live
+// connection, typed failures, and a graceful drain.
+//
+// Everything a remote caller can do rides four length-prefixed verbs
+// (net/protocol.hpp): PREDICT ("model@version" + a row batch), STATS, LIST,
+// PING. This example walks the operational surface:
+//
+//   1. train briefly, publish v1, start net::InferenceServer (port 0 =
+//      kernel-assigned; port() reads it back)
+//   2. blocking predict + pipelined submit/get on one connection
+//   3. publish v2 and observe the typed kFailedPrecondition for a
+//      published-but-not-live version; deploy it and watch the SAME
+//      connection start receiving v2 answers (hot swap mid-connection)
+//   4. expired deadlines, unknown models, and oversized requests come back
+//      as typed statuses, not dropped connections
+//   5. stop() drains: every admitted request is answered before sockets
+//      close
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "net/net.hpp"
+#include "registry/registry.hpp"
+#include "train/loop.hpp"
+
+namespace {
+
+std::unique_ptr<rt::ResNet> trained_model(std::uint64_t seed, int epochs) {
+  rt::Rng rng(seed);
+  rt::ResNetConfig cfg;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {8, 16};
+  cfg.num_classes = 10;
+  cfg.name = "net_demo";
+  auto model = std::make_unique<rt::ResNet>(cfg, rng);
+  const rt::Dataset train =
+      rt::generate_dataset(rt::source_task_spec(), 128, seed ^ 0x11);
+  rt::TrainLoopConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.batch_size = 32;
+  rt::Rng train_rng(seed ^ 0x5EED);
+  rt::train_classifier(*model, train, tcfg, train_rng);
+  model->set_training(false);
+  return model;
+}
+
+int argmax_row(const rt::Tensor& logits) {
+  int best = 0;
+  for (std::int64_t c = 1; c < logits.numel(); ++c) {
+    if (logits[c] > logits[best]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+void expect_status(rt::net::Client& client, const char* label,
+                   const std::string& ref, const rt::Tensor& rows,
+                   std::uint64_t deadline_us = 0) {
+  try {
+    client.predict(ref, rows, deadline_us);
+    std::printf("  %-34s unexpectedly succeeded\n", label);
+  } catch (const rt::net::RpcError& e) {
+    std::printf("  %-34s -> %s\n", label, e.what());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. Publish v1 and stand the front-end up on a kernel-assigned port.
+  rt::registry::RegistryOptions ropt;
+  ropt.cache_root = "";  // demo stays in memory
+  rt::registry::Registry reg(ropt);
+  auto v1 = trained_model(31, /*epochs=*/1);
+  reg.publish("demo", *v1);
+
+  rt::net::NetOptions nopt;  // host 127.0.0.1, port 0
+  rt::net::InferenceServer server(reg, nopt);
+  std::printf("net_serve: listening on 127.0.0.1:%u\n", server.port());
+
+  rt::net::Client client("127.0.0.1", server.port());
+  client.ping();
+
+  const rt::Dataset probe =
+      rt::generate_dataset(rt::source_task_spec(), 16, 37);
+
+  // 2. Blocking round trip, then a pipelined burst on the same connection.
+  const rt::Tensor one = probe.images.slice_rows(0, 1);
+  std::printf("blocking predict(demo@1): class %d (label %d)\n",
+              argmax_row(client.predict("demo@1", one)),
+              static_cast<int>(probe.labels[0]));
+
+  std::vector<rt::net::Client::Reply> inflight;
+  for (std::int64_t r = 0; r < probe.size(); ++r) {
+    inflight.push_back(client.submit("demo@1", probe.images.slice_rows(r, 1)));
+  }
+  int correct = 0;
+  for (std::int64_t r = 0; r < probe.size(); ++r) {
+    correct += argmax_row(inflight[static_cast<std::size_t>(r)].get()) ==
+                       static_cast<int>(probe.labels[r])
+                   ? 1
+                   : 0;
+  }
+  std::printf("pipelined burst: %d in flight, %d/%d correct\n",
+              static_cast<int>(probe.size()), correct,
+              static_cast<int>(probe.size()));
+
+  // 3. Hot swap mid-connection: v2 is published but owns no traffic until
+  //    deploy(); the same client sees the typed precondition, then v2.
+  auto v2 = trained_model(31, /*epochs=*/3);
+  reg.publish("demo", *v2);
+  expect_status(client, "predict(demo@2) before deploy", "demo@2", one);
+  reg.deploy("demo@2");
+  std::printf("deployed demo@2; same connection now serves v2: class %d\n",
+              argmax_row(client.predict("demo@2", one)));
+  for (const std::string& line : client.list()) {
+    std::printf("  catalog: %s\n", line.c_str());
+  }
+
+  // 4. Failures are typed statuses on a connection that stays usable.
+  expect_status(client, "predict(nosuch)", "nosuch", one);
+  expect_status(client, "predict(demo@9)", "demo@9", one);
+  // The deadline clock starts at server receipt of the frame header, so a
+  // 1us budget cannot survive even streaming the 16-row payload off the
+  // socket — the request is answered with kDeadlineExceeded, never queued.
+  expect_status(client, "1us deadline, 16-row payload", "demo@2",
+                probe.images, /*deadline_us=*/1);
+  client.ping();  // still alive after every failure above
+
+  const auto stats = client.stats("demo");
+  std::printf("stats(demo): %.0f requests, p50 %.0fus p99 %.0fus\n",
+              stats.at("submitted_requests"), stats.at("latency_p50_us"),
+              stats.at("latency_p99_us"));
+
+  // 5. Graceful drain: wait until the serving layer has admitted the burst
+  //    (the operator-side view the registry exposes), then stop() — every
+  //    admitted request is flushed through the writer before sockets close.
+  const std::uint64_t admitted_before =
+      reg.find_server("demo")->stats().submitted_requests;
+  std::vector<rt::net::Client::Reply> draining;
+  for (int r = 0; r < 4; ++r) {
+    draining.push_back(client.submit("demo@2", one));
+  }
+  while (reg.find_server("demo")->stats().submitted_requests <
+         admitted_before + 4) {
+  }
+  server.stop();
+  int drained = 0;
+  for (auto& reply : draining) {
+    reply.get();  // zero admitted requests lost: these cannot throw
+    ++drained;
+  }
+  std::printf("drain: %d/4 admitted replies delivered across stop()\n",
+              drained);
+  std::printf("net_serve: done\n");
+  return 0;
+}

@@ -19,8 +19,8 @@
 #                                  # -DRT_SANITIZE=thread and run the
 #                                  # concurrency-heavy suites (scheduler,
 #                                  # engine, serving, registry, common, gemm,
-#                                  # quant kernels, prediction cache) under
-#                                  # ThreadSanitizer.
+#                                  # quant kernels, prediction cache, socket
+#                                  # front-end) under ThreadSanitizer.
 #   scripts/check.sh --asan        # same suites under AddressSanitizer
 #                                  # (-DRT_SANITIZE=address).
 #   scripts/check.sh --ubsan       # same suites under UBSan with
@@ -61,7 +61,7 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 # narrowing, shifts, aliasing — would live). One list so the echo, the build
 # targets, and the ctest filter cannot drift apart.
 SAN_SUITES=(test_scheduler test_engine test_serving test_registry test_common
-            test_gemm test_quant_kernels test_cache)
+            test_gemm test_quant_kernels test_cache test_net)
 SAN_FILTER="$(IFS='|'; echo "${SAN_SUITES[*]}")"
 
 # run_sanitizer_pass <name> <build_dir> <rt_sanitize_value>
@@ -140,8 +140,8 @@ run_bench_smoke() {
 
 run_bench_smoke bench_kernels 'BM_Matmul|BM_Gemm|BM_ConvTrain|BM_EngineThroughput' \
   BENCH_kernels.json "GEMM + conv + engine throughput"
-run_bench_smoke bench_serving 'BM_Server|BM_Registry|BM_Cache' \
+run_bench_smoke bench_serving 'BM_Server|BM_Registry|BM_Cache|BM_Net' \
   BENCH_serving.json \
-  "async micro-batching front-end + registry hot swap + prediction cache"
+  "async micro-batching front-end + registry hot swap + prediction cache + socket front-end"
 
 echo "check.sh: all gates passed"

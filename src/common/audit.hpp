@@ -42,6 +42,13 @@ namespace audit {
 /// All other ranks are leaf-level; adding new nesting means giving the
 /// outer mutex a lower rank here and documenting why.
 enum class LockRank : int {
+  // The net front-end's locks rank lowest: a connection reader dispatches
+  // into the registry (catalog) and serving (route/queue) layers, so even
+  // though dispatch never actually holds a net lock across those calls, the
+  // ranks document the accept/connection < registry < serving route order
+  // and would catch a future regression that nests them.
+  kNetAccept = 0,       ///< net::InferenceServer connections_mutex_
+  kNetConnection = 1,   ///< net connection response-queue mutex (leaf)
   kRegistryCatalog = 2, ///< registry::Registry catalog_mutex_
   kRegistryCompile = 4, ///< registry::Registry compile_mutex_
   kServingRoute = 6,    ///< serving::Server route_mutex_

@@ -1,0 +1,241 @@
+#pragma once
+// rt::net — the TCP front-end over registry::Registry + serving::Server.
+//
+// Everything below the process boundary already exists: compiled tickets,
+// the micro-batching Server with epochs and A/B routing, the versioned
+// registry, the prediction cache. This layer is the network edge that lets a
+// real client name "model@version" over a socket:
+//
+//   registry::Registry reg;
+//   reg.publish("demo", model);
+//   net::NetOptions opt;                       // port 0 = pick a free port
+//   net::InferenceServer server(reg, opt);     // acceptor thread running
+//   ...
+//   net::Client client("127.0.0.1", server.port());
+//   Tensor logits = client.predict("demo@latest", rows);   // blocking
+//   net::Client::Reply r = client.submit("demo", rows);    // pipelined
+//   ...
+//   server.stop();                             // graceful drain
+//
+// Architecture: one acceptor thread owns the listening socket; each accepted
+// connection is long-lived and owns two threads. The *reader* decodes
+// length-prefixed frames (net/protocol.hpp) and dispatches each verb —
+// PREDICT resolves the reference through Registry::route_for_wire and
+// submits the rows to that model's serving::Server, collecting the future;
+// STATS/LIST/PING are answered from registry and server counters. The
+// *writer* streams responses back strictly in request arrival order, waiting
+// on each PREDICT future in turn, so one connection pipelines any number of
+// in-flight requests while replies stay positionally matched.
+//
+// Robustness is part of the contract, not a follow-up:
+//   - a per-request deadline (microseconds after frame receipt) is honored
+//     before dispatch: an expired request is answered with a
+//     kDeadlineExceeded status frame — never silently dropped — and never
+//     reaches the serving queue;
+//   - serving::ServerOverloaded maps to kOverloaded, unknown references to
+//     kNotFound, published-but-not-live versions to kFailedPrecondition,
+//     geometry/shape rejections to kBadRequest — all typed status frames on
+//     a connection that stays usable;
+//   - malformed input (bad magic, truncated header, over-limit length,
+//     garbage, mid-payload disconnect) never crashes the server: the
+//     connection is answered with one kProtocolError frame where a reply is
+//     possible and then closed, leaving every other connection untouched;
+//   - stop() performs a graceful drain: the acceptor closes first, readers
+//     stop consuming new frames, writers flush every in-flight future, and
+//     only then do sockets close — zero admitted requests are lost across a
+//     shutdown or a hot swap.
+//
+// Locking: the connection-table mutex (LockRank::kNetAccept) and each
+// connection's response-queue mutex (kNetConnection) rank below every
+// registry/serving lock. Dispatch never holds a net lock while calling into
+// the registry or the serving layer; the queue mutex is held only to link or
+// unlink one pending response.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/plan.hpp"
+#include "net/protocol.hpp"
+#include "registry/registry.hpp"
+#include "serving/serving.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt {
+namespace net {
+
+struct NetOptions {
+  /// Listen address. Loopback by default — exposing a fleet beyond the host
+  /// is a deliberate operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; port() reads the actual number back, which
+  /// is what makes parallel test/bench processes collision-safe.
+  std::uint16_t port = 0;
+  int backlog = 64;
+  /// Frames announcing a larger body are protocol errors (connection
+  /// closes before any allocation).
+  std::uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Serving options for a model's Server when a PREDICT reference creates
+  /// it (first use); existing servers are reused unchanged.
+  serving::ServerOptions serving;
+  /// Compile options for first-use plan builds (same role as `serving`).
+  CompileOptions compile;
+};
+
+/// Point-in-time counters for the network layer itself (the serving-layer
+/// counters ride the STATS verb).
+struct NetCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t requests = 0;         ///< frames decoded into a verb
+  std::uint64_t responses = 0;        ///< response frames written
+  std::uint64_t protocol_errors = 0;  ///< connections killed by bad frames
+};
+
+/// TCP front-end binding a Registry. Thread-safe; stop() (or destruction)
+/// drains gracefully. The registry must outlive the server.
+class InferenceServer {
+ public:
+  /// Binds, listens, and starts the acceptor thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  explicit InferenceServer(registry::Registry& registry,
+                           const NetOptions& options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// The actual bound port (resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+  const NetOptions& options() const { return options_; }
+  NetCounters counters() const;
+
+  /// Graceful drain: stops accepting, lets readers finish the frame they
+  /// are on, flushes every in-flight PREDICT future through the writers,
+  /// then closes all sockets. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Connection;
+
+  void acceptor_main();
+  void reader_main(Connection& conn);
+  void writer_main(Connection& conn);
+  /// Decodes and dispatches one request body, appending the pending
+  /// response (immediate or future-backed) to the connection's queue.
+  /// Returns false when the reader must stop (terminal protocol error).
+  bool dispatch(Connection& conn, const FrameHeader& header,
+                const std::vector<std::uint8_t>& body,
+                std::chrono::steady_clock::time_point receipt);
+  /// The STATS verb's "key value\n" body for one model's server.
+  static std::string serialize_stats(serving::Server& server);
+  /// Reaps joined connections; called from the acceptor between accepts.
+  void reap_finished_locked();
+
+  registry::Registry& registry_;
+  NetOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  std::once_flag stop_once_;
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+
+  /// Guards the connection table only (LockRank::kNetAccept). Never held
+  /// across dispatch, joins, or socket syscalls on connection fds.
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::thread acceptor_;
+};
+
+/// A typed RPC failure: the response frame's status plus its diagnostic
+/// body. Thrown by Client calls and Reply::get().
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(Status status, const std::string& message)
+      : std::runtime_error(std::string(status_name(status)) + ": " + message),
+        status_(status) {}
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Blocking + pipelined client for one connection. NOT thread-safe: one
+/// thread drives a Client (the bench runs one Client per connection thread);
+/// open several Clients for concurrent connections.
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// A pipelined in-flight request. get() blocks for the response and
+  /// returns the logits or throws RpcError; replies may be awaited in any
+  /// order (the client buffers whatever arrives ahead of the asked-for id).
+  class Reply {
+   public:
+    Tensor get();
+
+   private:
+    friend class Client;
+    Reply(Client* client, std::uint64_t id) : client_(client), id_(id) {}
+    Client* client_;
+    std::uint64_t id_;
+  };
+
+  /// Sends a PREDICT frame without waiting: the wire carries it while the
+  /// caller submits more. `deadline_us` is relative to server receipt
+  /// (0 = none).
+  Reply submit(const std::string& ref, const Tensor& rows,
+               std::uint64_t deadline_us = 0);
+  /// Blocking round-trip: submit(...).get().
+  Tensor predict(const std::string& ref, const Tensor& rows,
+                 std::uint64_t deadline_us = 0);
+
+  /// The model's serving counters as the STATS verb serializes them:
+  /// "key value" per line, parsed into a map (keys like
+  /// "submitted_requests", "latency_p99_us", "cache_hit_rows", ...).
+  std::map<std::string, double> stats(const std::string& ref);
+  /// Registry catalog lines ("name latest=N stable=N live=N candidate=N").
+  std::vector<std::string> list();
+  /// Round-trip liveness probe; throws if the server is unreachable.
+  void ping();
+
+ private:
+  Reply send_frame(Verb verb, const std::vector<std::uint8_t>& body);
+  /// Reads frames off the socket until `id` has arrived, buffering others.
+  void wait_for(std::uint64_t id);
+  /// The decoded response for `id`: status + body.
+  struct Response {
+    Status status = Status::kOk;
+    std::vector<std::uint8_t> body;
+  };
+  Response take(std::uint64_t id);
+  /// Decodes a response body or throws the typed RpcError for non-OK.
+  static Tensor logits_or_throw(const Response& response);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Response> received_;
+};
+
+}  // namespace net
+}  // namespace rt

@@ -1,0 +1,277 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace rt {
+namespace net {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kProtocolError: return "protocol_error";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kNotFound: return "not_found";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kFailedPrecondition: return "failed_precondition";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kPredict: return "predict";
+    case Verb::kStats: return "stats";
+    case Verb::kList: return "list";
+    case Verb::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  static_assert(sizeof(float) == 4, "wire format assumes 32-bit float");
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+std::uint16_t read_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32(p)) |
+         (static_cast<std::uint64_t>(read_u32(p + 4)) << 32);
+}
+
+float read_f32(const std::uint8_t* p) {
+  const std::uint32_t bits = read_u32(p);
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void encode_header(const FrameHeader& header, std::vector<std::uint8_t>& out) {
+  put_u32(out, header.magic);
+  out.push_back(header.version);
+  out.push_back(header.kind);
+  put_u16(out, header.reserved);
+  put_u64(out, header.request_id);
+  put_u32(out, header.body_len);
+}
+
+HeaderDecode decode_header(const std::uint8_t* p, std::uint32_t max_body_bytes,
+                           FrameHeader* out) {
+  out->magic = read_u32(p);
+  out->version = p[4];
+  out->kind = p[5];
+  out->reserved = read_u16(p + 6);
+  out->request_id = read_u64(p + 8);
+  out->body_len = read_u32(p + 16);
+  if (out->magic != kMagic) return HeaderDecode::kBadMagic;
+  if (out->version != kProtocolVersion) return HeaderDecode::kBadVersion;
+  if (out->reserved != 0) return HeaderDecode::kBadReserved;
+  if (out->body_len > max_body_bytes) return HeaderDecode::kOverLimit;
+  return HeaderDecode::kOk;
+}
+
+const char* header_decode_name(HeaderDecode result) {
+  switch (result) {
+    case HeaderDecode::kOk: return "ok";
+    case HeaderDecode::kBadMagic: return "bad magic";
+    case HeaderDecode::kBadVersion: return "unsupported protocol version";
+    case HeaderDecode::kBadReserved: return "nonzero reserved field";
+    case HeaderDecode::kOverLimit: return "body length over limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Bounded sequential reader over a body buffer: every decode_* walks the
+/// payload through one of these so a truncated field can never read past
+/// `len` (the mini-fuzzer in tests/test_net.cpp leans on this).
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  bool skip(std::size_t n) {
+    if (left < n) return false;
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+bool take_u16(Cursor& c, std::uint16_t* v) {
+  if (c.left < 2) return false;
+  *v = read_u16(c.p);
+  return c.skip(2);
+}
+
+bool take_u32(Cursor& c, std::uint32_t* v) {
+  if (c.left < 4) return false;
+  *v = read_u32(c.p);
+  return c.skip(4);
+}
+
+bool take_u64(Cursor& c, std::uint64_t* v) {
+  if (c.left < 8) return false;
+  *v = read_u64(c.p);
+  return c.skip(8);
+}
+
+bool take_string(Cursor& c, std::string* s) {
+  std::uint16_t n = 0;
+  if (!take_u16(c, &n)) return false;
+  if (c.left < n) return false;
+  s->assign(reinterpret_cast<const char*>(c.p), n);
+  return c.skip(n);
+}
+
+/// Reads a shape-prefixed f32 tensor (u32 extents then the payload) that
+/// must consume the cursor exactly. Extent product is checked in 64-bit
+/// before any allocation, so a hostile shape cannot overflow or balloon.
+bool take_tensor(Cursor& c, std::size_t rank, Tensor* out,
+                 std::string* error) {
+  std::vector<std::int64_t> shape(rank);
+  std::uint64_t volume = 1;
+  for (std::size_t d = 0; d < rank; ++d) {
+    std::uint32_t extent = 0;
+    if (!take_u32(c, &extent)) {
+      *error = "truncated tensor shape";
+      return false;
+    }
+    if (extent == 0) {
+      *error = "zero tensor extent";
+      return false;
+    }
+    shape[d] = static_cast<std::int64_t>(extent);
+    volume *= extent;
+    // The payload already arrived (body_len-bounded), so the only way the
+    // product can exceed what is left is an inconsistent header — reject
+    // before multiplying toward overflow.
+    if (volume > (std::numeric_limits<std::uint32_t>::max)() / 4u) {
+      *error = "tensor volume over limit";
+      return false;
+    }
+  }
+  if (c.left != volume * 4u) {
+    *error = "tensor payload length mismatch";
+    return false;
+  }
+  std::vector<float> data(static_cast<std::size_t>(volume));
+  for (std::uint64_t i = 0; i < volume; ++i) {
+    data[static_cast<std::size_t>(i)] = read_f32(c.p + 4 * i);
+  }
+  c.skip(static_cast<std::size_t>(volume) * 4u);
+  *out = Tensor::from_data(std::move(shape), std::move(data));
+  return true;
+}
+
+void put_tensor(const Tensor& t, std::vector<std::uint8_t>& out) {
+  for (std::size_t d = 0; d < t.ndim(); ++d) {
+    put_u32(out, static_cast<std::uint32_t>(t.dim(d)));
+  }
+  const float* data = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) put_f32(out, data[i]);
+}
+
+}  // namespace
+
+void encode_predict_body(const std::string& ref, std::uint64_t deadline_us,
+                         const Tensor& rows, std::vector<std::uint8_t>& out) {
+  if (rows.ndim() != 4) {
+    throw std::invalid_argument("encode_predict_body: rows must be 4-D, got " +
+                                rows.shape_str());
+  }
+  if (ref.size() > (std::numeric_limits<std::uint16_t>::max)()) {
+    throw std::invalid_argument("encode_predict_body: ref too long");
+  }
+  put_u16(out, static_cast<std::uint16_t>(ref.size()));
+  out.insert(out.end(), ref.begin(), ref.end());
+  put_u64(out, deadline_us);
+  put_tensor(rows, out);
+}
+
+bool decode_predict_body(const std::uint8_t* body, std::size_t len,
+                         PredictRequest* out, std::string* error) {
+  Cursor c{body, len};
+  if (!take_string(c, &out->ref)) {
+    *error = "truncated model reference";
+    return false;
+  }
+  if (!take_u64(c, &out->deadline_us)) {
+    *error = "truncated deadline";
+    return false;
+  }
+  return take_tensor(c, 4, &out->rows, error);
+}
+
+void encode_logits_body(const Tensor& logits, std::vector<std::uint8_t>& out) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument(
+        "encode_logits_body: logits must be 2-D, got " + logits.shape_str());
+  }
+  put_tensor(logits, out);
+}
+
+bool decode_logits_body(const std::uint8_t* body, std::size_t len,
+                        Tensor* logits, std::string* error) {
+  Cursor c{body, len};
+  return take_tensor(c, 2, logits, error);
+}
+
+void encode_stats_body(const std::string& ref,
+                       std::vector<std::uint8_t>& out) {
+  if (ref.size() > (std::numeric_limits<std::uint16_t>::max)()) {
+    throw std::invalid_argument("encode_stats_body: ref too long");
+  }
+  put_u16(out, static_cast<std::uint16_t>(ref.size()));
+  out.insert(out.end(), ref.begin(), ref.end());
+}
+
+bool decode_stats_body(const std::uint8_t* body, std::size_t len,
+                       std::string* ref, std::string* error) {
+  Cursor c{body, len};
+  if (!take_string(c, ref)) {
+    *error = "truncated model reference";
+    return false;
+  }
+  if (c.left != 0) {
+    *error = "trailing bytes after model reference";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace rt

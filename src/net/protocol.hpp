@@ -1,0 +1,172 @@
+#pragma once
+// rt::net wire protocol — length-prefixed binary frames over a byte stream.
+//
+// Every message in either direction is one frame: a fixed 20-byte header
+// followed by `body_len` body bytes. All integers are little-endian and
+// encoded/decoded byte-by-byte (no struct punning, no alignment or host
+// endianness assumptions):
+//
+//   offset  size  field
+//   0       4     magic       0x52544E46 ("RTNF")
+//   4       1     version     kProtocolVersion (currently 1)
+//   5       1     kind        request: Verb; response: Status
+//   6       2     reserved    must be 0
+//   8       8     request_id  echoed verbatim in the response
+//   16      4     body_len    body bytes following the header
+//
+// Verbs (client -> server):
+//   PREDICT  body = u16 ref_len, ref bytes ("model", "model@7", "model@latest",
+//            "model@stable"), u64 deadline_us (relative to server receipt of
+//            the frame header; 0 = no deadline), u32 n, u32 channels, u32
+//            height, u32 width, then n*channels*height*width f32 row data.
+//   STATS    body = u16 ref_len, ref bytes (the model whose serving counters
+//            to snapshot).
+//   LIST     empty body.
+//   PING     empty body.
+//
+// Responses carry a Status in the header's kind byte. kOk bodies are
+// verb-specific (PREDICT: u32 n, u32 classes, n*classes f32 logits; STATS and
+// LIST: UTF-8 "key value\n" / one-entry-per-line text; PING: empty). Any
+// non-kOk body is a UTF-8 diagnostic message. kProtocolError is terminal:
+// the server sends it (request_id 0 when the offending header was not even
+// decodable) and then closes the connection; every other status leaves the
+// connection usable.
+//
+// Responses stream back in request arrival order, so one connection can
+// pipeline many in-flight requests and still match replies to requests
+// positionally (request_id is echoed as a cross-check, not an ordering
+// mechanism).
+//
+// This header is deliberately socket-free: tests fuzz decode_* directly on
+// in-memory buffers (tests/test_net.cpp), and the framing logic cannot drift
+// from what InferenceServer and Client actually speak because both sides
+// link exactly these functions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rt {
+namespace net {
+
+inline constexpr std::uint32_t kMagic = 0x52544E46u;  // "RTNF"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Default cap on body_len (NetOptions::max_body_bytes can lower it). A
+/// header announcing more than the configured cap is a protocol error — the
+/// connection closes before any oversized allocation happens.
+inline constexpr std::uint32_t kDefaultMaxBodyBytes = 64u << 20;
+
+enum class Verb : std::uint8_t {
+  kPredict = 1,
+  kStats = 2,
+  kList = 3,
+  kPing = 4,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Malformed frame (bad magic/version/reserved bits, over-limit length,
+  /// undecodable body, unknown verb). Terminal: the connection closes.
+  kProtocolError = 1,
+  /// Well-formed frame the serving layer rejected: bad tensor geometry for
+  /// the model, zero-extent shape, malformed reference syntax.
+  kBadRequest = 2,
+  /// The reference names a model or version the registry does not hold.
+  kNotFound = 3,
+  /// The request's deadline expired before dispatch; it was never submitted.
+  kDeadlineExceeded = 4,
+  /// serving::Server admission control rejected the rows (queue at capacity).
+  kOverloaded = 5,
+  /// The reference resolves to a published version that is not currently
+  /// live (neither primary nor A/B candidate) — deploy it first.
+  kFailedPrecondition = 6,
+  /// The server is draining: stop() ran; already-admitted requests still
+  /// complete, new ones are turned away.
+  kShuttingDown = 7,
+  /// A shard threw something unexpected executing the batch.
+  kInternal = 8,
+};
+
+/// Stable lowercase names for logs and error text ("ok", "protocol_error",
+/// ...). Unknown values map to "unknown".
+const char* status_name(Status status);
+const char* verb_name(Verb verb);
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t kind = 0;  ///< Verb (requests) or Status (responses)
+  std::uint16_t reserved = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t body_len = 0;
+};
+
+// ---- primitive little-endian append/read helpers ---------------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_f32(std::vector<std::uint8_t>& out, float v);
+std::uint16_t read_u16(const std::uint8_t* p);
+std::uint32_t read_u32(const std::uint8_t* p);
+std::uint64_t read_u64(const std::uint8_t* p);
+float read_f32(const std::uint8_t* p);
+
+// ---- header ---------------------------------------------------------------
+
+/// Appends the 20 header bytes to `out`.
+void encode_header(const FrameHeader& header, std::vector<std::uint8_t>& out);
+
+enum class HeaderDecode {
+  kOk,
+  kBadMagic,
+  kBadVersion,
+  kBadReserved,
+  kOverLimit,  ///< body_len exceeds max_body_bytes
+};
+/// Decodes exactly kHeaderBytes from `p` and validates magic, version, the
+/// reserved field, and the body-length cap. `out` is filled even on failure
+/// (for diagnostics); the kind byte is NOT validated here — request and
+/// response sides interpret it against their own enum.
+HeaderDecode decode_header(const std::uint8_t* p, std::uint32_t max_body_bytes,
+                           FrameHeader* out);
+const char* header_decode_name(HeaderDecode result);
+
+// ---- PREDICT bodies -------------------------------------------------------
+
+struct PredictRequest {
+  std::string ref;
+  /// Microseconds after server receipt of the frame header by which the
+  /// request must have been dispatched; 0 = no deadline.
+  std::uint64_t deadline_us = 0;
+  Tensor rows{std::vector<std::int64_t>{1}};  ///< (n, c, h, w) after decode
+};
+
+/// Appends a PREDICT request body. `rows` must be a 4-D (n, c, h, w) batch.
+void encode_predict_body(const std::string& ref, std::uint64_t deadline_us,
+                         const Tensor& rows, std::vector<std::uint8_t>& out);
+/// Decodes a PREDICT body. Returns false (with a diagnostic in `error`) on
+/// any inconsistency: truncated fields, zero extents, or a payload whose
+/// length does not match the announced shape exactly.
+bool decode_predict_body(const std::uint8_t* body, std::size_t len,
+                         PredictRequest* out, std::string* error);
+
+/// Appends a PREDICT kOk response body from an (n, classes) logits tensor.
+void encode_logits_body(const Tensor& logits, std::vector<std::uint8_t>& out);
+/// Decodes an (n, classes) logits body; same contract as
+/// decode_predict_body.
+bool decode_logits_body(const std::uint8_t* body, std::size_t len,
+                        Tensor* logits, std::string* error);
+
+// ---- STATS bodies ---------------------------------------------------------
+
+/// Appends a STATS request body (just the model reference).
+void encode_stats_body(const std::string& ref, std::vector<std::uint8_t>& out);
+bool decode_stats_body(const std::uint8_t* body, std::size_t len,
+                       std::string* ref, std::string* error);
+
+}  // namespace net
+}  // namespace rt

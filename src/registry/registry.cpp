@@ -369,6 +369,25 @@ serving::Server* Registry::find_server(const std::string& name) {
   return it == catalog_.end() ? nullptr : it->second.server.get();
 }
 
+WireRoute Registry::route_for_wire(const std::string& ref,
+                                   const serving::ServerOptions& server_options,
+                                   const CompileOptions& compile_options) {
+  // First use creates the endpoint serving the resolved version (so
+  // version == live_version for the creating request by construction);
+  // existing servers are returned unchanged, exactly like serve().
+  serving::Server& server = serve(ref, server_options, compile_options);
+  const ModelRef parsed = parse_model_ref(ref);
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
+  RT_AUDIT_LOCK(audit::LockRank::kRegistryCatalog);
+  const Entry& entry = find_entry_locked(parsed.model);
+  WireRoute route;
+  route.server = &server;
+  route.version = resolve_locked(entry, parsed);
+  route.live_version = entry.live_version;
+  route.candidate_version = entry.candidate_version;
+  return route;
+}
+
 void Registry::deploy(const std::string& ref, const CompileOptions& options) {
   const ModelRef parsed = parse_model_ref(ref);
   const VersionSlot* slot = nullptr;

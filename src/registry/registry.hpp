@@ -73,6 +73,16 @@ ModelRef parse_model_ref(const std::string& ref);
 /// the kernel-numerics version).
 std::string compile_options_fingerprint(const CompileOptions& options);
 
+/// Wire-resolution result for the socket front-end (src/net/): the model's
+/// serving endpoint plus the versions a "model@version" reference must be
+/// reconciled against before rows are submitted.
+struct WireRoute {
+  serving::Server* server = nullptr;
+  int version = 0;            ///< resolved from the reference
+  int live_version = 0;       ///< owner of primary traffic
+  int candidate_version = 0;  ///< A/B candidate (0 = none)
+};
+
 /// Catalog row describing one published version.
 struct VersionInfo {
   int version = 0;
@@ -198,6 +208,18 @@ class Registry {
                          const CompileOptions& compile_options = {});
   /// nullptr when serve() has not been called for this model.
   serving::Server* find_server(const std::string& name);
+
+  /// Resolve-for-wire: the serving endpoint for `ref` — created on first
+  /// use, serving the resolved version with the given options — plus the
+  /// resolved, live, and candidate version numbers in one consistent
+  /// snapshot. The socket front-end uses the version triple to answer
+  /// published-but-not-live references with a typed status instead of
+  /// silently routing them to whatever fleet happens to own traffic.
+  /// Throws what resolve()/serve() throw (unknown model/version, malformed
+  /// reference, "@stable" with no stable set).
+  WireRoute route_for_wire(const std::string& ref,
+                           const serving::ServerOptions& server_options = {},
+                           const CompileOptions& compile_options = {});
 
   /// Compiles the referenced version (cache hit when warm) and atomically
   /// hot-swaps the model's fleet to it: new traffic routes to the new

@@ -1,6 +1,7 @@
 #include "serving/cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <list>
 #include <map>
 #include <mutex>
@@ -361,10 +362,15 @@ struct PredictionCache::Shard {
   std::map<std::uint64_t, std::vector<float>> entries;
   std::unique_ptr<EvictionPolicy> policy;
   std::vector<std::uint64_t> evicted_scratch;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t inserted = 0;
-  std::uint64_t evicted = 0;
+  // Counters are atomics (written under the shard mutex, read lock-free) so
+  // stats() — which the net layer serves per STATS request — never contends
+  // with the lookup/insert hot path for any shard lock. `size` mirrors
+  // entries.size() for the same reason.
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> inserted{0};
+  std::atomic<std::uint64_t> evicted{0};
+  std::atomic<std::int64_t> size{0};
 };
 
 PredictionCache::PredictionCache(const CacheOptions& options,
@@ -414,11 +420,11 @@ RT_HOT bool PredictionCache::lookup(std::uint64_t key, float* out) {
   RT_AUDIT_LOCK(audit::LockRank::kServingCache);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   shard.policy->on_hit(key);
-  ++shard.hits;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   std::copy(it->second.begin(), it->second.end(), out);
   return true;
 }
@@ -432,24 +438,28 @@ void PredictionCache::insert(std::uint64_t key, const float* value) {
   it->second.assign(value, value + value_floats_);
   shard.evicted_scratch.clear();
   shard.policy->on_insert(key, shard.evicted_scratch);
-  ++shard.inserted;
+  shard.inserted.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t delta = 1;
   for (const std::uint64_t victim : shard.evicted_scratch) {
     shard.entries.erase(victim);
-    ++shard.evicted;
+    shard.evicted.fetch_add(1, std::memory_order_relaxed);
+    --delta;
   }
+  shard.size.fetch_add(delta, std::memory_order_relaxed);
 }
 
 CacheStats PredictionCache::stats() const {
+  // Lock-free snapshot: counters are relaxed atomics, so a monitoring loop
+  // (or the net layer's STATS verb under concurrent load) never stalls the
+  // lookup/insert hot path by sweeping every shard mutex.
   CacheStats out;
   out.capacity_rows = capacity_rows_;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    RT_AUDIT_LOCK(audit::LockRank::kServingCache);
-    out.hit_rows += shard->hits;
-    out.miss_rows += shard->misses;
-    out.inserted_rows += shard->inserted;
-    out.evicted_rows += shard->evicted;
-    out.size_rows += static_cast<std::int64_t>(shard->entries.size());
+    out.hit_rows += shard->hits.load(std::memory_order_relaxed);
+    out.miss_rows += shard->misses.load(std::memory_order_relaxed);
+    out.inserted_rows += shard->inserted.load(std::memory_order_relaxed);
+    out.evicted_rows += shard->evicted.load(std::memory_order_relaxed);
+    out.size_rows += shard->size.load(std::memory_order_relaxed);
   }
   return out;
 }

@@ -141,6 +141,10 @@ class PredictionCache {
   /// one row race to fill it; both computed the same bits, so first wins).
   void insert(std::uint64_t key, const float* value);
 
+  /// Point-in-time counters. Lock-free: counters are relaxed atomics
+  /// maintained under each shard's mutex but readable without it, so a
+  /// monitoring loop (the net layer's STATS verb) never contends with the
+  /// lookup/insert hot path.
   CacheStats stats() const;
   std::int64_t value_floats() const { return value_floats_; }
 

@@ -1,0 +1,25 @@
+// rtlint fixture: a net connection loop that drops memory orders and
+// reaches uphill — linted with classify("src/net/net.cpp") so the suite
+// pins that the socket front-end carries FileKind{.ordered_atomics}.
+#include <atomic>
+#include <cstdint>
+
+#include "../serving/serving.hpp"
+
+namespace fixture {
+
+struct Connection {
+  std::atomic<bool> closing{false};
+  std::atomic<std::uint64_t> responses{0};
+};
+
+void retire(Connection& conn) {
+  conn.responses.fetch_add(1);  // line 17: R3 (fetch_add without order)
+  conn.closing.store(true);     // line 18: R3 (store defaults to seq_cst)
+}
+
+bool draining(const Connection& conn) {
+  return conn.closing.load();  // line 22: R3 (load without order)
+}
+
+}  // namespace fixture

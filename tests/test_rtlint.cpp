@@ -123,6 +123,20 @@ TEST(RtLint, ServingCacheFixturePinsR3InCacheScope) {
   EXPECT_EQ(keys(findings), expected);
 }
 
+TEST(RtLint, NetFixturePinsR3AndR5InNetScope) {
+  // classify() on the real socket front-end path: if src/net/ ever falls
+  // out of the ordered-atomics scope, the R3 findings vanish and this test
+  // fails. The fixture also plants an uphill include for the R5 check that
+  // applies to every file kind.
+  const FileKind kind = rtlint::classify("src/net/net.cpp");
+  EXPECT_TRUE(kind.ordered_atomics);
+  EXPECT_FALSE(kind.kernel_hot_path);
+  const auto findings = lint_fixture("net_bad.cpp", kind);
+  const std::vector<std::pair<Rule, int>> expected = {
+      {Rule::kR3, 17}, {Rule::kR3, 18}, {Rule::kR3, 22}, {Rule::kR5, 7}};
+  EXPECT_EQ(keys(findings), expected);
+}
+
 TEST(RtLint, ClassifyMatchesRepoLayout) {
   const FileKind gemm = rtlint::classify("src/linalg/gemm.cpp");
   EXPECT_TRUE(gemm.kernel_hot_path);
@@ -142,6 +156,11 @@ TEST(RtLint, ClassifyMatchesRepoLayout) {
   const FileKind serving = rtlint::classify("src/serving/serving.hpp");
   EXPECT_TRUE(serving.ordered_atomics);
   EXPECT_TRUE(serving.header);
+
+  const FileKind net = rtlint::classify("src/net/net.hpp");
+  EXPECT_TRUE(net.ordered_atomics);
+  EXPECT_TRUE(net.header);
+  EXPECT_FALSE(net.kernel_hot_path);
 
   // The prediction cache rides the src/serving/ prefix: R3 applies to both
   // halves, R4 (no unordered containers) applies as everywhere, and the

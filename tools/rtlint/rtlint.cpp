@@ -559,7 +559,7 @@ const char* rule_summary(Rule rule) {
     case Rule::kR2:
       return "no heap allocation constructs inside RT_HOT functions";
     case Rule::kR3:
-      return "every atomic op in scheduler/serving/registry names an "
+      return "every atomic op in scheduler/serving/registry/net names an "
              "explicit std::memory_order";
     case Rule::kR4:
       return "no nondeterminism sources outside src/common/rng.*";
@@ -585,7 +585,8 @@ FileKind classify(const std::string& path) {
       starts_with("src/linalg/") || path == "src/engine/plan.cpp";
   kind.ordered_atomics = starts_with("src/common/scheduler.") ||
                          starts_with("src/serving/") ||
-                         starts_with("src/registry/");
+                         starts_with("src/registry/") ||
+                         starts_with("src/net/");
   kind.rng_exempt = starts_with("src/common/rng.");
   return kind;
 }

@@ -31,7 +31,7 @@
 //       new, malloc-family, std::vector growth (push_back/emplace_back/
 //       resize/reserve), make_unique/make_shared, std::function.
 //   R3  every std::atomic load/store/RMW in src/common/scheduler.*,
-//       src/serving/, and src/registry/ must name an explicit
+//       src/serving/, src/registry/, and src/net/ must name an explicit
 //       std::memory_order.
 //   R4  no nondeterminism sources outside src/common/rng.*: rand/srand,
 //       std::random_device, time(), system_clock, unordered containers
